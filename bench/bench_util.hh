@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the reproduction bench drivers.
+ *
+ * Every bench binary prints the paper table/figure it regenerates.
+ * Pass a positive number as argv[1] (or set MEMBW_SCALE) to scale
+ * trace lengths; the default keeps the full suite to a few minutes.
+ */
+
+#ifndef MEMBW_BENCH_BENCH_UTIL_HH
+#define MEMBW_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cache/config.hh"
+#include "common/types.hh"
+#include "workloads/workload.hh"
+
+namespace membw::bench {
+
+/** Trace-length scale from argv[1] or $MEMBW_SCALE (default given). */
+inline double
+scaleFromArgs(int argc, char **argv, double dflt)
+{
+    if (argc > 1) {
+        const double v = std::atof(argv[1]);
+        if (v > 0)
+            return v;
+    }
+    if (const char *env = std::getenv("MEMBW_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            return v;
+    }
+    return dflt;
+}
+
+/** The Table 7/8 cache-size sweep: 1KB..2MB. */
+inline std::vector<Bytes>
+table7Sizes()
+{
+    return {1_KiB,  2_KiB,   4_KiB,   8_KiB,   16_KiB, 32_KiB,
+            64_KiB, 128_KiB, 256_KiB, 512_KiB, 1_MiB,  2_MiB};
+}
+
+/** The paper's Table 7/8 cache: direct-mapped, 32B blocks, WB/WA. */
+inline CacheConfig
+table7Cache(Bytes size)
+{
+    CacheConfig c;
+    c.size = size;
+    c.assoc = 1;
+    c.blockBytes = 32;
+    return c;
+}
+
+/** Banner naming the table/figure being reproduced. */
+inline void
+banner(const char *what, double scale)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s\n", what);
+    std::printf("Burger, Goodman, Kagi: \"Memory Bandwidth "
+                "Limitations of Future\nMicroprocessors\" "
+                "(ISCA 1996) — membw reproduction, scale %.2f\n",
+                scale);
+    std::printf("==============================================="
+                "=================\n\n");
+}
+
+} // namespace membw::bench
+
+#endif // MEMBW_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 1 reproduction: physical microprocessor trends 1978-1997.
+ *
+ *  (a) package pin counts and the ~16%/yr fit;
+ *  (b) performance (MIPS) per pin;
+ *  (c) performance over package bandwidth (MIPS per MB/s).
+ */
+
+#include <cstdio>
+
+#include "analysis/pin_trends.hh"
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace membw;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    bench::banner("Figure 1: physical microprocessor trends", scale);
+
+    TextTable t;
+    t.header({"processor", "year", "pins", "MIPS", "pin MB/s",
+              "MIPS/pin", "MIPS/(MB/s)"});
+    for (const ProcessorRecord &r : processorDataset()) {
+        t.row({r.name, std::to_string(r.year),
+               fixed(r.pins, 0), fixed(r.mips, 1),
+               fixed(r.pinBandwidthMBs, 0), fixed(r.mipsPerPin(), 3),
+               fixed(r.mipsPerBandwidth(), 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    const GrowthFit pins = pinCountGrowth();
+    const GrowthFit perf = performanceGrowth();
+    const GrowthFit per_pin = mipsPerPinGrowth();
+
+    std::printf("Figure 1a fit : pins grow %.1f%%/yr (r2=%.2f) — "
+                "paper: ~16%%/yr\n",
+                (pins.annualFactor - 1.0) * 100.0, pins.r2);
+    std::printf("Performance   : %.0f%%/yr (r2=%.2f)\n",
+                (perf.annualFactor - 1.0) * 100.0, perf.r2);
+    std::printf("Figure 1b fit : MIPS/pin grows %.1f%%/yr (r2=%.2f) "
+                "— \"increasing explosively\"\n",
+                (per_pin.annualFactor - 1.0) * 100.0, per_pin.r2);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 4 reproduction: total traffic (KB) versus cache size for
+ * Compress, Eqntott, and Swm.
+ *
+ * Series: 4-way set-associative caches with 4B-128B blocks, plus
+ * the MTC with write-allocate and with write-validate (the thick
+ * lines of the paper's log-log plot).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "mtc/min_cache.hh"
+#include "workloads/workload.hh"
+
+using namespace membw;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    bench::banner("Figure 4: total traffic by cache and MTC size",
+                  scale);
+
+    const std::vector<Bytes> sizes = {
+        64,     256,    1_KiB,   4_KiB, 16_KiB,
+        64_KiB, 256_KiB, 1_MiB, 4_MiB};
+    const std::vector<Bytes> blocks = {4, 8, 16, 32, 64, 128};
+
+    for (const char *name : {"Compress", "Eqntott", "Swm"}) {
+        auto w = makeWorkload(name);
+        WorkloadParams p;
+        p.scale = scale;
+        const Trace trace = w->trace(p);
+
+        TextTable t;
+        {
+            std::vector<std::string> header{"size"};
+            for (Bytes b : blocks)
+                header.push_back(formatSize(b) + " blk");
+            header.push_back("MTC-WA");
+            header.push_back("MTC-WV");
+            t.header(header);
+        }
+
+        for (Bytes size : sizes) {
+            std::vector<std::string> row{formatSize(size)};
+            for (Bytes block : blocks) {
+                if (size < block || size / block < 4) {
+                    row.push_back("-");
+                    continue;
+                }
+                CacheConfig cfg;
+                cfg.size = size;
+                cfg.assoc = 4;
+                cfg.blockBytes = block;
+                const TrafficResult r = runTrace(trace, cfg);
+                row.push_back(
+                    std::to_string(r.pinBytes / 1024) + "K");
+            }
+            // MTC lines: fully associative MIN, 4B transfers.
+            MinCacheConfig wa = canonicalMtc(size);
+            wa.alloc = AllocPolicy::WriteAllocate;
+            row.push_back(std::to_string(
+                              runMinCache(trace, wa).trafficBelow() /
+                              1024) +
+                          "K");
+            const MinCacheConfig wv = canonicalMtc(size);
+            row.push_back(std::to_string(
+                              runMinCache(trace, wv).trafficBelow() /
+                              1024) +
+                          "K");
+            t.row(row);
+        }
+        std::printf("%s (%zu refs)\n%s\n", name,
+                    trace.size(), t.render().c_str());
+    }
+    std::printf("Expected shapes: Compress's traffic grows with "
+                "every block-size doubling\n(no spatial locality); "
+                "Swm converges for big caches; the MTC lines sit\n"
+                "well below every cache line (the traffic-"
+                "inefficiency gap).\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulators themselves:
+ * accesses/second for the functional cache, the MIN cache, and the
+ * timing model.  Useful for tracking simulator performance when
+ * modifying the library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "cpu/experiment.hh"
+#include "mtc/min_cache.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace membw;
+
+Trace
+syntheticTrace(std::size_t refs)
+{
+    Rng rng(1);
+    Trace t;
+    t.reserve(refs);
+    Addr cursor = 0;
+    for (std::size_t i = 0; i < refs; ++i) {
+        cursor = rng.chance(0.25) ? rng.below(1 << 16)
+                                  : (cursor + 1) & 0xffff;
+        t.append(cursor * wordBytes, wordBytes,
+                 rng.chance(0.3) ? RefKind::Store : RefKind::Load);
+    }
+    return t;
+}
+
+void
+BM_FunctionalCache(benchmark::State &state)
+{
+    const Trace t = syntheticTrace(1 << 16);
+    CacheConfig cfg;
+    cfg.size = static_cast<Bytes>(state.range(0));
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+    for (auto _ : state) {
+        Cache cache(cfg);
+        for (const MemRef &r : t)
+            cache.access(r);
+        benchmark::DoNotOptimize(cache.stats().trafficBelow());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_FunctionalCache)->Arg(8_KiB)->Arg(64_KiB)->Arg(1_MiB);
+
+void
+BM_MinCache(benchmark::State &state)
+{
+    const Trace t = syntheticTrace(1 << 16);
+    for (auto _ : state) {
+        const MinCacheStats s = runMinCache(
+            t, canonicalMtc(static_cast<Bytes>(state.range(0))));
+        benchmark::DoNotOptimize(s.trafficBelow());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_MinCache)->Arg(8_KiB)->Arg(64_KiB);
+
+void
+BM_TimingModel(benchmark::State &state)
+{
+    WorkloadParams p;
+    p.scale = 0.05;
+    const auto run = makeWorkload("Swm")->run(p);
+    const InstrStream stream = InstrStream::fromRun(run);
+    const auto cfg =
+        makeExperiment(static_cast<char>('A' + state.range(0)),
+                       false);
+    for (auto _ : state) {
+        const CoreResult r = runFull(stream, cfg);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_TimingModel)->Arg(0)->Arg(3)->Arg(5); // A, D, F
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto w = makeWorkload("Compress");
+    WorkloadParams p;
+    p.scale = 0.1;
+    for (auto _ : state) {
+        const Trace t = w->trace(p);
+        benchmark::DoNotOptimize(t.size());
+    }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Section 4.3 reproduction: extrapolating pin counts and per-pin
+ * bandwidth requirements to the processor of 2006.
+ */
+
+#include <cstdio>
+
+#include "analysis/extrapolation.hh"
+#include "analysis/pin_trends.hh"
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace membw;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    bench::banner("Section 4.3: pin bandwidth requirements in 2006",
+                  scale);
+
+    // Use the measured Figure 1a growth rather than the nominal 16%.
+    const GrowthFit pin_fit = pinCountGrowth();
+
+    ExtrapolationInputs in;
+    in.basePins = findProcessor("R10000").pins;
+    in.pinGrowthPerYear = pin_fit.annualFactor - 1.0;
+    const ExtrapolationResult r = extrapolate(in);
+
+    std::printf("Assumptions: %.0f pins today (R10000, 1996); pins "
+                "grow %.1f%%/yr (measured);\nsustained performance "
+                "grows %.0f%%/yr (paper's conservative choice); "
+                "traffic\nratios unchanged.\n\n",
+                in.basePins, in.pinGrowthPerYear * 100.0,
+                in.perfGrowthPerYear * 100.0);
+
+    std::printf("Projected 2006 package: %.0f pins  (paper: \"two "
+                "or three thousand\")\n",
+                r.pins);
+    std::printf("Performance growth over the decade: %.0fx\n",
+                r.perfFactor);
+    std::printf("Required bandwidth growth PER PIN: %.1fx  (paper: "
+                "\"a factor of 25\")\n\n",
+                r.bandwidthPerPinFactor);
+
+    // The three options of Section 4.3.
+    TextTable t;
+    t.header({"option", "pins", "per-pin b/w", "note"});
+    t.row({"huge fast package", fixed(r.pins, 0),
+           fixed(r.bandwidthPerPinFactor, 1) + "x",
+           "several GHz signalling"});
+    t.row({"enormous slower package", fixed(r.pins * 4, 0),
+           fixed(r.bandwidthPerPinFactor / 4, 1) + "x",
+           "0.5-1 GHz signalling"});
+    t.row({"better traffic ratios", fixed(r.pins, 0), "1.0x",
+           "improve R by " +
+               fixed(r.bandwidthPerPinFactor, 0) + "x (Table 8 "
+               "headroom)"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("The third option is the least costly — the "
+                "motivation for Section 5.\n");
+    return 0;
+}

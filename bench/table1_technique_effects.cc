@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Table 1 reproduction: estimated effects of latency-tolerance
+ * techniques and processor trends on the execution-time division.
+ *
+ * Table 1 is qualitative (up/down arrows for f_P, f_L, f_B); this
+ * bench derives the arrows *empirically* by toggling each mechanism
+ * in the timing model and comparing the decompositions.  Rows:
+ *
+ *  A. latency reduction: lockup-free caches, tagged prefetching,
+ *     larger cache blocks (hardware/software prefetch variants and
+ *     speculative loads are folded into the prefetch/OOO rows);
+ *  B. processor trends: faster clock, wider issue, speculative OOO;
+ *  C. physical trends: better packaging (wider buses), larger
+ *     on-chip memory.
+ *
+ * The multithreading row is evaluated on the traffic axis (two
+ * interleaved contexts sharing the L1 increase total traffic).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "cpu/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace membw;
+
+namespace {
+
+std::string
+arrow(double before, double after, double eps = 0.005)
+{
+    if (after > before + eps)
+        return "up";
+    if (after < before - eps)
+        return "down";
+    return "~";
+}
+
+struct Split
+{
+    double fP, fL, fB;
+};
+
+Split
+runSplit(const InstrStream &stream, const ExperimentConfig &cfg)
+{
+    const DecompositionResult r = runDecomposition(stream, cfg);
+    return {r.split.fP(), r.split.fL(), r.split.fB()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleFromArgs(argc, argv, 0.4);
+    bench::banner("Table 1: estimated effects on execution "
+                  "divisions (derived empirically, Su2cor)",
+                  scale);
+
+    WorkloadParams p;
+    p.scale = scale;
+    const auto run = makeWorkload("Su2cor")->run(p);
+    const InstrStream stream = InstrStream::fromRun(run, codeFootprintBytes("Su2cor"), p.seed);
+
+    TextTable t;
+    t.header({"technique", "f_P", "f_L", "f_B", "paper f_B"});
+
+    auto row = [&](const std::string &label, const Split &before,
+                   const Split &after, const char *paper_fb) {
+        t.row({label, arrow(before.fP, after.fP),
+               arrow(before.fL, after.fL), arrow(before.fB, after.fB),
+               paper_fb});
+    };
+
+    // ---- A. latency reduction ----
+    {
+        const Split a = runSplit(stream, makeExperiment('A', false));
+        const Split c = runSplit(stream, makeExperiment('C', false));
+        row("lockup-free caches", a, c, "up");
+
+        const Split b = runSplit(stream, makeExperiment('B', false));
+        row("larger cache blocks", a, b, "up");
+
+        const Split d = runSplit(stream, makeExperiment('D', false));
+        const Split e = runSplit(stream, makeExperiment('E', false));
+        row("tagged prefetching", d, e, "up");
+
+        row("speculative OOO core", c, d, "up");
+    }
+
+    // ---- B. processor trends ----
+    {
+        const ExperimentConfig base = makeExperiment('D', false);
+        const Split d = runSplit(stream, base);
+
+        ExperimentConfig fast = base;   // 2x clock: memory and bus
+        fast.mem.l2AccessCycles *= 2;   // latencies double in cycles
+        fast.mem.memAccessCycles *= 2;
+        fast.mem.busRatio *= 2;
+        row("faster clock speed", d, runSplit(stream, fast), "up");
+
+        ExperimentConfig wide = base;
+        wide.core.issueWidth = 8;
+        wide.core.memPorts = 4;
+        row("wider issue", d, runSplit(stream, wide), "up");
+    }
+
+    // ---- C. physical trends ----
+    {
+        const ExperimentConfig base = makeExperiment('E', false);
+        const Split e = runSplit(stream, base);
+
+        ExperimentConfig pkg = base; // better packaging: wider buses
+        pkg.mem.l1l2BusBytes *= 4;
+        pkg.mem.memBusBytes *= 4;
+        row("better packaging", e, runSplit(stream, pkg), "down");
+
+        ExperimentConfig mem = base; // larger on-chip memory
+        mem.mem.l1Size *= 4;
+        mem.mem.l2Size *= 4;
+        row("larger on-chip memory", e, runSplit(stream, mem),
+            "down");
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // ---- multithreading: traffic-axis evidence ----
+    {
+        WorkloadParams p2 = p;
+        p2.seed = 99;
+        const Trace t1 = makeWorkload("Su2cor")->trace(p);
+        const Trace t2 = makeWorkload("Compress")->trace(p2);
+
+        CacheConfig cfg;
+        cfg.size = 64_KiB;
+        cfg.assoc = 1;
+        cfg.blockBytes = 32;
+
+        // Baseline: each context with a private cache, bytes/ref.
+        const double solo_per_ref =
+            static_cast<double>(runTrace(t1, cfg).pinBytes +
+                                runTrace(t2, cfg).pinBytes) /
+            static_cast<double>(t1.size() + t2.size());
+
+        // Interleaved: both contexts share one cache.
+        Cache shared(cfg);
+        const std::size_t n = std::min(t1.size(), t2.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            shared.access(t1[i]);
+            shared.access(t2[i]);
+        }
+        shared.flush();
+        const double shared_per_ref =
+            static_cast<double>(shared.stats().trafficBelow()) /
+            static_cast<double>(2 * n);
+
+        std::printf("multithreading: sharing one L1 between two "
+                    "contexts raises traffic per\nreference %.0f%% "
+                    "(paper: cache interference increases misses "
+                    "and total traffic\n— f_B up).\n",
+                    100.0 * (shared_per_ref / solo_per_ref - 1.0));
+    }
+    return 0;
+}

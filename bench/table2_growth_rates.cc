@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 2 / Figure 2 reproduction: application growth rates — how
+ * the computation-to-traffic ratio scales when on-chip memory grows
+ * by a factor k, plus a numeric check of the Section 2.4 argument.
+ */
+
+#include <cstdio>
+
+#include "analysis/growth_models.hh"
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace membw;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    bench::banner("Table 2: application growth rates", scale);
+
+    TextTable t;
+    t.header({"Algorithm", "Memory", "Comp. (C)", "Traffic (D)",
+              "C/D growth", "measured k=4", "measured k=16"});
+
+    const char *memory_col[] = {"O(N^2)", "O(N^2)", "O(N)", "O(N)"};
+    const char *comp_col[] = {"O(N^3)", "O(N^2)", "O(N log N)",
+                              "O(N log N)"};
+    const char *traffic_col[] = {"O(N^3/sqrt(S))", "O(N^2/sqrt(S))",
+                                 "O(N log N/log S)",
+                                 "O(N log N/log S)"};
+
+    const auto models = allGrowthModels();
+    const double n = 1 << 16, s = 1 << 12;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const auto &m = models[i];
+        t.row({m->name(), memory_col[i], comp_col[i], traffic_col[i],
+               m->ratioGrowthSymbol(),
+               fixed(m->ratioGrowth(n, s, 4.0), 2),
+               fixed(m->ratioGrowth(n, s, 16.0), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    const auto tmm = makeTmmModel();
+    std::printf("Section 2.4 check (TMM): 4x on-chip memory cuts "
+                "off-chip traffic to %.0f%%\nof its previous volume; "
+                "processing speed need only grow by sqrt(4)=2 to\n"
+                "keep the compute/bandwidth balance.\n",
+                100.0 * tmm->traffic(n, 4 * s) / tmm->traffic(n, s));
+    return 0;
+}

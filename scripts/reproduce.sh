@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper artifact into results/.
+#
+# Usage: scripts/reproduce.sh [scale]
+#   scale  trace-length multiplier passed to every bench (default:
+#          each bench's own default; larger values sharpen Table 8's
+#          inefficiency ceilings at the cost of runtime).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== $name"
+    if [ -n "$SCALE" ]; then
+        "$b" "$SCALE" > "results/$name.txt"
+    else
+        "$b" > "results/$name.txt"
+    fi
+done
+echo "All artifacts regenerated under results/."

@@ -1,0 +1,31 @@
+#include "analysis/extrapolation.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace membw {
+
+ExtrapolationResult
+extrapolate(const ExtrapolationInputs &inputs)
+{
+    if (inputs.basePins <= 0 || inputs.years < 0)
+        fatal("extrapolation inputs must be positive");
+
+    ExtrapolationResult result;
+    result.pinFactor =
+        std::pow(1.0 + inputs.pinGrowthPerYear, inputs.years);
+    result.perfFactor =
+        std::pow(1.0 + inputs.perfGrowthPerYear, inputs.years);
+    result.pins = inputs.basePins * result.pinFactor;
+
+    // Off-chip traffic scales with performance divided by any traffic-
+    // ratio improvement; pins absorb pinFactor of it; the rest lands
+    // on each pin.
+    result.bandwidthPerPinFactor =
+        result.perfFactor / inputs.trafficRatioChange /
+        result.pinFactor;
+    return result;
+}
+
+} // namespace membw

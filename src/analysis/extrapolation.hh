@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Section 4.3 package extrapolation: project pin counts and
+ * per-pin bandwidth requirements a decade out from the measured
+ * growth trends.
+ */
+
+#ifndef MEMBW_ANALYSIS_EXTRAPOLATION_HH
+#define MEMBW_ANALYSIS_EXTRAPOLATION_HH
+
+namespace membw {
+
+/** Inputs to the extrapolation (the paper's assumptions). */
+struct ExtrapolationInputs
+{
+    double basePins = 599;        ///< today's package (R10000, 1996)
+    double pinGrowthPerYear = 0.16;  ///< Figure 1a fit
+    double perfGrowthPerYear = 0.60; ///< "conservative" [2]
+    int years = 10;                  ///< 1996 -> 2006
+    double trafficRatioChange = 1.0; ///< "on-chip ratios stay the same"
+};
+
+/** Projected consequences (Section 4.3's narrative numbers). */
+struct ExtrapolationResult
+{
+    double pins = 0;            ///< projected package pin count
+    double perfFactor = 0;      ///< total performance growth
+    double pinFactor = 0;       ///< total pin-count growth
+    /**
+     * Ratio of required off-chip bandwidth growth to pin growth:
+     * the "factor of 25 greater bandwidth per pin".
+     */
+    double bandwidthPerPinFactor = 0;
+};
+
+/** Compound the growth rates over the horizon. */
+ExtrapolationResult extrapolate(const ExtrapolationInputs &inputs);
+
+} // namespace membw
+
+#endif // MEMBW_ANALYSIS_EXTRAPOLATION_HH

@@ -1,0 +1,166 @@
+#include "analysis/growth_models.hh"
+
+#include <cmath>
+
+namespace membw {
+
+namespace {
+
+double
+log2d(double x)
+{
+    return std::log2(x);
+}
+
+/** Tiled matrix multiply (Section 2.4's worked example). */
+class TmmModel : public GrowthModel
+{
+  public:
+    std::string name() const override { return "TMM"; }
+    double memory(double n) const override { return n * n; }
+    double compute(double n) const override { return n * n * n; }
+
+    double
+    traffic(double n, double s) const override
+    {
+        // 2N^3/L + N^2 with tile side L = sqrt(S) (paper, Section 2.4).
+        const double l = std::sqrt(s);
+        return 2.0 * n * n * n / l + n * n;
+    }
+
+    std::string ratioGrowthSymbol() const override { return "k^1/2"; }
+
+    double
+    ratioGrowthPredicted(double k) const override
+    {
+        return std::sqrt(k);
+    }
+};
+
+/** Weighted-neighbor stencil over an NxN matrix. */
+class StencilModel : public GrowthModel
+{
+  public:
+    std::string name() const override { return "Stencil"; }
+    double memory(double n) const override { return n * n; }
+    double compute(double n) const override { return n * n; }
+
+    double
+    traffic(double n, double s) const override
+    {
+        // Tile of sqrt(S) x sqrt(S); halo exchange per tile gives
+        // O(N^2 / sqrt(S)) traffic per sweep.
+        return n * n / std::sqrt(s);
+    }
+
+    std::string ratioGrowthSymbol() const override { return "k^1/2"; }
+
+    double
+    ratioGrowthPredicted(double k) const override
+    {
+        return std::sqrt(k);
+    }
+};
+
+/** N-point FFT (Hong-Kung bound). */
+class FftModel : public GrowthModel
+{
+  public:
+    std::string name() const override { return "FFT"; }
+    double memory(double n) const override { return n; }
+
+    double
+    compute(double n) const override
+    {
+        return n * log2d(n);
+    }
+
+    double
+    traffic(double n, double s) const override
+    {
+        // O(N log2 N / log2 S) (Table 2).
+        return n * log2d(n) / log2d(s);
+    }
+
+    std::string ratioGrowthSymbol() const override { return "log2 k"; }
+
+    /**
+     * The paper's symbolic column evaluated literally.  C/D equals
+     * log2(S), so the exact growth is log2(kS)/log2(S); "log2 k" is
+     * the paper's shorthand for this logarithmic (rather than
+     * polynomial) scaling.
+     */
+    double
+    ratioGrowthPredicted(double k) const override
+    {
+        return log2d(k);
+    }
+};
+
+/** Merge sort (same asymptotics as FFT in Table 2). */
+class SortModel : public GrowthModel
+{
+  public:
+    std::string name() const override { return "Sort"; }
+    double memory(double n) const override { return n; }
+
+    double
+    compute(double n) const override
+    {
+        return n * log2d(n);
+    }
+
+    double
+    traffic(double n, double s) const override
+    {
+        return n * log2d(n) / log2d(s);
+    }
+
+    std::string ratioGrowthSymbol() const override { return "log2 k"; }
+
+    /** See FftModel::ratioGrowthPredicted. */
+    double
+    ratioGrowthPredicted(double k) const override
+    {
+        return log2d(k);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GrowthModel>
+makeTmmModel()
+{
+    return std::make_unique<TmmModel>();
+}
+
+std::unique_ptr<GrowthModel>
+makeStencilModel()
+{
+    return std::make_unique<StencilModel>();
+}
+
+std::unique_ptr<GrowthModel>
+makeFftModel()
+{
+    return std::make_unique<FftModel>();
+}
+
+std::unique_ptr<GrowthModel>
+makeSortModel()
+{
+    return std::make_unique<SortModel>();
+}
+
+std::vector<std::unique_ptr<GrowthModel>>
+allGrowthModels()
+{
+    std::vector<std::unique_ptr<GrowthModel>> models;
+    models.push_back(makeTmmModel());
+    models.push_back(makeStencilModel());
+    models.push_back(makeFftModel());
+    models.push_back(makeSortModel());
+    return models;
+}
+
+} // namespace membw

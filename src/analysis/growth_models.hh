@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Asymptotic compute-vs-traffic growth models (Table 2 / Figure 2).
+ *
+ * For each algorithm the paper derives, Hong-Kung style [21], how the
+ * ratio of computation C to off-chip traffic D changes when on-chip
+ * memory S grows by a factor k.  We implement the concrete formulas
+ * so the bench can print Table 2 and numerically verify the
+ * "four-times-the-gates needs only sqrt(4) more speed" argument of
+ * Section 2.4.
+ */
+
+#ifndef MEMBW_ANALYSIS_GROWTH_MODELS_HH
+#define MEMBW_ANALYSIS_GROWTH_MODELS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace membw {
+
+/**
+ * One algorithm's asymptotic model.  N is the problem-size parameter
+ * as used in Table 2, S the on-chip memory size in elements.
+ */
+class GrowthModel
+{
+  public:
+    virtual ~GrowthModel() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Memory requirement in elements. */
+    virtual double memory(double n) const = 0;
+
+    /** Computation count C(N). */
+    virtual double compute(double n) const = 0;
+
+    /** Off-chip traffic D(N, S) in elements. */
+    virtual double traffic(double n, double s) const = 0;
+
+    /** C/D, the computation available per unit of off-chip traffic. */
+    double
+    ratio(double n, double s) const
+    {
+        return compute(n) / traffic(n, s);
+    }
+
+    /**
+     * Growth of C/D when S is scaled by k (the paper's right-most
+     * column): ratio(n, k*s) / ratio(n, s).
+     */
+    double
+    ratioGrowth(double n, double s, double k) const
+    {
+        return ratio(n, k * s) / ratio(n, s);
+    }
+
+    /** Table 2's symbolic entry for the C/D growth column. */
+    virtual std::string ratioGrowthSymbol() const = 0;
+
+    /** Predicted growth value for a given k (e.g. k or log2 k). */
+    virtual double ratioGrowthPredicted(double k) const = 0;
+};
+
+/** Tiled matrix multiply: O(N^2) mem, O(N^3) comp, O(N^3/sqrt(S)). */
+std::unique_ptr<GrowthModel> makeTmmModel();
+
+/** Iterative stencil: O(N^2) mem, O(N^2) comp/iter, O(N^2/sqrt(S)). */
+std::unique_ptr<GrowthModel> makeStencilModel();
+
+/** N-point FFT: O(N) mem, O(N log N) comp, O(N log N / log S). */
+std::unique_ptr<GrowthModel> makeFftModel();
+
+/** Merge sort: O(N) mem, O(N log N) comp, O(N log N / log S). */
+std::unique_ptr<GrowthModel> makeSortModel();
+
+/** All four Table 2 models, in the paper's row order. */
+std::vector<std::unique_ptr<GrowthModel>> allGrowthModels();
+
+} // namespace membw
+
+#endif // MEMBW_ANALYSIS_GROWTH_MODELS_HH

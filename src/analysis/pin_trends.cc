@@ -1,0 +1,96 @@
+#include "analysis/pin_trends.hh"
+
+#include <array>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace membw {
+
+namespace {
+
+/**
+ * Reconstructed Figure 1 dataset.  Pin counts are package pins;
+ * bandwidth is peak external-bus bandwidth (width x bus clock,
+ * accounting for multiplexing where applicable).  Early parts use
+ * published VAX-MIPS ratings; post-1990 parts use issue-width x clock
+ * as the paper does.
+ */
+const std::array<ProcessorRecord, 18> dataset = {{
+    {"8086",       1978,   40,    0.33,     4.8},
+    {"68000",      1979,   64,    0.7,      6.4},
+    {"80286",      1982,   68,    1.2,     16.0},
+    {"68020",      1984,  114,    2.5,     31.8},
+    {"80386",      1985,  132,    5.0,     32.0},
+    {"68030",      1987,  128,    6.0,     40.0},
+    {"R3000",      1988,  144,   20.0,    100.0},
+    {"80486",      1989,  168,   15.0,    100.0},
+    {"68040",      1990,  179,   20.0,    100.0},
+    {"Harp1",      1993,  379,  120.0,    480.0},
+    {"Pentium",    1993,  273,  132.0,    528.0},
+    {"SSparc2",    1994,  293,  150.0,    400.0},
+    {"68060",      1994,  223,  100.0,    264.0},
+    {"21164",      1995,  499, 1200.0,   1200.0},
+    {"P6",         1995,  387,  600.0,    528.0},
+    {"UltraSparc", 1995,  521,  668.0,   1328.0},
+    {"R10000",     1996,  599,  800.0,    800.0},
+    {"PA8000",     1996, 1085,  720.0,    960.0},
+}};
+
+std::vector<double>
+years()
+{
+    std::vector<double> xs;
+    for (const auto &r : dataset)
+        xs.push_back(static_cast<double>(r.year));
+    return xs;
+}
+
+} // namespace
+
+std::span<const ProcessorRecord>
+processorDataset()
+{
+    return dataset;
+}
+
+const ProcessorRecord &
+findProcessor(const std::string &name)
+{
+    for (const auto &r : dataset)
+        if (r.name == name)
+            return r;
+    fatal("unknown processor '" + name + "'");
+}
+
+GrowthFit
+pinCountGrowth()
+{
+    std::vector<double> ys;
+    for (const auto &r : dataset)
+        ys.push_back(r.pins);
+    const auto xs = years();
+    return exponentialFit(xs, ys, 1978.0);
+}
+
+GrowthFit
+performanceGrowth()
+{
+    std::vector<double> ys;
+    for (const auto &r : dataset)
+        ys.push_back(r.mips);
+    const auto xs = years();
+    return exponentialFit(xs, ys, 1978.0);
+}
+
+GrowthFit
+mipsPerPinGrowth()
+{
+    std::vector<double> ys;
+    for (const auto &r : dataset)
+        ys.push_back(r.mipsPerPin());
+    const auto xs = years();
+    return exponentialFit(xs, ys, 1978.0);
+}
+
+} // namespace membw

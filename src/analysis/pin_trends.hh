@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Historical microprocessor packaging dataset behind Figure 1.
+ *
+ * The paper compiled pin counts, performance, and package bandwidth
+ * for 18 microprocessors (1978-1997) by hand from vendor manuals and
+ * Microprocessor Report.  We reconstruct the same 18 parts from
+ * public specifications.  Performance follows the paper's convention:
+ * VAX MIPS for the 680x0 and early 80x86 parts, issue width times
+ * clock rate for the rest — the two "cannot be compared directly, but
+ * are sufficient to view 20-year trends".
+ */
+
+#ifndef MEMBW_ANALYSIS_PIN_TRENDS_HH
+#define MEMBW_ANALYSIS_PIN_TRENDS_HH
+
+#include <span>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace membw {
+
+/** One processor data point of Figure 1. */
+struct ProcessorRecord
+{
+    std::string name;
+    int year = 0;             ///< introduction year
+    double pins = 0;          ///< package pin count (Figure 1a)
+    double mips = 0;          ///< performance per the paper's metric
+    double pinBandwidthMBs = 0; ///< peak package bandwidth, MB/s
+
+    /** Figure 1b's y value. */
+    double mipsPerPin() const { return mips / pins; }
+
+    /** Figure 1c's y value. */
+    double
+    mipsPerBandwidth() const
+    {
+        return mips / pinBandwidthMBs;
+    }
+};
+
+/** The 18-processor dataset, in chronological order. */
+std::span<const ProcessorRecord> processorDataset();
+
+/** Look a record up by name; fatal() if absent. */
+const ProcessorRecord &findProcessor(const std::string &name);
+
+/** Exponential fit of pin count over year (the dotted 16%/yr line). */
+GrowthFit pinCountGrowth();
+
+/** Exponential fit of performance over year. */
+GrowthFit performanceGrowth();
+
+/** Exponential fit of MIPS-per-pin over year (Figure 1b trend). */
+GrowthFit mipsPerPinGrowth();
+
+} // namespace membw
+
+#endif // MEMBW_ANALYSIS_PIN_TRENDS_HH

@@ -1,0 +1,415 @@
+#include "cache/cache.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      blockBytes_(config.blockBytes),
+      wordsPerBlock_(static_cast<unsigned>(config.blockBytes / wordBytes)),
+      nsets_(config.sets()),
+      rng_(config.seed)
+{
+    config_.validate();
+    sets_.resize(nsets_);
+    const unsigned ways = config_.ways();
+    for (Set &set : sets_) {
+        set.ways.resize(ways);
+        set.index.reserve(ways * 2);
+    }
+}
+
+void
+Cache::setBelow(FetchFn fetch, WritebackFn writeback)
+{
+    fetchBelow_ = std::move(fetch);
+    writebackBelow_ = std::move(writeback);
+}
+
+unsigned
+Cache::setIndex(Addr block_addr) const
+{
+    return static_cast<unsigned>((block_addr / blockBytes_) &
+                                 (nsets_ - 1));
+}
+
+std::uint64_t
+Cache::wordsMask(Addr addr, Bytes size) const
+{
+    const Addr block = blockAddr(addr);
+    const unsigned first =
+        static_cast<unsigned>((addr - block) / wordBytes);
+    const unsigned last =
+        static_cast<unsigned>((addr + size - 1 - block) / wordBytes);
+    assert(last < wordsPerBlock_);
+    std::uint64_t mask = 0;
+    for (unsigned w = first; w <= last; ++w)
+        mask |= std::uint64_t{1} << w;
+    return mask;
+}
+
+std::uint64_t
+Cache::fullMask() const
+{
+    return wordsPerBlock_ == 64 ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << wordsPerBlock_) - 1;
+}
+
+std::uint64_t
+Cache::sectorExpand(std::uint64_t words) const
+{
+    if (config_.sectorBytes == 0)
+        return words ? fullMask() : 0;
+    const unsigned sector_words =
+        static_cast<unsigned>(config_.sectorBytes / wordBytes);
+    const std::uint64_t sector_mask =
+        sector_words == 64 ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << sector_words) - 1;
+    std::uint64_t out = 0;
+    for (unsigned s = 0; s * sector_words < wordsPerBlock_; ++s) {
+        const std::uint64_t in_sector =
+            (words >> (s * sector_words)) & sector_mask;
+        if (in_sector)
+            out |= sector_mask << (s * sector_words);
+    }
+    return out;
+}
+
+Cache::Line *
+Cache::findLine(Addr block_addr)
+{
+    Set &set = sets_[setIndex(block_addr)];
+    auto it = set.index.find(block_addr);
+    if (it == set.index.end())
+        return nullptr;
+    Line &line = set.ways[it->second];
+    assert(line.valid && line.blockAddr == block_addr);
+    return &line;
+}
+
+unsigned
+Cache::pickVictim(Set &set)
+{
+    const unsigned ways = static_cast<unsigned>(set.ways.size());
+
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < ways; ++w)
+        if (!set.ways[w].valid)
+            return w;
+
+    switch (config_.repl) {
+      case ReplPolicy::Random:
+        return static_cast<unsigned>(rng_.below(ways));
+      case ReplPolicy::LRU: {
+        unsigned best = 0;
+        for (unsigned w = 1; w < ways; ++w)
+            if (set.ways[w].lastUse < set.ways[best].lastUse)
+                best = w;
+        return best;
+      }
+      case ReplPolicy::FIFO: {
+        unsigned best = 0;
+        for (unsigned w = 1; w < ways; ++w)
+            if (set.ways[w].insertSeq < set.ways[best].insertSeq)
+                best = w;
+        return best;
+      }
+    }
+    panic("unreachable replacement policy");
+}
+
+Bytes
+Cache::writebackSize(const Line &line) const
+{
+    if (line.dirtyMask == 0)
+        return 0;
+    if (config_.alloc == AllocPolicy::WriteValidate)
+        return static_cast<Bytes>(std::popcount(line.dirtyMask)) *
+               wordBytes;
+    // Sectored caches write back dirty sectors; plain caches the
+    // whole block (sectorExpand degenerates to the full mask).
+    return static_cast<Bytes>(
+               std::popcount(sectorExpand(line.dirtyMask))) *
+           wordBytes;
+}
+
+Bytes
+Cache::evict(Set &set, unsigned way, bool to_flush)
+{
+    Line &line = set.ways[way];
+    if (!line.valid)
+        return 0;
+
+    const Bytes wb = writebackSize(line);
+    if (wb) {
+        if (to_flush)
+            stats_.flushWritebackBytes += wb;
+        else
+            stats_.writebackBytes += wb;
+        sendWriteback(line.blockAddr, wb);
+    }
+    set.index.erase(line.blockAddr);
+    line = Line{};
+    return wb;
+}
+
+Cache::Line &
+Cache::insert(Addr block_addr)
+{
+    Set &set = sets_[setIndex(block_addr)];
+    const unsigned way = pickVictim(set);
+    evict(set, way, false);
+
+    Line &line = set.ways[way];
+    line.blockAddr = block_addr;
+    line.valid = true;
+    line.lastUse = ++seq_;
+    line.insertSeq = seq_;
+    line.validMask = 0;
+    line.dirtyMask = 0;
+    line.prefetchTag = false;
+    set.index.emplace(block_addr, way);
+    return line;
+}
+
+void
+Cache::sendFetch(Addr addr, Bytes bytes)
+{
+    if (fetchBelow_)
+        fetchBelow_(addr, bytes);
+}
+
+void
+Cache::sendWriteback(Addr addr, Bytes bytes)
+{
+    if (writebackBelow_)
+        writebackBelow_(addr, bytes);
+}
+
+void
+Cache::maybePrefetch(Addr demand_block)
+{
+    if (!config_.taggedPrefetch || inPrefetch_)
+        return;
+
+    const Addr next = demand_block + blockBytes_;
+    if (next < demand_block) // address wrap
+        return;
+    if (findLine(next))
+        return;
+
+    inPrefetch_ = true;
+    Line &line = insert(next);
+    line.validMask = fullMask();
+    line.prefetchTag = true;
+    stats_.prefetches++;
+    stats_.prefetchFetchBytes += blockBytes_;
+    sendFetch(next, blockBytes_);
+    inPrefetch_ = false;
+}
+
+bool
+Cache::streamLookup(Addr block)
+{
+    if (config_.streamBuffers == 0)
+        return false;
+
+    // Head hit: consume the entry and extend the stream by one.
+    for (Stream &s : streams_) {
+        if (s.head < s.fifo.size() && s.fifo[s.head] == block) {
+            ++s.head;
+            const Addr tail_next =
+                s.fifo.back() + blockBytes_;
+            if (tail_next > s.fifo.back()) { // no address wrap
+                s.fifo.push_back(tail_next);
+                stats_.streamFetchBytes += blockBytes_;
+                sendFetch(tail_next, blockBytes_);
+            }
+            if (s.head > 64) { // compact the consumed prefix
+                s.fifo.erase(s.fifo.begin(),
+                             s.fifo.begin() +
+                                 static_cast<std::ptrdiff_t>(s.head));
+                s.head = 0;
+            }
+            s.lastUse = ++seq_;
+            stats_.streamHits++;
+            return true;
+        }
+    }
+
+    // No hit: (re)allocate the LRU stream at block+1..block+depth.
+    if (streams_.size() < config_.streamBuffers)
+        streams_.emplace_back();
+    Stream *victim = &streams_[0];
+    for (Stream &s : streams_)
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    victim->fifo.clear();
+    victim->head = 0;
+    victim->lastUse = ++seq_;
+    for (unsigned d = 1; d <= config_.streamDepth; ++d) {
+        const Addr next = block + d * blockBytes_;
+        if (next < block)
+            break;
+        victim->fifo.push_back(next);
+        stats_.streamFetchBytes += blockBytes_;
+        sendFetch(next, blockBytes_);
+    }
+    stats_.streamAllocs++;
+    return false;
+}
+
+AccessResult
+Cache::access(const MemRef &ref)
+{
+    if (blockAddr(ref.addr) != blockAddr(ref.addr + ref.size - 1))
+        fatal(config_.name + ": reference spans a block boundary");
+
+    AccessResult result;
+    const Addr block = blockAddr(ref.addr);
+    const std::uint64_t words = wordsMask(ref.addr, ref.size);
+
+    stats_.accesses++;
+    stats_.requestBytes += ref.size;
+    if (ref.isLoad())
+        stats_.loads++;
+    else
+        stats_.stores++;
+
+    Line *line = findLine(block);
+
+    // Tagged prefetch: first demand touch of a prefetched line
+    // triggers the next sequential prefetch (Gindele [17]).
+    if (line && line->prefetchTag) {
+        line->prefetchTag = false;
+        maybePrefetch(block);
+    }
+
+    if (ref.isLoad()) {
+        if (line) {
+            const std::uint64_t missing = words & ~line->validMask;
+            if (missing) {
+                // Partially-valid line: write-validate fills only
+                // the missing words; a sectored cache fills the
+                // missing sectors.
+                const std::uint64_t fill =
+                    config_.sectorBytes
+                        ? sectorExpand(missing) & ~line->validMask
+                        : missing;
+                const Bytes bytes =
+                    static_cast<Bytes>(std::popcount(fill)) *
+                    wordBytes;
+                stats_.partialFills++;
+                stats_.partialFillBytes += bytes;
+                result.fetchedBytes += bytes;
+                sendFetch(ref.addr, bytes);
+                line->validMask |= fill;
+            }
+            stats_.hits++;
+            result.hit = true;
+            line->lastUse = ++seq_;
+        } else {
+            stats_.misses++;
+            stats_.loadMisses++;
+            const bool from_stream = streamLookup(block);
+            Line &nl = insert(block);
+            if (from_stream) {
+                // The block was waiting in a stream buffer: its
+                // fill traffic was paid when the stream fetched it.
+                nl.validMask = fullMask();
+            } else {
+                const std::uint64_t fill = sectorExpand(words);
+                const Bytes bytes =
+                    static_cast<Bytes>(std::popcount(fill)) *
+                    wordBytes;
+                nl.validMask = fill;
+                stats_.demandFetchBytes += bytes;
+                result.fetchedBytes += bytes;
+                sendFetch(block, bytes);
+            }
+            // A demand miss prefetches the next sequential block [17].
+            maybePrefetch(block);
+        }
+        return result;
+    }
+
+    // Store.
+    if (line) {
+        stats_.hits++;
+        result.hit = true;
+        line->lastUse = ++seq_;
+        line->validMask |= words;
+        if (config_.write == WritePolicy::WriteBack) {
+            line->dirtyMask |= words;
+        } else {
+            stats_.writeThroughBytes += ref.size;
+            result.writeThroughBytes = ref.size;
+            sendWriteback(ref.addr, ref.size);
+        }
+        return result;
+    }
+
+    stats_.misses++;
+    stats_.storeMisses++;
+    switch (config_.alloc) {
+      case AllocPolicy::WriteAllocate: {
+        Line &nl = insert(block);
+        const std::uint64_t fill = sectorExpand(words);
+        const Bytes bytes =
+            static_cast<Bytes>(std::popcount(fill)) * wordBytes;
+        nl.validMask = fill;
+        stats_.demandFetchBytes += bytes;
+        result.fetchedBytes += bytes;
+        sendFetch(block, bytes);
+        if (config_.write == WritePolicy::WriteBack) {
+            nl.dirtyMask |= words;
+        } else {
+            stats_.writeThroughBytes += ref.size;
+            result.writeThroughBytes = ref.size;
+            sendWriteback(ref.addr, ref.size);
+        }
+        maybePrefetch(block);
+        break;
+      }
+      case AllocPolicy::WriteNoAllocate: {
+        stats_.writeThroughBytes += ref.size;
+        result.writeThroughBytes = ref.size;
+        sendWriteback(ref.addr, ref.size);
+        break;
+      }
+      case AllocPolicy::WriteValidate: {
+        // Allocate without fetching; written words become valid+dirty.
+        Line &nl = insert(block);
+        nl.validMask = words;
+        nl.dirtyMask = words;
+        break;
+      }
+    }
+    return result;
+}
+
+Bytes
+Cache::flush()
+{
+    Bytes total = 0;
+    for (Set &set : sets_) {
+        for (unsigned w = 0; w < set.ways.size(); ++w)
+            total += evict(set, w, true);
+    }
+    return total;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    // findLine is logically const; use a const_cast shim.
+    return const_cast<Cache *>(this)->findLine(blockAddr(addr)) !=
+           nullptr;
+}
+
+} // namespace membw

@@ -1,0 +1,105 @@
+#include "cache/config.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+unsigned
+CacheConfig::ways() const
+{
+    if (assoc != 0)
+        return assoc;
+    return static_cast<unsigned>(size / blockBytes);
+}
+
+unsigned
+CacheConfig::sets() const
+{
+    return static_cast<unsigned>(size / (blockBytes * ways()));
+}
+
+void
+CacheConfig::validate() const
+{
+    if (blockBytes < wordBytes || !isPowerOfTwo(blockBytes))
+        fatal(name + ": block size must be a power of two >= 4B");
+    if (blockBytes > 64 * wordBytes)
+        fatal(name + ": block size above 256B is unsupported");
+    if (size == 0 || size % blockBytes != 0)
+        fatal(name + ": size must be a non-zero multiple of the block");
+    const unsigned nblocks = static_cast<unsigned>(size / blockBytes);
+    if (ways() > nblocks)
+        fatal(name + ": associativity exceeds block count");
+    if (nblocks % ways() != 0 || !isPowerOfTwo(sets()))
+        fatal(name + ": sets must be a power of two");
+    if (alloc == AllocPolicy::WriteValidate &&
+        write == WritePolicy::WriteThrough)
+        fatal(name + ": write-validate requires write-back");
+    if (sectorBytes != 0) {
+        if (sectorBytes < wordBytes || !isPowerOfTwo(sectorBytes) ||
+            blockBytes % sectorBytes != 0)
+            fatal(name + ": sector size must be a power-of-two "
+                         "divisor of the block size");
+        if (alloc == AllocPolicy::WriteValidate)
+            fatal(name + ": sectoring and write-validate are "
+                         "mutually exclusive");
+    }
+    if (streamBuffers != 0 && streamDepth == 0)
+        fatal(name + ": stream buffers need a non-zero depth");
+    if (streamBuffers != 0 && taggedPrefetch)
+        fatal(name + ": choose one prefetcher (tagged or stream)");
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::string assoc_str =
+        assoc == 0 ? "full" : std::to_string(assoc) + "way";
+    return formatSize(size) + "/" + assoc_str + "/" +
+           formatSize(blockBytes) +
+           (sectorBytes ? "(" + formatSize(sectorBytes) + " sect)"
+                        : "") +
+           " " + toString(write) + "-" + toString(alloc) + " " +
+           toString(repl) + (taggedPrefetch ? "+pf" : "");
+}
+
+std::string
+toString(WritePolicy p)
+{
+    return p == WritePolicy::WriteBack ? "WB" : "WT";
+}
+
+std::string
+toString(AllocPolicy p)
+{
+    switch (p) {
+      case AllocPolicy::WriteAllocate: return "WA";
+      case AllocPolicy::WriteNoAllocate: return "WNA";
+      case AllocPolicy::WriteValidate: return "WV";
+    }
+    return "?";
+}
+
+std::string
+toString(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU: return "LRU";
+      case ReplPolicy::FIFO: return "FIFO";
+      case ReplPolicy::Random: return "RND";
+    }
+    return "?";
+}
+
+std::string
+formatSize(Bytes bytes)
+{
+    if (bytes >= 1_MiB && bytes % 1_MiB == 0)
+        return std::to_string(bytes >> 20) + "MB";
+    if (bytes >= 1_KiB && bytes % 1_KiB == 0)
+        return std::to_string(bytes >> 10) + "KB";
+    return std::to_string(bytes) + "B";
+}
+
+} // namespace membw

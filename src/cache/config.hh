@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cache configuration: geometry, write policies, replacement.
+ *
+ * The enum values cover every configuration the paper exercises:
+ * Table 7/8 (direct-mapped, 32B, write-back write-allocate), Figure 4
+ * (4-way, 4B-128B blocks), and the Table 10 factor-isolation pairs
+ * (LRU vs MIN, 1-way vs fully-associative, write-allocate vs
+ * write-validate).
+ */
+
+#ifndef MEMBW_CACHE_CONFIG_HH
+#define MEMBW_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace membw {
+
+/** What happens on a store hit / how stores propagate downward. */
+enum class WritePolicy : std::uint8_t
+{
+    WriteBack,    ///< dirty data written below only on eviction/flush
+    WriteThrough, ///< every store also writes below immediately
+};
+
+/** What happens on a store miss. */
+enum class AllocPolicy : std::uint8_t
+{
+    WriteAllocate,   ///< fetch the block, then write into it
+    WriteNoAllocate, ///< write below; do not allocate
+    WriteValidate,   ///< allocate w/o fetch; per-word valid bits [25]
+};
+
+/** Replacement policy for set-associative lookups. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,
+    FIFO,
+    Random,
+};
+
+/** Geometry and policy bundle for one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    Bytes size = 8_KiB;     ///< total data capacity
+    unsigned assoc = 1;     ///< ways per set; 0 means fully associative
+    Bytes blockBytes = 32;  ///< line size (power of two, >= wordBytes)
+    WritePolicy write = WritePolicy::WriteBack;
+    AllocPolicy alloc = AllocPolicy::WriteAllocate;
+    ReplPolicy repl = ReplPolicy::LRU;
+    bool taggedPrefetch = false; ///< Gindele tagged sequential prefetch
+    /**
+     * Sector (sub-block) size; 0 disables sectoring.  With sectors,
+     * the address/allocation unit stays blockBytes but misses
+     * transfer only the sector covering the request — the
+     * miss-ratio/traffic-ratio trade-off Hill & Smith [20] studied
+     * (Section 6.1).  Must divide blockBytes.
+     */
+    Bytes sectorBytes = 0;
+    /**
+     * Number of Jouppi-style stream buffers (0 disables them).  On a
+     * demand miss that matches no buffer head, a buffer is allocated
+     * and begins fetching the successive blocks; head hits pop the
+     * buffer and extend the stream.  Stream buffers "prefetch
+     * unnecessary data at the end of a stream" (Section 2.1) — that
+     * waste shows up in the traffic counters.
+     */
+    unsigned streamBuffers = 0;
+    unsigned streamDepth = 4;    ///< blocks buffered per stream
+    std::uint64_t seed = 1;      ///< for ReplPolicy::Random
+
+    /** Number of sets implied by the geometry. */
+    unsigned sets() const;
+
+    /** Effective associativity (ways per set). */
+    unsigned ways() const;
+
+    /** Validate; calls fatal() with a diagnostic if inconsistent. */
+    void validate() const;
+
+    /** Human-readable one-line summary, e.g. "64KB/1way/32B WB-WA". */
+    std::string describe() const;
+};
+
+/** Short text form of each enum, for table output. */
+std::string toString(WritePolicy p);
+std::string toString(AllocPolicy p);
+std::string toString(ReplPolicy p);
+
+/** Format a byte count as "4B", "64KB", "2MB"... */
+std::string formatSize(Bytes bytes);
+
+} // namespace membw
+
+#endif // MEMBW_CACHE_CONFIG_HH

@@ -1,0 +1,91 @@
+#include "cache/hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace membw {
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &configs)
+{
+    if (configs.empty())
+        fatal("hierarchy needs at least one level");
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (i > 0 && configs[i].blockBytes < configs[i - 1].blockBytes)
+            fatal("lower-level block size must not shrink");
+        caches_.push_back(std::make_unique<Cache>(configs[i]));
+    }
+
+    // Wire each level's fills and write-backs into the next level.
+    for (std::size_t i = 0; i + 1 < caches_.size(); ++i) {
+        Cache *below = caches_[i + 1].get();
+        caches_[i]->setBelow(
+            [below](Addr addr, Bytes bytes) {
+                below->access(MemRef{addr, bytes, RefKind::Load});
+            },
+            [below](Addr addr, Bytes bytes) {
+                below->access(MemRef{addr, bytes, RefKind::Store});
+            });
+    }
+}
+
+void
+CacheHierarchy::access(const MemRef &ref)
+{
+    caches_[0]->access(ref);
+}
+
+void
+CacheHierarchy::flush()
+{
+    for (auto &cache : caches_)
+        cache->flush();
+}
+
+Bytes
+CacheHierarchy::trafficBelow(std::size_t i) const
+{
+    return caches_[i]->stats().trafficBelow();
+}
+
+double
+CacheHierarchy::trafficRatio(std::size_t i) const
+{
+    return caches_[i]->stats().trafficRatio();
+}
+
+double
+CacheHierarchy::totalTrafficRatio() const
+{
+    const Bytes above = caches_[0]->stats().requestBytes;
+    return above ? static_cast<double>(trafficBelow(levels() - 1)) /
+                       static_cast<double>(above)
+                 : 0.0;
+}
+
+TrafficResult
+runTrace(const Trace &trace, const std::vector<CacheConfig> &configs)
+{
+    CacheHierarchy hier(configs);
+    for (const MemRef &ref : trace)
+        hier.access(ref);
+    hier.flush();
+
+    TrafficResult result;
+    result.requestBytes = hier.level(0).stats().requestBytes;
+    result.pinBytes = hier.trafficBelow(hier.levels() - 1);
+    result.trafficRatio = hier.totalTrafficRatio();
+    for (std::size_t i = 0; i < hier.levels(); ++i) {
+        result.levelRatios.push_back(hier.trafficRatio(i));
+        result.levelTraffic.push_back(hier.trafficBelow(i));
+    }
+    result.l1 = hier.level(0).stats();
+    return result;
+}
+
+TrafficResult
+runTrace(const Trace &trace, const CacheConfig &config)
+{
+    return runTrace(trace, std::vector<CacheConfig>{config});
+}
+
+} // namespace membw

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-level cache hierarchy for traffic simulation.
+ *
+ * Chains caches so that each level's miss fills and write-backs
+ * become the next level's request stream, giving per-level traffic
+ * D_0 (processor requests) through D_k (pin traffic).  Used to
+ * compute multi-level traffic ratios and effective pin bandwidth
+ * (Equations 4-5).
+ */
+
+#ifndef MEMBW_CACHE_HIERARCHY_HH
+#define MEMBW_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+/**
+ * An ordered stack of cache levels (index 0 is closest to the
+ * processor).  Lower levels must have block sizes >= the level above
+ * so fills/write-backs never span a lower-level block.
+ */
+class CacheHierarchy
+{
+  public:
+    /** Build from level configs, processor-side first. */
+    explicit CacheHierarchy(const std::vector<CacheConfig> &configs);
+
+    /** Simulate one processor reference. */
+    void access(const MemRef &ref);
+
+    /** Flush every level (top-down), counting write-back traffic. */
+    void flush();
+
+    std::size_t levels() const { return caches_.size(); }
+    const Cache &level(std::size_t i) const { return *caches_[i]; }
+
+    /** Traffic below level @p i in bytes (D_{i+1} in paper terms). */
+    Bytes trafficBelow(std::size_t i) const;
+
+    /** Traffic ratio of level @p i (Equation 4). */
+    double trafficRatio(std::size_t i) const;
+
+    /** Product of all per-level traffic ratios. */
+    double totalTrafficRatio() const;
+
+  private:
+    std::vector<std::unique_ptr<Cache>> caches_;
+};
+
+/** Per-run summary returned by runTrace(). */
+struct TrafficResult
+{
+    Bytes requestBytes = 0;   ///< processor-side request traffic
+    Bytes pinBytes = 0;       ///< traffic below the last level
+    double trafficRatio = 0;  ///< pinBytes / requestBytes
+    std::vector<double> levelRatios; ///< per-level R_i
+    std::vector<Bytes> levelTraffic; ///< per-level D_i
+    CacheStats l1;            ///< stats snapshot of level 0
+};
+
+/**
+ * Run @p trace through a fresh hierarchy built from @p configs,
+ * flush at completion (Section 4.1), and summarize traffic.
+ */
+TrafficResult runTrace(const Trace &trace,
+                       const std::vector<CacheConfig> &configs);
+
+/** Single-level convenience overload. */
+TrafficResult runTrace(const Trace &trace, const CacheConfig &config);
+
+} // namespace membw
+
+#endif // MEMBW_CACHE_HIERARCHY_HH

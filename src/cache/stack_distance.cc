@@ -1,0 +1,104 @@
+#include "cache/stack_distance.hh"
+
+#include <unordered_map>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+namespace {
+
+/** Fenwick tree counting "active" last-access positions. */
+class BitTree
+{
+  public:
+    explicit BitTree(std::size_t n) : tree_(n + 1, 0) {}
+
+    void
+    add(std::size_t i, int delta)
+    {
+        for (++i; i < tree_.size(); i += i & (0 - i))
+            tree_[i] += delta;
+    }
+
+    /** Sum of entries in [0, i]. */
+    std::int64_t
+    prefix(std::size_t i) const
+    {
+        std::int64_t s = 0;
+        for (++i; i > 0; i -= i & (0 - i))
+            s += tree_[i];
+        return s;
+    }
+
+  private:
+    std::vector<std::int64_t> tree_;
+};
+
+} // namespace
+
+StackDistanceProfile::StackDistanceProfile(const Trace &trace,
+                                           Bytes blockBytes)
+    : blockBytes_(blockBytes)
+{
+    if (!isPowerOfTwo(blockBytes))
+        fatal("stack-distance granularity must be a power of two");
+
+    const std::size_t n = trace.size();
+    BitTree active(n);
+    std::unordered_map<Addr, std::size_t> last;
+    last.reserve(n / 8 + 16);
+    std::int64_t active_count = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr block = alignDown(trace[i].addr, blockBytes);
+        ++refs_;
+
+        auto it = last.find(block);
+        if (it == last.end()) {
+            ++cold_;
+        } else {
+            const std::size_t t0 = it->second;
+            // Distinct blocks touched strictly after t0 = active
+            // marks in (t0, i).
+            const std::int64_t after =
+                active_count - active.prefix(t0);
+            const auto dist = static_cast<std::size_t>(after);
+            if (hist_.size() <= dist)
+                hist_.resize(dist + 1, 0);
+            ++hist_[dist];
+            active.add(t0, -1);
+            --active_count;
+        }
+        active.add(i, +1);
+        ++active_count;
+        last[block] = i;
+    }
+
+    // Cumulative hit counts: hits with stack distance <= d.
+    cumulative_.resize(hist_.size());
+    std::uint64_t acc = 0;
+    for (std::size_t d = 0; d < hist_.size(); ++d) {
+        acc += hist_[d];
+        cumulative_[d] = acc;
+    }
+}
+
+std::uint64_t
+StackDistanceProfile::missesAtCapacity(std::uint64_t blocks) const
+{
+    if (blocks == 0)
+        return refs_;
+    // A capacity-C LRU cache hits every reference with stack
+    // distance < C.
+    std::uint64_t hits = 0;
+    if (!cumulative_.empty()) {
+        const std::uint64_t d = blocks - 1;
+        hits = d < cumulative_.size() ? cumulative_[d]
+                                      : cumulative_.back();
+    }
+    return refs_ - hits;
+}
+
+} // namespace membw

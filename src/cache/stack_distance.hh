@@ -1,0 +1,82 @@
+/**
+ * @file
+ * One-pass LRU stack-distance (reuse-distance) profiling.
+ *
+ * Mattson's stack algorithm: because fully-associative LRU caches
+ * have the inclusion property, a single pass over a trace yields the
+ * miss count of *every* cache size at once.  The library uses it to
+ * draw miss-ratio-versus-size curves cheaply and to cross-check the
+ * direct simulator (they must agree exactly for fully-associative
+ * LRU geometries).
+ */
+
+#ifndef MEMBW_CACHE_STACK_DISTANCE_HH
+#define MEMBW_CACHE_STACK_DISTANCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+/** Result of a stack-distance profile at one block granularity. */
+class StackDistanceProfile
+{
+  public:
+    /**
+     * Profile @p trace at @p blockBytes granularity.
+     * Runs in O(n log n) via an order-statistic structure.
+     */
+    StackDistanceProfile(const Trace &trace, Bytes blockBytes);
+
+    /** Total references profiled. */
+    std::uint64_t references() const { return refs_; }
+
+    /** Cold (first-touch) misses — infinite stack distance. */
+    std::uint64_t coldMisses() const { return cold_; }
+
+    /**
+     * Misses of a fully-associative LRU cache holding @p blocks
+     * blocks (capacity in blocks, not bytes).
+     */
+    std::uint64_t missesAtCapacity(std::uint64_t blocks) const;
+
+    /** Convenience: misses for a cache of @p bytes capacity. */
+    std::uint64_t
+    missesAtSize(Bytes bytes) const
+    {
+        return missesAtCapacity(bytes / blockBytes_);
+    }
+
+    /** Miss ratio for a cache of @p bytes capacity. */
+    double
+    missRatioAtSize(Bytes bytes) const
+    {
+        return refs_ ? static_cast<double>(missesAtSize(bytes)) /
+                           static_cast<double>(refs_)
+                     : 0.0;
+    }
+
+    /**
+     * The raw histogram: hist()[d] = number of references with stack
+     * distance exactly d (0 = re-reference of the most recent
+     * block).  Cold misses are not included.
+     */
+    const std::vector<std::uint64_t> &histogram() const
+    {
+        return hist_;
+    }
+
+  private:
+    Bytes blockBytes_;
+    std::uint64_t refs_ = 0;
+    std::uint64_t cold_ = 0;
+    std::vector<std::uint64_t> hist_;
+    std::vector<std::uint64_t> cumulative_; ///< hits within dist <= d
+};
+
+} // namespace membw
+
+#endif // MEMBW_CACHE_STACK_DISTANCE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache indexing code.
+ */
+
+#ifndef MEMBW_COMMON_BITOPS_HH
+#define MEMBW_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace membw {
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    assert(b != 0);
+    return (a + b - 1) / b;
+}
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_BITOPS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * gem5-style fatal()/panic() error reporting.
+ *
+ * fatal():  the *user* asked for something impossible (bad config).
+ * panic():  the *library* is broken (internal invariant violated).
+ */
+
+#ifndef MEMBW_COMMON_LOG_HH
+#define MEMBW_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace membw {
+
+/** Thrown by fatal(): invalid user-supplied configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Report an unrecoverable user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+/** Report an internal invariant violation (library bug). */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_LOG_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Every synthetic workload is seeded explicitly so that trace
+ * generation is bit-for-bit reproducible across runs and platforms —
+ * a requirement for regression-testing the tables in EXPERIMENTS.md.
+ */
+
+#ifndef MEMBW_COMMON_RNG_HH
+#define MEMBW_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace membw {
+
+/**
+ * xoshiro256** by Blackman & Vigna (public domain reference
+ * implementation, re-expressed).  Fast, high-quality, and — unlike
+ * std::mt19937 shuffles/distributions — identical everywhere.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style multiply-shift; bias is negligible for our
+        // simulation use (bounds << 2^64).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish draw used for burst lengths: value in [1, cap]
+     * with mean roughly @p mean.
+     */
+    std::uint64_t
+    burst(double mean, std::uint64_t cap)
+    {
+        std::uint64_t n = 1;
+        const double cont = 1.0 - 1.0 / (mean > 1.0 ? mean : 1.0);
+        while (n < cap && chance(cont))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_RNG_HH

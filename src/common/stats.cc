@@ -1,0 +1,109 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace membw {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geomean requires positive inputs");
+        logsum += std::log(x);
+    }
+    return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+LinearFit
+linearFit(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        fatal("linearFit needs matching spans with >= 2 points");
+
+    const double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        fatal("linearFit: degenerate x values");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ssTot = syy - sy * sy / n;
+    double ssRes = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+        ssRes += e * e;
+    }
+    fit.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+    return fit;
+}
+
+GrowthFit
+exponentialFit(std::span<const double> x, std::span<const double> y,
+               double x0)
+{
+    std::vector<double> logy(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y[i] <= 0.0)
+            fatal("exponentialFit requires positive y values");
+        logy[i] = std::log(y[i]);
+    }
+    const LinearFit lf = linearFit(x, logy);
+
+    GrowthFit gf;
+    gf.annualFactor = std::exp(lf.slope);
+    gf.valueAtX0 = std::exp(lf.slope * x0 + lf.intercept);
+    gf.r2 = lf.r2;
+    return gf;
+}
+
+std::string
+fixed(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+} // namespace membw

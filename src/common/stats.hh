@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small statistics helpers: means, regressions, ratio formatting.
+ */
+
+#ifndef MEMBW_COMMON_STATS_HH
+#define MEMBW_COMMON_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace membw {
+
+/** Arithmetic mean of @p xs; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Geometric mean of @p xs (all entries must be positive). */
+double geomean(std::span<const double> xs);
+
+/** Sample standard deviation; 0 for fewer than two points. */
+double stddev(std::span<const double> xs);
+
+/** Result of an ordinary least-squares line fit y = slope*x + icept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;
+};
+
+/** Least-squares fit of y over x (sizes must match, >= 2 points). */
+LinearFit linearFit(std::span<const double> x, std::span<const double> y);
+
+/**
+ * Fit an exponential growth curve y = a * g^(x - x0) by regressing
+ * log(y) on x.  Returns the annual growth factor g and the fitted
+ * value at @p x0 — this is how the paper derives "pins grow 16%/yr"
+ * from Figure 1a.
+ */
+struct GrowthFit
+{
+    double annualFactor = 1.0; ///< g: multiplicative growth per unit x
+    double valueAtX0 = 0.0;    ///< fitted y at the reference x0
+    double r2 = 0.0;
+};
+
+GrowthFit exponentialFit(std::span<const double> x,
+                         std::span<const double> y, double x0);
+
+/** Format a double with @p prec digits after the point. */
+std::string fixed(double v, int prec = 2);
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_STATS_HH

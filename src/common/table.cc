@@ -1,0 +1,59 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+namespace membw {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    cells.resize(header_.empty() ? cells.size() : header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    const std::size_t ncols =
+        header_.empty() ? (rows_.empty() ? 0 : rows_[0].size())
+                        : header_.size();
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < ncols && c < cells.size(); ++c)
+            width[c] = std::max(width[c], cells[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            out.append(width[c] - cell.size(), ' ');
+            out += cell;
+            out += c + 1 == ncols ? "\n" : "  ";
+        }
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < ncols; ++c)
+            total += width[c] + (c + 1 == ncols ? 0 : 2);
+        out.append(total, '-');
+        out += "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+} // namespace membw

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench binaries to print the
+ * paper's tables and figure series in a diff-friendly layout.
+ */
+
+#ifndef MEMBW_COMMON_TABLE_HH
+#define MEMBW_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace membw {
+
+/**
+ * A right-aligned text table with a header row.  Cells are strings so
+ * callers control numeric formatting (see fixed() in stats.hh).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (padded/truncated to the column count). */
+    void row(std::vector<std::string> cells);
+
+    /** Render with single-space-padded, right-aligned columns. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_TABLE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every membw module.
+ *
+ * The paper (Burger, Goodman, Kagi; ISCA 1996) measures all traffic in
+ * bytes and all requests in 4-byte words, matching the QPT tracer it
+ * used.  We keep those conventions library-wide.
+ */
+
+#ifndef MEMBW_COMMON_TYPES_HH
+#define MEMBW_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace membw {
+
+/** A physical/virtual memory address.  The library is agnostic. */
+using Addr = std::uint64_t;
+
+/** A quantity of bytes (sizes, traffic volumes). */
+using Bytes = std::uint64_t;
+
+/** A processor cycle count. */
+using Cycle = std::uint64_t;
+
+/** A simulation tick index (position in a trace). */
+using Tick = std::uint64_t;
+
+/** The word size assumed by all experiments (Section 5.2, footnote 1). */
+constexpr Bytes wordBytes = 4;
+
+/** Sentinel: "never referenced again" for next-use computations. */
+constexpr Tick tickInfinity = ~Tick{0};
+
+/** Sentinel for an invalid/unset address. */
+constexpr Addr addrInvalid = ~Addr{0};
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_TYPES_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Two-level adaptive branch predictor (gshare-style), matching the
+ * "two-level branch predictor" with 8K/16K-entry tables of Table 5.
+ */
+
+#ifndef MEMBW_CPU_BRANCH_PRED_HH
+#define MEMBW_CPU_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+/**
+ * Global-history two-level predictor: a global branch history
+ * register XOR-indexed into a table of 2-bit saturating counters.
+ */
+class BranchPredictor
+{
+  public:
+    /** @param entries counter-table entries (power of two). */
+    explicit BranchPredictor(unsigned entries)
+        : mask_(entries - 1), table_(entries, 2) // weakly taken
+    {
+        if (!isPowerOfTwo(entries))
+            fatal("branch predictor entries must be a power of two");
+    }
+
+    /**
+     * Predict, then update with the actual @p taken outcome.
+     * @return true iff the prediction was correct.
+     */
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken)
+    {
+        const std::size_t index =
+            static_cast<std::size_t>((history_ ^ (pc >> 2)) & mask_);
+        std::uint8_t &ctr = table_[index];
+        const bool prediction = ctr >= 2;
+
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+
+        history_ = (history_ << 1) | (taken ? 1 : 0);
+        ++branches_;
+        if (prediction == taken)
+            ++correct_;
+        return prediction == taken;
+    }
+
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredictions() const { return branches_ - correct_; }
+
+    double
+    accuracy() const
+    {
+        return branches_ ? static_cast<double>(correct_) / branches_
+                         : 1.0;
+    }
+
+  private:
+    std::uint64_t mask_;
+    std::vector<std::uint8_t> table_;
+    std::uint64_t history_ = 0;
+    std::uint64_t branches_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+} // namespace membw
+
+#endif // MEMBW_CPU_BRANCH_PRED_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Contended split-width bus model.
+ *
+ * Each hierarchy boundary (L1/L2, L2/memory) is a bus with a data
+ * width and a bus-to-processor clock ratio (Table 4).  Transfers
+ * serialize: a request arriving while the bus is busy queues until
+ * the bus frees — the mechanism behind bandwidth stall time.  In
+ * infinite-width mode (used to measure T_I) transfers complete
+ * instantly and never queue.
+ */
+
+#ifndef MEMBW_CPU_BUS_HH
+#define MEMBW_CPU_BUS_HH
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace membw {
+
+/** Completion times of one bus transfer. */
+struct BusTransfer
+{
+    Cycle grant = 0;     ///< when the bus was acquired
+    Cycle firstBeat = 0; ///< first data beat done (critical word)
+    Cycle done = 0;      ///< last beat done; bus freed
+};
+
+/** One bus. */
+class Bus
+{
+  public:
+    /**
+     * @param widthBytes data width per beat.
+     * @param cyclesPerBeat processor cycles per bus cycle.
+     * @param infiniteWidth if set, transfers are instantaneous.
+     */
+    Bus(Bytes widthBytes, Cycle cyclesPerBeat, bool infiniteWidth)
+        : width_(widthBytes), beat_(cyclesPerBeat),
+          infinite_(infiniteWidth)
+    {
+    }
+
+    /**
+     * Transfer @p bytes starting no earlier than @p ready, after
+     * @p leadBeats address/turnaround beats.
+     */
+    BusTransfer
+    transfer(Cycle ready, Bytes bytes, unsigned leadBeats = 0)
+    {
+        BusTransfer t;
+        if (infinite_) {
+            t.grant = ready;
+            t.firstBeat = ready;
+            t.done = ready;
+            return t;
+        }
+        t.grant = ready > nextFree_ ? ready : nextFree_;
+        const Cycle lead = static_cast<Cycle>(leadBeats) * beat_;
+        const Cycle beats = divCeil(bytes, width_);
+        t.firstBeat = t.grant + lead + beat_;
+        t.done = t.grant + lead + beats * beat_;
+        nextFree_ = t.done;
+        busyCycles_ += t.done - t.grant;
+        ++transfers_;
+        return t;
+    }
+
+    /** Cycles this bus spent occupied. */
+    Cycle busyCycles() const { return busyCycles_; }
+    std::uint64_t transfers() const { return transfers_; }
+    Cycle nextFree() const { return nextFree_; }
+
+  private:
+    Bytes width_;
+    Cycle beat_;
+    bool infinite_;
+    Cycle nextFree_ = 0;
+    Cycle busyCycles_ = 0;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace membw
+
+#endif // MEMBW_CPU_BUS_HH

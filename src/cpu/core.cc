@@ -1,0 +1,201 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+#include "cpu/branch_pred.hh"
+
+namespace membw {
+
+namespace {
+
+/**
+ * Bandwidth slotter: hands out at most @p width slots per cycle, at
+ * or after the requested cycle.  Requests must be non-decreasing,
+ * which program-order processing guarantees for fetch and retire.
+ */
+class Slotter
+{
+  public:
+    explicit Slotter(unsigned width) : width_(width) {}
+
+    Cycle
+    take(Cycle earliest)
+    {
+        if (earliest > cycle_) {
+            cycle_ = earliest;
+            used_ = 0;
+        }
+        if (used_ >= width_) {
+            ++cycle_;
+            used_ = 0;
+        }
+        ++used_;
+        return cycle_;
+    }
+
+  private:
+    unsigned width_;
+    Cycle cycle_ = 0;
+    unsigned used_ = 0;
+};
+
+/** Ring of the last N timestamps, for window/LSQ occupancy. */
+class OccupancyRing
+{
+  public:
+    explicit OccupancyRing(unsigned slots) : ring_(slots, 0) {}
+
+    /** Time the oldest of the last N entries freed its slot. */
+    Cycle oldest() const { return ring_[pos_]; }
+
+    void
+    push(Cycle t)
+    {
+        ring_[pos_] = t;
+        pos_ = (pos_ + 1) % ring_.size();
+    }
+
+  private:
+    std::vector<Cycle> ring_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+CoreResult
+runCore(const InstrStream &stream, const CoreConfig &core,
+        MemorySystem &mem)
+{
+    if (core.issueWidth == 0 || core.memPorts == 0 ||
+        core.windowSlots == 0 || core.lsqSlots == 0)
+        fatal("core parameters must be non-zero");
+
+    BranchPredictor bpred(core.bpredEntries);
+    Slotter fetch(core.issueWidth);
+    Slotter retire(core.issueWidth);
+    Slotter memPort(core.memPorts);
+    OccupancyRing window(core.windowSlots);
+    OccupancyRing lsq(core.lsqSlots);
+
+    Cycle fetch_earliest = 0;  ///< fetch redirect point
+    Cycle last_retire = 0;
+    Cycle last_start = 0;      ///< in-order issue point
+    Cycle last_load_done = 0;  ///< most recent load's data
+    Cycle last_compute_done = 0;
+    Addr last_load_addr = 0;
+    std::uint64_t branch_pc = 0;
+    std::uint64_t mispredicts = 0;
+
+    Addr cur_fetch_block = addrInvalid;
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const MicroOp &op = stream[i];
+
+        // Instruction fetch: crossing into a new fetch group costs
+        // an I-cache access (free on a hit; a miss stalls fetch).
+        const Addr fetch_block =
+            op.pc & ~(static_cast<Addr>(core.fetchBlockBytes) - 1);
+        if (fetch_block != cur_fetch_block) {
+            cur_fetch_block = fetch_block;
+            const Cycle at =
+                std::max(fetch_earliest, window.oldest());
+            const Cycle iready =
+                mem.ifetch(fetch_block, core.fetchBlockBytes, at);
+            if (iready > fetch_earliest)
+                fetch_earliest = iready;
+        }
+
+        // Dispatch: fetch bandwidth, redirect point, window space.
+        const Cycle dispatch =
+            fetch.take(std::max(fetch_earliest, window.oldest()));
+
+        // Operand readiness.
+        Cycle ready = dispatch;
+        switch (op.kind) {
+          case OpKind::Compute:
+            ready = std::max(ready, last_load_done);
+            break;
+          case OpKind::Load:
+            if (op.dependsOnPrevLoad)
+                ready = std::max(ready, last_load_done);
+            break;
+          case OpKind::Store:
+          case OpKind::Branch:
+            ready = std::max(ready, last_compute_done);
+            break;
+        }
+
+        // Issue: in-order cores cannot start an op before its
+        // predecessors have started; OOO cores may.
+        Cycle start = ready;
+        if (!core.outOfOrder) {
+            start = std::max(start, last_start);
+            last_start = start;
+        }
+        if (op.kind == OpKind::Load || op.kind == OpKind::Store) {
+            start = std::max(start, lsq.oldest());
+            start = memPort.take(start);
+        }
+
+        // Execute.
+        Cycle complete = start + 1;
+        switch (op.kind) {
+          case OpKind::Compute:
+            last_compute_done = complete;
+            break;
+          case OpKind::Load:
+            complete = mem.load(op.addr, op.size, start);
+            last_load_done = complete;
+            last_load_addr = op.addr;
+            break;
+          case OpKind::Store:
+            // Data buffered at completion; memory write at retire.
+            break;
+          case OpKind::Branch: {
+            branch_pc = branch_pc * 1664525 + 1013904223;
+            const bool correct =
+                bpred.predictAndUpdate(branch_pc, op.taken);
+            if (!correct) {
+                ++mispredicts;
+                fetch_earliest = std::max(
+                    fetch_earliest,
+                    complete + core.mispredictPenalty);
+                if (core.speculativeLoads) {
+                    // Wrong-path speculation fetched and executed a
+                    // load before the redirect: cache pollution plus
+                    // wasted bandwidth (Section 2.1).
+                    mem.wrongPathLoad(
+                        last_load_addr + 16 * wordBytes, start);
+                }
+            }
+            break;
+          }
+        }
+
+        // Retire in order.
+        const Cycle retired =
+            retire.take(std::max(complete, last_retire));
+        last_retire = retired;
+        window.push(retired);
+        if (op.kind == OpKind::Load || op.kind == OpKind::Store)
+            lsq.push(retired);
+
+        if (op.kind == OpKind::Store)
+            mem.store(op.addr, op.size, retired);
+    }
+
+    CoreResult result;
+    result.cycles = last_retire;
+    result.instructions = stream.size();
+    result.ipc = last_retire
+                     ? static_cast<double>(stream.size()) / last_retire
+                     : 0.0;
+    result.branches = bpred.branches();
+    result.mispredicts = mispredicts;
+    result.mem = mem.stats();
+    return result;
+}
+
+} // namespace membw

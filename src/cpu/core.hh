@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Timestamp-propagation processor core model.
+ *
+ * Models the Table 5 machines: a 4-wide in-order superscalar with two
+ * load/store units (experiments A-C) and an RUU-based out-of-order
+ * core with speculative loads (experiments D-F).  Rather than a
+ * cycle-by-cycle loop, each micro-op's dispatch, issue, completion,
+ * and retirement cycles are derived in one program-order pass — the
+ * constraints (fetch bandwidth, window occupancy, dependences,
+ * memory ports, in-order retirement) are all monotone, so a single
+ * pass is exact for this machine class and runs in O(n).
+ */
+
+#ifndef MEMBW_CPU_CORE_HH
+#define MEMBW_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "cpu/instr_stream.hh"
+#include "cpu/memsys.hh"
+
+namespace membw {
+
+/** Core parameters (Table 5). */
+struct CoreConfig
+{
+    unsigned issueWidth = 4;  ///< fetch/issue/retire bandwidth
+    unsigned memPorts = 2;    ///< load/store units
+    bool outOfOrder = false;  ///< RUU core (D-F) vs in-order (A-C)
+    bool speculativeLoads = false; ///< wrong-path loads on mispredict
+    unsigned windowSlots = 8; ///< RUU entries (OOO) / in-flight (IO)
+    unsigned lsqSlots = 8;    ///< load/store queue entries
+    unsigned bpredEntries = 8192;
+    Cycle mispredictPenalty = 3; ///< fetch redirect cycles
+    Bytes fetchBlockBytes = 16;  ///< I-fetch group size
+};
+
+/** Result of one timed run. */
+struct CoreResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    MemSysStats mem;
+};
+
+/**
+ * Run @p stream on a core described by @p core over @p mem.
+ * The MemorySystem is consumed (its state advances); pass a fresh
+ * one per run.
+ */
+CoreResult runCore(const InstrStream &stream, const CoreConfig &core,
+                   MemorySystem &mem);
+
+} // namespace membw
+
+#endif // MEMBW_CPU_CORE_HH

@@ -1,0 +1,138 @@
+#include "cpu/experiment.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace membw {
+
+namespace {
+
+Cycle
+nsToCycles(double ns, double mhz)
+{
+    return static_cast<Cycle>(std::ceil(ns * mhz / 1000.0));
+}
+
+} // namespace
+
+std::string
+ExperimentConfig::describe() const
+{
+    return std::string(1, letter) + (spec95 ? "/SPEC95" : "/SPEC92") +
+           " " + (core.outOfOrder ? "OOO" : "in-order") +
+           (mem.lockupFree ? " lockup-free" : " blocking") +
+           (mem.taggedPrefetch ? " +prefetch" : "");
+}
+
+ExperimentConfig
+makeExperiment(char letter, bool spec95)
+{
+    if (letter < 'A' || letter > 'F')
+        fatal("experiment letter must be A-F");
+
+    ExperimentConfig e;
+    e.letter = letter;
+    e.spec95 = spec95;
+
+    // ---- clock (Table 5): A-E 300/400 MHz, F 300/600 MHz ----
+    const bool is_f = letter == 'F';
+    e.cpuMHz = spec95 ? (is_f ? 600.0 : 400.0) : 300.0;
+
+    // ---- memory system (Table 4) ----
+    MemSysConfig &m = e.mem;
+    if (spec95) {
+        m.l1Size = 64_KiB; // split: 64KB I + 64KB D (Table 4)
+        m.splitL1 = true;
+        m.iL1Size = 64_KiB;
+        m.l2Size = 2_MiB;
+        m.busRatio = 4;
+    } else {
+        m.l1Size = 128_KiB; // unified: I and D share the lines
+        m.splitL1 = false;
+        m.l2Size = 1_MiB;
+        m.busRatio = 3;
+    }
+    m.l1Assoc = 1;
+    m.l2Assoc = 4;
+    m.l1l2BusBytes = 16; // 128 bits
+    m.memBusBytes = 8;   // 64 bits
+    m.l2AccessCycles = nsToCycles(30.0, e.cpuMHz);
+    m.memAccessCycles = nsToCycles(90.0, e.cpuMHz);
+
+    // Block sizes: B doubles them (Table 5 row "L1/L2 blocks").
+    if (letter == 'B') {
+        m.l1Block = 64;
+        m.l2Block = 128;
+    } else {
+        m.l1Block = 32;
+        m.l2Block = 64;
+    }
+
+    m.lockupFree = letter >= 'C';
+    m.mshrs = 8;
+    m.taggedPrefetch = letter >= 'E';
+
+    // ---- core (Table 5) ----
+    CoreConfig &c = e.core;
+    c.issueWidth = 4;
+    c.memPorts = 2;
+    c.outOfOrder = letter >= 'D';
+    c.speculativeLoads = c.outOfOrder;
+    c.bpredEntries = c.outOfOrder ? 16384 : 8192;
+    c.mispredictPenalty = 3;
+
+    if (!c.outOfOrder) {
+        c.windowSlots = 8;
+        c.lsqSlots = 8;
+    } else if (is_f) {
+        c.windowSlots = spec95 ? 128 : 64;
+        c.lsqSlots = spec95 ? 64 : 32;
+    } else {
+        c.windowSlots = spec95 ? 64 : 16;
+        c.lsqSlots = spec95 ? 32 : 8;
+    }
+    return e;
+}
+
+DecompositionResult
+runDecomposition(const InstrStream &stream,
+                 const ExperimentConfig &config)
+{
+    DecompositionResult result;
+
+    {
+        MemSysConfig m = config.mem;
+        m.mode = MemMode::Perfect;
+        MemorySystem mem(m);
+        result.perfect = runCore(stream, config.core, mem);
+    }
+    {
+        MemSysConfig m = config.mem;
+        m.mode = MemMode::InfiniteWidth;
+        MemorySystem mem(m);
+        result.infinite = runCore(stream, config.core, mem);
+    }
+    {
+        MemSysConfig m = config.mem;
+        m.mode = MemMode::Full;
+        MemorySystem mem(m);
+        result.full = runCore(stream, config.core, mem);
+    }
+
+    result.split = decompose(result.perfect.cycles,
+                             result.infinite.cycles,
+                             result.full.cycles);
+    return result;
+}
+
+CoreResult
+runFull(const InstrStream &stream, const ExperimentConfig &config)
+{
+    MemSysConfig m = config.mem;
+    m.mode = MemMode::Full;
+    MemorySystem mem(m);
+    return runCore(stream, config.core, mem);
+}
+
+} // namespace membw

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The six machine configurations of Table 5 (experiments A-F) over
+ * the Table 4 memory system, and the three-run decomposition driver
+ * of Section 3.1.
+ */
+
+#ifndef MEMBW_CPU_EXPERIMENT_HH
+#define MEMBW_CPU_EXPERIMENT_HH
+
+#include <string>
+
+#include "cpu/core.hh"
+#include "cpu/memsys.hh"
+#include "metrics/decomposition.hh"
+
+namespace membw {
+
+/** One experiment: core + memory + clock. */
+struct ExperimentConfig
+{
+    char letter = 'A';
+    bool spec95 = false;
+    double cpuMHz = 300.0;
+    CoreConfig core;
+    MemSysConfig mem;
+
+    std::string describe() const;
+};
+
+/**
+ * Build experiment @p letter ('A'-'F') with the SPEC92 or SPEC95
+ * parameter set:
+ *
+ *  A  in-order, blocking caches, 32B/64B blocks, 8K bpred
+ *  B  A with 64B/128B blocks
+ *  C  A with lockup-free caches
+ *  D  out-of-order (RUU) + speculative loads, lockup-free, 16K bpred
+ *  E  D + tagged prefetch
+ *  F  E with a 4x larger RUU/LSQ (and a faster SPEC95 clock)
+ */
+ExperimentConfig makeExperiment(char letter, bool spec95);
+
+/** Results of the three decomposition runs plus full-system detail. */
+struct DecompositionResult
+{
+    Decomposition split;
+    CoreResult perfect;
+    CoreResult infinite;
+    CoreResult full;
+};
+
+/**
+ * Run @p stream under @p config three times (perfect, infinite-width,
+ * full memory) and decompose execution time (Equations 1-3).
+ */
+DecompositionResult runDecomposition(const InstrStream &stream,
+                                     const ExperimentConfig &config);
+
+/** Run only the full-system configuration. */
+CoreResult runFull(const InstrStream &stream,
+                   const ExperimentConfig &config);
+
+} // namespace membw
+
+#endif // MEMBW_CPU_EXPERIMENT_HH

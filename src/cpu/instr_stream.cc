@@ -1,0 +1,136 @@
+#include "cpu/instr_stream.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace membw {
+
+namespace {
+
+/** Where the synthetic code region lives (above all data regions). */
+constexpr Addr codeBase = Addr{1} << 40;
+
+/**
+ * Loop-structured program-counter generator.  Sequential advance
+ * plus taken-branch targets: mostly back edges to recent loop heads,
+ * occasionally a "call" into fresh code — giving the small hot
+ * I-working-set that loop-dominated codes exhibit.
+ */
+class PcModel
+{
+  public:
+    PcModel(Bytes code_bytes, std::uint64_t seed)
+        : codeBytes_(code_bytes), rng_(seed ^ 0x1F37C4)
+    {
+        // Larger programs spread control flow across more code:
+        // scale the fresh-jump probability with the footprint, so a
+        // small interpreter core stays I-hot while Perl/Vortex-class
+        // codes pressure their I-caches.
+        freshProb_ = 0.005 + static_cast<double>(code_bytes) /
+                                static_cast<double>(16_MiB);
+        if (freshProb_ > 0.03)
+            freshProb_ = 0.03;
+        loopHeads_.push_back(0);
+    }
+
+    Addr next()
+    {
+        const Addr pc = codeBase + offset_;
+        offset_ = (offset_ + 4) % codeBytes_;
+        return pc;
+    }
+
+    void
+    takenBranch()
+    {
+        if (!rng_.chance(freshProb_)) {
+            // Back edge: return to a recent loop head.
+            const std::size_t pick = rng_.below(loopHeads_.size());
+            offset_ = loopHeads_[loopHeads_.size() - 1 - pick];
+        } else {
+            // Call/jump into fresh code; remember it as a new head.
+            offset_ =
+                (rng_.below(codeBytes_ / 64) * 64) % codeBytes_;
+            rememberHead(offset_);
+        }
+    }
+
+    void
+    notTakenBranch()
+    {
+        // Fall through; the next sequential op is a potential head.
+        rememberHead(offset_);
+    }
+
+  private:
+    void
+    rememberHead(Addr offset)
+    {
+        loopHeads_.push_back(offset);
+        if (loopHeads_.size() > 8)
+            loopHeads_.erase(loopHeads_.begin());
+    }
+
+    Bytes codeBytes_;
+    Rng rng_;
+    double freshProb_ = 0.03;
+    Addr offset_ = 0;
+    std::vector<Addr> loopHeads_;
+};
+
+} // namespace
+
+InstrStream
+InstrStream::fromRun(const WorkloadRun &run, Bytes codeBytes,
+                     std::uint64_t seed)
+{
+    using Kind = TraceRecorder::Annotation::Kind;
+
+    if (codeBytes < 256)
+        fatal("code footprint must be at least 256 bytes");
+
+    InstrStream stream;
+    stream.ops_.reserve(run.annotations.size() * 2);
+    PcModel pcs(codeBytes, seed);
+
+    auto push = [&](MicroOp op) {
+        op.pc = pcs.next();
+        stream.ops_.push_back(op);
+    };
+
+    for (const auto &a : run.annotations) {
+        for (unsigned i = 0; i < a.opsBefore; ++i)
+            push(MicroOp{OpKind::Compute, 0, 0, wordBytes, false,
+                         false});
+
+        if (a.kind == Kind::Branch) {
+            push(MicroOp{OpKind::Branch, 0, 0, wordBytes, a.taken,
+                         false});
+            stream.branches_++;
+            if (a.taken)
+                pcs.takenBranch();
+            else
+                pcs.notTakenBranch();
+            continue;
+        }
+
+        if (a.memIndex >= run.trace.size())
+            fatal("annotation references a missing trace entry");
+        const MemRef &ref = run.trace[a.memIndex];
+        MicroOp op;
+        op.kind = ref.isLoad() ? OpKind::Load : OpKind::Store;
+        op.addr = ref.addr;
+        op.size = ref.size;
+        op.dependsOnPrevLoad = a.dependsOnPrevLoad && ref.isLoad();
+        push(op);
+        if (ref.isLoad())
+            stream.loads_++;
+        else
+            stream.stores_++;
+    }
+    return stream;
+}
+
+} // namespace membw

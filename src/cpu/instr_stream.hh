@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Micro-op stream consumed by the timing core.
+ *
+ * A workload run's memory trace plus its compute/branch annotations
+ * are flattened into a single program-ordered stream of micro-ops —
+ * the timing model's analogue of SimpleScalar's decoded instruction
+ * stream.
+ */
+
+#ifndef MEMBW_CPU_INSTR_STREAM_HH
+#define MEMBW_CPU_INSTR_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "workloads/workload.hh"
+
+namespace membw {
+
+/** Micro-op kinds the core models. */
+enum class OpKind : std::uint8_t
+{
+    Compute, ///< ALU/FPU op; depends on the most recent load
+    Load,    ///< memory read
+    Store,   ///< memory write (retired through the write buffer)
+    Branch,  ///< conditional branch; may redirect fetch
+};
+
+/** One micro-op. */
+struct MicroOp
+{
+    OpKind kind = OpKind::Compute;
+    Addr addr = 0;      ///< effective address (Load/Store)
+    Addr pc = 0;        ///< instruction address (for I-fetch)
+    Bytes size = wordBytes;
+    bool taken = false; ///< branch outcome
+    bool dependsOnPrevLoad = false; ///< serial load chain (Load only)
+};
+
+/** Program-ordered micro-op sequence. */
+class InstrStream
+{
+  public:
+    /**
+     * Flatten a workload run into micro-ops.
+     *
+     * Instruction addresses are synthesized with a loop-structured
+     * model: ops advance sequentially through a code region of
+     * @p codeBytes; taken branches mostly return to recently seen
+     * loop heads (back edges) and occasionally call into fresh code.
+     * The code region is placed far above the data regions so I- and
+     * D-streams only interact through shared caches.
+     */
+    static InstrStream fromRun(const WorkloadRun &run,
+                               Bytes codeBytes = 32_KiB,
+                               std::uint64_t seed = 1);
+
+    std::size_t size() const { return ops_.size(); }
+    const MicroOp &operator[](std::size_t i) const { return ops_[i]; }
+
+    auto begin() const { return ops_.begin(); }
+    auto end() const { return ops_.end(); }
+
+    std::uint64_t loadCount() const { return loads_; }
+    std::uint64_t storeCount() const { return stores_; }
+    std::uint64_t branchCount() const { return branches_; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t branches_ = 0;
+};
+
+} // namespace membw
+
+#endif // MEMBW_CPU_INSTR_STREAM_HH

@@ -1,0 +1,419 @@
+#include "cpu/memsys.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+namespace {
+
+CacheConfig
+l1Config(const MemSysConfig &c)
+{
+    CacheConfig cfg;
+    cfg.name = "L1";
+    cfg.size = c.l1Size;
+    cfg.assoc = c.l1Assoc;
+    cfg.blockBytes = c.l1Block;
+    cfg.write = WritePolicy::WriteBack;
+    cfg.alloc = AllocPolicy::WriteAllocate;
+    cfg.repl = ReplPolicy::LRU;
+    cfg.taggedPrefetch = c.taggedPrefetch;
+    return cfg;
+}
+
+CacheConfig
+l2Config(const MemSysConfig &c)
+{
+    CacheConfig cfg;
+    cfg.name = "L2";
+    cfg.size = c.l2Size;
+    cfg.assoc = c.l2Assoc;
+    cfg.blockBytes = c.l2Block;
+    cfg.write = WritePolicy::WriteBack;
+    cfg.alloc = AllocPolicy::WriteAllocate;
+    cfg.repl = ReplPolicy::LRU;
+    return cfg;
+}
+
+CacheConfig
+il1Config(const MemSysConfig &c)
+{
+    CacheConfig cfg = l1Config(c);
+    cfg.name = "IL1";
+    cfg.size = c.iL1Size;
+    cfg.taggedPrefetch = false; // data-side prefetcher only
+    return cfg;
+}
+
+} // namespace
+
+MemorySystem::MemorySystem(const MemSysConfig &config)
+    : config_(config),
+      l1_(std::make_unique<Cache>(l1Config(config))),
+      l2_(std::make_unique<Cache>(l2Config(config))),
+      l1l2Bus_(config.l1l2BusBytes, config.busRatio,
+               config.mode != MemMode::Full),
+      memBus_(config.memBusBytes, config.busRatio,
+              config.mode != MemMode::Full)
+{
+    // L2's misses and write-backs go to main memory: accumulate the
+    // byte counts so the enclosing L1 event can be costed.
+    l2_->setBelow(
+        [this](Addr, Bytes bytes) { memFetchAcc_ += bytes; },
+        [this](Addr, Bytes bytes) { memWritebackAcc_ += bytes; });
+
+    if (config.splitL1)
+        il1_ = std::make_unique<Cache>(il1Config(config));
+    if (config.dram && config.mode == MemMode::Full)
+        dram_ = std::make_unique<DramModel>(*config.dram);
+
+    // L1 (and IL1) fills and write-backs run through the functional
+    // L2 and are recorded as events for the timing interpreter.
+    installBelow(*l1_);
+    if (il1_)
+        installBelow(*il1_);
+}
+
+void
+MemorySystem::installBelow(Cache &cache)
+{
+    cache.setBelow(
+        [this](Addr addr, Bytes bytes) {
+            const Bytes mf0 = memFetchAcc_;
+            const Bytes mw0 = memWritebackAcc_;
+            const AccessResult r =
+                l2_->access(MemRef{addr, bytes, RefKind::Load});
+            FetchEvent ev;
+            ev.addr = addr;
+            ev.bytes = bytes;
+            ev.l2Hit = r.hit;
+            ev.memFetch = memFetchAcc_ - mf0;
+            ev.memWriteback = memWritebackAcc_ - mw0;
+            fetchEvents_.push_back(ev);
+        },
+        [this](Addr addr, Bytes bytes) {
+            const Bytes mf0 = memFetchAcc_;
+            const Bytes mw0 = memWritebackAcc_;
+            l2_->access(MemRef{addr, bytes, RefKind::Store});
+            WritebackEvent ev;
+            ev.bytes = bytes;
+            ev.memFetch = memFetchAcc_ - mf0;
+            ev.memWriteback = memWritebackAcc_ - mw0;
+            writebackEvents_.push_back(ev);
+        });
+}
+
+MemorySystem::~MemorySystem() = default;
+
+AccessResult
+MemorySystem::functionalAccess(Cache &cache, const MemRef &ref)
+{
+    fetchEvents_.clear();
+    writebackEvents_.clear();
+    return cache.access(ref);
+}
+
+Cycle
+MemorySystem::acquireMissPort(Addr block, Cycle when, bool &merged,
+                              Cycle &mergedReady)
+{
+    merged = false;
+    if (!config_.lockupFree) {
+        // Blocking cache: one outstanding miss; hits under miss are
+        // still serviced (Section 3.1).
+        return std::max(when, blockingFreeAt_);
+    }
+
+    // Lockup-free: merge with an in-flight miss to the same block.
+    for (const Outstanding &o : outstanding_) {
+        if (o.block == block && o.freeAt > when) {
+            merged = true;
+            mergedReady = std::max(o.dataReady, when);
+            stats_.mshrMerges++;
+            return when;
+        }
+    }
+
+    // Drop retired entries; if all MSHRs are busy, wait for the
+    // earliest to free.
+    std::erase_if(outstanding_,
+                  [when](const Outstanding &o) { return o.freeAt <= when; });
+    if (outstanding_.size() >= config_.mshrs) {
+        auto earliest = std::min_element(
+            outstanding_.begin(), outstanding_.end(),
+            [](const Outstanding &a, const Outstanding &b) {
+                return a.freeAt < b.freeAt;
+            });
+        const Cycle wait = earliest->freeAt;
+        outstanding_.erase(earliest);
+        return std::max(when, wait);
+    }
+    return when;
+}
+
+void
+MemorySystem::releaseMissPort(Addr block, Cycle dataReady, Cycle freeAt)
+{
+    if (!config_.lockupFree) {
+        blockingFreeAt_ = freeAt;
+        // Keep the single in-flight miss visible so hits to the
+        // missing block itself wait for its data.
+        outstanding_.clear();
+        outstanding_.push_back(Outstanding{block, dataReady, freeAt});
+        return;
+    }
+    outstanding_.push_back(Outstanding{block, dataReady, freeAt});
+}
+
+DramAccess
+MemorySystem::dramService(Addr addr, Bytes bytes, Cycle ready)
+{
+    if (dram_)
+        return dram_->access(addr, bytes, ready);
+    DramAccess flat;
+    flat.firstBeat = ready + config_.memAccessCycles;
+    flat.done = flat.firstBeat;
+    return flat;
+}
+
+Cycle
+MemorySystem::missTiming(Cycle reqStart, const FetchEvent &demand)
+{
+    // Request trip to the (off-chip) L2 plus the L2 array access.
+    Cycle at_l2 = reqStart + config_.busRatio + config_.l2AccessCycles;
+
+    if (!demand.l2Hit) {
+        // Multiplexed memory bus: one address beat, the DRAM access
+        // (flat infinite-bank latency, or the banked row-buffer
+        // model), then the data beats.
+        const BusTransfer addr_tx = memBus_.transfer(at_l2, 0, 1);
+        const DramAccess da = dramService(
+            demand.addr, config_.l2Block,
+            std::max(addr_tx.done, at_l2));
+        const BusTransfer data_tx =
+            memBus_.transfer(da.firstBeat, config_.l2Block);
+        // Critical word forwards through the L2; the slower of the
+        // chip interface and the bus governs it.
+        at_l2 = std::max(data_tx.firstBeat, da.firstBeat + 1);
+    }
+
+    // L1 fill over the L1/L2 bus; critical word first.
+    const BusTransfer fill_tx = l1l2Bus_.transfer(at_l2, demand.bytes);
+    return fill_tx.firstBeat;
+}
+
+void
+MemorySystem::backgroundTiming(Cycle when, bool skipFirstFetch)
+{
+    bool first = true;
+    for (const FetchEvent &ev : fetchEvents_) {
+        if (first && skipFirstFetch) {
+            first = false;
+            continue;
+        }
+        first = false;
+        Cycle at_l2 = when + config_.busRatio + config_.l2AccessCycles;
+        if (!ev.l2Hit) {
+            const BusTransfer addr_tx = memBus_.transfer(at_l2, 0, 1);
+            const DramAccess da = dramService(
+                ev.addr, ev.memFetch, std::max(addr_tx.done, at_l2));
+            const BusTransfer data_tx =
+                memBus_.transfer(da.firstBeat, ev.memFetch);
+            at_l2 = std::max(data_tx.done, da.done);
+        }
+        if (ev.memWriteback)
+            memBus_.transfer(at_l2, ev.memWriteback, 1);
+        const BusTransfer fill_tx = l1l2Bus_.transfer(at_l2, ev.bytes);
+
+        // Remember when this (prefetch) fill actually lands so a
+        // demand reference to it waits for the data, not one cycle.
+        if (config_.taggedPrefetch) {
+            if (prefetchInFlight_.size() > 4096) {
+                std::erase_if(prefetchInFlight_,
+                              [when](const auto &kv) {
+                                  return kv.second <= when;
+                              });
+            }
+            const Addr block =
+                ev.addr &
+                ~(static_cast<Addr>(config_.l1Block) - 1);
+            prefetchInFlight_[block] = fill_tx.done;
+        }
+    }
+
+    for (const WritebackEvent &ev : writebackEvents_) {
+        l1l2Bus_.transfer(when, ev.bytes);
+        if (ev.memFetch)
+            memBus_.transfer(when, ev.memFetch, 1);
+        if (ev.memWriteback)
+            memBus_.transfer(when, ev.memWriteback, 1);
+    }
+}
+
+Cycle
+MemorySystem::load(Addr addr, Bytes size, Cycle when)
+{
+    stats_.loads++;
+    const AccessResult result =
+        functionalAccess(*l1_, MemRef{addr, size, RefKind::Load});
+
+    if (config_.mode == MemMode::Perfect)
+        return when + 1;
+
+    if (result.hit) {
+        // Prefetches or partial activity triggered by a hit only
+        // consume bandwidth.
+        backgroundTiming(when + 1, false);
+
+        const Addr hit_block =
+            addr & ~(static_cast<Addr>(config_.l1Block) - 1);
+
+        // A "hit" on a block whose demand miss is still in flight
+        // (the functional fill is instantaneous) completes when the
+        // data actually lands — an MSHR merge.
+        for (const Outstanding &o : outstanding_) {
+            if (o.block == hit_block && o.dataReady > when + 1) {
+                stats_.mshrMerges++;
+                return o.dataReady;
+            }
+        }
+
+        // Likewise for a block the prefetcher is still bringing in.
+        if (config_.taggedPrefetch) {
+            auto it = prefetchInFlight_.find(hit_block);
+            if (it != prefetchInFlight_.end()) {
+                const Cycle ready = it->second;
+                prefetchInFlight_.erase(it);
+                if (ready > when + 1)
+                    return ready;
+            }
+        }
+        return when + 1;
+    }
+
+    stats_.l1Misses++;
+    const Addr block = addr & ~(static_cast<Addr>(config_.l1Block) - 1);
+
+    bool merged = false;
+    Cycle merged_ready = 0;
+    const Cycle req_start =
+        acquireMissPort(block, when + 1, merged, merged_ready);
+    if (merged) {
+        backgroundTiming(when + 1, false);
+        return merged_ready;
+    }
+
+    if (fetchEvents_.empty())
+        panic("L1 miss produced no fetch event");
+    const FetchEvent &demand = fetchEvents_.front();
+    if (!demand.l2Hit)
+        stats_.l2Misses++;
+
+    const Cycle data_ready = missTiming(req_start, demand);
+    // The miss port is held until the full block has been filled; the
+    // critical word unblocks the consumer earlier.
+    const Cycle full_fill =
+        data_ready +
+        (config_.mode == MemMode::Full
+             ? divCeil(config_.l1Block, config_.l1l2BusBytes) *
+                   config_.busRatio
+             : 0);
+    releaseMissPort(block, data_ready, full_fill);
+
+    // Cost the non-demand events (victim write-backs, prefetches).
+    backgroundTiming(data_ready, true);
+
+    stats_.l1l2BusBusy = l1l2Bus_.busyCycles();
+    stats_.memBusBusy = memBus_.busyCycles();
+    return data_ready;
+}
+
+Cycle
+MemorySystem::ifetch(Addr addr, Bytes bytes, Cycle when)
+{
+    stats_.ifetches++;
+    Cache &icache = il1_ ? *il1_ : *l1_;
+    const AccessResult result = functionalAccess(
+        icache, MemRef{addr, bytes, RefKind::Load});
+
+    if (config_.mode == MemMode::Perfect)
+        return when;
+
+    if (result.hit) {
+        backgroundTiming(when, false);
+        const Addr hit_block =
+            addr & ~(static_cast<Addr>(config_.l1Block) - 1);
+        for (const Outstanding &o : outstanding_) {
+            if (o.block == hit_block && o.dataReady > when)
+                return o.dataReady;
+        }
+        return when; // covered by the fetch pipeline
+    }
+
+    stats_.iMisses++;
+    const Addr block = addr & ~(static_cast<Addr>(config_.l1Block) - 1);
+    bool merged = false;
+    Cycle merged_ready = 0;
+    const Cycle req_start =
+        acquireMissPort(block, when + 1, merged, merged_ready);
+    if (merged) {
+        backgroundTiming(when + 1, false);
+        return merged_ready;
+    }
+    if (fetchEvents_.empty())
+        panic("I-miss produced no fetch event");
+    const FetchEvent &demand = fetchEvents_.front();
+    if (!demand.l2Hit)
+        stats_.l2Misses++;
+    const Cycle data_ready = missTiming(req_start, demand);
+    const Cycle full_fill =
+        data_ready + (config_.mode == MemMode::Full
+                          ? divCeil(config_.l1Block,
+                                    config_.l1l2BusBytes) *
+                                config_.busRatio
+                          : 0);
+    releaseMissPort(block, data_ready, full_fill);
+    backgroundTiming(data_ready, true);
+    return data_ready;
+}
+
+void
+MemorySystem::store(Addr addr, Bytes size, Cycle when)
+{
+    stats_.stores++;
+    functionalAccess(*l1_, MemRef{addr, size, RefKind::Store});
+    if (config_.mode == MemMode::Perfect)
+        return;
+    // Infinitely deep write buffer: the store never stalls the core,
+    // but its fills and write-backs consume bus bandwidth.
+    backgroundTiming(when, false);
+}
+
+void
+MemorySystem::wrongPathLoad(Addr addr, Cycle when)
+{
+    stats_.wrongPathLoads++;
+    functionalAccess(*l1_, MemRef{addr, wordBytes, RefKind::Load});
+    if (config_.mode == MemMode::Perfect)
+        return;
+    backgroundTiming(when, false);
+}
+
+MemSysStats
+MemorySystem::stats() const
+{
+    MemSysStats s = stats_;
+    s.l1l2BusBusy = l1l2Bus_.busyCycles();
+    s.memBusBusy = memBus_.busyCycles();
+    if (dram_) {
+        s.dramRowHits = dram_->stats().rowHits;
+        s.dramRowMisses = dram_->stats().rowMisses;
+    }
+    return s;
+}
+
+} // namespace membw

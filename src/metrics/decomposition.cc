@@ -1,0 +1,63 @@
+#include "metrics/decomposition.hh"
+
+#include "common/log.hh"
+
+namespace membw {
+
+double
+Decomposition::fP() const
+{
+    return fullCycles ? static_cast<double>(perfectCycles) / fullCycles
+                      : 0.0;
+}
+
+double
+Decomposition::fL() const
+{
+    return fullCycles ? static_cast<double>(latencyStall()) / fullCycles
+                      : 0.0;
+}
+
+double
+Decomposition::fB() const
+{
+    return fullCycles
+               ? static_cast<double>(bandwidthStall()) / fullCycles
+               : 0.0;
+}
+
+Cycle
+Decomposition::latencyStall() const
+{
+    return infiniteCycles >= perfectCycles
+               ? infiniteCycles - perfectCycles
+               : 0;
+}
+
+Cycle
+Decomposition::bandwidthStall() const
+{
+    return fullCycles >= infiniteCycles ? fullCycles - infiniteCycles
+                                        : 0;
+}
+
+bool
+Decomposition::consistent() const
+{
+    return perfectCycles <= infiniteCycles &&
+           infiniteCycles <= fullCycles;
+}
+
+Decomposition
+decompose(Cycle perfect, Cycle infinite, Cycle full)
+{
+    Decomposition d;
+    d.perfectCycles = perfect;
+    d.infiniteCycles = infinite;
+    d.fullCycles = full;
+    if (!d.consistent())
+        warn("decomposition ordering violated (T_P <= T_I <= T)");
+    return d;
+}
+
+} // namespace membw

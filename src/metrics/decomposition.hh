@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Execution-time decomposition into processing, latency, and
+ * bandwidth components (Section 2, Equations 1-3).
+ */
+
+#ifndef MEMBW_METRICS_DECOMPOSITION_HH
+#define MEMBW_METRICS_DECOMPOSITION_HH
+
+#include "common/types.hh"
+
+namespace membw {
+
+/**
+ * The paper's three-way split of a program's execution time.
+ *
+ *  - T_P: cycles with a perfect memory system (1-cycle accesses);
+ *  - T_I: cycles with intrinsic latencies but infinitely wide paths;
+ *  - T:   cycles on the full system.
+ *
+ * Then f_P = T_P/T, f_L = (T_I - T_P)/T, f_B = (T - T_I)/T.
+ */
+struct Decomposition
+{
+    Cycle perfectCycles = 0;  ///< T_P
+    Cycle infiniteCycles = 0; ///< T_I
+    Cycle fullCycles = 0;     ///< T
+
+    double fP() const;
+    double fL() const;
+    double fB() const;
+
+    /** Latency stall cycles T_L = T_I - T_P. */
+    Cycle latencyStall() const;
+
+    /** Bandwidth stall cycles T_B = T - T_I. */
+    Cycle bandwidthStall() const;
+
+    /** Check T_P <= T_I <= T; returns false on a violated identity. */
+    bool consistent() const;
+};
+
+/** Build a decomposition from the three simulation runs' cycles. */
+Decomposition decompose(Cycle perfect, Cycle infinite, Cycle full);
+
+} // namespace membw
+
+#endif // MEMBW_METRICS_DECOMPOSITION_HH

@@ -1,0 +1,54 @@
+#include "metrics/traffic.hh"
+
+#include "common/log.hh"
+
+namespace membw {
+
+double
+trafficRatio(Bytes below, Bytes above)
+{
+    if (above == 0)
+        fatal("traffic ratio undefined: no traffic above the cache");
+    return static_cast<double>(below) / static_cast<double>(above);
+}
+
+double
+trafficInefficiency(Bytes cacheTraffic, Bytes mtcTraffic)
+{
+    if (mtcTraffic == 0)
+        fatal("traffic inefficiency undefined: MTC generated no "
+              "traffic");
+    return static_cast<double>(cacheTraffic) /
+           static_cast<double>(mtcTraffic);
+}
+
+double
+effectivePinBandwidth(double pinBandwidth,
+                      std::span<const double> ratios)
+{
+    if (pinBandwidth <= 0.0)
+        fatal("pin bandwidth must be positive");
+    double product = 1.0;
+    for (double r : ratios) {
+        if (r <= 0.0)
+            fatal("traffic ratios must be positive");
+        product *= r;
+    }
+    return pinBandwidth / product;
+}
+
+double
+optimalEffectivePinBandwidth(double pinBandwidth,
+                             std::span<const double> ratios,
+                             std::span<const double> gaps)
+{
+    double gap_product = 1.0;
+    for (double g : gaps) {
+        if (g <= 0.0)
+            fatal("traffic inefficiencies must be positive");
+        gap_product *= g;
+    }
+    return effectivePinBandwidth(pinBandwidth, ratios) * gap_product;
+}
+
+} // namespace membw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Traffic-derived metrics: traffic ratio, traffic inefficiency,
+ * effective pin bandwidth and its upper bound (Sections 4-5).
+ */
+
+#ifndef MEMBW_METRICS_TRAFFIC_HH
+#define MEMBW_METRICS_TRAFFIC_HH
+
+#include <span>
+
+#include "common/types.hh"
+
+namespace membw {
+
+/** R_i = D_i / D_{i-1} (Equation 4). */
+double trafficRatio(Bytes below, Bytes above);
+
+/**
+ * G_i = D_cache / D_MTC (Equation 6).  By definition >= 1 for a true
+ * minimal-traffic reference; we clamp tiny numerical dips and return
+ * the raw ratio otherwise.
+ */
+double trafficInefficiency(Bytes cacheTraffic, Bytes mtcTraffic);
+
+/**
+ * E_pin = B_pin / prod(R_i) (Equation 5).
+ * @param pinBandwidth physical pin bandwidth (bytes/sec).
+ * @param ratios per-level traffic ratios, processor-side first.
+ */
+double effectivePinBandwidth(double pinBandwidth,
+                             std::span<const double> ratios);
+
+/**
+ * OE_pin = B_pin * prod(G_i) / prod(R_i) (Equation 7): the upper
+ * bound on effective pin bandwidth reachable by perfect on-chip
+ * memory management with the same processor reference stream.
+ */
+double optimalEffectivePinBandwidth(double pinBandwidth,
+                                    std::span<const double> ratios,
+                                    std::span<const double> gaps);
+
+} // namespace membw
+
+#endif // MEMBW_METRICS_TRAFFIC_HH

@@ -1,0 +1,206 @@
+#include "mtc/min_cache.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "mtc/next_use.hh"
+
+namespace membw {
+
+void
+MinCacheConfig::validate() const
+{
+    if (blockBytes < wordBytes || !isPowerOfTwo(blockBytes))
+        fatal("MTC block size must be a power of two >= 4B");
+    if (blockBytes > 64 * wordBytes)
+        fatal("MTC block size above 256B is unsupported");
+    if (size == 0 || size % blockBytes != 0)
+        fatal("MTC size must be a non-zero multiple of the block");
+    if (alloc == AllocPolicy::WriteNoAllocate)
+        fatal("MTC does not support write-no-allocate");
+}
+
+std::string
+MinCacheConfig::describe() const
+{
+    return formatSize(size) + "/full/" + formatSize(blockBytes) +
+           " MIN-" + toString(alloc) + (allowBypass ? "+bypass" : "");
+}
+
+MinCacheSim::MinCacheSim(const Trace &trace, const MinCacheConfig &config)
+    : trace_(trace), config_(config)
+{
+    config_.validate();
+    nextUse_ = buildNextUse(trace_, config_.blockBytes);
+}
+
+Bytes
+MinCacheSim::writebackSize(const Entry &entry) const
+{
+    if (entry.dirtyMask == 0)
+        return 0;
+    if (config_.alloc == AllocPolicy::WriteValidate)
+        return static_cast<Bytes>(std::popcount(entry.dirtyMask)) *
+               wordBytes;
+    return config_.blockBytes;
+}
+
+MinCacheStats
+MinCacheSim::run()
+{
+    const Bytes block_bytes = config_.blockBytes;
+    const unsigned words_per_block =
+        static_cast<unsigned>(block_bytes / wordBytes);
+    const std::uint64_t full_mask =
+        words_per_block == 64
+            ? ~std::uint64_t{0}
+            : (std::uint64_t{1} << words_per_block) - 1;
+    const unsigned capacity = config_.blocks();
+
+    MinCacheStats stats;
+    std::unordered_map<Addr, Entry> cache;
+    cache.reserve(capacity * 2);
+    // Replacement order: victim is the entry whose next use is
+    // furthest in the future, i.e. the largest (nextUse, addr) pair.
+    std::set<std::pair<Tick, Addr>> order;
+
+    auto words_mask = [&](Addr addr, Bytes size, Addr block) {
+        const unsigned first =
+            static_cast<unsigned>((addr - block) / wordBytes);
+        const unsigned last = static_cast<unsigned>(
+            (addr + size - 1 - block) / wordBytes);
+        std::uint64_t mask = 0;
+        for (unsigned w = first; w <= last; ++w)
+            mask |= std::uint64_t{1} << w;
+        return mask;
+    };
+
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+        const MemRef &ref = trace_[i];
+        const Addr block = alignDown(ref.addr, block_bytes);
+        if (alignDown(ref.addr + ref.size - 1, block_bytes) != block)
+            fatal("MTC reference spans a block boundary");
+
+        const std::uint64_t words =
+            words_mask(ref.addr, ref.size, block);
+        const Tick nu = nextUse_[i];
+
+        stats.accesses++;
+        stats.requestBytes += ref.size;
+
+        auto it = cache.find(block);
+        if (it != cache.end()) {
+            // Hit: re-key the replacement order with the new next use.
+            Entry &entry = it->second;
+            order.erase({entry.nextUse, block});
+            entry.nextUse = nu;
+            order.insert({nu, block});
+
+            if (ref.isLoad()) {
+                const std::uint64_t missing =
+                    words & ~entry.validMask;
+                if (missing) {
+                    const Bytes bytes =
+                        static_cast<Bytes>(std::popcount(missing)) *
+                        wordBytes;
+                    stats.fetchBytes += bytes;
+                    entry.validMask |= missing;
+                }
+            } else {
+                entry.validMask |= words;
+                entry.dirtyMask |= words;
+            }
+            stats.hits++;
+            continue;
+        }
+
+        stats.misses++;
+
+        if (cache.size() == capacity) {
+            auto victim_it = std::prev(order.end());
+            const Tick victim_next = victim_it->first;
+
+            if (config_.writeAware && victim_next == tickInfinity) {
+                // Scan the never-referenced-again candidates for a
+                // clean one; evicting it saves a write-back without
+                // adding any future miss.
+                auto scan = victim_it;
+                for (unsigned n = 0; n < 32; ++n) {
+                    if (scan->first != tickInfinity)
+                        break;
+                    auto entry = cache.find(scan->second);
+                    assert(entry != cache.end());
+                    if (entry->second.dirtyMask == 0) {
+                        victim_it = scan;
+                        break;
+                    }
+                    if (scan == order.begin())
+                        break;
+                    --scan;
+                }
+            }
+
+            if (config_.allowBypass && nu > victim_next) {
+                // The incoming block is the lowest-priority block:
+                // service the request without caching it.
+                stats.bypasses++;
+                if (ref.isLoad())
+                    stats.fetchBytes += ref.size;
+                else
+                    stats.writebackBytes += ref.size;
+                continue;
+            }
+
+            // Evict the furthest-referenced resident block.
+            const Addr victim_addr = victim_it->second;
+            auto victim = cache.find(victim_addr);
+            assert(victim != cache.end());
+            stats.writebackBytes += writebackSize(victim->second);
+            cache.erase(victim);
+            order.erase(victim_it);
+        }
+
+        Entry entry;
+        entry.nextUse = nu;
+        if (ref.isLoad()) {
+            entry.validMask = full_mask;
+            stats.fetchBytes += block_bytes;
+        } else if (config_.alloc == AllocPolicy::WriteAllocate) {
+            entry.validMask = full_mask;
+            entry.dirtyMask = words;
+            stats.fetchBytes += block_bytes;
+        } else { // WriteValidate: allocate without fetching.
+            entry.validMask = words;
+            entry.dirtyMask = words;
+        }
+        cache.emplace(block, entry);
+        order.insert({nu, block});
+    }
+
+    // Program completion: flush all dirty data (Section 4.1).
+    for (const auto &[addr, entry] : cache)
+        stats.flushWritebackBytes += writebackSize(entry);
+
+    return stats;
+}
+
+MinCacheStats
+runMinCache(const Trace &trace, const MinCacheConfig &config)
+{
+    return MinCacheSim(trace, config).run();
+}
+
+MinCacheConfig
+canonicalMtc(Bytes size)
+{
+    MinCacheConfig config;
+    config.size = size;
+    config.blockBytes = wordBytes;
+    config.alloc = AllocPolicy::WriteValidate;
+    config.allowBypass = true;
+    return config;
+}
+
+} // namespace membw

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fully-associative Belady-MIN cache — the paper's minimal-traffic
+ * cache (MTC, Section 5.2) and the MIN-replacement comparison points
+ * of Tables 9/10.
+ *
+ * The canonical MTC has all four properties: full associativity,
+ * transfer size equal to the request size (4B words), MIN
+ * replacement, and bypassing of lower-priority misses.  This class
+ * generalizes the block size and the write-miss policy so the factor
+ * isolation experiments (MIN/fa/32B/WA etc.) reuse the same engine.
+ * Like the paper, write costs use MIN rather than the write-aware
+ * Horwitz algorithm, so measured traffic is an aggressive bound, not
+ * an exact minimum.
+ */
+
+#ifndef MEMBW_MTC_MIN_CACHE_HH
+#define MEMBW_MTC_MIN_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/config.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+/** Configuration for a MIN-replacement fully-associative cache. */
+struct MinCacheConfig
+{
+    Bytes size = 8_KiB;
+    Bytes blockBytes = wordBytes; ///< MTC uses word-sized blocks
+    /** WriteAllocate or WriteValidate (always write-back). */
+    AllocPolicy alloc = AllocPolicy::WriteValidate;
+    /** Allow misses whose next use is furthest to bypass the cache. */
+    bool allowBypass = true;
+
+    /**
+     * Write-aware victim selection (a Horwitz-inspired heuristic,
+     * not the exact optimum): among the furthest-referenced
+     * candidates, prefer a clean block over a dirty one when their
+     * next uses are equally hopeless, saving the write-back.  The
+     * paper implemented plain MIN and asserted the disparity is
+     * small (Section 5.2); the ablation bench measures it.
+     */
+    bool writeAware = false;
+
+    unsigned blocks() const
+    {
+        return static_cast<unsigned>(size / blockBytes);
+    }
+    void validate() const;
+    std::string describe() const;
+};
+
+/** Traffic summary of a MIN-cache run. */
+struct MinCacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bypasses = 0; ///< subset of misses never cached
+
+    Bytes requestBytes = 0;
+    Bytes fetchBytes = 0;        ///< fills (and bypass load transfers)
+    Bytes writebackBytes = 0;    ///< dirty evictions + bypassed stores
+    Bytes flushWritebackBytes = 0;
+
+    Bytes
+    trafficBelow() const
+    {
+        return fetchBytes + writebackBytes + flushWritebackBytes;
+    }
+
+    double
+    trafficRatio() const
+    {
+        return requestBytes
+                   ? static_cast<double>(trafficBelow()) / requestBytes
+                   : 0.0;
+    }
+};
+
+/**
+ * Two-pass MIN simulation over a whole trace.
+ *
+ * The constructor runs pass one (next-use table); run() performs the
+ * stack simulation.  Victim choice follows Belady's MIN [3]: evict
+ * the resident block referenced furthest in the future.  With
+ * bypassing enabled, a miss whose own next use lies beyond every
+ * resident block's next use is never cached (Section 5.2, footnote 2).
+ */
+class MinCacheSim
+{
+  public:
+    MinCacheSim(const Trace &trace, const MinCacheConfig &config);
+
+    /** Simulate the full trace, including the final dirty flush. */
+    MinCacheStats run();
+
+  private:
+    struct Entry
+    {
+        Tick nextUse = tickInfinity;
+        std::uint64_t validMask = 0;
+        std::uint64_t dirtyMask = 0;
+    };
+
+    Bytes writebackSize(const Entry &entry) const;
+
+    const Trace &trace_;
+    MinCacheConfig config_;
+    std::vector<Tick> nextUse_;
+};
+
+/** Convenience: run an MTC (or variant) and return its stats. */
+MinCacheStats runMinCache(const Trace &trace,
+                          const MinCacheConfig &config);
+
+/** The paper's canonical MTC configuration for a given size. */
+MinCacheConfig canonicalMtc(Bytes size);
+
+} // namespace membw
+
+#endif // MEMBW_MTC_MIN_CACHE_HH

@@ -1,0 +1,42 @@
+#include "mtc/next_use.hh"
+
+#include <unordered_map>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+std::vector<Tick>
+buildNextUse(const Trace &trace, Bytes blockBytes)
+{
+    if (!isPowerOfTwo(blockBytes))
+        fatal("next-use granularity must be a power of two");
+
+    std::vector<Tick> next(trace.size(), tickInfinity);
+    std::unordered_map<Addr, Tick> lastSeen;
+    lastSeen.reserve(trace.size() / 8 + 16);
+
+    // Walk backwards: lastSeen[b] is the next position at which block
+    // b is referenced, relative to the position being filled in.
+    for (std::size_t i = trace.size(); i-- > 0;) {
+        const MemRef &ref = trace[i];
+        const Addr first = alignDown(ref.addr, blockBytes);
+        const Addr last =
+            alignDown(ref.addr + ref.size - 1, blockBytes);
+
+        Tick soonest = tickInfinity;
+        for (Addr b = first; b <= last; b += blockBytes) {
+            auto it = lastSeen.find(b);
+            if (it != lastSeen.end() && it->second < soonest)
+                soonest = it->second;
+            lastSeen[b] = static_cast<Tick>(i);
+            if (b == last)
+                break; // guard against address-space wrap
+        }
+        next[i] = soonest;
+    }
+    return next;
+}
+
+} // namespace membw

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Forward "next use" side table for Belady MIN simulation.
+ *
+ * Pass one of the two-pass MTC simulation (Section 5.2): for every
+ * trace position i, the tick of the next reference to the same
+ * aligned block (at a caller-chosen block granularity), or
+ * tickInfinity when the block is never referenced again.
+ */
+
+#ifndef MEMBW_MTC_NEXT_USE_HH
+#define MEMBW_MTC_NEXT_USE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+/**
+ * Per-position next-use ticks for @p trace at @p blockBytes
+ * granularity.  References that span two blocks (which QPT-style
+ * word traces never do) take the earlier of the two next-uses.
+ */
+std::vector<Tick> buildNextUse(const Trace &trace, Bytes blockBytes);
+
+} // namespace membw
+
+#endif // MEMBW_MTC_NEXT_USE_HH

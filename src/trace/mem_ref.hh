@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A single data-memory reference, the atom of every trace-driven
+ * experiment in the paper (Sections 4-5 use data references only).
+ */
+
+#ifndef MEMBW_TRACE_MEM_REF_HH
+#define MEMBW_TRACE_MEM_REF_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace membw {
+
+/** The kind of a memory reference. */
+enum class RefKind : std::uint8_t
+{
+    Load,
+    Store,
+};
+
+/**
+ * One memory reference.  Following QPT (Section 4.1), references wider
+ * than one word are split into consecutive single-word references by
+ * the recording layer, so size is normally wordBytes.
+ */
+struct MemRef
+{
+    Addr addr = 0;
+    Bytes size = wordBytes;
+    RefKind kind = RefKind::Load;
+
+    bool isLoad() const { return kind == RefKind::Load; }
+    bool isStore() const { return kind == RefKind::Store; }
+
+    bool
+    operator==(const MemRef &other) const
+    {
+        return addr == other.addr && size == other.size &&
+               kind == other.kind;
+    }
+};
+
+} // namespace membw
+
+#endif // MEMBW_TRACE_MEM_REF_HH

@@ -1,0 +1,36 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bitops.hh"
+
+namespace membw {
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats s;
+    std::unordered_set<Addr> words;
+    words.reserve(refs_.size() / 4 + 16);
+
+    for (const MemRef &r : refs_) {
+        ++s.refs;
+        if (r.isLoad())
+            ++s.loads;
+        else
+            ++s.stores;
+        s.requestBytes += r.size;
+        s.minAddr = std::min(s.minAddr, r.addr);
+        s.maxAddr = std::max(s.maxAddr, r.addr + r.size - 1);
+
+        const Addr first = alignDown(r.addr, wordBytes);
+        const Addr last = alignDown(r.addr + r.size - 1, wordBytes);
+        for (Addr w = first; w <= last; w += wordBytes)
+            words.insert(w);
+    }
+    s.footprintBytes = static_cast<Bytes>(words.size()) * wordBytes;
+    return s;
+}
+
+} // namespace membw

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * In-memory reference trace container plus summary statistics.
+ */
+
+#ifndef MEMBW_TRACE_TRACE_HH
+#define MEMBW_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/mem_ref.hh"
+
+namespace membw {
+
+/** Summary statistics over a trace (see Table 3 in the paper). */
+struct TraceStats
+{
+    std::size_t refs = 0;       ///< total references
+    std::size_t loads = 0;      ///< load count
+    std::size_t stores = 0;     ///< store count
+    Bytes requestBytes = 0;     ///< sum of request sizes (D_{i-1})
+    Bytes footprintBytes = 0;   ///< distinct words touched * wordBytes
+    Addr minAddr = addrInvalid; ///< lowest address touched
+    Addr maxAddr = 0;           ///< highest address touched
+};
+
+/**
+ * A recorded data-reference trace.
+ *
+ * Traces are append-only during generation and immutable during
+ * simulation.  All simulators iterate the trace by index so that the
+ * two-pass MIN simulation (src/mtc) can align its next-use side table
+ * with reference positions.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    void reserve(std::size_t n) { refs_.reserve(n); }
+
+    void append(MemRef ref) { refs_.push_back(ref); }
+
+    void
+    append(Addr addr, Bytes size, RefKind kind)
+    {
+        refs_.push_back(MemRef{addr, size, kind});
+    }
+
+    std::size_t size() const { return refs_.size(); }
+    bool empty() const { return refs_.empty(); }
+
+    const MemRef &operator[](std::size_t i) const { return refs_[i]; }
+
+    auto begin() const { return refs_.begin(); }
+    auto end() const { return refs_.end(); }
+
+    /** Compute (O(n)) summary statistics, incl. word footprint. */
+    TraceStats stats() const;
+
+  private:
+    std::vector<MemRef> refs_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_TRACE_TRACE_HH

@@ -1,0 +1,190 @@
+#include "trace/trace_io.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "common/log.hh"
+
+namespace membw {
+
+namespace {
+
+constexpr std::uint32_t traceMagic = 0x4d425754; // "MBWT"
+constexpr std::uint32_t versionRaw = 1;
+constexpr std::uint32_t versionCompact = 2;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+struct PackedRef
+{
+    std::uint64_t addr;
+    std::uint32_t size;
+    std::uint32_t kind;
+};
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putVarint(std::FILE *f, std::uint64_t v, const std::string &path)
+{
+    std::uint8_t buf[10];
+    unsigned n = 0;
+    do {
+        std::uint8_t byte = v & 0x7f;
+        v >>= 7;
+        if (v)
+            byte |= 0x80;
+        buf[n++] = byte;
+    } while (v);
+    if (std::fwrite(buf, 1, n, f) != n)
+        fatal("short write to '" + path + "'");
+}
+
+std::uint64_t
+getVarint(std::FILE *f, const std::string &path)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int c = std::fgetc(f);
+        if (c == EOF)
+            fatal("truncated trace file '" + path + "'");
+        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            fatal("corrupt varint in '" + path + "'");
+    }
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, const std::string &path,
+          TraceFormat format)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open '" + path + "' for writing");
+
+    const std::uint32_t header[2] = {
+        traceMagic,
+        format == TraceFormat::Raw ? versionRaw : versionCompact};
+    const std::uint64_t count = trace.size();
+    if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
+        std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
+        fatal("short write to '" + path + "'");
+
+    if (format == TraceFormat::Raw) {
+        for (const MemRef &r : trace) {
+            const PackedRef p{r.addr,
+                              static_cast<std::uint32_t>(r.size),
+                              static_cast<std::uint32_t>(r.kind)};
+            if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+                fatal("short write to '" + path + "'");
+        }
+        return;
+    }
+
+    // Compact: per record a control varint
+    //   bit0: store, bit1: size != wordBytes (varint size follows),
+    //   bits2..: zigzag word-delta from the previous address.
+    Addr prev = 0;
+    for (const MemRef &r : trace) {
+        const std::int64_t delta =
+            (static_cast<std::int64_t>(r.addr) -
+             static_cast<std::int64_t>(prev)) /
+            static_cast<std::int64_t>(wordBytes);
+        const bool odd_size = r.size != wordBytes ||
+                              r.addr % wordBytes != 0;
+        std::uint64_t control = zigzag(delta) << 2;
+        control |= odd_size ? 2 : 0;
+        control |= r.isStore() ? 1 : 0;
+        if (odd_size) {
+            // Rare general case: raw address + size.
+            putVarint(f.get(), (2 | (r.isStore() ? 1 : 0)),
+                      path); // control with delta 0
+            putVarint(f.get(), r.addr, path);
+            putVarint(f.get(), r.size, path);
+        } else {
+            putVarint(f.get(), control, path);
+        }
+        prev = r.addr;
+    }
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open '" + path + "' for reading");
+
+    std::uint32_t header[2] = {0, 0};
+    std::uint64_t count = 0;
+    if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+        std::fread(&count, sizeof(count), 1, f.get()) != 1)
+        fatal("truncated trace file '" + path + "'");
+    if (header[0] != traceMagic)
+        fatal("'" + path + "' is not a membw trace");
+
+    Trace trace;
+    trace.reserve(count);
+
+    if (header[1] == versionRaw) {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            PackedRef p;
+            if (std::fread(&p, sizeof(p), 1, f.get()) != 1)
+                fatal("truncated trace file '" + path + "'");
+            if (p.kind > 1)
+                fatal("corrupt record in '" + path + "'");
+            trace.append(p.addr, p.size,
+                         static_cast<RefKind>(p.kind));
+        }
+        return trace;
+    }
+
+    if (header[1] != versionCompact)
+        fatal("unsupported trace version in '" + path + "'");
+
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t control = getVarint(f.get(), path);
+        const RefKind kind =
+            (control & 1) ? RefKind::Store : RefKind::Load;
+        if (control & 2) {
+            const Addr addr = getVarint(f.get(), path);
+            const Bytes size = getVarint(f.get(), path);
+            trace.append(addr, size, kind);
+            prev = addr;
+            continue;
+        }
+        const std::int64_t delta = unzigzag(control >> 2);
+        const Addr addr = static_cast<Addr>(
+            static_cast<std::int64_t>(prev) +
+            delta * static_cast<std::int64_t>(wordBytes));
+        trace.append(addr, wordBytes, kind);
+        prev = addr;
+    }
+    return trace;
+}
+
+} // namespace membw

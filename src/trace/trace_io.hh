@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary save/load for traces so long workload generations can be
+ * cached between tool invocations.
+ */
+
+#ifndef MEMBW_TRACE_TRACE_IO_HH
+#define MEMBW_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace membw {
+
+/** On-disk encodings. */
+enum class TraceFormat
+{
+    Raw,     ///< packed 16-byte records; trivially seekable
+    Compact, ///< zigzag-varint address deltas; ~2 bytes/reference
+};
+
+/**
+ * Write @p trace to @p path in the membw binary format
+ * (magic "MBWT", version, count, then records in @p format).
+ * Throws FatalError on I/O failure.
+ */
+void saveTrace(const Trace &trace, const std::string &path,
+               TraceFormat format = TraceFormat::Raw);
+
+/** Read a trace previously written by saveTrace() (either format). */
+Trace loadTrace(const std::string &path);
+
+} // namespace membw
+
+#endif // MEMBW_TRACE_TRACE_IO_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * BitVectorSortKernel: truth-table row quicksort plus write-once
+ * output generation (Eqntott).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+BitVectorSortKernel::nominalDataSetBytes() const
+{
+    return static_cast<Bytes>(params_.rowCount) * params_.rowWords *
+               wordBytes +
+           params_.rowCount * wordBytes + // index array
+           params_.outputBytes;
+}
+
+void
+BitVectorSortKernel::generate(TraceRecorder &recorder,
+                              const WorkloadParams &wp) const
+{
+    Rng rng(wp.seed ^ 0xE0707);
+
+    const Region rows = recorder.allocate(
+        "rows",
+        static_cast<Bytes>(params_.rowCount) * params_.rowWords *
+            wordBytes);
+    const Region index = recorder.allocate(
+        "index", static_cast<Bytes>(params_.rowCount) * wordBytes);
+    const Region output =
+        recorder.allocate("output", params_.outputBytes);
+
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+    std::uint64_t refs = 0;
+
+    auto row_word = [&](std::uint64_t row, unsigned w) {
+        return rows.word(row * params_.rowWords + w);
+    };
+
+    // cmppt-style comparison: scan both rows until they differ.
+    // Short sequential bursts with an early exit.
+    auto compare = [&](std::uint64_t r1, std::uint64_t r2) {
+        const unsigned len = static_cast<unsigned>(
+            rng.burst(3.0, params_.rowWords));
+        for (unsigned w = 0; w < len && refs < target; ++w) {
+            recorder.load(row_word(r1, w));
+            recorder.load(row_word(r2, w));
+            refs += 2;
+            recorder.compute(2);
+            recorder.branch(w + 1 < len); // differ -> exit
+        }
+    };
+
+    std::uint64_t out_pos = 0;
+    const std::uint64_t out_words = output.words();
+
+    // Recursive quicksort over the row-index array, emulated with an
+    // explicit range stack.  Recursion revisits the same subranges at
+    // geometrically shrinking scales — the source of Eqntott's
+    // gradual traffic-ratio decline across cache sizes.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;
+
+    while (refs < target) {
+        stack.clear();
+        stack.push_back({0, params_.rowCount});
+
+        while (!stack.empty() && refs < target) {
+            auto [lo, hi] = stack.back();
+            stack.pop_back();
+            if (hi - lo < 8) {
+                // Insertion-sort leaf: adjacent compares + stores.
+                for (std::uint32_t i = lo + 1;
+                     i < hi && refs < target; ++i) {
+                    recorder.load(index.word(i));
+                    ++refs;
+                    compare(i - 1, i);
+                    recorder.store(index.word(i));
+                    ++refs;
+                }
+                continue;
+            }
+
+            // Lomuto partition against the range's middle row.
+            const std::uint32_t pivot = lo + (hi - lo) / 2;
+            for (std::uint32_t i = lo; i < hi && refs < target; ++i) {
+                recorder.load(index.word(i));
+                ++refs;
+                compare(i, pivot);
+                if (rng.chance(0.45)) {
+                    recorder.store(index.word(i));
+                    ++refs;
+                }
+            }
+            const std::uint32_t mid = lo + (hi - lo) / 2;
+            stack.push_back({lo, mid});
+            stack.push_back({mid, hi});
+
+            // Interleave write-once output generation (PLA table
+            // emission).  These stores hit fresh memory that is never
+            // read back: a fetch-on-write cache wastes a whole block
+            // fill per miss — the write-validate factor of Table 9.
+            const std::uint64_t burst = 32 + rng.below(96);
+            for (std::uint64_t w = 0; w < burst && refs < target;
+                 ++w) {
+                recorder.store(output.word(out_pos));
+                ++refs;
+                out_pos = (out_pos + 1) % out_words;
+            }
+            recorder.compute(8);
+            recorder.branch(rng.chance(0.7));
+        }
+    }
+}
+
+} // namespace membw

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * ConflictArrayKernel: interleaved windowed sweeps over large arrays
+ * whose bases are staggered so they collide in small direct-mapped
+ * caches (Su2cor's behaviour in Table 7).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+ConflictArrayKernel::nominalDataSetBytes() const
+{
+    return static_cast<Bytes>(params_.arrays) * params_.arrayBytes;
+}
+
+void
+ConflictArrayKernel::generate(TraceRecorder &recorder,
+                              const WorkloadParams &wp) const
+{
+    if (!isPowerOfTwo(params_.conflictSpacing))
+        fatal(name() + ": conflict spacing must be a power of two");
+    if (params_.elemBytes != 4 && params_.elemBytes != 8)
+        fatal(name() + ": element size must be 4 or 8 bytes");
+
+    Rng rng(wp.seed ^ 0x52C0B1ull);
+
+    if (params_.arrayBytes % params_.conflictSpacing != 0)
+        fatal(name() + ": array size must be a spacing multiple");
+
+    // With arrayBytes a multiple of the spacing, the recorder's
+    // inter-region pad plus spacing alignment staggers consecutive
+    // bases by exactly one spacing unit: the four arrays of a phase
+    // occupy distinct offsets 0/1/2/3 * spacing modulo 4*spacing,
+    // colliding pairwise in DM caches <= 2*spacing and not at
+    // >= 4*spacing.
+    std::vector<Region> arrays;
+    for (unsigned a = 0; a < params_.arrays; ++a) {
+        arrays.push_back(recorder.allocate(
+            "array" + std::to_string(a), params_.arrayBytes,
+            params_.conflictSpacing));
+    }
+
+    const std::size_t elems = params_.arrayBytes / params_.elemBytes;
+    const std::size_t window_elems =
+        params_.sweepWindowBytes / params_.elemBytes;
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+
+    auto load_elem = [&](const Region &g, std::size_t i) {
+        const Addr addr = g.base + i * params_.elemBytes;
+        if (params_.elemBytes == 8)
+            recorder.loadDouble(addr);
+        else
+            recorder.load(addr);
+        return params_.elemBytes / wordBytes;
+    };
+    auto store_elem = [&](const Region &g, std::size_t i) {
+        const Addr addr = g.base + i * params_.elemBytes;
+        if (params_.elemBytes == 8)
+            recorder.storeDouble(addr);
+        else
+            recorder.store(addr);
+        return params_.elemBytes / wordBytes;
+    };
+
+    std::uint64_t refs = 0;
+    unsigned phase = 0;
+    std::size_t window_start = 0;
+
+    while (refs < target) {
+        const bool strided = rng.uniform() < params_.stridedFraction;
+        const std::size_t stride = strided ? params_.gatherStride : 1;
+
+        // Gauge-field-style update: d[i] = f(a[i], b[i], c[i]) over a
+        // rotating window.  Consecutive phases reuse three of the
+        // four arrays and most of the window.
+        const Region &a = arrays[phase % params_.arrays];
+        const Region &b = arrays[(phase + 1) % params_.arrays];
+        const Region &c = arrays[(phase + 2) % params_.arrays];
+        const Region &d = arrays[(phase + 3) % params_.arrays];
+
+        const std::size_t lo = window_start;
+        const std::size_t hi =
+            std::min(lo + window_elems, elems);
+
+        for (std::size_t i = lo; i < hi && refs < target;
+             i += stride) {
+            refs += load_elem(a, i);
+            refs += load_elem(b, i);
+            refs += load_elem(c, i);
+            recorder.compute(params_.computePerElem);
+            refs += store_elem(d, i);
+            recorder.branch(true);
+        }
+        recorder.branch(rng.chance(0.85));
+
+        ++phase;
+        // Slide the window every full rotation of the arrays.
+        if (phase % params_.arrays == 0) {
+            window_start += window_elems / 2;
+            if (window_start + window_elems > elems)
+                window_start = 0;
+        }
+    }
+}
+
+} // namespace membw

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * FftMmKernel: the two Dnasa7 kernels the paper keeps (2-D FFT and a
+ * 4-way unrolled matrix multiply).
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+FftMmKernel::nominalDataSetBytes() const
+{
+    const Bytes fft = static_cast<Bytes>(params_.fftSide) *
+                      params_.fftSide * 16; // double complex
+    const Bytes mm =
+        (static_cast<Bytes>(params_.mmM) * params_.mmK +
+         static_cast<Bytes>(params_.mmK) * params_.mmN +
+         static_cast<Bytes>(params_.mmM) * params_.mmN) *
+        8; // doubles
+    return fft + mm;
+}
+
+void
+FftMmKernel::generate(TraceRecorder &recorder,
+                      const WorkloadParams &wp) const
+{
+    Rng rng(wp.seed ^ 0xFF7);
+
+    const unsigned n = params_.fftSide;
+    const Region grid = recorder.allocate(
+        "fftgrid",
+        static_cast<Bytes>(n) * n * 16); // double-complex elements
+
+    const Region ma = recorder.allocate(
+        "mmA", static_cast<Bytes>(params_.mmM) * params_.mmK * 8);
+    const Region mb = recorder.allocate(
+        "mmB", static_cast<Bytes>(params_.mmK) * params_.mmN * 8);
+    const Region mc = recorder.allocate(
+        "mmC", static_cast<Bytes>(params_.mmM) * params_.mmN * 8);
+
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+    std::uint64_t refs = 0;
+
+    // Complex element i of row r: two doubles (re, im), QPT-split
+    // into four word references.
+    auto load_c = [&](unsigned r, unsigned i) {
+        const Addr at =
+            grid.base + (static_cast<Bytes>(r) * n + i) * 16;
+        recorder.loadDouble(at);
+        recorder.loadDouble(at + 8);
+        refs += 4;
+    };
+    auto store_c = [&](unsigned r, unsigned i) {
+        const Addr at =
+            grid.base + (static_cast<Bytes>(r) * n + i) * 16;
+        recorder.storeDouble(at);
+        recorder.storeDouble(at + 8);
+        refs += 4;
+    };
+
+    while (refs < target) {
+        // ---- 2-D FFT: row FFTs then column FFTs ----
+        // Row pass: log2(n) butterfly stages, strides n/2 .. 1.
+        for (unsigned r = 0; r < n && refs < target; ++r) {
+            for (unsigned stride = n / 2; stride >= 1; stride /= 2) {
+                for (unsigned i = 0; i + stride < n; i += 2 * stride) {
+                    for (unsigned j = i; j < i + stride; ++j) {
+                        load_c(r, j);
+                        load_c(r, j + stride);
+                        recorder.compute(10); // complex twiddle+add
+                        store_c(r, j);
+                        store_c(r, j + stride);
+                    }
+                }
+                recorder.branch(stride > 1);
+                if (refs >= target)
+                    break;
+            }
+        }
+        // Column pass: same butterflies down columns (stride n in
+        // memory -> poor spatial locality, the FFT's signature).
+        for (unsigned c = 0; c < n && refs < target; ++c) {
+            for (unsigned stride = n / 2; stride >= 1; stride /= 2) {
+                for (unsigned i = 0; i + stride < n; i += 2 * stride) {
+                    for (unsigned j = i; j < i + stride; ++j) {
+                        load_c(j, c);
+                        load_c(j + stride, c);
+                        recorder.compute(10);
+                        store_c(j, c);
+                        store_c(j + stride, c);
+                    }
+                }
+                recorder.branch(stride > 1);
+                if (refs >= target)
+                    break;
+            }
+        }
+
+        // ---- 4-way unrolled matrix multiply C = A*B ----
+        // Fortran column-major layout: the inner-k walk strides A by
+        // a full column (M doubles), missing on every access in
+        // caches smaller than A — the behaviour behind Dnasa2's
+        // elevated small-cache traffic ratios.
+        auto a_at = [&](unsigned i, unsigned k) {
+            return ma.base + (static_cast<Bytes>(k) * params_.mmM + i) * 8;
+        };
+        auto b_at = [&](unsigned k, unsigned j) {
+            return mb.base + (static_cast<Bytes>(j) * params_.mmK + k) * 8;
+        };
+        auto c_at = [&](unsigned i, unsigned j) {
+            return mc.base + (static_cast<Bytes>(j) * params_.mmM + i) * 8;
+        };
+
+        for (unsigned i = 0; i < params_.mmM && refs < target; ++i) {
+            for (unsigned j = 0; j < params_.mmN; j += 4) {
+                // Accumulators live in registers; unrolled by 4 in j.
+                for (unsigned k = 0; k < params_.mmK; ++k) {
+                    recorder.loadDouble(a_at(i, k));
+                    refs += 2;
+                    for (unsigned u = 0; u < 4; ++u) {
+                        recorder.loadDouble(b_at(k, j + u));
+                        refs += 2;
+                    }
+                    recorder.compute(8); // 4 multiply-adds
+                }
+                for (unsigned u = 0; u < 4; ++u) {
+                    recorder.storeDouble(c_at(i, j + u));
+                    refs += 2;
+                }
+                recorder.branch(j + 4 < params_.mmN);
+                if (refs >= target)
+                    break;
+            }
+        }
+        (void)rng;
+    }
+}
+
+} // namespace membw

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * HashTableKernel: LZW-style compressor / string-hash interpreter.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+HashTableKernel::nominalDataSetBytes() const
+{
+    return params_.tableBytes + params_.auxBytes + params_.textBytes +
+           (params_.stringScanRate > 0.0 ? params_.tableBytes : 0);
+}
+
+void
+HashTableKernel::generate(TraceRecorder &recorder,
+                          const WorkloadParams &wp) const
+{
+    Rng rng(wp.seed ^ 0xC0115EED);
+
+    const Region htab = recorder.allocate("htab", params_.tableBytes);
+    const Region codetab = recorder.allocate("codetab", params_.auxBytes);
+    const Region text = recorder.allocate("text", params_.textBytes);
+    const Region strings =
+        params_.stringScanRate > 0.0
+            ? recorder.allocate("strings", params_.tableBytes)
+            : Region{};
+
+    const std::size_t table_words = htab.words();
+    const std::size_t code_words = codetab.words();
+    const std::size_t text_words = text.words();
+
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+
+    // Reuse-distance machinery: a ring of recently probed slots.
+    // Re-references draw a log-uniform distance into the past, so
+    // each doubling of cache size captures roughly equal additional
+    // probe mass (the near-linear-per-octave decline of Table 7).
+    std::vector<std::uint32_t> history;
+    history.reserve(1 << 15);
+    std::size_t history_head = 0;
+    const std::size_t history_cap = 1 << 15;
+    const double log_cap = std::log(static_cast<double>(history_cap));
+
+    auto remember = [&](std::size_t slot) {
+        if (history.size() < history_cap) {
+            history.push_back(static_cast<std::uint32_t>(slot));
+        } else {
+            history[history_head] = static_cast<std::uint32_t>(slot);
+            history_head = (history_head + 1) % history_cap;
+        }
+    };
+
+    auto next_slot = [&]() -> std::size_t {
+        if (!history.empty() && rng.chance(params_.reuseProb)) {
+            const double d = std::exp(rng.uniform() * log_cap);
+            auto dist = static_cast<std::size_t>(d);
+            if (dist >= history.size())
+                dist = history.size() - 1;
+            const std::size_t pos =
+                (history_head + history.size() - 1 - dist) %
+                history.size();
+            const std::size_t slot = history[pos];
+            remember(slot);
+            return slot;
+        }
+        // Fresh probe: scatter a new rank across the table.
+        const std::size_t slot =
+            (rng.below(table_words) * 2654435761ULL) % table_words;
+        remember(slot);
+        return slot;
+    };
+
+    std::size_t text_pos = 0;
+    std::uint64_t refs = 0;
+
+    while (refs < target) {
+        // Stream one input word (4 symbols worth), sequentially.
+        recorder.load(text.word(text_pos));
+        ++refs;
+        text_pos = (text_pos + 1) % text_words;
+        recorder.compute(2); // unpack symbol, form <prefix,symbol> key
+
+        // Primary hash probe.
+        std::size_t h = next_slot();
+        recorder.loadDependent(htab.word(h));
+        ++refs;
+        recorder.compute(3); // compare fcode
+
+        const bool hit = rng.chance(0.6);
+        recorder.branch(hit);
+        if (hit) {
+            // Chain match: read the code table entry.
+            recorder.load(codetab.word(h % code_words));
+            ++refs;
+            recorder.compute(1);
+            continue;
+        }
+
+        // Secondary probing (open addressing with rehash
+        // displacement).  Displaced slots inherit the temporal skew.
+        unsigned probes = static_cast<unsigned>(rng.burst(1.3, 3));
+        for (unsigned p = 0; p < probes && refs < target; ++p) {
+            h = (h + (table_words >> 4) + 1) % table_words;
+            remember(h);
+            recorder.loadDependent(htab.word(h));
+            ++refs;
+            recorder.compute(2);
+            recorder.branch(p + 1 == probes);
+        }
+
+        // Insert a new code with probability insertRate.
+        if (rng.chance(params_.insertRate)) {
+            recorder.store(htab.word(h));
+            recorder.store(codetab.word(h % code_words));
+            refs += 2;
+            recorder.compute(2);
+        }
+
+        // Perl-style payload: scan a value string sequentially.
+        if (params_.stringScanRate > 0.0 &&
+            rng.chance(params_.stringScanRate)) {
+            const std::size_t base =
+                rng.below(strings.words() - params_.scanWords);
+            for (unsigned w = 0; w < params_.scanWords; ++w) {
+                recorder.load(strings.word(base + w));
+                ++refs;
+            }
+            recorder.compute(params_.scanWords);
+            recorder.branch(true);
+        }
+    }
+}
+
+} // namespace membw

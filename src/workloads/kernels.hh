@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The parameterized kernel families behind the named benchmarks.
+ *
+ * Eight distinct generator families cover the fourteen benchmark
+ * names (Table 3): each family is a real algorithm whose memory
+ * behaviour class matches its SPEC namesakes.  The registry
+ * (registry.cc) instantiates them with per-benchmark parameters.
+ */
+
+#ifndef MEMBW_WORKLOADS_KERNELS_HH
+#define MEMBW_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace membw {
+
+/**
+ * LZW-style hash-table compressor (Compress, Perl).
+ *
+ * Streams input symbols and probes/open-addresses a large hash
+ * table.  Probes land pseudo-randomly across the table, so the
+ * reference stream has almost no spatial locality — the behaviour
+ * that makes Compress generate *more* traffic with a cache than
+ * without one for blocks > 1 word (Section 4.2).
+ */
+class HashTableKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Compress";
+        Bytes tableBytes = 276_KiB;  ///< main hash table
+        Bytes auxBytes = 138_KiB;    ///< secondary (code) table
+        Bytes textBytes = 64_KiB;    ///< streamed input window
+        double insertRate = 0.35;    ///< fraction of probes that insert
+        /**
+         * Probability that a probe re-references a previously probed
+         * slot.  Reuse distances are drawn log-uniformly, giving the
+         * gradual miss-rate improvement per cache-size doubling that
+         * Compress shows in Table 7.  Slots are scattered in memory,
+         * so the reuse is purely temporal (no spatial locality).
+         */
+        double reuseProb = 0.85;
+        double stringScanRate = 0.0; ///< Perl: sequential value scans
+        unsigned scanWords = 8;      ///< words per string scan
+        std::uint64_t targetRefs = 1'400'000;
+    };
+
+    explicit HashTableKernel(Params params) : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * Multi-array grid sweeps (Swm, Tomcatv, Hydro2d, Swim95).
+ *
+ * Jacobi-style stencil passes over a set of 2-D arrays: unit-stride
+ * inner loops (good spatial locality) over a working set far larger
+ * than the cache (no temporal locality between sweeps) — the
+ * flat-traffic-ratio streaming behaviour of Swm/Tomcatv [36].
+ */
+class StreamStencilKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Swm";
+        unsigned rows = 180;
+        unsigned cols = 180;
+        unsigned arrays = 7;        ///< number of grid arrays
+        Bytes elemBytes = 4;        ///< 8 => QPT double-word splits
+        unsigned readsPerPoint = 3; ///< arrays read at each point
+        unsigned writesPerPoint = 1;///< arrays written at each point
+        bool neighborStencil = true;///< read N/S/E/W neighbours too
+        unsigned computePerPoint = 8;
+        /**
+         * Grid base alignment.  1KB alignment makes corresponding
+         * elements of the different grids collide in direct-mapped
+         * caches of a few KB — the small-cache thrash that gives Swm
+         * its R of ~5.8 at 1KB in Table 7.
+         */
+        Bytes baseAlign = 1_KiB;
+        std::uint64_t targetRefs = 1'400'000;
+    };
+
+    explicit StreamStencilKernel(Params params)
+        : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * Conflicting large-array iteration (Su2cor 92/95, Applu).
+ *
+ * Interleaves gather/update sweeps over several arrays deliberately
+ * placed at power-of-two spacing, so corresponding elements collide
+ * in direct-mapped caches below a configurable size — Su2cor's
+ * "conflict heavily ... until the cache size reaches 64KB".
+ */
+class ConflictArrayKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Su2cor";
+        unsigned arrays = 6;
+        Bytes arrayBytes = 256_KiB;
+        /**
+         * Base-address stagger.  Array i is placed at offset
+         * (i % 4) * conflictSpacing modulo 4*conflictSpacing, so the
+         * four arrays of any phase collide pairwise in direct-mapped
+         * caches up to 2*conflictSpacing and stop colliding at
+         * 4*conflictSpacing (Su2cor's "conflict ... until 64KB").
+         */
+        Bytes conflictSpacing = 16_KiB;
+        Bytes elemBytes = 8;            ///< doubles, QPT-split
+        unsigned gatherStride = 8;      ///< words, strided phase
+        double stridedFraction = 0.35;  ///< strided vs unit sweeps
+        /**
+         * Per-phase sweep window.  Each phase sweeps only a rotating
+         * window of every array, so caches that hold a few windows
+         * capture cross-phase reuse (the paper's R decline above
+         * 128KB).
+         */
+        Bytes sweepWindowBytes = 48_KiB;
+        unsigned computePerElem = 24;
+        std::uint64_t targetRefs = 1'500'000;
+    };
+
+    explicit ConflictArrayKernel(Params params)
+        : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * Truth-table row sort with write-once output (Eqntott).
+ *
+ * Quicksorts row indices by lexicographic comparison of bit-vector
+ * rows (short sequential scans), then emits large write-once output
+ * tables — the store behaviour that makes write-validate worth 31x
+ * for Eqntott in Table 9.
+ */
+class BitVectorSortKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Eqntott";
+        unsigned rowCount = 8192;
+        unsigned rowWords = 44;      ///< words per truth-table row
+        Bytes outputBytes = 160_KiB; ///< write-once output area
+        unsigned outputPasses = 6;   ///< output regenerations
+        std::uint64_t targetRefs = 1'400'000;
+    };
+
+    explicit BitVectorSortKernel(Params params)
+        : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * Small-working-set cover iteration (Espresso).
+ *
+ * Repeated passes over a tiny cube matrix with high reuse: runs
+ * almost entirely out of any cache of 64KB or more (the `<<<`
+ * column boundary in Tables 7/8).
+ */
+class SmallSetKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Espresso";
+        Bytes cubeBytes = 24_KiB;
+        Bytes coverBytes = 16_KiB;
+        /**
+         * Size of the hot, slowly drifting active region.  Espresso's
+         * inner loops hammer a working set well below its full data
+         * set, which is why its traffic ratio collapses to ~0.01 by
+         * 32KB (Table 7).
+         */
+        Bytes hotBytes = 14_KiB;
+        double randomTouch = 0.01; ///< occasional irregular accesses
+        std::uint64_t targetRefs = 1'200'000;
+    };
+
+    explicit SmallSetKernel(Params params) : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * 2-D FFT plus 4-way-unrolled matrix multiply (Dnasa2 — the two
+ * Dnasa7 kernels the paper uses).  Strided butterfly passes and a
+ * blocked MM with strong reuse.
+ */
+class FftMmKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Dnasa2";
+        unsigned fftSide = 64;  ///< 2-D FFT of fftSide x fftSide
+        unsigned mmM = 128, mmK = 64, mmN = 64;
+        std::uint64_t targetRefs = 1'300'000;
+    };
+
+    explicit FftMmKernel(Params params) : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * Cons-cell interpreter with mark-and-sweep GC (Li).
+ *
+ * Pointer chasing across a small cell pool, heavy branching, periodic
+ * sequential sweeps: small data set, latency-bound, low ILP.
+ */
+class PointerChaseKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Li";
+        Bytes poolBytes = 120_KiB;
+        unsigned listLength = 48;   ///< mean traversal length
+        double allocRate = 0.08;    ///< allocations per traversal step
+        unsigned gcPeriod = 4000;   ///< traversals between GC sweeps
+        std::uint64_t targetRefs = 1'200'000;
+    };
+
+    explicit PointerChaseKernel(Params params)
+        : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+/**
+ * Object-database transactions (Vortex).
+ *
+ * Random index lookups into a multi-megabyte record heap followed by
+ * sequential field bursts within each record, with inserts and
+ * updates: large footprint, mixed locality, store-heavy.
+ */
+class ObjectDbKernel : public Workload
+{
+  public:
+    struct Params
+    {
+        std::string name = "Vortex";
+        unsigned recordCount = 150'000;
+        Bytes recordBytes = 128;
+        unsigned indexFanout = 64;  ///< B-tree-like index nodes
+        unsigned fieldsTouched = 10;///< words read per transaction
+        double updateRate = 0.4;    ///< transactions that also store
+        std::uint64_t targetRefs = 1'500'000;
+    };
+
+    explicit ObjectDbKernel(Params params) : params_(std::move(params)) {}
+
+    std::string name() const override { return params_.name; }
+    Bytes nominalDataSetBytes() const override;
+    void generate(TraceRecorder &recorder,
+                  const WorkloadParams &wp) const override;
+
+  private:
+    Params params_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_WORKLOADS_KERNELS_HH

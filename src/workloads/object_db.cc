@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ObjectDbKernel: object-database transactions (Vortex).
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+ObjectDbKernel::nominalDataSetBytes() const
+{
+    const Bytes heap =
+        static_cast<Bytes>(params_.recordCount) * params_.recordBytes;
+    const Bytes index =
+        static_cast<Bytes>(params_.recordCount) * wordBytes;
+    return heap + index;
+}
+
+void
+ObjectDbKernel::generate(TraceRecorder &recorder,
+                         const WorkloadParams &wp) const
+{
+    Rng rng(wp.seed ^ 0x0BDB);
+
+    const Region heap = recorder.allocate(
+        "heap",
+        static_cast<Bytes>(params_.recordCount) * params_.recordBytes);
+    const Region index = recorder.allocate(
+        "index",
+        static_cast<Bytes>(params_.recordCount) * wordBytes);
+
+    const unsigned record_words =
+        static_cast<unsigned>(params_.recordBytes / wordBytes);
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+
+    std::uint64_t refs = 0;
+    std::uint64_t insert_cursor = 0;
+
+    auto record_word = [&](std::uint64_t rec, unsigned w) {
+        return heap.base + rec * params_.recordBytes + w * wordBytes;
+    };
+
+    while (refs < target) {
+        // --- index descent: B-tree-like, log_fanout(records) hops ---
+        std::uint64_t lo = 0, hi = params_.recordCount;
+        while (hi - lo > params_.indexFanout && refs < target) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            recorder.loadDependent(index.word(mid));
+            ++refs;
+            recorder.compute(2);
+            const bool go_left = rng.chance(0.5);
+            recorder.branch(go_left);
+            if (go_left)
+                hi = mid;
+            else
+                lo = mid;
+        }
+        const std::uint64_t rec = lo + rng.below(hi - lo);
+
+        // --- touch a burst of fields within the record ---
+        const unsigned fields = params_.fieldsTouched;
+        const unsigned first =
+            static_cast<unsigned>(rng.below(record_words > fields
+                                                ? record_words - fields
+                                                : 1));
+        for (unsigned f = 0; f < fields && refs < target; ++f) {
+            recorder.load(record_word(rec, first + f));
+            ++refs;
+            recorder.compute(2);
+        }
+
+        // --- update or insert ---
+        if (rng.chance(params_.updateRate)) {
+            const unsigned w =
+                first + static_cast<unsigned>(rng.below(fields));
+            recorder.store(record_word(rec, w));
+            ++refs;
+        }
+        if (rng.chance(0.08) && refs + record_words < target) {
+            // Insert: initialize a whole fresh record + index slot.
+            insert_cursor = (insert_cursor + 1) % params_.recordCount;
+            for (unsigned w = 0; w < record_words; ++w) {
+                recorder.store(record_word(insert_cursor, w));
+                ++refs;
+            }
+            recorder.store(index.word(insert_cursor));
+            ++refs;
+            recorder.compute(4);
+        }
+        recorder.branch(rng.chance(0.75)); // transaction commit path
+    }
+}
+
+} // namespace membw

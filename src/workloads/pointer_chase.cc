@@ -1,0 +1,121 @@
+/**
+ * @file
+ * PointerChaseKernel: cons-cell interpreter with mark-and-sweep GC
+ * (Li).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace membw {
+
+namespace {
+constexpr Bytes cellBytes = 8; // car word + cdr word
+} // namespace
+
+Bytes
+PointerChaseKernel::nominalDataSetBytes() const
+{
+    return params_.poolBytes;
+}
+
+void
+PointerChaseKernel::generate(TraceRecorder &recorder,
+                             const WorkloadParams &wp) const
+{
+    Rng rng(wp.seed ^ 0x115B);
+
+    const Region pool = recorder.allocate("cells", params_.poolBytes);
+    const std::size_t cells = params_.poolBytes / cellBytes;
+
+    // Host-side model of the cdr graph; the *simulated* machine still
+    // performs a load for every pointer dereference.  Links are
+    // locality-biased, as in real heaps where cons cells allocated
+    // together point at each other: mostly within a 2K-cell segment,
+    // occasionally across the pool.
+    // Link mix: mostly within the allocation segment, a good share
+    // back into the hot young-generation end (chains drift back to
+    // hot data, as interpreter structures do), rarely anywhere.
+    const std::size_t segment = std::min<std::size_t>(cells, 2048);
+    const std::size_t hot_cells = std::max<std::size_t>(1, cells / 3);
+    std::vector<std::uint32_t> cdr(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+        const double u = rng.uniform();
+        if (u < 0.75) {
+            const std::size_t seg_base = (i / segment) * segment;
+            const std::size_t seg_len =
+                std::min(segment, cells - seg_base);
+            cdr[i] = static_cast<std::uint32_t>(
+                seg_base + rng.below(seg_len));
+        } else if (u < 0.99) {
+            cdr[i] =
+                static_cast<std::uint32_t>(rng.below(hot_cells));
+        } else {
+            cdr[i] = static_cast<std::uint32_t>(rng.below(cells));
+        }
+    }
+
+    auto car_addr = [&](std::size_t c) {
+        return pool.base + c * cellBytes;
+    };
+    auto cdr_addr = [&](std::size_t c) {
+        return pool.base + c * cellBytes + wordBytes;
+    };
+
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+    std::uint64_t refs = 0;
+    std::size_t alloc_cursor = 0;
+    std::uint64_t traversals = 0;
+
+    while (refs < target) {
+        // eval() walk: chase a list, touching car and cdr of each
+        // cell.  The next cell depends on the loaded cdr — a serial
+        // dependence chain with a data-dependent exit branch.
+        // Traversals mostly start in the hot young-generation end of
+        // the pool, as interpreter workloads do.
+        std::size_t cell = rng.chance(0.95) ? rng.below(hot_cells)
+                                            : rng.below(cells);
+        const unsigned len = static_cast<unsigned>(
+            rng.burst(static_cast<double>(params_.listLength), 256));
+        for (unsigned step = 0; step < len && refs < target; ++step) {
+            recorder.loadDependent(car_addr(cell));
+            recorder.compute(2); // type dispatch
+            recorder.branch(step + 1 < len);
+            recorder.loadDependent(cdr_addr(cell));
+            refs += 2;
+            cell = cdr[cell];
+
+            // cons: allocate and initialize a fresh cell.
+            if (rng.chance(params_.allocRate)) {
+                alloc_cursor = (alloc_cursor + 1) % cells;
+                recorder.store(car_addr(alloc_cursor));
+                recorder.store(cdr_addr(alloc_cursor));
+                cdr[alloc_cursor] =
+                    static_cast<std::uint32_t>(rng.below(cells));
+                refs += 2;
+                recorder.compute(1);
+            }
+        }
+
+        // Periodic mark-and-sweep: sequential sweep of the pool.
+        if (++traversals % params_.gcPeriod == 0) {
+            for (std::size_t c = 0; c < cells && refs < target; ++c) {
+                recorder.load(car_addr(c));
+                ++refs;
+                recorder.compute(1);
+                recorder.branch(rng.chance(0.8)); // marked?
+                if (rng.chance(0.1)) {
+                    recorder.store(cdr_addr(c)); // free-list link
+                    ++refs;
+                }
+            }
+        }
+    }
+}
+
+} // namespace membw

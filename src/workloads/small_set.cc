@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SmallSetKernel: Espresso-like logic-minimization loops over a tiny,
+ * hot working set.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+SmallSetKernel::nominalDataSetBytes() const
+{
+    return params_.cubeBytes + params_.coverBytes;
+}
+
+void
+SmallSetKernel::generate(TraceRecorder &recorder,
+                         const WorkloadParams &wp) const
+{
+    Rng rng(wp.seed ^ 0xE59);
+
+    const Region cube = recorder.allocate("cube", params_.cubeBytes);
+    const Region cover = recorder.allocate("cover", params_.coverBytes);
+
+    const std::size_t cube_words = cube.words();
+    const std::size_t cover_words = cover.words();
+    const std::size_t row_words = 16;
+    const std::size_t cube_rows = cube_words / row_words;
+    const std::size_t hot_rows =
+        std::max<std::size_t>(1, params_.hotBytes /
+                                     (row_words * wordBytes));
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+
+    std::uint64_t refs = 0;
+    std::size_t hot_base = 0; ///< drifting active-region origin
+    std::uint64_t iter = 0;
+
+    while (refs < target) {
+        // Pick a cube row from the hot, slowly drifting region.
+        const std::size_t row =
+            ((hot_base + rng.below(hot_rows)) % cube_rows) * row_words;
+
+        // Sweep it testing cube containment: high reuse, unit stride.
+        for (std::size_t w = 0; w < row_words && refs < target; ++w) {
+            recorder.load(cube.word(row + w));
+            ++refs;
+            recorder.compute(2);
+        }
+        recorder.branch(rng.chance(0.6)); // containment outcome
+
+        // Update a small, hot slice of the cover set.
+        const std::size_t cover_base =
+            (hot_base * 4) % (cover_words - 8);
+        for (unsigned u = 0; u < 3 && refs < target; ++u) {
+            const std::size_t c = cover_base + rng.below(8);
+            recorder.load(cover.word(c));
+            ++refs;
+            recorder.compute(1);
+            if (rng.chance(0.5)) {
+                recorder.store(cover.word(c));
+                ++refs;
+            }
+            recorder.branch(u == 2);
+        }
+
+        // Rare irregular excursion (sharp/complement operations).
+        if (rng.chance(params_.randomTouch)) {
+            const std::size_t w = rng.below(cube_words);
+            recorder.load(cube.word(w));
+            recorder.store(cube.word(w));
+            refs += 2;
+        }
+
+        // Drift the hot region slowly across the data set.
+        if (++iter % 2048 == 0)
+            hot_base = (hot_base + hot_rows / 8) % cube_rows;
+    }
+}
+
+} // namespace membw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * StreamStencilKernel: Jacobi-style sweeps over large 2-D arrays.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace membw {
+
+Bytes
+StreamStencilKernel::nominalDataSetBytes() const
+{
+    return static_cast<Bytes>(params_.rows) * params_.cols *
+           params_.elemBytes * params_.arrays;
+}
+
+void
+StreamStencilKernel::generate(TraceRecorder &recorder,
+                              const WorkloadParams &wp) const
+{
+    if (params_.readsPerPoint + params_.writesPerPoint > params_.arrays)
+        fatal(name() + ": more arrays touched per point than exist");
+    if (params_.elemBytes != 4 && params_.elemBytes != 8)
+        fatal(name() + ": element size must be 4 or 8 bytes");
+
+    Rng rng(wp.seed ^ 0x57E4C11);
+
+    std::vector<Region> grids;
+    for (unsigned a = 0; a < params_.arrays; ++a) {
+        grids.push_back(recorder.allocate(
+            "grid" + std::to_string(a),
+            static_cast<Bytes>(params_.rows) * params_.cols *
+                params_.elemBytes,
+            params_.baseAlign));
+    }
+
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(params_.targetRefs) * wp.scale);
+
+    auto elem_addr = [&](const Region &g, unsigned r, unsigned c) {
+        return g.base +
+               (static_cast<Bytes>(r) * params_.cols + c) *
+                   params_.elemBytes;
+    };
+    auto load_elem = [&](const Region &g, unsigned r, unsigned c) {
+        if (params_.elemBytes == 8)
+            recorder.loadDouble(elem_addr(g, r, c));
+        else
+            recorder.load(elem_addr(g, r, c));
+        return params_.elemBytes / wordBytes;
+    };
+    auto store_elem = [&](const Region &g, unsigned r, unsigned c) {
+        if (params_.elemBytes == 8)
+            recorder.storeDouble(elem_addr(g, r, c));
+        else
+            recorder.store(elem_addr(g, r, c));
+        return params_.elemBytes / wordBytes;
+    };
+
+    std::uint64_t refs = 0;
+    unsigned sweep = 0;
+    while (refs < target) {
+        // Rotate which arrays are read vs written each sweep, as the
+        // real codes do across their half-step phases.
+        const unsigned rot = sweep % params_.arrays;
+
+        for (unsigned r = 1; r + 1 < params_.rows && refs < target;
+             ++r) {
+            for (unsigned c = 1; c + 1 < params_.cols; ++c) {
+                // Read phase: center (+ neighbours for the first
+                // array) of readsPerPoint arrays.
+                for (unsigned a = 0; a < params_.readsPerPoint; ++a) {
+                    const Region &g =
+                        grids[(rot + a) % params_.arrays];
+                    refs += load_elem(g, r, c);
+                    if (params_.neighborStencil && a == 0) {
+                        refs += load_elem(g, r - 1, c);
+                        refs += load_elem(g, r + 1, c);
+                        refs += load_elem(g, r, c - 1);
+                        refs += load_elem(g, r, c + 1);
+                    }
+                }
+                recorder.compute(params_.computePerPoint);
+
+                // Write phase.
+                for (unsigned a = 0; a < params_.writesPerPoint; ++a) {
+                    const Region &g =
+                        grids[(rot + params_.readsPerPoint + a) %
+                              params_.arrays];
+                    refs += store_elem(g, r, c);
+                }
+                // Inner-loop back edge: a well-predicted taken
+                // branch per point, as compiled loops have.
+                recorder.branch(c + 2 < params_.cols);
+            }
+        }
+        recorder.branch(rng.chance(0.9)); // convergence test
+        ++sweep;
+    }
+}
+
+} // namespace membw

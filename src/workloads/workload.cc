@@ -1,0 +1,24 @@
+#include "workloads/workload.hh"
+
+namespace membw {
+
+WorkloadRun
+Workload::run(const WorkloadParams &params) const
+{
+    TraceRecorder recorder;
+    generate(recorder, params);
+    WorkloadRun result;
+    result.annotations = recorder.annotations();
+    result.trace = recorder.takeTrace();
+    return result;
+}
+
+Trace
+Workload::trace(const WorkloadParams &params) const
+{
+    TraceRecorder recorder;
+    generate(recorder, params);
+    return recorder.takeTrace();
+}
+
+} // namespace membw

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic workload kernels standing in for the paper's SPEC92/95
+ * traces (see DESIGN.md, substitution table).
+ *
+ * Each kernel *executes* an algorithm with the same reference
+ * character as its SPEC namesake — hash probing for Compress,
+ * streaming array sweeps for Swm, pointer chasing for Li, and so on —
+ * and records its data references through a TraceRecorder.  Nominal
+ * data-set sizes match Table 3 so the `<<<` (cache exceeds data set)
+ * boundaries of Tables 7/8 land in the same columns.
+ */
+
+#ifndef MEMBW_WORKLOADS_WORKLOAD_HH
+#define MEMBW_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/recorder.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+/** Generation knobs common to all kernels. */
+struct WorkloadParams
+{
+    /**
+     * Reference-count scale.  1.0 targets roughly 1-2 million data
+     * references per kernel (tables remain shape-accurate at this
+     * length); raise it for longer traces.
+     */
+    double scale = 1.0;
+
+    /** RNG seed; generation is fully deterministic given the seed. */
+    std::uint64_t seed = 42;
+};
+
+/** Trace plus instruction-stream annotations from one generation. */
+struct WorkloadRun
+{
+    Trace trace;
+    std::vector<TraceRecorder::Annotation> annotations;
+};
+
+/** Abstract workload kernel. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as used in the paper's tables. */
+    virtual std::string name() const = 0;
+
+    /** Nominal data-set size (Table 3), before any scaling. */
+    virtual Bytes nominalDataSetBytes() const = 0;
+
+    /** Execute the kernel, recording into @p recorder. */
+    virtual void generate(TraceRecorder &recorder,
+                          const WorkloadParams &params) const = 0;
+
+    /** Convenience: generate into a fresh recorder, return the run. */
+    WorkloadRun run(const WorkloadParams &params = {}) const;
+
+    /** Convenience: generate and keep only the memory trace. */
+    Trace trace(const WorkloadParams &params = {}) const;
+};
+
+/** Factory: build a kernel by paper name; fatal() if unknown. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** The seven SPEC92 benchmarks of Tables 3/7/8 (trace studies). */
+std::vector<std::string> spec92Names();
+
+/** The seven SPEC95 benchmarks of Figure 3's lower panel. */
+std::vector<std::string> spec95Names();
+
+/** Every registered kernel name. */
+std::vector<std::string> allWorkloadNames();
+
+/**
+ * Approximate static code footprint for a benchmark (used by the
+ * timing model's synthetic I-fetch stream).  Loop-dominated FP codes
+ * have small hot code; the big integer codes (Perl, Vortex) have the
+ * large I-footprints that made their I-caches work for a living.
+ */
+Bytes codeFootprintBytes(const std::string &name);
+
+} // namespace membw
+
+#endif // MEMBW_WORKLOADS_WORKLOAD_HH

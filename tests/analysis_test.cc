@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for src/analysis: Table 2 growth models, the Figure 1
+ * dataset and fits, and the Section 4.3 extrapolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/extrapolation.hh"
+#include "analysis/growth_models.hh"
+#include "analysis/pin_trends.hh"
+#include "common/log.hh"
+
+namespace membw {
+namespace {
+
+TEST(GrowthModels, Table2Asymptotics)
+{
+    const auto models = allGrowthModels();
+    ASSERT_EQ(models.size(), 4u);
+    EXPECT_EQ(models[0]->name(), "TMM");
+    EXPECT_EQ(models[1]->name(), "Stencil");
+    EXPECT_EQ(models[2]->name(), "FFT");
+    EXPECT_EQ(models[3]->name(), "Sort");
+}
+
+TEST(GrowthModels, TmmMatchesSection24Derivation)
+{
+    const auto tmm = makeTmmModel();
+    const double n = 1 << 14, s = 1 << 10;
+    // Memory O(N^2), compute O(N^3).
+    EXPECT_DOUBLE_EQ(tmm->memory(n), n * n);
+    EXPECT_DOUBLE_EQ(tmm->compute(n), n * n * n);
+    // "An increase in the on-chip memory by a factor of four ...
+    // would reduce the off-chip traffic by nearly half."
+    const double t1 = tmm->traffic(n, s);
+    const double t4 = tmm->traffic(n, 4 * s);
+    EXPECT_NEAR(t4 / t1, 0.5, 0.01);
+    // C/D grows by ~sqrt(k).
+    EXPECT_NEAR(tmm->ratioGrowth(n, s, 4.0), 2.0, 0.02);
+    EXPECT_DOUBLE_EQ(tmm->ratioGrowthPredicted(4.0), 2.0);
+}
+
+TEST(GrowthModels, StencilScalesLikeSqrtK)
+{
+    const auto st = makeStencilModel();
+    const double n = 1 << 12, s = 1 << 8;
+    EXPECT_NEAR(st->ratioGrowth(n, s, 16.0), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(st->ratioGrowthPredicted(16.0), 4.0);
+}
+
+TEST(GrowthModels, FftAndSortScaleLogarithmically)
+{
+    const auto fft = makeFftModel();
+    const auto sort = makeSortModel();
+    const double n = 1 << 20, s = 1 << 10;
+    // Exact growth: log2(kS)/log2(S).
+    const double expected = std::log2(16.0 * s) / std::log2(s);
+    EXPECT_NEAR(fft->ratioGrowth(n, s, 16.0), expected, 1e-9);
+    EXPECT_NEAR(sort->ratioGrowth(n, s, 16.0), expected, 1e-9);
+    // The symbolic column evaluates log2(k).
+    EXPECT_DOUBLE_EQ(fft->ratioGrowthPredicted(16.0), 4.0);
+    EXPECT_EQ(fft->ratioGrowthSymbol(), "log2 k");
+}
+
+TEST(GrowthModels, PolynomialBeatsLogarithmicEventually)
+{
+    // The paper's Section 2.4 argument: for TMM, doubling memory
+    // four-fold only needs 2x processing speed to keep balance; the
+    // log-growth codes (FFT/Sort) benefit far less from extra
+    // on-chip memory.
+    const auto tmm = makeTmmModel();
+    const auto fft = makeFftModel();
+    const double n = 1 << 18, s = 1 << 12, k = 256.0;
+    EXPECT_GT(tmm->ratioGrowth(n, s, k), fft->ratioGrowth(n, s, k));
+}
+
+TEST(PinTrends, DatasetSpansTwentyYears)
+{
+    const auto data = processorDataset();
+    ASSERT_EQ(data.size(), 18u);
+    EXPECT_EQ(data.front().name, "8086");
+    EXPECT_EQ(data.front().year, 1978);
+    EXPECT_EQ(data.back().year, 1996);
+    for (const auto &r : data) {
+        EXPECT_GT(r.pins, 0.0) << r.name;
+        EXPECT_GT(r.mips, 0.0) << r.name;
+        EXPECT_GT(r.pinBandwidthMBs, 0.0) << r.name;
+    }
+}
+
+TEST(PinTrends, FindProcessor)
+{
+    const auto &r10k = findProcessor("R10000");
+    EXPECT_EQ(r10k.year, 1996);
+    EXPECT_THROW(findProcessor("Itanium"), FatalError);
+}
+
+TEST(PinTrends, PinGrowthIsAboutSixteenPercent)
+{
+    // Figure 1a's dotted line: "pin counts are increasing by about
+    // 16% per year".
+    const GrowthFit fit = pinCountGrowth();
+    EXPECT_NEAR(fit.annualFactor, 1.16, 0.04);
+    EXPECT_GT(fit.r2, 0.8);
+}
+
+TEST(PinTrends, PerformanceOutpacesPins)
+{
+    // Figure 1b: performance per pin grows explosively, i.e.
+    // performance growth exceeds pin growth.
+    EXPECT_GT(performanceGrowth().annualFactor,
+              pinCountGrowth().annualFactor + 0.1);
+    EXPECT_GT(mipsPerPinGrowth().annualFactor, 1.15);
+}
+
+TEST(PinTrends, Pa8000IsTheAberration)
+{
+    // Section 2.3: the PA-8000's cacheless design forces an
+    // uncharacteristically large package.
+    const auto &pa = findProcessor("PA8000");
+    for (const auto &r : processorDataset())
+        EXPECT_LE(r.pins, pa.pins) << r.name;
+}
+
+TEST(Extrapolation, PaperNumbersFor2006)
+{
+    const ExtrapolationResult r = extrapolate(ExtrapolationInputs{});
+    // "the processor of 2006 will have a package with two or three
+    // thousand pins"
+    EXPECT_GT(r.pins, 2000.0);
+    EXPECT_LT(r.pins, 3500.0);
+    // "the bandwidth requirements per pin will be a factor of 25
+    // greater than those of today"
+    EXPECT_NEAR(r.bandwidthPerPinFactor, 25.0, 2.0);
+    EXPECT_NEAR(r.perfFactor, std::pow(1.6, 10), 1.0);
+}
+
+TEST(Extrapolation, TrafficRatioImprovementOffsetsDemand)
+{
+    // The paper's "third option": better on-chip traffic ratios
+    // reduce the per-pin burden proportionally.
+    ExtrapolationInputs in;
+    in.trafficRatioChange = 5.0;
+    const auto r = extrapolate(in);
+    const auto base = extrapolate(ExtrapolationInputs{});
+    EXPECT_NEAR(r.bandwidthPerPinFactor,
+                base.bandwidthPerPinFactor / 5.0, 1e-9);
+}
+
+TEST(Extrapolation, RejectsBadInputs)
+{
+    ExtrapolationInputs in;
+    in.basePins = 0;
+    EXPECT_THROW(extrapolate(in), FatalError);
+}
+
+} // namespace
+} // namespace membw

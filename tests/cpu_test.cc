@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit tests for src/cpu: instruction stream, branch predictor, bus
+ * model, timing memory system, and the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/bus.hh"
+#include "cpu/core.hh"
+#include "cpu/experiment.hh"
+#include "cpu/instr_stream.hh"
+#include "cpu/memsys.hh"
+#include "trace/recorder.hh"
+
+namespace membw {
+namespace {
+
+TEST(InstrStream, FlattensAnnotations)
+{
+    TraceRecorder rec;
+    const Region r = rec.allocate("r", 256);
+    rec.compute(2);
+    rec.load(r.base);
+    rec.branch(true);
+    rec.store(r.base + 4);
+
+    WorkloadRun run;
+    run.annotations = rec.annotations();
+    run.trace = rec.takeTrace();
+    const InstrStream s = InstrStream::fromRun(run);
+
+    ASSERT_EQ(s.size(), 5u); // 2 compute + load + branch + store
+    EXPECT_EQ(s[0].kind, OpKind::Compute);
+    EXPECT_EQ(s[1].kind, OpKind::Compute);
+    EXPECT_EQ(s[2].kind, OpKind::Load);
+    EXPECT_EQ(s[2].addr, r.base);
+    EXPECT_EQ(s[3].kind, OpKind::Branch);
+    EXPECT_TRUE(s[3].taken);
+    EXPECT_EQ(s[4].kind, OpKind::Store);
+    EXPECT_EQ(s.loadCount(), 1u);
+    EXPECT_EQ(s.storeCount(), 1u);
+    EXPECT_EQ(s.branchCount(), 1u);
+}
+
+TEST(BranchPredictor, LearnsBiasedStream)
+{
+    BranchPredictor bp(1024);
+    for (int i = 0; i < 2000; ++i)
+        bp.predictAndUpdate(0x400, true);
+    EXPECT_GT(bp.accuracy(), 0.99);
+}
+
+TEST(BranchPredictor, LearnsAlternatingPattern)
+{
+    // A global-history predictor captures strict alternation.
+    BranchPredictor bp(4096);
+    for (int i = 0; i < 4000; ++i)
+        bp.predictAndUpdate(0x400, i % 2 == 0);
+    EXPECT_GT(bp.accuracy(), 0.9);
+}
+
+TEST(BranchPredictor, CountsMispredictions)
+{
+    BranchPredictor bp(64);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndUpdate(rng.next(), rng.chance(0.5));
+    EXPECT_EQ(bp.branches(), 1000u);
+    EXPECT_GT(bp.mispredictions(), 200u); // random is unpredictable
+}
+
+TEST(BranchPredictor, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(BranchPredictor(1000), FatalError);
+}
+
+TEST(Bus, TransferTimingAndOccupancy)
+{
+    Bus bus(16, 3, false); // 16B beats, 3 CPU cycles per beat
+    const BusTransfer t = bus.transfer(10, 32);
+    EXPECT_EQ(t.grant, 10u);
+    EXPECT_EQ(t.firstBeat, 13u); // one beat for the critical word
+    EXPECT_EQ(t.done, 16u);      // two beats total
+    EXPECT_EQ(bus.busyCycles(), 6u);
+}
+
+TEST(Bus, QueuesWhenBusy)
+{
+    Bus bus(8, 2, false);
+    bus.transfer(0, 32);            // busy until 8
+    const BusTransfer t = bus.transfer(3, 8);
+    EXPECT_EQ(t.grant, 8u);         // waited for the bus
+    EXPECT_EQ(t.done, 10u);
+}
+
+TEST(Bus, LeadBeatsDelayData)
+{
+    Bus bus(8, 2, false);
+    const BusTransfer t = bus.transfer(0, 8, 1); // 1 address beat
+    EXPECT_EQ(t.firstBeat, 4u); // addr beat + data beat
+    EXPECT_EQ(t.done, 4u);
+}
+
+TEST(Bus, InfiniteWidthIsInstantAndUncontended)
+{
+    Bus bus(8, 3, true);
+    const BusTransfer a = bus.transfer(5, 1024);
+    const BusTransfer b = bus.transfer(5, 1024);
+    EXPECT_EQ(a.done, 5u);
+    EXPECT_EQ(b.grant, 5u); // no queueing
+    EXPECT_EQ(bus.busyCycles(), 0u);
+}
+
+MemSysConfig
+testMem(MemMode mode)
+{
+    MemSysConfig m;
+    m.mode = mode;
+    m.l1Size = 1_KiB;
+    m.l1Block = 32;
+    m.l2Size = 8_KiB;
+    m.l2Block = 64;
+    m.busRatio = 3;
+    m.l2AccessCycles = 9;
+    m.memAccessCycles = 27;
+    return m;
+}
+
+TEST(MemorySystem, PerfectModeIsOneCycle)
+{
+    MemorySystem mem(testMem(MemMode::Perfect));
+    EXPECT_EQ(mem.load(0x0, 4, 100), 101u);
+    EXPECT_EQ(mem.load(0x4000, 4, 200), 201u);
+}
+
+TEST(MemorySystem, L1HitIsOneCycle)
+{
+    MemorySystem mem(testMem(MemMode::Full));
+    mem.load(0x0, 4, 0);                    // cold miss
+    EXPECT_EQ(mem.load(0x4, 4, 500), 501u); // same block: hit
+}
+
+TEST(MemorySystem, MissLatencyOrdering)
+{
+    // A fresh L2-miss costs more than an L2-hit, which costs more
+    // than an L1 hit; infinite-width never exceeds full.
+    MemorySystem full(testMem(MemMode::Full));
+    const Cycle l2_miss = full.load(0x0, 4, 0);
+
+    MemorySystem full2(testMem(MemMode::Full));
+    full2.load(0x0, 4, 0); // warm L2 (and L1)
+    // Conflict out of L1 but not L2: 1KB L1 -> 0x400 aliases 0x0.
+    full2.load(0x400, 4, 1000);
+    const Cycle l2_hit = full2.load(0x0, 4, 2000) - 2000;
+    EXPECT_LT(l2_hit, l2_miss);
+    EXPECT_GT(l2_hit, 1u);
+
+    MemorySystem inf(testMem(MemMode::InfiniteWidth));
+    const Cycle inf_miss = inf.load(0x0, 4, 0);
+    EXPECT_LE(inf_miss, l2_miss);
+}
+
+TEST(MemorySystem, BlockingCacheSerializesMisses)
+{
+    // Warm both conflicting blocks into the L2, then miss on both
+    // in the L1 (0x0 and 0x400 alias in the 1KB direct-mapped L1):
+    // the lockup-free cache overlaps the two L2 hits, the blocking
+    // cache serializes them.
+    auto run = [](bool lockup_free) {
+        MemSysConfig cfg = testMem(MemMode::Full);
+        cfg.lockupFree = lockup_free;
+        MemorySystem mem(cfg);
+        mem.load(0x0, 4, 0);
+        mem.load(0x400, 4, 500); // evicts 0x0 from L1; L2 keeps both
+        mem.load(0x0, 4, 1000);  // L1 miss, L2 hit; evicts 0x400
+        return mem.load(0x400, 4, 1001); // L1 miss, L2 hit
+    };
+    const Cycle blocking = run(false);
+    const Cycle overlapped = run(true);
+    EXPECT_LT(overlapped, blocking);
+    EXPECT_GT(blocking, 1002u);
+}
+
+TEST(MemorySystem, InFlightMissMergesSameBlockAccess)
+{
+    MemSysConfig cfg = testMem(MemMode::Full);
+    cfg.lockupFree = true;
+    MemorySystem mem(cfg);
+    const Cycle first = mem.load(0x0, 4, 0);
+    // Another word of the same block while the miss is in flight:
+    // the access must wait for the in-flight data, not hit in 1
+    // cycle.
+    const Cycle second = mem.load(0x8, 4, 1);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(mem.stats().mshrMerges, 1u);
+
+    // Once the fill has landed, it is a plain hit.
+    const Cycle third = mem.load(0x8, 4, first + 100);
+    EXPECT_EQ(third, first + 101);
+}
+
+TEST(MemorySystem, StoresNeverStallButConsumeBandwidth)
+{
+    MemSysConfig cfg = testMem(MemMode::Full);
+    MemorySystem mem(cfg);
+    mem.store(0x0, 4, 10); // store miss: fills via write-allocate
+    const MemSysStats s = mem.stats();
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_GT(s.l1l2BusBusy + s.memBusBusy, 0u);
+}
+
+TEST(MemorySystem, WrongPathLoadsPolluteButReturnNothing)
+{
+    MemSysConfig cfg = testMem(MemMode::Full);
+    MemorySystem mem(cfg);
+    mem.wrongPathLoad(0x0, 0);
+    EXPECT_EQ(mem.stats().wrongPathLoads, 1u);
+    EXPECT_EQ(mem.l1Stats().accesses, 1u);
+    // The polluted block is now resident: a demand load hits.
+    EXPECT_EQ(mem.load(0x0, 4, 1000), 1001u);
+}
+
+InstrStream
+streamFromWorkload(double scale)
+{
+    auto w = makeWorkload("Swm");
+    WorkloadParams p;
+    p.scale = scale;
+    return InstrStream::fromRun(w->run(p));
+}
+
+TEST(Core, RetiresEveryInstruction)
+{
+    const InstrStream s = streamFromWorkload(0.02);
+    auto cfg = makeExperiment('A', false);
+    MemSysConfig m = cfg.mem;
+    m.mode = MemMode::Perfect;
+    MemorySystem mem(m);
+    const CoreResult r = runCore(s, cfg.core, mem);
+    EXPECT_EQ(r.instructions, s.size());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.5);
+    EXPECT_LE(r.ipc, 4.0); // cannot beat the issue width
+}
+
+TEST(Core, PerfectMemoryIsFastest)
+{
+    const InstrStream s = streamFromWorkload(0.02);
+    const auto cfg = makeExperiment('D', false);
+    Cycle cycles[3];
+    const MemMode modes[] = {MemMode::Perfect, MemMode::InfiniteWidth,
+                             MemMode::Full};
+    for (int i = 0; i < 3; ++i) {
+        MemSysConfig m = cfg.mem;
+        m.mode = modes[i];
+        MemorySystem mem(m);
+        cycles[i] = runCore(s, cfg.core, mem).cycles;
+    }
+    EXPECT_LE(cycles[0], cycles[1]);
+    EXPECT_LE(cycles[1], cycles[2]);
+}
+
+TEST(Core, WiderWindowNeverHurtsOoo)
+{
+    const InstrStream s = streamFromWorkload(0.02);
+    auto cfg = makeExperiment('D', false);
+    MemSysConfig m = cfg.mem;
+    m.mode = MemMode::Full;
+
+    CoreConfig narrow = cfg.core;
+    narrow.windowSlots = 8;
+    CoreConfig wide = cfg.core;
+    wide.windowSlots = 128;
+
+    MemorySystem mem1(m);
+    MemorySystem mem2(m);
+    const Cycle t_narrow = runCore(s, narrow, mem1).cycles;
+    const Cycle t_wide = runCore(s, wide, mem2).cycles;
+    EXPECT_LE(t_wide, t_narrow);
+}
+
+TEST(Core, OooBeatsInOrderOnMissyCode)
+{
+    const InstrStream s = streamFromWorkload(0.02);
+    const auto io = makeExperiment('C', false);
+    const auto ooo = makeExperiment('D', false);
+    EXPECT_LT(runFull(s, ooo).cycles, runFull(s, io).cycles);
+}
+
+TEST(Experiment, ConfigsMatchTable5)
+{
+    const auto a = makeExperiment('A', false);
+    EXPECT_FALSE(a.core.outOfOrder);
+    EXPECT_FALSE(a.mem.lockupFree);
+    EXPECT_FALSE(a.mem.taggedPrefetch);
+    EXPECT_EQ(a.mem.l1Block, 32u);
+    EXPECT_EQ(a.mem.l2Block, 64u);
+    EXPECT_EQ(a.core.bpredEntries, 8192u);
+    EXPECT_EQ(a.cpuMHz, 300.0);
+    EXPECT_EQ(a.mem.l1Size, 128_KiB);
+    EXPECT_EQ(a.mem.l2Size, 1_MiB);
+    EXPECT_EQ(a.mem.busRatio, 3u);
+    EXPECT_EQ(a.mem.l2AccessCycles, 9u);  // 30ns at 300MHz
+    EXPECT_EQ(a.mem.memAccessCycles, 27u);// 90ns at 300MHz
+
+    const auto b = makeExperiment('B', false);
+    EXPECT_EQ(b.mem.l1Block, 64u);
+    EXPECT_EQ(b.mem.l2Block, 128u);
+
+    const auto c = makeExperiment('C', false);
+    EXPECT_TRUE(c.mem.lockupFree);
+    EXPECT_FALSE(c.core.outOfOrder);
+
+    const auto d = makeExperiment('D', false);
+    EXPECT_TRUE(d.core.outOfOrder);
+    EXPECT_TRUE(d.core.speculativeLoads);
+    EXPECT_EQ(d.core.windowSlots, 16u);
+    EXPECT_EQ(d.core.lsqSlots, 8u);
+    EXPECT_EQ(d.core.bpredEntries, 16384u);
+    EXPECT_FALSE(d.mem.taggedPrefetch);
+
+    const auto e = makeExperiment('E', false);
+    EXPECT_TRUE(e.mem.taggedPrefetch);
+    EXPECT_EQ(e.core.windowSlots, 16u);
+
+    const auto f = makeExperiment('F', false);
+    EXPECT_EQ(f.core.windowSlots, 64u);
+    EXPECT_EQ(f.core.lsqSlots, 32u);
+
+    // SPEC95 parameter set.
+    const auto d95 = makeExperiment('D', true);
+    EXPECT_EQ(d95.cpuMHz, 400.0);
+    EXPECT_EQ(d95.core.windowSlots, 64u);
+    EXPECT_EQ(d95.mem.l1Size, 64_KiB);
+    EXPECT_EQ(d95.mem.l2Size, 2_MiB);
+    EXPECT_EQ(d95.mem.busRatio, 4u);
+
+    const auto f95 = makeExperiment('F', true);
+    EXPECT_EQ(f95.cpuMHz, 600.0);
+    EXPECT_EQ(f95.core.windowSlots, 128u);
+
+    EXPECT_THROW(makeExperiment('G', false), FatalError);
+}
+
+TEST(Experiment, DecompositionIdentitiesHold)
+{
+    const InstrStream s = streamFromWorkload(0.02);
+    for (char letter : {'A', 'C', 'E'}) {
+        const auto cfg = makeExperiment(letter, false);
+        const DecompositionResult r = runDecomposition(s, cfg);
+        EXPECT_TRUE(r.split.consistent()) << letter;
+        EXPECT_NEAR(r.split.fP() + r.split.fL() + r.split.fB(), 1.0,
+                    1e-9)
+            << letter;
+    }
+}
+
+} // namespace
+} // namespace membw

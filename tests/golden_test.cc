@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Golden regression tests: workload generation is part of the
+ * library's contract (EXPERIMENTS.md numbers depend on it), so trace
+ * fingerprints are pinned here.  An intentional workload change must
+ * update these constants — and EXPERIMENTS.md along with them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/workload.hh"
+
+namespace membw {
+namespace {
+
+/** FNV-1a over the reference stream. */
+std::uint64_t
+fingerprint(const Trace &t)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const MemRef &r : t) {
+        mix(r.addr);
+        mix(static_cast<std::uint64_t>(r.kind));
+    }
+    return h;
+}
+
+struct Golden
+{
+    const char *name;
+    std::size_t refs;
+    std::uint64_t hash;
+};
+
+TEST(GoldenTraces, FingerprintsAreStable)
+{
+    // Regenerate with: for each workload at scale 0.05, seed 42,
+    // print trace size and fingerprint (see the DISCOVER block
+    // below).
+    const Golden golden[] = {
+        {"Compress", 70000u, 0xc20562b8fa8f98eULL},
+        {"Eqntott", 70000u, 0x55741e9cdc3cf0e6ULL},
+        {"Swm", 71200u, 0xbc9e460c48dee887ULL},
+        {"Li", 60000u, 0x95e68e5c54f7531fULL},
+    };
+    const bool discover = std::getenv("MEMBW_GOLDEN_DISCOVER");
+    for (const Golden &g : golden) {
+        WorkloadParams p;
+        p.scale = 0.05;
+        const Trace t = makeWorkload(g.name)->trace(p);
+        if (discover) {
+            std::printf("{\"%s\", %zuu, 0x%llxULL},\n", g.name,
+                        t.size(),
+                        static_cast<unsigned long long>(
+                            fingerprint(t)));
+            continue;
+        }
+        EXPECT_EQ(t.size(), g.refs) << g.name;
+        EXPECT_EQ(fingerprint(t), g.hash) << g.name;
+    }
+}
+
+} // namespace
+} // namespace membw

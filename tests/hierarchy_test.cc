@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for src/cache/hierarchy: level wiring, traffic flow,
+ * per-level ratios, runTrace().
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "common/log.hh"
+
+namespace membw {
+namespace {
+
+CacheConfig
+level(const std::string &name, Bytes size, Bytes block)
+{
+    CacheConfig c;
+    c.name = name;
+    c.size = size;
+    c.assoc = 1;
+    c.blockBytes = block;
+    return c;
+}
+
+Trace
+sequentialLoads(Addr base, std::size_t words)
+{
+    Trace t;
+    for (std::size_t i = 0; i < words; ++i)
+        t.append(base + i * 4, 4, RefKind::Load);
+    return t;
+}
+
+TEST(Hierarchy, RejectsEmptyAndShrinkingBlocks)
+{
+    EXPECT_THROW(CacheHierarchy({}), FatalError);
+    EXPECT_THROW(CacheHierarchy({level("L1", 1_KiB, 64),
+                                 level("L2", 8_KiB, 32)}),
+                 FatalError);
+}
+
+TEST(Hierarchy, MissesFlowToNextLevel)
+{
+    CacheHierarchy h({level("L1", 256, 32), level("L2", 8_KiB, 64)});
+    h.access(MemRef{0x0, 4, RefKind::Load});
+    // L1 missed and fetched 32B from L2; L2 missed and fetched 64B.
+    EXPECT_EQ(h.level(0).stats().misses, 1u);
+    EXPECT_EQ(h.level(1).stats().accesses, 1u);
+    EXPECT_EQ(h.level(1).stats().requestBytes, 32u);
+    EXPECT_EQ(h.trafficBelow(1), 64u);
+}
+
+TEST(Hierarchy, L2CapturesL1ConflictMisses)
+{
+    CacheHierarchy h({level("L1", 256, 32), level("L2", 8_KiB, 64)});
+    // Two blocks that conflict in the 8-block L1 but not in L2.
+    for (int i = 0; i < 10; ++i) {
+        h.access(MemRef{0x000, 4, RefKind::Load});
+        h.access(MemRef{0x100 * 8, 4, RefKind::Load});
+    }
+    EXPECT_GE(h.level(0).stats().misses, 19u); // ping-pong in L1
+    EXPECT_EQ(h.level(1).stats().misses, 2u);  // only compulsory
+}
+
+TEST(Hierarchy, InterLevelTrafficAccountingIsConsistent)
+{
+    CacheHierarchy h({level("L1", 256, 32), level("L2", 2_KiB, 64)});
+    Trace t = sequentialLoads(0, 512);
+    for (const MemRef &r : t)
+        h.access(r);
+    h.flush();
+    // Everything L1 sends below must arrive as L2's request traffic.
+    EXPECT_EQ(h.trafficBelow(0), h.level(1).stats().requestBytes);
+}
+
+TEST(Hierarchy, WritebacksPropagate)
+{
+    CacheHierarchy h({level("L1", 256, 32), level("L2", 8_KiB, 64)});
+    h.access(MemRef{0x0, 4, RefKind::Store});
+    h.flush(); // L1 dirty block -> L2 store -> L2 dirty -> memory
+    EXPECT_GT(h.level(1).stats().stores, 0u);
+    EXPECT_GT(h.level(1).stats().flushWritebackBytes +
+                  h.level(1).stats().writebackBytes,
+              0u);
+}
+
+TEST(Hierarchy, TotalRatioIsPinOverRequests)
+{
+    CacheHierarchy h({level("L1", 256, 32), level("L2", 2_KiB, 64)});
+    Trace t = sequentialLoads(0, 256);
+    for (const MemRef &r : t)
+        h.access(r);
+    h.flush();
+    const double expected =
+        static_cast<double>(h.trafficBelow(1)) /
+        static_cast<double>(h.level(0).stats().requestBytes);
+    EXPECT_DOUBLE_EQ(h.totalTrafficRatio(), expected);
+}
+
+TEST(RunTrace, SingleLevelSummary)
+{
+    Trace t = sequentialLoads(0, 64); // 8 blocks of 32B
+    const TrafficResult r = runTrace(t, level("L1", 256, 32));
+    EXPECT_EQ(r.requestBytes, 256u);
+    EXPECT_EQ(r.pinBytes, 256u); // one fill per block, no dirt
+    EXPECT_DOUBLE_EQ(r.trafficRatio, 1.0);
+    ASSERT_EQ(r.levelRatios.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.levelRatios[0], 1.0);
+}
+
+TEST(RunTrace, MultiLevelRatiosMultiply)
+{
+    Trace t = sequentialLoads(0, 2048);
+    const TrafficResult r = runTrace(
+        t, {level("L1", 256, 32), level("L2", 4_KiB, 64)});
+    ASSERT_EQ(r.levelRatios.size(), 2u);
+    EXPECT_NEAR(r.levelRatios[0] * r.levelRatios[1], r.trafficRatio,
+                1e-12);
+}
+
+TEST(RunTrace, IncludesFinalFlushInTraffic)
+{
+    Trace t;
+    t.append(0x0, 4, RefKind::Store);
+    const TrafficResult r = runTrace(t, level("L1", 256, 32));
+    // Fetch 32B (write-allocate) + flush write-back 32B.
+    EXPECT_EQ(r.pinBytes, 64u);
+}
+
+} // namespace
+} // namespace membw

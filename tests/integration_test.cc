@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Integration tests: end-to-end slices of the paper's experiments at
+ * reduced scale — the pieces the bench binaries run at full scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/experiment.hh"
+#include "metrics/traffic.hh"
+#include "mtc/min_cache.hh"
+#include "workloads/workload.hh"
+
+namespace membw {
+namespace {
+
+WorkloadParams
+smallRun()
+{
+    WorkloadParams p;
+    p.scale = 0.1;
+    return p;
+}
+
+CacheConfig
+table7Cache(Bytes size)
+{
+    CacheConfig c;
+    c.size = size;
+    c.assoc = 1;
+    c.blockBytes = 32;
+    return c;
+}
+
+TEST(Table7Slice, SmallCachesCanAmplifyTraffic)
+{
+    // "small caches can generate more traffic than a cacheless
+    // reference stream" — true for Compress with a 1-4KB cache.
+    const Trace t = makeWorkload("Compress")->trace(smallRun());
+    const TrafficResult r = runTrace(t, table7Cache(2_KiB));
+    EXPECT_GT(r.trafficRatio, 1.0);
+}
+
+TEST(Table7Slice, SwmIsFlatAcrossMidSizes)
+{
+    // Swm has "roughly the same traffic ratio from 16KB to 1MB".
+    const Trace t = makeWorkload("Swm")->trace(smallRun());
+    const double r16 =
+        runTrace(t, table7Cache(16_KiB)).trafficRatio;
+    const double r128 =
+        runTrace(t, table7Cache(128_KiB)).trafficRatio;
+    EXPECT_NEAR(r16, r128, 0.15);
+    EXPECT_GT(r16, 0.3);
+    EXPECT_LT(r16, 1.0);
+}
+
+TEST(Table7Slice, TrafficRatioDeclinesWithCacheSize)
+{
+    // For every SPEC92 benchmark, R at 1KB exceeds R at the largest
+    // below-data-set size (the broad Table 7 trend).
+    for (const auto &name : spec92Names()) {
+        auto w = makeWorkload(name);
+        const Trace t = w->trace(smallRun());
+        const double small =
+            runTrace(t, table7Cache(1_KiB)).trafficRatio;
+        const Bytes big_size =
+            w->nominalDataSetBytes() > 128_KiB ? 128_KiB : 16_KiB;
+        const double big =
+            runTrace(t, table7Cache(big_size)).trafficRatio;
+        EXPECT_GE(small, big) << name;
+    }
+}
+
+TEST(Table8Slice, InefficiencyAlwaysAtLeastOne)
+{
+    for (const auto &name : spec92Names()) {
+        const Trace t = makeWorkload(name)->trace(smallRun());
+        for (Bytes size : {1_KiB, 16_KiB, 64_KiB}) {
+            const TrafficResult cache =
+                runTrace(t, table7Cache(size));
+            const MinCacheStats mtc =
+                runMinCache(t, canonicalMtc(size));
+            const double g = trafficInefficiency(
+                cache.pinBytes, mtc.trafficBelow());
+            EXPECT_GE(g, 1.0) << name << " @ " << size;
+        }
+    }
+}
+
+TEST(Table8Slice, CompressGapIsLarge)
+{
+    // Compress's G stays in the tens across mid sizes (Table 8).
+    const Trace t = makeWorkload("Compress")->trace(smallRun());
+    const TrafficResult cache = runTrace(t, table7Cache(64_KiB));
+    const MinCacheStats mtc = runMinCache(t, canonicalMtc(64_KiB));
+    EXPECT_GT(trafficInefficiency(cache.pinBytes,
+                                  mtc.trafficBelow()),
+              5.0);
+}
+
+TEST(Table8Slice, ScientificCodesHaveSmallGaps)
+{
+    // Swm/Tomcatv "display little temporal locality, thus ... less
+    // opportunity for optimization by a smarter cache": G in the
+    // low single digits at streaming sizes.
+    for (const char *name : {"Swm", "Tomcatv"}) {
+        const Trace t = makeWorkload(name)->trace(smallRun());
+        const TrafficResult cache = runTrace(t, table7Cache(64_KiB));
+        const MinCacheStats mtc =
+            runMinCache(t, canonicalMtc(64_KiB));
+        EXPECT_LT(trafficInefficiency(cache.pinBytes,
+                                      mtc.trafficBelow()),
+                  6.0)
+            << name;
+    }
+}
+
+TEST(Figure3Slice, BandwidthStallsGrowWithAggressiveness)
+{
+    // The paper's thesis: f_B(F) > f_B(A), and under F bandwidth
+    // stalls rival or exceed latency stalls for memory-bound codes.
+    for (const char *name : {"Swm", "Su2cor"}) {
+        const auto run = makeWorkload(name)->run(smallRun());
+        const InstrStream stream = InstrStream::fromRun(run);
+
+        const auto a =
+            runDecomposition(stream, makeExperiment('A', false));
+        const auto f =
+            runDecomposition(stream, makeExperiment('F', false));
+
+        EXPECT_GT(f.split.fB(), a.split.fB()) << name;
+        EXPECT_GT(f.split.fB(), f.split.fL()) << name;
+    }
+}
+
+TEST(Figure3Slice, LatencyToleranceReducesLatencyStalls)
+{
+    const auto run = makeWorkload("Tomcatv")->run(smallRun());
+    const InstrStream stream = InstrStream::fromRun(run);
+    const auto a =
+        runDecomposition(stream, makeExperiment('A', false));
+    const auto e =
+        runDecomposition(stream, makeExperiment('E', false));
+    // Prefetch + OOO hides most raw latency for a streaming code.
+    EXPECT_LT(e.split.fL(), a.split.fL() * 0.5);
+}
+
+TEST(Figure3Slice, CacheBoundCodesBarelyStall)
+{
+    // Espresso and Li fit in the L1: stalls are marginal in every
+    // experiment (the paper excludes them from Table 6 as
+    // "cache-bound").  Each runs on its own suite's machine
+    // configuration (Li is a SPEC95 benchmark: split 64KB I/D L1).
+    // Our synthetic Li is somewhat more memory-bound than the real
+    // test.lsp run (see EXPERIMENTS.md "threats to validity"), so
+    // its bound is looser.
+    const std::pair<const char *, double> cases[] = {
+        {"Espresso", 0.55},
+        {"Li", 0.40},
+    };
+    for (const auto &[name, bound] : cases) {
+        const bool spec95 = std::string(name) == "Li";
+        WorkloadParams p;
+        p.scale = 0.3; // long enough to warm the code footprint
+        const auto run = makeWorkload(name)->run(p);
+        const InstrStream stream = InstrStream::fromRun(
+            run, codeFootprintBytes(name), p.seed);
+        const auto a =
+            runDecomposition(stream, makeExperiment('A', spec95));
+        EXPECT_GT(a.split.fP(), bound) << name;
+    }
+}
+
+TEST(EffectivePinBandwidth, EndToEndTwoLevel)
+{
+    // Compute E_pin for a two-level hierarchy over a real workload
+    // and check it against the direct pin-traffic calculation.
+    const Trace t = makeWorkload("Swm")->trace(smallRun());
+    std::vector<CacheConfig> cfgs;
+    CacheConfig l1 = table7Cache(16_KiB);
+    l1.name = "L1";
+    CacheConfig l2 = table7Cache(256_KiB);
+    l2.name = "L2";
+    l2.assoc = 4;
+    l2.blockBytes = 64;
+    cfgs = {l1, l2};
+    const TrafficResult r = runTrace(t, cfgs);
+
+    const double pin_bw = 800e6; // 800 MB/s package
+    const double e_pin =
+        effectivePinBandwidth(pin_bw, r.levelRatios);
+    const double direct =
+        pin_bw * static_cast<double>(r.requestBytes) /
+        static_cast<double>(r.pinBytes);
+    EXPECT_NEAR(e_pin / direct, 1.0, 1e-9);
+}
+
+TEST(Table9Slice, FactorTogglesMoveTrafficTheRightWay)
+{
+    const Trace t = makeWorkload("Compress")->trace(smallRun());
+
+    // Factor I: associativity (LRU 1-way vs fully associative).
+    CacheConfig dm = table7Cache(16_KiB);
+    CacheConfig fa = dm;
+    fa.assoc = 0;
+    const Bytes traffic_dm = runTrace(t, dm).pinBytes;
+    const Bytes traffic_fa = runTrace(t, fa).pinBytes;
+    EXPECT_LE(traffic_fa, traffic_dm);
+
+    // Factor II: replacement (LRU fa vs MIN fa, same block size).
+    MinCacheConfig min_cfg;
+    min_cfg.size = 16_KiB;
+    min_cfg.blockBytes = 32;
+    min_cfg.alloc = AllocPolicy::WriteAllocate;
+    min_cfg.allowBypass = false;
+    const Bytes traffic_min =
+        runMinCache(t, min_cfg).trafficBelow();
+    EXPECT_LE(traffic_min, traffic_fa);
+
+    // Factor IV: block size for the MTC (32B vs 4B).
+    MinCacheConfig min4 = min_cfg;
+    min4.blockBytes = 4;
+    EXPECT_LE(runMinCache(t, min4).trafficBelow(), traffic_min);
+}
+
+} // namespace
+} // namespace membw

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for src/metrics: the Equations 1-7 implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hh"
+#include "metrics/decomposition.hh"
+#include "metrics/traffic.hh"
+
+namespace membw {
+namespace {
+
+TEST(Decomposition, FractionsPartitionUnity)
+{
+    const Decomposition d = decompose(50, 70, 100);
+    EXPECT_DOUBLE_EQ(d.fP(), 0.5);
+    EXPECT_DOUBLE_EQ(d.fL(), 0.2);
+    EXPECT_DOUBLE_EQ(d.fB(), 0.3);
+    EXPECT_DOUBLE_EQ(d.fP() + d.fL() + d.fB(), 1.0);
+    EXPECT_EQ(d.latencyStall(), 20u);
+    EXPECT_EQ(d.bandwidthStall(), 30u);
+    EXPECT_TRUE(d.consistent());
+}
+
+TEST(Decomposition, PerfectMemoryMeansNoStalls)
+{
+    const Decomposition d = decompose(100, 100, 100);
+    EXPECT_DOUBLE_EQ(d.fP(), 1.0);
+    EXPECT_DOUBLE_EQ(d.fL(), 0.0);
+    EXPECT_DOUBLE_EQ(d.fB(), 0.0);
+}
+
+TEST(Decomposition, DetectsInconsistentOrdering)
+{
+    Decomposition d;
+    d.perfectCycles = 100;
+    d.infiniteCycles = 90; // impossible
+    d.fullCycles = 120;
+    EXPECT_FALSE(d.consistent());
+    // Stall helpers clamp rather than underflow.
+    EXPECT_EQ(d.latencyStall(), 0u);
+}
+
+TEST(Decomposition, ZeroCyclesYieldsZeroFractions)
+{
+    const Decomposition d = decompose(0, 0, 0);
+    EXPECT_DOUBLE_EQ(d.fP(), 0.0);
+    EXPECT_DOUBLE_EQ(d.fB(), 0.0);
+}
+
+TEST(TrafficRatio, Equation4)
+{
+    EXPECT_DOUBLE_EQ(trafficRatio(512, 1024), 0.5);
+    EXPECT_DOUBLE_EQ(trafficRatio(2048, 1024), 2.0);
+    EXPECT_THROW(trafficRatio(1, 0), FatalError);
+}
+
+TEST(TrafficInefficiency, Equation6)
+{
+    EXPECT_DOUBLE_EQ(trafficInefficiency(100, 10), 10.0);
+    EXPECT_DOUBLE_EQ(trafficInefficiency(10, 10), 1.0);
+    EXPECT_THROW(trafficInefficiency(10, 0), FatalError);
+}
+
+TEST(EffectivePinBandwidth, Equation5)
+{
+    // Two levels halving traffic each: effective bandwidth 4x.
+    const std::vector<double> ratios{0.5, 0.5};
+    EXPECT_DOUBLE_EQ(effectivePinBandwidth(100.0, ratios), 400.0);
+
+    // A traffic-amplifying cache REDUCES effective bandwidth.
+    const std::vector<double> bad{2.0};
+    EXPECT_DOUBLE_EQ(effectivePinBandwidth(100.0, bad), 50.0);
+
+    EXPECT_THROW(
+        effectivePinBandwidth(0.0, std::vector<double>{1.0}),
+        FatalError);
+    EXPECT_THROW(
+        effectivePinBandwidth(1.0, std::vector<double>{0.0}),
+        FatalError);
+}
+
+TEST(OptimalEffectivePinBandwidth, Equation7)
+{
+    const std::vector<double> ratios{0.5};
+    const std::vector<double> gaps{20.0};
+    // OE = B * G / R = 100 * 20 / 0.5 = 4000.
+    EXPECT_DOUBLE_EQ(
+        optimalEffectivePinBandwidth(100.0, ratios, gaps), 4000.0);
+    EXPECT_THROW(optimalEffectivePinBandwidth(
+                     100.0, ratios, std::vector<double>{-1.0}),
+                 FatalError);
+}
+
+TEST(OptimalEffectivePinBandwidth, GapOfOneIsNoOpportunity)
+{
+    const std::vector<double> ratios{0.5, 0.8};
+    const std::vector<double> gaps{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(
+        optimalEffectivePinBandwidth(100.0, ratios, gaps),
+        effectivePinBandwidth(100.0, ratios));
+}
+
+} // namespace
+} // namespace membw

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for src/mtc: next-use table, MIN replacement, bypass,
+ * write-validate, and the canonical MTC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mtc/min_cache.hh"
+#include "mtc/next_use.hh"
+
+namespace membw {
+namespace {
+
+Trace
+loadsAt(std::initializer_list<Addr> addrs)
+{
+    Trace t;
+    for (Addr a : addrs)
+        t.append(a, 4, RefKind::Load);
+    return t;
+}
+
+TEST(NextUse, PointsToNextReferenceOfSameBlock)
+{
+    // Word-granularity: A B A C B A
+    const Trace t = loadsAt({0, 4, 0, 8, 4, 0});
+    const auto next = buildNextUse(t, 4);
+    ASSERT_EQ(next.size(), 6u);
+    EXPECT_EQ(next[0], 2u);
+    EXPECT_EQ(next[1], 4u);
+    EXPECT_EQ(next[2], 5u);
+    EXPECT_EQ(next[3], tickInfinity);
+    EXPECT_EQ(next[4], tickInfinity);
+    EXPECT_EQ(next[5], tickInfinity);
+}
+
+TEST(NextUse, BlockGranularityMergesWords)
+{
+    // With 8B blocks, addresses 0 and 4 are the same block.
+    const Trace t = loadsAt({0, 4, 8});
+    const auto next = buildNextUse(t, 8);
+    EXPECT_EQ(next[0], 1u);
+    EXPECT_EQ(next[1], tickInfinity);
+    EXPECT_EQ(next[2], tickInfinity);
+}
+
+TEST(NextUse, RejectsNonPowerOfTwo)
+{
+    const Trace t = loadsAt({0});
+    EXPECT_THROW(buildNextUse(t, 24), FatalError);
+}
+
+TEST(MinCacheConfig, Validation)
+{
+    MinCacheConfig c;
+    c.size = 10; // not a block multiple
+    EXPECT_THROW(c.validate(), FatalError);
+    c = MinCacheConfig{};
+    c.alloc = AllocPolicy::WriteNoAllocate;
+    EXPECT_THROW(c.validate(), FatalError);
+}
+
+TEST(MinCache, BeladyChoosesFurthestVictim)
+{
+    // Capacity 2 words, no bypass.  Trace: A B C A B.
+    // MIN evicts C's victim optimally: on miss C, the furthest of
+    // {A (next at 3), B (next at 4)} is B, so B is evicted and A
+    // hits at 3 while B misses at 4.
+    MinCacheConfig c;
+    c.size = 8;
+    c.blockBytes = 4;
+    c.alloc = AllocPolicy::WriteAllocate;
+    c.allowBypass = false;
+    const Trace t = loadsAt({0, 4, 8, 0, 4});
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.misses, 4u); // A,B,C compulsory + B again
+    EXPECT_EQ(s.hits, 1u);   // A at position 3
+}
+
+TEST(MinCache, BypassSkipsLowestPriorityMiss)
+{
+    // Capacity 2. Trace: A B C A B — with bypass, C (never reused)
+    // bypasses the cache; A and B both hit afterwards.
+    MinCacheConfig c;
+    c.size = 8;
+    c.blockBytes = 4;
+    c.alloc = AllocPolicy::WriteAllocate;
+    c.allowBypass = true;
+    const Trace t = loadsAt({0, 4, 8, 0, 4});
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.bypasses, 1u);
+    EXPECT_EQ(s.hits, 2u);
+    // Traffic: two fills + one bypassed word.
+    EXPECT_EQ(s.fetchBytes, 12u);
+}
+
+TEST(MinCache, WriteValidateStoresFetchNothing)
+{
+    MinCacheConfig c = canonicalMtc(64);
+    Trace t;
+    t.append(0, 4, RefKind::Store);
+    t.append(4, 4, RefKind::Store);
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.fetchBytes, 0u);
+    // Both dirty words flushed at completion.
+    EXPECT_EQ(s.flushWritebackBytes, 8u);
+}
+
+TEST(MinCache, WriteAllocateStoresFetchBlocks)
+{
+    MinCacheConfig c = canonicalMtc(64);
+    c.alloc = AllocPolicy::WriteAllocate;
+    Trace t;
+    t.append(0, 4, RefKind::Store);
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.fetchBytes, 4u); // word-sized block fetched
+    EXPECT_EQ(s.flushWritebackBytes, 4u);
+}
+
+TEST(MinCache, PartialBlockLoadFillsMissingWords)
+{
+    // 32B blocks with write-validate: store validates one word; a
+    // later load of another word in the block fills only that word.
+    MinCacheConfig c;
+    c.size = 64;
+    c.blockBytes = 32;
+    c.alloc = AllocPolicy::WriteValidate;
+    Trace t;
+    t.append(0, 4, RefKind::Store);
+    t.append(8, 4, RefKind::Load);
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.hits, 1u); // block present
+    EXPECT_EQ(s.fetchBytes, 4u);
+    EXPECT_EQ(s.flushWritebackBytes, 4u); // one dirty word
+}
+
+TEST(MinCache, DirtyEvictionWritesBack)
+{
+    MinCacheConfig c;
+    c.size = 8; // two word blocks
+    c.blockBytes = 4;
+    c.alloc = AllocPolicy::WriteValidate;
+    c.allowBypass = false;
+    Trace t;
+    t.append(0, 4, RefKind::Store); // dirty A
+    t.append(4, 4, RefKind::Load);  // B
+    t.append(8, 4, RefKind::Load);  // C evicts A (dirty)
+    t.append(4, 4, RefKind::Load);  // keep B attractive
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.writebackBytes, 4u);
+}
+
+TEST(MinCache, TrafficRatioAndCounters)
+{
+    MinCacheConfig c = canonicalMtc(64);
+    Trace t;
+    for (Addr a = 0; a < 64; a += 4)
+        t.append(a, 4, RefKind::Load);
+    const MinCacheStats s = runMinCache(t, c);
+    EXPECT_EQ(s.accesses, 16u);
+    EXPECT_EQ(s.requestBytes, 64u);
+    EXPECT_EQ(s.fetchBytes, 64u); // compulsory only
+    EXPECT_DOUBLE_EQ(s.trafficRatio(), 1.0);
+}
+
+TEST(MinCache, CanonicalMtcMatchesPaperDefinition)
+{
+    const MinCacheConfig c = canonicalMtc(8_KiB);
+    EXPECT_EQ(c.blockBytes, wordBytes); // transfer = request size
+    EXPECT_EQ(c.alloc, AllocPolicy::WriteValidate);
+    EXPECT_TRUE(c.allowBypass);
+    EXPECT_EQ(c.blocks(), 2048u);
+    EXPECT_NE(c.describe().find("MIN"), std::string::npos);
+}
+
+TEST(MinCache, RejectsSpanningRefs)
+{
+    MinCacheConfig c = canonicalMtc(64);
+    Trace t;
+    t.append(2, 4, RefKind::Load); // spans two 4B blocks
+    EXPECT_THROW(runMinCache(t, c), FatalError);
+}
+
+} // namespace
+} // namespace membw

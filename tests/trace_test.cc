@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for src/trace: references, containers, recorder, I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+#include "trace/mem_ref.hh"
+#include "trace/recorder.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace membw {
+namespace {
+
+TEST(MemRef, Basics)
+{
+    const MemRef load{0x100, 4, RefKind::Load};
+    const MemRef store{0x100, 4, RefKind::Store};
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_FALSE(load.isStore());
+    EXPECT_TRUE(store.isStore());
+    EXPECT_FALSE(load == store);
+    EXPECT_TRUE((load == MemRef{0x100, 4, RefKind::Load}));
+}
+
+TEST(Trace, AppendAndIterate)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    t.append(0x10, 4, RefKind::Load);
+    t.append(MemRef{0x20, 4, RefKind::Store});
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].addr, 0x10u);
+    EXPECT_EQ(t[1].kind, RefKind::Store);
+
+    std::size_t n = 0;
+    for (const MemRef &r : t) {
+        (void)r;
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+}
+
+TEST(Trace, StatsCountsAndFootprint)
+{
+    Trace t;
+    t.append(0x100, 4, RefKind::Load);
+    t.append(0x104, 4, RefKind::Store);
+    t.append(0x100, 4, RefKind::Load); // repeat: no new footprint
+    const TraceStats s = t.stats();
+    EXPECT_EQ(s.refs, 3u);
+    EXPECT_EQ(s.loads, 2u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.requestBytes, 12u);
+    EXPECT_EQ(s.footprintBytes, 8u); // two distinct words
+    EXPECT_EQ(s.minAddr, 0x100u);
+    EXPECT_EQ(s.maxAddr, 0x107u);
+}
+
+TEST(Recorder, RegionsAreDisjointAndAligned)
+{
+    TraceRecorder rec;
+    const Region a = rec.allocate("a", 100, 64);
+    const Region b = rec.allocate("b", 100, 64);
+    EXPECT_EQ(a.base % 64, 0u);
+    EXPECT_EQ(b.base % 64, 0u);
+    EXPECT_GE(b.base, a.base + a.bytes);
+    EXPECT_EQ(a.bytes % wordBytes, 0u);
+    EXPECT_EQ(rec.regions().size(), 2u);
+}
+
+TEST(Recorder, RegionElementAddressing)
+{
+    TraceRecorder rec;
+    const Region r = rec.allocate("r", 64);
+    EXPECT_EQ(r.word(0), r.base);
+    EXPECT_EQ(r.word(3), r.base + 12);
+    EXPECT_EQ(r.dword(2), r.base + 16);
+    EXPECT_EQ(r.words(), 16u);
+}
+
+TEST(Recorder, QptDoubleWordSplit)
+{
+    TraceRecorder rec;
+    const Region r = rec.allocate("r", 64);
+    rec.loadDouble(r.base);
+    rec.storeDouble(r.base + 8);
+
+    const Trace &t = rec.trace();
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].addr, r.base);
+    EXPECT_EQ(t[0].size, wordBytes);
+    EXPECT_EQ(t[1].addr, r.base + 4);
+    EXPECT_TRUE(t[1].isLoad());
+    EXPECT_EQ(t[2].addr, r.base + 8);
+    EXPECT_TRUE(t[2].isStore());
+    EXPECT_EQ(t[3].addr, r.base + 12);
+}
+
+TEST(Recorder, AnnotationsInterleaveComputeAndBranches)
+{
+    TraceRecorder rec;
+    const Region r = rec.allocate("r", 64);
+    rec.compute(3);
+    rec.load(r.base);
+    rec.branch(true);
+    rec.compute(2);
+    rec.store(r.base + 4);
+
+    const auto &a = rec.annotations();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[0].opsBefore, 3u);
+    EXPECT_EQ(a[0].kind, TraceRecorder::Annotation::Kind::Mem);
+    EXPECT_EQ(a[0].memIndex, 0u);
+    EXPECT_EQ(a[1].kind, TraceRecorder::Annotation::Kind::Branch);
+    EXPECT_TRUE(a[1].taken);
+    EXPECT_EQ(a[1].opsBefore, 0u);
+    EXPECT_EQ(a[2].opsBefore, 2u);
+    EXPECT_EQ(a[2].memIndex, 1u);
+}
+
+TEST(Recorder, DependentLoadFlag)
+{
+    TraceRecorder rec;
+    const Region r = rec.allocate("r", 64);
+    rec.load(r.base);
+    rec.loadDependent(r.base + 4);
+    const auto &a = rec.annotations();
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_FALSE(a[0].dependsOnPrevLoad);
+    EXPECT_TRUE(a[1].dependsOnPrevLoad);
+}
+
+TEST(Recorder, TakeTraceMovesOutContents)
+{
+    TraceRecorder rec;
+    const Region r = rec.allocate("r", 64);
+    rec.load(r.base);
+    Trace t = rec.takeTrace();
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_TRUE(rec.trace().empty());
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    Trace t;
+    t.append(0x1000, 4, RefKind::Load);
+    t.append(0x2004, 4, RefKind::Store);
+    t.append(0xffffffffff, 4, RefKind::Load);
+
+    const std::string path = testing::TempDir() + "membw_trace_rt.bin";
+    saveTrace(t, path);
+    const Trace back = loadTrace(path);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(back[i] == t[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CompactRoundTrip)
+{
+    Trace t;
+    Addr a = 0x10000;
+    for (int i = 0; i < 500; ++i) {
+        a += (i % 7 == 0) ? 0x4000 : 4; // mixed strides
+        t.append(a, 4, i % 3 == 0 ? RefKind::Store : RefKind::Load);
+    }
+    t.append(0x123457, 12, RefKind::Load); // odd size + alignment
+
+    const std::string path =
+        testing::TempDir() + "membw_trace_compact.bin";
+    saveTrace(t, path, TraceFormat::Compact);
+    const Trace back = loadTrace(path);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(back[i] == t[i]) << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CompactIsMuchSmallerThanRaw)
+{
+    Trace t;
+    for (Addr a = 0; a < 40000; a += 4)
+        t.append(0x10000 + a, 4, RefKind::Load);
+
+    const std::string raw = testing::TempDir() + "membw_raw.bin";
+    const std::string compact =
+        testing::TempDir() + "membw_compact.bin";
+    saveTrace(t, raw, TraceFormat::Raw);
+    saveTrace(t, compact, TraceFormat::Compact);
+
+    auto size_of = [](const std::string &p) {
+        std::FILE *f = std::fopen(p.c_str(), "rb");
+        std::fseek(f, 0, SEEK_END);
+        const long n = std::ftell(f);
+        std::fclose(f);
+        return n;
+    };
+    EXPECT_LT(size_of(compact) * 5, size_of(raw));
+    std::remove(raw.c_str());
+    std::remove(compact.c_str());
+}
+
+TEST(TraceIo, MissingFileFails)
+{
+    EXPECT_THROW(loadTrace("/nonexistent/trace.bin"), FatalError);
+}
+
+TEST(TraceIo, RejectsCorruptMagic)
+{
+    const std::string path = testing::TempDir() + "membw_bad.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "not a trace file at all";
+    std::fwrite(junk, sizeof(junk), 1, f);
+    std::fclose(f);
+    EXPECT_THROW(loadTrace(path), FatalError);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace membw

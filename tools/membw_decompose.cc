@@ -1,0 +1,179 @@
+/**
+ * @file
+ * membw_decompose — command-line execution-time decomposition driver.
+ *
+ * Runs a workload on one of the paper's machines (A-F, SPEC92 or
+ * SPEC95 parameter set) or on a custom variant, and prints the
+ * T_P / T_I / T split with f_P/f_L/f_B:
+ *
+ *   membw_decompose --workload Swm --experiment F
+ *   membw_decompose --workload Vortex --experiment E --spec95
+ *   membw_decompose --workload Swm --experiment F --dram sdram
+ *   membw_decompose --workload Swm --experiment E --mshrs 2 --no-prefetch
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hh"
+#include "cpu/experiment.hh"
+#include "dram/dram.hh"
+#include "workloads/workload.hh"
+
+using namespace membw;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "membw_decompose — execution-time decomposition "
+        "(Equations 1-3)\n\n"
+        "  --workload NAME      synthetic kernel (required)\n"
+        "  --experiment A-F     Table 5 machine (default F)\n"
+        "  --spec95             use the SPEC95 parameter set\n"
+        "  --scale S            trace-length scale (default 0.5)\n"
+        "  --seed N             generation seed (default 42)\n"
+        "Overrides:\n"
+        "  --mshrs N            outstanding misses when lockup-free\n"
+        "  --window N           RUU/in-flight entries\n"
+        "  --issue-width N      fetch/issue/retire width\n"
+        "  --no-prefetch        disable tagged prefetch\n"
+        "  --l1l2-bus BYTES     L1/L2 bus width\n"
+        "  --mem-bus BYTES      memory bus width\n"
+        "  --dram fpm|edo|sdram|rdram   banked DRAM backend\n");
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string workload;
+        char letter = 'F';
+        bool spec95 = false;
+        double scale = 0.5;
+        std::uint64_t seed = 42;
+
+        struct Overrides
+        {
+            int mshrs = -1, window = -1, width = -1;
+            int l1l2 = -1, membus = -1;
+            bool noPrefetch = false;
+            std::string dram;
+        } ov;
+
+        auto need = [&](int &i) -> std::string {
+            if (i + 1 >= argc)
+                fatal(std::string("missing value for ") + argv[i]);
+            return argv[++i];
+        };
+
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            if (a == "--help" || a == "-h")
+                usage(0);
+            else if (a == "--workload")
+                workload = need(i);
+            else if (a == "--experiment")
+                letter = need(i)[0];
+            else if (a == "--spec95")
+                spec95 = true;
+            else if (a == "--scale")
+                scale = std::atof(need(i).c_str());
+            else if (a == "--seed")
+                seed = std::strtoull(need(i).c_str(), nullptr, 10);
+            else if (a == "--mshrs")
+                ov.mshrs = std::atoi(need(i).c_str());
+            else if (a == "--window")
+                ov.window = std::atoi(need(i).c_str());
+            else if (a == "--issue-width")
+                ov.width = std::atoi(need(i).c_str());
+            else if (a == "--no-prefetch")
+                ov.noPrefetch = true;
+            else if (a == "--l1l2-bus")
+                ov.l1l2 = std::atoi(need(i).c_str());
+            else if (a == "--mem-bus")
+                ov.membus = std::atoi(need(i).c_str());
+            else if (a == "--dram")
+                ov.dram = need(i);
+            else {
+                std::fprintf(stderr, "unknown flag '%s'\n",
+                             a.c_str());
+                usage(1);
+            }
+        }
+        if (workload.empty())
+            usage(1);
+
+        ExperimentConfig cfg = makeExperiment(letter, spec95);
+        if (ov.mshrs > 0)
+            cfg.mem.mshrs = static_cast<unsigned>(ov.mshrs);
+        if (ov.window > 0)
+            cfg.core.windowSlots = static_cast<unsigned>(ov.window);
+        if (ov.width > 0)
+            cfg.core.issueWidth = static_cast<unsigned>(ov.width);
+        if (ov.noPrefetch)
+            cfg.mem.taggedPrefetch = false;
+        if (ov.l1l2 > 0)
+            cfg.mem.l1l2BusBytes = static_cast<Bytes>(ov.l1l2);
+        if (ov.membus > 0)
+            cfg.mem.memBusBytes = static_cast<Bytes>(ov.membus);
+        if (!ov.dram.empty()) {
+            const DramKind kind =
+                ov.dram == "fpm"     ? DramKind::FastPageMode
+                : ov.dram == "edo"   ? DramKind::EDO
+                : ov.dram == "sdram" ? DramKind::Synchronous
+                : ov.dram == "rdram"
+                    ? DramKind::Rambus
+                    : (fatal("bad --dram '" + ov.dram + "'"),
+                       DramKind::FastPageMode);
+            cfg.mem.dram = DramConfig::preset(kind, cfg.cpuMHz);
+        }
+
+        WorkloadParams p;
+        p.scale = scale;
+        p.seed = seed;
+        const auto run = makeWorkload(workload)->run(p);
+        const InstrStream stream = InstrStream::fromRun(
+            run, codeFootprintBytes(workload), seed);
+
+        std::printf("%s on %s (%.0f MHz)\n", workload.c_str(),
+                    cfg.describe().c_str(), cfg.cpuMHz);
+        const DecompositionResult r = runDecomposition(stream, cfg);
+
+        std::printf("T_P %llu | T_I %llu | T %llu cycles\n",
+                    static_cast<unsigned long long>(
+                        r.split.perfectCycles),
+                    static_cast<unsigned long long>(
+                        r.split.infiniteCycles),
+                    static_cast<unsigned long long>(
+                        r.split.fullCycles));
+        std::printf("f_P %.3f | f_L %.3f | f_B %.3f\n", r.split.fP(),
+                    r.split.fL(), r.split.fB());
+        std::printf("IPC %.2f | L1 miss %llu | L2 miss %llu | "
+                    "I-miss %llu | mispredict %llu\n",
+                    r.full.ipc,
+                    static_cast<unsigned long long>(
+                        r.full.mem.l1Misses),
+                    static_cast<unsigned long long>(
+                        r.full.mem.l2Misses),
+                    static_cast<unsigned long long>(
+                        r.full.mem.iMisses),
+                    static_cast<unsigned long long>(
+                        r.full.mispredicts));
+        if (r.full.mem.dramRowHits + r.full.mem.dramRowMisses)
+            std::printf("DRAM row hit rate %.1f%%\n",
+                        100.0 * r.full.mem.dramRowHits /
+                            (r.full.mem.dramRowHits +
+                             r.full.mem.dramRowMisses));
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

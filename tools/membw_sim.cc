@@ -1,0 +1,271 @@
+/**
+ * @file
+ * membw_sim — DineroIII-style command-line trace-driven simulator.
+ *
+ * Drives the membw functional cache (and optionally the
+ * minimal-traffic cache) over a synthetic workload or a saved trace:
+ *
+ *   membw_sim --workload Compress --size 64K --assoc 1 --block 32
+ *   membw_sim --workload Swm --l2-size 1M --l2-block 64 --l2-assoc 4
+ *   membw_sim --load-trace refs.mbwt --size 8K --mtc
+ *   membw_sim --workload Eqntott --save-trace refs.mbwt
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/log.hh"
+#include "mtc/min_cache.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+using namespace membw;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "membw_sim — trace-driven cache simulator "
+        "(Burger/Goodman/Kagi ISCA'96 reproduction)\n\n"
+        "Trace source (choose one):\n"
+        "  --workload NAME     synthetic kernel (see --list)\n"
+        "  --load-trace FILE   previously saved binary trace\n"
+        "  --list              list workload names and exit\n\n"
+        "Generation:\n"
+        "  --scale S           trace-length scale (default 1.0)\n"
+        "  --seed N            generation seed (default 42)\n"
+        "  --save-trace FILE   write the trace and exit\n"
+        "  --compact           use the varint-delta trace format\n\n"
+        "L1 cache (defaults: 64K/1way/32B WB-WA LRU):\n"
+        "  --size BYTES        e.g. 64K, 1M, 8192\n"
+        "  --assoc N           0 = fully associative\n"
+        "  --block BYTES\n"
+        "  --sector BYTES      sub-block transfer size (0 = off)\n"
+        "  --repl lru|fifo|random\n"
+        "  --write wb|wt\n"
+        "  --alloc wa|wna|wv\n"
+        "  --prefetch          tagged sequential prefetch\n"
+        "  --stream-buffers N  Jouppi stream buffers\n"
+        "  --stream-depth N    blocks per stream (default 4)\n\n"
+        "Optional L2 (enables a two-level hierarchy):\n"
+        "  --l2-size BYTES --l2-assoc N --l2-block BYTES\n\n"
+        "Analysis:\n"
+        "  --mtc               also run the same-size minimal-traffic "
+        "cache\n"
+        "  --pin-bandwidth MBs physical pin bandwidth for E_pin "
+        "(default 800)\n");
+    std::exit(code);
+}
+
+Bytes
+parseSize(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (v <= 0)
+        fatal("bad size '" + s + "'");
+    Bytes mult = 1;
+    if (end && *end) {
+        switch (*end) {
+          case 'k': case 'K': mult = 1_KiB; break;
+          case 'm': case 'M': mult = 1_MiB; break;
+          case 'g': case 'G': mult = 1_MiB * 1024; break;
+          default: fatal("bad size suffix in '" + s + "'");
+        }
+    }
+    return static_cast<Bytes>(v * static_cast<double>(mult));
+}
+
+struct Options
+{
+    std::string workload;
+    std::string loadTrace;
+    std::string saveTrace;
+    TraceFormat format = TraceFormat::Raw;
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    CacheConfig l1;
+    bool haveL2 = false;
+    CacheConfig l2;
+    bool runMtc = false;
+    double pinBandwidthMBs = 800.0;
+};
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    o.l1.name = "L1";
+    o.l1.size = 64_KiB;
+    o.l2.name = "L2";
+    o.l2.size = 1_MiB;
+    o.l2.assoc = 4;
+    o.l2.blockBytes = 64;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            fatal(std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage(0);
+        } else if (a == "--list") {
+            for (const auto &n : allWorkloadNames())
+                std::printf("%s\n", n.c_str());
+            std::exit(0);
+        } else if (a == "--workload") {
+            o.workload = need(i);
+        } else if (a == "--load-trace") {
+            o.loadTrace = need(i);
+        } else if (a == "--save-trace") {
+            o.saveTrace = need(i);
+        } else if (a == "--compact") {
+            o.format = TraceFormat::Compact;
+        } else if (a == "--scale") {
+            o.scale = std::atof(need(i).c_str());
+        } else if (a == "--seed") {
+            o.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (a == "--size") {
+            o.l1.size = parseSize(need(i));
+        } else if (a == "--assoc") {
+            o.l1.assoc = std::atoi(need(i).c_str());
+        } else if (a == "--block") {
+            o.l1.blockBytes = parseSize(need(i));
+        } else if (a == "--sector") {
+            o.l1.sectorBytes = parseSize(need(i));
+        } else if (a == "--repl") {
+            const std::string v = need(i);
+            o.l1.repl = v == "lru"    ? ReplPolicy::LRU
+                        : v == "fifo" ? ReplPolicy::FIFO
+                        : v == "random"
+                            ? ReplPolicy::Random
+                            : (fatal("bad --repl '" + v + "'"),
+                               ReplPolicy::LRU);
+        } else if (a == "--write") {
+            const std::string v = need(i);
+            o.l1.write = v == "wb"   ? WritePolicy::WriteBack
+                         : v == "wt" ? WritePolicy::WriteThrough
+                                     : (fatal("bad --write"),
+                                        WritePolicy::WriteBack);
+        } else if (a == "--alloc") {
+            const std::string v = need(i);
+            o.l1.alloc = v == "wa"    ? AllocPolicy::WriteAllocate
+                         : v == "wna" ? AllocPolicy::WriteNoAllocate
+                         : v == "wv"  ? AllocPolicy::WriteValidate
+                                      : (fatal("bad --alloc"),
+                                         AllocPolicy::WriteAllocate);
+        } else if (a == "--prefetch") {
+            o.l1.taggedPrefetch = true;
+        } else if (a == "--stream-buffers") {
+            o.l1.streamBuffers = std::atoi(need(i).c_str());
+        } else if (a == "--stream-depth") {
+            o.l1.streamDepth = std::atoi(need(i).c_str());
+        } else if (a == "--l2-size") {
+            o.l2.size = parseSize(need(i));
+            o.haveL2 = true;
+        } else if (a == "--l2-assoc") {
+            o.l2.assoc = std::atoi(need(i).c_str());
+            o.haveL2 = true;
+        } else if (a == "--l2-block") {
+            o.l2.blockBytes = parseSize(need(i));
+            o.haveL2 = true;
+        } else if (a == "--mtc") {
+            o.runMtc = true;
+        } else if (a == "--pin-bandwidth") {
+            o.pinBandwidthMBs = std::atof(need(i).c_str());
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+            usage(1);
+        }
+    }
+    if (o.workload.empty() && o.loadTrace.empty())
+        usage(1);
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options o = parse(argc, argv);
+
+        Trace trace;
+        if (!o.loadTrace.empty()) {
+            trace = loadTrace(o.loadTrace);
+            std::printf("trace: %s (%zu refs)\n",
+                        o.loadTrace.c_str(), trace.size());
+        } else {
+            WorkloadParams p;
+            p.scale = o.scale;
+            p.seed = o.seed;
+            trace = makeWorkload(o.workload)->trace(p);
+            std::printf("workload: %s (%zu refs, scale %.2f, "
+                        "seed %llu)\n",
+                        o.workload.c_str(), trace.size(), o.scale,
+                        static_cast<unsigned long long>(o.seed));
+        }
+
+        if (!o.saveTrace.empty()) {
+            saveTrace(trace, o.saveTrace, o.format);
+            std::printf("saved trace to %s\n", o.saveTrace.c_str());
+            return 0;
+        }
+
+        std::vector<CacheConfig> levels{o.l1};
+        if (o.haveL2)
+            levels.push_back(o.l2);
+        const TrafficResult r = runTrace(trace, levels);
+
+        std::printf("\nL1: %s\n", o.l1.describe().c_str());
+        if (o.haveL2)
+            std::printf("L2: %s\n", o.l2.describe().c_str());
+        std::printf("  accesses        : %llu\n",
+                    static_cast<unsigned long long>(r.l1.accesses));
+        std::printf("  miss rate       : %.4f\n", r.l1.missRate());
+        std::printf("  request bytes   : %llu\n",
+                    static_cast<unsigned long long>(r.requestBytes));
+        std::printf("  pin bytes       : %llu\n",
+                    static_cast<unsigned long long>(r.pinBytes));
+        for (std::size_t i = 0; i < r.levelRatios.size(); ++i)
+            std::printf("  R (level %zu)     : %.4f\n", i + 1,
+                        r.levelRatios[i]);
+        std::printf("  total R         : %.4f\n", r.trafficRatio);
+        std::printf("  E_pin           : %.1f MB/s (physical %.1f)\n",
+                    o.pinBandwidthMBs / r.trafficRatio,
+                    o.pinBandwidthMBs);
+
+        if (o.runMtc) {
+            const MinCacheStats mtc =
+                runMinCache(trace, canonicalMtc(o.l1.size));
+            const double g =
+                static_cast<double>(r.levelTraffic[0]) /
+                static_cast<double>(mtc.trafficBelow());
+            std::printf("\nMTC (%s):\n",
+                        canonicalMtc(o.l1.size).describe().c_str());
+            std::printf("  MTC traffic     : %llu bytes\n",
+                        static_cast<unsigned long long>(
+                            mtc.trafficBelow()));
+            std::printf("  inefficiency G  : %.2f\n", g);
+            std::printf("  OE_pin          : %.1f MB/s\n",
+                        o.pinBandwidthMBs * g /
+                            r.levelRatios[0]);
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
