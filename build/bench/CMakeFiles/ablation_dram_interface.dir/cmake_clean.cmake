@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_interface.dir/ablation_dram_interface.cc.o"
+  "CMakeFiles/ablation_dram_interface.dir/ablation_dram_interface.cc.o.d"
+  "ablation_dram_interface"
+  "ablation_dram_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sector_cache.dir/ablation_sector_cache.cc.o"
+  "CMakeFiles/ablation_sector_cache.dir/ablation_sector_cache.cc.o.d"
+  "ablation_sector_cache"
+  "ablation_sector_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sector_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_buffers.dir/ablation_stream_buffers.cc.o"
+  "CMakeFiles/ablation_stream_buffers.dir/ablation_stream_buffers.cc.o.d"
+  "ablation_stream_buffers"
+  "ablation_stream_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

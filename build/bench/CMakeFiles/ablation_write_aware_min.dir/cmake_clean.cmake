@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_aware_min.dir/ablation_write_aware_min.cc.o"
+  "CMakeFiles/ablation_write_aware_min.dir/ablation_write_aware_min.cc.o.d"
+  "ablation_write_aware_min"
+  "ablation_write_aware_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_aware_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

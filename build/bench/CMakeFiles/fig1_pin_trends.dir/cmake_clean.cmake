@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pin_trends.dir/fig1_pin_trends.cc.o"
+  "CMakeFiles/fig1_pin_trends.dir/fig1_pin_trends.cc.o.d"
+  "fig1_pin_trends"
+  "fig1_pin_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pin_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_pin_trends.
+# This may be replaced when dependencies are built.

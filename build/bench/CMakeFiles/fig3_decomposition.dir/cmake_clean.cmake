@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_decomposition.dir/fig3_decomposition.cc.o"
+  "CMakeFiles/fig3_decomposition.dir/fig3_decomposition.cc.o.d"
+  "fig3_decomposition"
+  "fig3_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_traffic_curves.dir/fig4_traffic_curves.cc.o"
+  "CMakeFiles/fig4_traffic_curves.dir/fig4_traffic_curves.cc.o.d"
+  "fig4_traffic_curves"
+  "fig4_traffic_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_traffic_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_epin.dir/multilevel_epin.cc.o"
+  "CMakeFiles/multilevel_epin.dir/multilevel_epin.cc.o.d"
+  "multilevel_epin"
+  "multilevel_epin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_epin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

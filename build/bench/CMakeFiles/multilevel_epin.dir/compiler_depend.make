@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multilevel_epin.
+# This may be replaced when dependencies are built.

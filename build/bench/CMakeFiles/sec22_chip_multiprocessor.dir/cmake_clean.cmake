@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_chip_multiprocessor.dir/sec22_chip_multiprocessor.cc.o"
+  "CMakeFiles/sec22_chip_multiprocessor.dir/sec22_chip_multiprocessor.cc.o.d"
+  "sec22_chip_multiprocessor"
+  "sec22_chip_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_chip_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

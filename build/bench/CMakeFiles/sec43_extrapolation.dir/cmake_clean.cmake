@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_extrapolation.dir/sec43_extrapolation.cc.o"
+  "CMakeFiles/sec43_extrapolation.dir/sec43_extrapolation.cc.o.d"
+  "sec43_extrapolation"
+  "sec43_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

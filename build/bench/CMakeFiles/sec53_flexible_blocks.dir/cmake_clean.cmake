@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_flexible_blocks.dir/sec53_flexible_blocks.cc.o"
+  "CMakeFiles/sec53_flexible_blocks.dir/sec53_flexible_blocks.cc.o.d"
+  "sec53_flexible_blocks"
+  "sec53_flexible_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_flexible_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_future_systems.dir/sec6_future_systems.cc.o"
+  "CMakeFiles/sec6_future_systems.dir/sec6_future_systems.cc.o.d"
+  "sec6_future_systems"
+  "sec6_future_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_future_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_technique_effects.dir/table1_technique_effects.cc.o"
+  "CMakeFiles/table1_technique_effects.dir/table1_technique_effects.cc.o.d"
+  "table1_technique_effects"
+  "table1_technique_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_technique_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

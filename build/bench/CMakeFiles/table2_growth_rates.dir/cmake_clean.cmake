@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_growth_rates.dir/table2_growth_rates.cc.o"
+  "CMakeFiles/table2_growth_rates.dir/table2_growth_rates.cc.o.d"
+  "table2_growth_rates"
+  "table2_growth_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_growth_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

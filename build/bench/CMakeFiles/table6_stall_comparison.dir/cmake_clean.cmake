@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_stall_comparison.dir/table6_stall_comparison.cc.o"
+  "CMakeFiles/table6_stall_comparison.dir/table6_stall_comparison.cc.o.d"
+  "table6_stall_comparison"
+  "table6_stall_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_stall_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_traffic_ratios.dir/table7_traffic_ratios.cc.o"
+  "CMakeFiles/table7_traffic_ratios.dir/table7_traffic_ratios.cc.o.d"
+  "table7_traffic_ratios"
+  "table7_traffic_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_traffic_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_traffic_inefficiency.dir/table8_traffic_inefficiency.cc.o"
+  "CMakeFiles/table8_traffic_inefficiency.dir/table8_traffic_inefficiency.cc.o.d"
+  "table8_traffic_inefficiency"
+  "table8_traffic_inefficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_traffic_inefficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_factor_isolation.dir/table9_factor_isolation.cc.o"
+  "CMakeFiles/table9_factor_isolation.dir/table9_factor_isolation.cc.o.d"
+  "table9_factor_isolation"
+  "table9_factor_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_factor_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

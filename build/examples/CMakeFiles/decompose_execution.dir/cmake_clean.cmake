@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_execution.dir/decompose_execution.cpp.o"
+  "CMakeFiles/decompose_execution.dir/decompose_execution.cpp.o.d"
+  "decompose_execution"
+  "decompose_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_cache_study.dir/optimal_cache_study.cpp.o"
+  "CMakeFiles/optimal_cache_study.dir/optimal_cache_study.cpp.o.d"
+  "optimal_cache_study"
+  "optimal_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

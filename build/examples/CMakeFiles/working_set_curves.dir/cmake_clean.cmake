@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_curves.dir/working_set_curves.cpp.o"
+  "CMakeFiles/working_set_curves.dir/working_set_curves.cpp.o.d"
+  "working_set_curves"
+  "working_set_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/extrapolation.cc" "src/analysis/CMakeFiles/membw_analysis.dir/extrapolation.cc.o" "gcc" "src/analysis/CMakeFiles/membw_analysis.dir/extrapolation.cc.o.d"
+  "/root/repo/src/analysis/growth_models.cc" "src/analysis/CMakeFiles/membw_analysis.dir/growth_models.cc.o" "gcc" "src/analysis/CMakeFiles/membw_analysis.dir/growth_models.cc.o.d"
+  "/root/repo/src/analysis/pin_trends.cc" "src/analysis/CMakeFiles/membw_analysis.dir/pin_trends.cc.o" "gcc" "src/analysis/CMakeFiles/membw_analysis.dir/pin_trends.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/membw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_analysis.dir/extrapolation.cc.o"
+  "CMakeFiles/membw_analysis.dir/extrapolation.cc.o.d"
+  "CMakeFiles/membw_analysis.dir/growth_models.cc.o"
+  "CMakeFiles/membw_analysis.dir/growth_models.cc.o.d"
+  "CMakeFiles/membw_analysis.dir/pin_trends.cc.o"
+  "CMakeFiles/membw_analysis.dir/pin_trends.cc.o.d"
+  "libmembw_analysis.a"
+  "libmembw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

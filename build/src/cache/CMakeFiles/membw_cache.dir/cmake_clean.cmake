@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_cache.dir/cache.cc.o"
+  "CMakeFiles/membw_cache.dir/cache.cc.o.d"
+  "CMakeFiles/membw_cache.dir/config.cc.o"
+  "CMakeFiles/membw_cache.dir/config.cc.o.d"
+  "CMakeFiles/membw_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/membw_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/membw_cache.dir/stack_distance.cc.o"
+  "CMakeFiles/membw_cache.dir/stack_distance.cc.o.d"
+  "libmembw_cache.a"
+  "libmembw_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

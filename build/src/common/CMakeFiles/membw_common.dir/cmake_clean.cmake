@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_common.dir/stats.cc.o"
+  "CMakeFiles/membw_common.dir/stats.cc.o.d"
+  "CMakeFiles/membw_common.dir/table.cc.o"
+  "CMakeFiles/membw_common.dir/table.cc.o.d"
+  "libmembw_common.a"
+  "libmembw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

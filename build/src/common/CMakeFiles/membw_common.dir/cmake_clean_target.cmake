@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmembw_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/membw_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/membw_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/experiment.cc" "src/cpu/CMakeFiles/membw_cpu.dir/experiment.cc.o" "gcc" "src/cpu/CMakeFiles/membw_cpu.dir/experiment.cc.o.d"
+  "/root/repo/src/cpu/instr_stream.cc" "src/cpu/CMakeFiles/membw_cpu.dir/instr_stream.cc.o" "gcc" "src/cpu/CMakeFiles/membw_cpu.dir/instr_stream.cc.o.d"
+  "/root/repo/src/cpu/memsys.cc" "src/cpu/CMakeFiles/membw_cpu.dir/memsys.cc.o" "gcc" "src/cpu/CMakeFiles/membw_cpu.dir/memsys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/membw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/membw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/membw_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/membw_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/membw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/membw_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_cpu.dir/core.cc.o"
+  "CMakeFiles/membw_cpu.dir/core.cc.o.d"
+  "CMakeFiles/membw_cpu.dir/experiment.cc.o"
+  "CMakeFiles/membw_cpu.dir/experiment.cc.o.d"
+  "CMakeFiles/membw_cpu.dir/instr_stream.cc.o"
+  "CMakeFiles/membw_cpu.dir/instr_stream.cc.o.d"
+  "CMakeFiles/membw_cpu.dir/memsys.cc.o"
+  "CMakeFiles/membw_cpu.dir/memsys.cc.o.d"
+  "libmembw_cpu.a"
+  "libmembw_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

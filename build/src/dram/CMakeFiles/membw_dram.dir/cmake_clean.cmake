@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_dram.dir/dram.cc.o"
+  "CMakeFiles/membw_dram.dir/dram.cc.o.d"
+  "libmembw_dram.a"
+  "libmembw_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

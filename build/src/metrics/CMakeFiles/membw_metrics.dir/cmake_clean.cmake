@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_metrics.dir/decomposition.cc.o"
+  "CMakeFiles/membw_metrics.dir/decomposition.cc.o.d"
+  "CMakeFiles/membw_metrics.dir/traffic.cc.o"
+  "CMakeFiles/membw_metrics.dir/traffic.cc.o.d"
+  "libmembw_metrics.a"
+  "libmembw_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

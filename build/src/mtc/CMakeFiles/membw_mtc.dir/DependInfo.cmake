@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtc/min_cache.cc" "src/mtc/CMakeFiles/membw_mtc.dir/min_cache.cc.o" "gcc" "src/mtc/CMakeFiles/membw_mtc.dir/min_cache.cc.o.d"
+  "/root/repo/src/mtc/next_use.cc" "src/mtc/CMakeFiles/membw_mtc.dir/next_use.cc.o" "gcc" "src/mtc/CMakeFiles/membw_mtc.dir/next_use.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/membw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/membw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/membw_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

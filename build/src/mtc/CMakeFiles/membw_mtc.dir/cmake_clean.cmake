@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_mtc.dir/min_cache.cc.o"
+  "CMakeFiles/membw_mtc.dir/min_cache.cc.o.d"
+  "CMakeFiles/membw_mtc.dir/next_use.cc.o"
+  "CMakeFiles/membw_mtc.dir/next_use.cc.o.d"
+  "libmembw_mtc.a"
+  "libmembw_mtc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_mtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_trace.dir/recorder.cc.o"
+  "CMakeFiles/membw_trace.dir/recorder.cc.o.d"
+  "CMakeFiles/membw_trace.dir/trace.cc.o"
+  "CMakeFiles/membw_trace.dir/trace.cc.o.d"
+  "CMakeFiles/membw_trace.dir/trace_io.cc.o"
+  "CMakeFiles/membw_trace.dir/trace_io.cc.o.d"
+  "libmembw_trace.a"
+  "libmembw_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bitvector.cc" "src/workloads/CMakeFiles/membw_workloads.dir/bitvector.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/bitvector.cc.o.d"
+  "/root/repo/src/workloads/conflict_arrays.cc" "src/workloads/CMakeFiles/membw_workloads.dir/conflict_arrays.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/conflict_arrays.cc.o.d"
+  "/root/repo/src/workloads/fft_mm.cc" "src/workloads/CMakeFiles/membw_workloads.dir/fft_mm.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/fft_mm.cc.o.d"
+  "/root/repo/src/workloads/hash_table.cc" "src/workloads/CMakeFiles/membw_workloads.dir/hash_table.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/hash_table.cc.o.d"
+  "/root/repo/src/workloads/object_db.cc" "src/workloads/CMakeFiles/membw_workloads.dir/object_db.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/object_db.cc.o.d"
+  "/root/repo/src/workloads/pointer_chase.cc" "src/workloads/CMakeFiles/membw_workloads.dir/pointer_chase.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/pointer_chase.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/membw_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/small_set.cc" "src/workloads/CMakeFiles/membw_workloads.dir/small_set.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/small_set.cc.o.d"
+  "/root/repo/src/workloads/streaming.cc" "src/workloads/CMakeFiles/membw_workloads.dir/streaming.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/streaming.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/membw_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/membw_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/membw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/membw_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_workloads.dir/bitvector.cc.o"
+  "CMakeFiles/membw_workloads.dir/bitvector.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/conflict_arrays.cc.o"
+  "CMakeFiles/membw_workloads.dir/conflict_arrays.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/fft_mm.cc.o"
+  "CMakeFiles/membw_workloads.dir/fft_mm.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/hash_table.cc.o"
+  "CMakeFiles/membw_workloads.dir/hash_table.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/object_db.cc.o"
+  "CMakeFiles/membw_workloads.dir/object_db.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/pointer_chase.cc.o"
+  "CMakeFiles/membw_workloads.dir/pointer_chase.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/registry.cc.o"
+  "CMakeFiles/membw_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/small_set.cc.o"
+  "CMakeFiles/membw_workloads.dir/small_set.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/streaming.cc.o"
+  "CMakeFiles/membw_workloads.dir/streaming.cc.o.d"
+  "CMakeFiles/membw_workloads.dir/workload.cc.o"
+  "CMakeFiles/membw_workloads.dir/workload.cc.o.d"
+  "libmembw_workloads.a"
+  "libmembw_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_behavior.dir/core_behavior_test.cc.o"
+  "CMakeFiles/test_core_behavior.dir/core_behavior_test.cc.o.d"
+  "test_core_behavior"
+  "test_core_behavior.pdb"
+  "test_core_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

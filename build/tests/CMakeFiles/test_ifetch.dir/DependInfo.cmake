@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ifetch_test.cc" "tests/CMakeFiles/test_ifetch.dir/ifetch_test.cc.o" "gcc" "tests/CMakeFiles/test_ifetch.dir/ifetch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mtc/CMakeFiles/membw_mtc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/membw_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/membw_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/membw_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/membw_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/membw_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/membw_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/membw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/membw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

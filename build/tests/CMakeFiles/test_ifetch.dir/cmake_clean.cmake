@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ifetch.dir/ifetch_test.cc.o"
+  "CMakeFiles/test_ifetch.dir/ifetch_test.cc.o.d"
+  "test_ifetch"
+  "test_ifetch.pdb"
+  "test_ifetch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ifetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

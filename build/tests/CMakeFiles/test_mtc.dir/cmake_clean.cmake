@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtc.dir/mtc_test.cc.o"
+  "CMakeFiles/test_mtc.dir/mtc_test.cc.o.d"
+  "test_mtc"
+  "test_mtc.pdb"
+  "test_mtc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[GoldenTraces.FingerprintsAreStable]=]  /root/repo/build/tests/test_golden [==[--gtest_filter=GoldenTraces.FingerprintsAreStable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenTraces.FingerprintsAreStable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_golden_TESTS GoldenTraces.FingerprintsAreStable)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_decompose.dir/membw_decompose.cc.o"
+  "CMakeFiles/membw_decompose.dir/membw_decompose.cc.o.d"
+  "membw_decompose"
+  "membw_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membw_sim.dir/membw_sim.cc.o"
+  "CMakeFiles/membw_sim.dir/membw_sim.cc.o.d"
+  "membw_sim"
+  "membw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
