@@ -25,10 +25,14 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.5);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.5);
+    const double scale = opt.scale;
     bench::banner("Ablation: DRAM interface generations "
                   "(experiment F)",
                   scale);
+    bench::JsonReport jreport("ablation_dram_interface",
+                              "Section 2.3", opt);
 
     for (const char *name : {"Swm", "Compress"}) {
         WorkloadParams p;
@@ -36,6 +40,7 @@ main(int argc, char **argv)
         const auto run = makeWorkload(name)->run(p);
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(name), p.seed);
+        jreport.addRefs(stream.size());
 
         TextTable t;
         t.header({"memory", "cycles", "f_P", "f_L", "f_B",
@@ -75,11 +80,13 @@ main(int argc, char **argv)
         report("RDRAM + half pins", narrow);
 
         std::printf("%s\n%s\n", name, t.render().c_str());
+        jreport.addTable(name, t);
     }
     std::printf("Expected: FPM/EDO slow things down slightly; SDRAM/"
                 "RDRAM match the flat\nmodel — while halving pin "
                 "width hurts regardless of the DRAM.  The pins,\n"
                 "not the DRAM banks, are the long-term "
                 "bottleneck.\n");
+    jreport.write();
     return 0;
 }

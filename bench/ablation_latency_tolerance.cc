@@ -35,15 +35,21 @@ report(TextTable &t, const std::string &label,
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.5);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.5);
+    const double scale = opt.scale;
     bench::banner("Ablation: latency-tolerance mechanism knobs "
                   "(around experiment E, Swm)",
                   scale);
+    bench::JsonReport jreport("ablation_latency_tolerance",
+                              "Experiment E knobs", opt);
+    jreport.manifest().workload = "Swm";
 
     WorkloadParams p;
     p.scale = scale;
     const auto run = makeWorkload("Swm")->run(p);
     const InstrStream stream = InstrStream::fromRun(run, codeFootprintBytes("Swm"), p.seed);
+    jreport.addRefs(stream.size());
 
     TextTable t;
     t.header({"variant", "cycles", "f_P", "f_L", "f_B"});
@@ -80,5 +86,7 @@ main(int argc, char **argv)
     std::printf("Expectations: more MSHRs/window shrink f_L but "
                 "expose f_B; wider buses\nconvert f_B back into "
                 "compute; disabling prefetch re-exposes f_L.\n");
+    jreport.addTable("knobs", t);
+    jreport.write();
     return 0;
 }

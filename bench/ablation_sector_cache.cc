@@ -19,15 +19,20 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Ablation: sector caches (miss ratio vs traffic "
                   "ratio, Hill & Smith [20])",
                   scale);
+    bench::JsonReport report("ablation_sector_cache", "Section 6.1",
+                             opt);
 
     for (const char *name : {"Compress", "Swm"}) {
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = makeWorkload(name)->trace(p);
+        report.addRefs(trace.size());
 
         TextTable t;
         t.header({"block", "sector", "miss%", "R"});
@@ -48,10 +53,12 @@ main(int argc, char **argv)
             }
         }
         std::printf("%s\n%s\n", name, t.render().c_str());
+        report.addTable(name, t);
     }
     std::printf("Expected: for Compress (no spatial locality) a 4B "
                 "sector slashes traffic at\nunchanged miss ratio; "
                 "for Swm small sectors trade traffic against extra\n"
                 "partial-fill requests.\n");
+    report.write();
     return 0;
 }

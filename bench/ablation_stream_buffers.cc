@@ -24,10 +24,14 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Ablation: prefetcher traffic overhead "
                   "(tagged vs stream buffers)",
                   scale);
+    bench::JsonReport report("ablation_stream_buffers", "Section 2.1",
+                             opt);
 
     TextTable t;
     t.header({"benchmark", "variant", "miss%", "traffic KB", "R",
@@ -37,6 +41,7 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = makeWorkload(name)->trace(p);
+        report.addRefs(trace.size());
 
         auto run = [&](bool tagged, unsigned streams) {
             CacheConfig cfg;
@@ -71,5 +76,7 @@ main(int argc, char **argv)
                 "buys latency.  Irregular\ncodes (Compress, Li): "
                 "prefetchers fetch blocks nobody wants — pure "
                 "bandwidth\nloss, the Table 1 'up arrow' for f_B.\n");
+    report.addTable("prefetch_overhead", t);
+    report.write();
     return 0;
 }

@@ -23,10 +23,14 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Ablation: plain MIN vs write-aware MIN "
                   "(the Horwitz disparity, Section 5.2)",
                   scale);
+    bench::JsonReport report("ablation_write_aware_min",
+                             "Section 5.2", opt);
 
     TextTable t;
     t.header({"benchmark", "size", "MIN bytes", "aware saved%",
@@ -37,6 +41,7 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = w->trace(p);
+        report.addRefs(trace.size());
         const Bytes size = name == "Espresso" ? 16_KiB : 64_KiB;
 
         auto bytes = [&](bool aware, bool bypass) {
@@ -70,5 +75,8 @@ main(int argc, char **argv)
                 "Horwitz disparity is small enough to ignore.\n",
                 worst,
                 worst < 5.0 ? "supporting" : "challenging");
+    report.addTable("write_aware_min", t);
+    report.setMeta("largest_saving_pct", fixed(worst, 2));
+    report.write();
     return 0;
 }

@@ -10,13 +10,21 @@
 #ifndef MEMBW_BENCH_BENCH_UTIL_HH
 #define MEMBW_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/config.hh"
+#include "common/log.hh"
+#include "common/table.hh"
 #include "common/types.hh"
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "obs/progress.hh"
 #include "workloads/workload.hh"
 
 namespace membw::bench {
@@ -37,6 +45,157 @@ scaleFromArgs(int argc, char **argv, double dflt)
     }
     return dflt;
 }
+
+/** CLI error: print and exit instead of unwinding through main. */
+[[noreturn]] inline void
+cliFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Options shared by every bench driver. */
+struct BenchOptions
+{
+    double scale = 1.0;
+    std::string jsonPath; ///< --json FILE; empty = no telemetry
+};
+
+/**
+ * Parse bench arguments: a bare positive number (legacy positional
+ * scale), --scale S, and --json FILE.  $MEMBW_SCALE applies when no
+ * explicit scale is given.
+ */
+inline BenchOptions
+parseOptions(int argc, char **argv, double dfltScale)
+{
+    BenchOptions o;
+    o.scale = dfltScale;
+    if (const char *env = std::getenv("MEMBW_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            o.scale = v;
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cliFatal("missing value for " + a);
+            return argv[++i];
+        };
+        if (a == "--scale") {
+            o.scale = std::atof(need().c_str());
+            if (o.scale <= 0)
+                cliFatal("bad --scale value");
+        } else if (a == "--json") {
+            o.jsonPath = need();
+        } else if (!a.empty() && a[0] != '-' &&
+                   std::atof(a.c_str()) > 0) {
+            o.scale = std::atof(a.c_str());
+        } else {
+            cliFatal("unknown bench flag '" + a +
+                     "' (expected SCALE, --scale S, or --json FILE)");
+        }
+    }
+    return o;
+}
+
+/**
+ * Structured run report behind every bench binary's --json flag: a
+ * RunManifest plus each printed TextTable re-emitted as an array of
+ * {column: value} records.  Cells that parse fully as numbers become
+ * JSON numbers, so downstream tooling reads the same values the text
+ * table shows.  write() is a no-op when --json was not given.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string tool, std::string experiment,
+               const BenchOptions &opt)
+        : path_(opt.jsonPath)
+    {
+        manifest_.tool = std::move(tool);
+        manifest_.experiment = std::move(experiment);
+        manifest_.scale = opt.scale;
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Mutable manifest for workload/config/seed fields. */
+    RunManifest &manifest() { return manifest_; }
+
+    /** Accumulate simulated references for the Mrefs/s rate. */
+    void addRefs(std::uint64_t n) { manifest_.refs += n; }
+
+    /** Attach a free-form manifest field. */
+    void
+    setMeta(std::string key, std::string value)
+    {
+        manifest_.set(std::move(key), std::move(value));
+    }
+
+    /** Snapshot a rendered table under @p name. */
+    void
+    addTable(std::string name, const TextTable &table)
+    {
+        tables_.emplace_back(std::move(name), table);
+    }
+
+    /** Emit {"manifest": ..., "tables": {...}} to the --json path. */
+    void
+    write()
+    {
+        if (path_.empty())
+            return;
+        manifest_.wallSeconds = timer_.seconds();
+        JsonWriter w;
+        w.beginObject();
+        w.key("manifest");
+        manifest_.write(w);
+        w.key("tables");
+        w.beginObject();
+        for (const auto &[name, table] : tables_) {
+            w.key(name);
+            w.beginArray();
+            for (const auto &row : table.dataRows()) {
+                w.beginObject();
+                const auto &cols = table.headerCells();
+                for (std::size_t c = 0;
+                     c < cols.size() && c < row.size(); ++c) {
+                    w.key(cols[c]);
+                    writeCell(w, row[c]);
+                }
+                w.endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+        w.endObject();
+        try {
+            writeFileOrDie(path_, w.str());
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what()); // already "fatal: ..."
+            std::exit(1);
+        }
+    }
+
+  private:
+    static void
+    writeCell(JsonWriter &w, const std::string &cell)
+    {
+        char *end = nullptr;
+        const double v = std::strtod(cell.c_str(), &end);
+        if (end != cell.c_str() && *end == '\0')
+            w.value(v);
+        else
+            w.value(cell);
+    }
+
+    std::string path_;
+    RunManifest manifest_;
+    WallTimer timer_;
+    std::vector<std::pair<std::string, TextTable>> tables_;
+};
 
 /** The Table 7/8 cache-size sweep: 1KB..2MB. */
 inline std::vector<Bytes>

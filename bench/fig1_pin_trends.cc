@@ -19,8 +19,11 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Figure 1: physical microprocessor trends", scale);
+    bench::JsonReport report("fig1_pin_trends", "Figure 1", opt);
 
     TextTable t;
     t.header({"processor", "year", "pins", "MIPS", "pin MB/s",
@@ -32,6 +35,7 @@ main(int argc, char **argv)
                fixed(r.mipsPerBandwidth(), 3)});
     }
     std::printf("%s\n", t.render().c_str());
+    report.addTable("processors", t);
 
     const GrowthFit pins = pinCountGrowth();
     const GrowthFit perf = performanceGrowth();
@@ -45,5 +49,12 @@ main(int argc, char **argv)
     std::printf("Figure 1b fit : MIPS/pin grows %.1f%%/yr (r2=%.2f) "
                 "— \"increasing explosively\"\n",
                 (per_pin.annualFactor - 1.0) * 100.0, per_pin.r2);
+    report.setMeta("pin_growth_pct_yr",
+                   fixed((pins.annualFactor - 1.0) * 100.0, 1));
+    report.setMeta("perf_growth_pct_yr",
+                   fixed((perf.annualFactor - 1.0) * 100.0, 1));
+    report.setMeta("mips_per_pin_growth_pct_yr",
+                   fixed((per_pin.annualFactor - 1.0) * 100.0, 1));
+    report.write();
     return 0;
 }

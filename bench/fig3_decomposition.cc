@@ -23,7 +23,7 @@ namespace {
 
 void
 runSet(const std::vector<std::string> &names, bool spec95,
-       double scale)
+       double scale, bench::JsonReport &report)
 {
     std::printf("---- %s benchmarks ----\n",
                 spec95 ? "SPEC95" : "SPEC92");
@@ -33,6 +33,7 @@ runSet(const std::vector<std::string> &names, bool spec95,
         const auto run = makeWorkload(name)->run(p);
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(name), p.seed);
+        report.addRefs(stream.size());
 
         TextTable t;
         t.header({"exp", "norm T", "f_P", "f_L", "f_B", "IPC",
@@ -59,6 +60,10 @@ runSet(const std::vector<std::string> &names, bool spec95,
         }
         std::printf("%s (%zu ops)\n%s\n", name.c_str(),
                     stream.size(), t.render().c_str());
+        report.addTable((spec95 ? std::string("spec95/")
+                                : std::string("spec92/")) +
+                            name,
+                        t);
     }
 }
 
@@ -67,13 +72,17 @@ runSet(const std::vector<std::string> &names, bool spec95,
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.5);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.5);
+    const double scale = opt.scale;
     bench::banner(
         "Figure 3: effect of latency-reduction techniques", scale);
-    runSet(spec92Names(), false, scale);
-    runSet(spec95Names(), true, scale);
+    bench::JsonReport report("fig3_decomposition", "Figure 3", opt);
+    runSet(spec92Names(), false, scale, report);
+    runSet(spec95Names(), true, scale, report);
     std::printf("Paper's headline: applying latency tolerance "
                 "(A->F) grows f_B until it\ngenerally exceeds f_L "
                 "— compare the f_L and f_B columns of A vs F.\n");
+    report.write();
     return 0;
 }

@@ -23,9 +23,12 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Figure 4: total traffic by cache and MTC size",
                   scale);
+    bench::JsonReport report("fig4_traffic_curves", "Figure 4", opt);
 
     const std::vector<Bytes> sizes = {
         64,     256,    1_KiB,   4_KiB, 16_KiB,
@@ -37,6 +40,7 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = w->trace(p);
+        report.addRefs(trace.size());
 
         TextTable t;
         {
@@ -79,11 +83,13 @@ main(int argc, char **argv)
         }
         std::printf("%s (%zu refs)\n%s\n", name,
                     trace.size(), t.render().c_str());
+        report.addTable(name, t);
     }
     std::printf("Expected shapes: Compress's traffic grows with "
                 "every block-size doubling\n(no spatial locality); "
                 "Swm converges for big caches; the MTC lines sit\n"
                 "well below every cache line (the traffic-"
                 "inefficiency gap).\n");
+    report.write();
     return 0;
 }

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
 #include "cache/cache.hh"
 #include "common/rng.hh"
 #include "cpu/experiment.hh"
@@ -101,4 +105,48 @@ BENCHMARK(BM_WorkloadGeneration);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the common
+// --json FILE flag (manifest-only telemetry; per-benchmark numbers
+// come from google-benchmark's own --benchmark_out) and hand the
+// rest to the benchmark library.
+int
+main(int argc, char **argv)
+{
+    using namespace membw;
+    std::string json_path;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (std::string(argv[i]) == "--scale" && i + 1 < argc)
+            ++i; // fixed-size microbenchmarks; accepted for symmetry
+        else
+            args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+
+    WallTimer timer;
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (!json_path.empty()) {
+        RunManifest manifest;
+        manifest.tool = "micro_throughput";
+        manifest.experiment = "simulator microbenchmarks";
+        manifest.wallSeconds = timer.seconds();
+        manifest.set("note", "use --benchmark_out for per-benchmark "
+                             "timings");
+        JsonWriter w;
+        w.beginObject();
+        w.key("manifest");
+        manifest.write(w);
+        w.endObject();
+        writeFileOrDie(json_path, w.str());
+    }
+    return 0;
+}

@@ -39,10 +39,13 @@ level(const char *name, Bytes size, unsigned assoc, Bytes block)
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Extension: multi-level effective pin bandwidth "
                   "(Equation 5, k = 1..3)",
                   scale);
+    bench::JsonReport report("multilevel_epin", "Equation 5", opt);
 
     const double pin_mb = 800.0;
 
@@ -50,6 +53,7 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = makeWorkload(name)->trace(p);
+        report.addRefs(trace.size());
 
         TextTable t;
         t.header({"hierarchy", "R1", "R2", "R3", "prod R",
@@ -81,9 +85,11 @@ main(int argc, char **argv)
             t.row(row);
         }
         std::printf("%s\n%s\n", name, t.render().c_str());
+        report.addTable(name, t);
     }
     std::printf("Each added level multiplies the traffic filter "
                 "(Equation 5) — until the\ndata set is resident and "
                 "the marginal R_i stops paying for its area.\n");
+    report.write();
     return 0;
 }

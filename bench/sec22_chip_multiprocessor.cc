@@ -27,10 +27,14 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.5);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.5);
+    const double scale = opt.scale;
     bench::banner("Section 2.2: single-chip multiprocessors vs "
                   "fixed pin bandwidth",
                   scale);
+    bench::JsonReport report("sec22_chip_multiprocessor",
+                             "Section 2.2", opt);
 
     for (const char *name : {"Swm", "Compress"}) {
         WorkloadParams p;
@@ -38,6 +42,7 @@ main(int argc, char **argv)
         const auto run = makeWorkload(name)->run(p);
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(name), p.seed);
+        report.addRefs(stream.size());
 
         TextTable t;
         t.header({"cores", "per-core T", "slowdown", "chip speedup",
@@ -65,9 +70,11 @@ main(int argc, char **argv)
         }
         std::printf("%s (experiment F core)\n%s\n", name,
                     t.render().c_str());
+        report.addTable(name, t);
     }
     std::printf("The paper's point: chip speedup saturates well "
                 "below N because every added\ncore dilutes the "
                 "per-core pin bandwidth — f_B absorbs the loss.\n");
+    report.write();
     return 0;
 }

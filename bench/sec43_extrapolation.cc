@@ -17,9 +17,13 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Section 4.3: pin bandwidth requirements in 2006",
                   scale);
+    bench::JsonReport report("sec43_extrapolation", "Section 4.3",
+                             opt);
 
     // Use the measured Figure 1a growth rather than the nominal 16%.
     const GrowthFit pin_fit = pinCountGrowth();
@@ -61,5 +65,10 @@ main(int argc, char **argv)
     std::printf("%s\n", t.render().c_str());
     std::printf("The third option is the least costly — the "
                 "motivation for Section 5.\n");
+    report.addTable("options", t);
+    report.setMeta("projected_2006_pins", fixed(r.pins, 0));
+    report.setMeta("bandwidth_per_pin_factor",
+                   fixed(r.bandwidthPerPinFactor, 1));
+    report.write();
     return 0;
 }

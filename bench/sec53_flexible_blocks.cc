@@ -27,10 +27,14 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Section 5.3: per-application block-size tuning "
                   "(64KB direct-mapped cache)",
                   scale);
+    bench::JsonReport report("sec53_flexible_blocks", "Section 5.3",
+                             opt);
 
     const std::vector<Bytes> blocks = {4, 8, 16, 32, 64, 128};
 
@@ -50,6 +54,7 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = w->trace(p);
+        report.addRefs(trace.size());
         const Bytes size =
             name == "Espresso" ? 16_KiB : 64_KiB;
 
@@ -110,5 +115,7 @@ main(int argc, char **argv)
                 "streaming\ncodes, an order of magnitude for "
                 "Compress.\n",
                 varied ? "diverge" : "agree");
+    report.addTable("block_tuning", t);
+    report.write();
     return 0;
 }

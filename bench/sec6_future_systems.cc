@@ -26,16 +26,20 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.5);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.5);
+    const double scale = opt.scale;
     bench::banner("Section 6: future solutions — compression and "
                   "on-chip DRAM",
                   scale);
+    bench::JsonReport report("sec6_future_systems", "Section 6", opt);
 
     // ---- 1. compression as an effective-bandwidth multiplier ----
     {
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = makeWorkload("Swm")->trace(p);
+        report.addRefs(trace.size());
         const TrafficResult r =
             runTrace(trace, bench::table7Cache(64_KiB));
         const double pin = 800.0; // MB/s
@@ -49,6 +53,7 @@ main(int argc, char **argv)
         }
         std::printf("Compression (Swm, 64KB L1, R=%.2f):\n%s\n",
                     r.trafficRatio, t.render().c_str());
+        report.addTable("compression", t);
     }
 
     // ---- 2. the Figure 5 unified processor/DRAM system ----
@@ -60,6 +65,7 @@ main(int argc, char **argv)
         const auto run = makeWorkload(name)->run(p);
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(name), p.seed);
+        report.addRefs(stream.size());
 
         TextTable t;
         t.header({"system", "cycles", "f_P", "f_L", "f_B",
@@ -100,10 +106,12 @@ main(int argc, char **argv)
         row("conventional F", rc);
         row("on-chip DRAM", ri);
         std::printf("%s\n%s\n", name, t.render().c_str());
+        report.addTable(std::string("iram/") + name, t);
     }
     std::printf("The paper's long-term bet: once off-chip accesses "
                 "are page-fault-rare,\nbandwidth stalls collapse — "
                 "\"enabling levels of performance far beyond what\n"
                 "we can achieve today\".\n");
+    report.write();
     return 0;
 }

@@ -58,15 +58,21 @@ runSplit(const InstrStream &stream, const ExperimentConfig &cfg)
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.4);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.4);
+    const double scale = opt.scale;
     bench::banner("Table 1: estimated effects on execution "
                   "divisions (derived empirically, Su2cor)",
                   scale);
+    bench::JsonReport report("table1_technique_effects", "Table 1",
+                             opt);
+    report.manifest().workload = "Su2cor";
 
     WorkloadParams p;
     p.scale = scale;
     const auto run = makeWorkload("Su2cor")->run(p);
     const InstrStream stream = InstrStream::fromRun(run, codeFootprintBytes("Su2cor"), p.seed);
+    report.addRefs(stream.size());
 
     TextTable t;
     t.header({"technique", "f_P", "f_L", "f_B", "paper f_B"});
@@ -128,6 +134,7 @@ main(int argc, char **argv)
             "down");
     }
     std::printf("%s\n", t.render().c_str());
+    report.addTable("technique_arrows", t);
 
     // ---- multithreading: traffic-axis evidence ----
     {
@@ -164,6 +171,10 @@ main(int argc, char **argv)
                     "(paper: cache interference increases misses "
                     "and total traffic\n— f_B up).\n",
                     100.0 * (shared_per_ref / solo_per_ref - 1.0));
+        report.setMeta(
+            "multithread_traffic_increase_pct",
+            fixed(100.0 * (shared_per_ref / solo_per_ref - 1.0), 1));
     }
+    report.write();
     return 0;
 }

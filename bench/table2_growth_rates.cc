@@ -17,8 +17,11 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 1.0);
+    const double scale = opt.scale;
     bench::banner("Table 2: application growth rates", scale);
+    bench::JsonReport report("table2_growth_rates", "Table 2", opt);
 
     TextTable t;
     t.header({"Algorithm", "Memory", "Comp. (C)", "Traffic (D)",
@@ -41,6 +44,7 @@ main(int argc, char **argv)
                fixed(m->ratioGrowth(n, s, 16.0), 2)});
     }
     std::printf("%s\n", t.render().c_str());
+    report.addTable("growth_rates", t);
 
     const auto tmm = makeTmmModel();
     std::printf("Section 2.4 check (TMM): 4x on-chip memory cuts "
@@ -48,5 +52,10 @@ main(int argc, char **argv)
                 "processing speed need only grow by sqrt(4)=2 to\n"
                 "keep the compute/bandwidth balance.\n",
                 100.0 * tmm->traffic(n, 4 * s) / tmm->traffic(n, s));
+    report.setMeta("tmm_traffic_pct_at_4x_memory",
+                   fixed(100.0 * tmm->traffic(n, 4 * s) /
+                             tmm->traffic(n, s),
+                         1));
+    report.write();
     return 0;
 }

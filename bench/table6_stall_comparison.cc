@@ -17,9 +17,13 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 0.5);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.5);
+    const double scale = opt.scale;
     bench::banner("Table 6: latency vs bandwidth stalls, A vs F",
                   scale);
+    bench::JsonReport report("table6_stall_comparison", "Table 6",
+                             opt);
 
     // The paper's Table 6 set: everything not cache-bound
     // (Espresso, Eqntott, and Li are excluded).
@@ -44,6 +48,7 @@ main(int argc, char **argv)
         const auto run = makeWorkload(row.name)->run(p);
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(row.name), p.seed);
+        report.addRefs(stream.size());
 
         const auto a = runDecomposition(
             stream, makeExperiment('A', row.spec95));
@@ -62,5 +67,9 @@ main(int argc, char **argv)
                 "experiment F for %u/8 benchmarks\n(paper: all but "
                 "Vortex and Perl).\n",
                 bw_dominant);
+    report.addTable("stalls", t);
+    report.setMeta("bandwidth_dominant_benchmarks",
+                   std::to_string(bw_dominant));
+    report.write();
     return 0;
 }

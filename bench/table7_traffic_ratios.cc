@@ -20,10 +20,13 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 2.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 2.0);
+    const double scale = opt.scale;
     bench::banner("Table 7: traffic ratios (direct-mapped, 32B "
                   "blocks, write-back)",
                   scale);
+    bench::JsonReport report("table7_traffic_ratios", "Table 7", opt);
 
     const auto sizes = bench::table7Sizes();
     TextTable t;
@@ -41,6 +44,7 @@ main(int argc, char **argv)
         p.scale = scale;
         const Trace trace = w->trace(p);
         const Bytes data_set = w->nominalDataSetBytes();
+        report.addRefs(trace.size());
 
         std::vector<std::string> row{name};
         for (Bytes size : sizes) {
@@ -62,5 +66,8 @@ main(int argc, char **argv)
                 "\"reasonably-sized on-chip caches reduce the "
                 "traffic from\nthe processor by about half\").\n",
                 mean(mean_pool));
+    report.addTable("traffic_ratios", t);
+    report.setMeta("mean_r_64k_plus", fixed(mean(mean_pool), 2));
+    report.write();
     return 0;
 }

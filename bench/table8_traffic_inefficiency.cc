@@ -22,10 +22,14 @@ using namespace membw;
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 2.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 2.0);
+    const double scale = opt.scale;
     bench::banner("Table 8: traffic inefficiencies (cache vs "
                   "minimal-traffic cache)",
                   scale);
+    bench::JsonReport report("table8_traffic_inefficiency", "Table 8",
+                             opt);
 
     const auto sizes = bench::table7Sizes();
     TextTable t;
@@ -43,6 +47,7 @@ main(int argc, char **argv)
         p.scale = scale;
         const Trace trace = w->trace(p);
         const Bytes data_set = w->nominalDataSetBytes();
+        report.addRefs(trace.size());
 
         std::vector<std::string> row{name};
         for (Bytes size : sizes) {
@@ -68,5 +73,8 @@ main(int argc, char **argv)
                 "through better on-chip memory management "
                 "(Equation 7).\n",
                 max_gap);
+    report.addTable("inefficiency", t);
+    report.setMeta("max_inefficiency", fixed(max_gap, 1));
+    report.write();
     return 0;
 }

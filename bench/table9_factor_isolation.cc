@@ -53,9 +53,13 @@ minTraffic(const Trace &t, Bytes size, Bytes block, AllocPolicy alloc)
 int
 main(int argc, char **argv)
 {
-    const double scale = bench::scaleFromArgs(argc, argv, 2.0);
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 2.0);
+    const double scale = opt.scale;
     bench::banner("Tables 9/10: inefficiency-gap factor isolation",
                   scale);
+    bench::JsonReport report("table9_factor_isolation", "Tables 9/10",
+                             opt);
 
     std::printf("Factor            Exp1                  Exp2\n"
                 "I   Associativity LRU, 1-way, 32B, WA   LRU, full, 32B, WA\n"
@@ -73,6 +77,7 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         const Trace trace = w->trace(p);
+        report.addRefs(trace.size());
         // 64KB everywhere except Espresso's 16KB (small data set).
         const Bytes size = name == "Espresso" ? 16_KiB : 64_KiB;
 
@@ -105,5 +110,7 @@ main(int argc, char **argv)
                 "MIN replacement helps only codes with intermediate "
                 "locality (e.g. it is\nworth ~1x for Swm/Tomcatv); "
                 "write-validate is huge for Eqntott.\n");
+    report.addTable("factors", t);
+    report.write();
     return 0;
 }

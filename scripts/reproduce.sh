@@ -19,10 +19,14 @@ for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
     echo "== $name"
+    # Every bench also emits machine-readable telemetry (manifest +
+    # table records) next to its text artifact; see
+    # docs/observability.md for the schema.
     if [ -n "$SCALE" ]; then
-        "$b" "$SCALE" > "results/$name.txt"
+        "$b" --scale "$SCALE" --json "results/$name.json" \
+            > "results/$name.txt"
     else
-        "$b" > "results/$name.txt"
+        "$b" --json "results/$name.json" > "results/$name.txt"
     fi
 done
-echo "All artifacts regenerated under results/."
+echo "All artifacts regenerated under results/ (.txt + .json)."

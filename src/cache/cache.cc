@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace membw {
 
@@ -145,8 +146,10 @@ Cache::evict(Set &set, unsigned way, bool to_flush)
     if (!line.valid)
         return 0;
 
+    stats_.evictions++;
     const Bytes wb = writebackSize(line);
     if (wb) {
+        stats_.writebacks++;
         if (to_flush)
             stats_.flushWritebackBytes += wb;
         else
@@ -402,6 +405,84 @@ Cache::flush()
             total += evict(set, w, true);
     }
     return total;
+}
+
+void
+Cache::publishStats(StatsGroup &group) const
+{
+    publishCacheStats(group, stats_);
+}
+
+void
+publishCacheStats(StatsGroup &group, const CacheStats &stats)
+{
+    auto &accesses = group.addCounter(
+        "accesses", "references presented to this level", "refs");
+    accesses.set(stats.accesses);
+    group.addCounter("loads", "load references", "refs")
+        .set(stats.loads);
+    group.addCounter("stores", "store references", "refs")
+        .set(stats.stores);
+    group.addCounter("hits", "references satisfied in place", "refs")
+        .set(stats.hits);
+    auto &misses = group.addCounter(
+        "demand_misses", "demand references that missed", "refs");
+    misses.set(stats.misses);
+    group.addCounter("load_misses", "demand load misses", "refs")
+        .set(stats.loadMisses);
+    group.addCounter("store_misses", "demand store misses", "refs")
+        .set(stats.storeMisses);
+    group.addCounter("partial_fills",
+                     "word-granularity fills into valid lines",
+                     "events")
+        .set(stats.partialFills);
+    group.addCounter("prefetches", "tagged-prefetch fills issued",
+                     "events")
+        .set(stats.prefetches);
+    group.addCounter("stream_hits",
+                     "misses served from a stream buffer", "events")
+        .set(stats.streamHits);
+    group.addCounter("stream_allocs", "stream (re)allocations",
+                     "events")
+        .set(stats.streamAllocs);
+    group.addCounter("evictions", "valid lines displaced or flushed",
+                     "events")
+        .set(stats.evictions);
+    group.addCounter("writebacks", "evictions that wrote data below",
+                     "events")
+        .set(stats.writebacks);
+    group.addRatio("miss_rate", "demand_misses / accesses", misses,
+                   accesses);
+
+    StatsGroup bytes = group.group("bytes");
+    auto &request = bytes.addCounter(
+        "request", "traffic above this level (D_{i-1})", "bytes");
+    request.set(stats.requestBytes);
+    bytes.addCounter("demand_fetch", "full-block demand fills",
+                     "bytes")
+        .set(stats.demandFetchBytes);
+    bytes.addCounter("partial_fill", "word-granularity fills (WV)",
+                     "bytes")
+        .set(stats.partialFillBytes);
+    bytes.addCounter("prefetch_fetch", "tagged-prefetch fills",
+                     "bytes")
+        .set(stats.prefetchFetchBytes);
+    bytes.addCounter("stream_fetch", "stream-buffer fills", "bytes")
+        .set(stats.streamFetchBytes);
+    bytes.addCounter("writeback", "dirty evictions", "bytes")
+        .set(stats.writebackBytes);
+    bytes.addCounter("write_through", "stores propagated (WT/WNA)",
+                     "bytes")
+        .set(stats.writeThroughBytes);
+    bytes.addCounter("flush_writeback", "end-of-run dirty flush",
+                     "bytes")
+        .set(stats.flushWritebackBytes);
+    auto &below = bytes.addCounter(
+        "below", "total traffic below this level (D_i)", "bytes");
+    below.set(stats.trafficBelow());
+    group.addRatio("traffic_ratio",
+                   "R = bytes.below / bytes.request (Equation 4)",
+                   below, request);
 }
 
 bool

@@ -25,6 +25,8 @@
 
 namespace membw {
 
+class StatsGroup;
+
 /** Byte counters for one cache level. */
 struct CacheStats
 {
@@ -35,6 +37,8 @@ struct CacheStats
     std::uint64_t misses = 0;
     std::uint64_t loadMisses = 0;
     std::uint64_t storeMisses = 0;
+    std::uint64_t evictions = 0;      ///< valid lines displaced/flushed
+    std::uint64_t writebacks = 0;     ///< evictions that moved data
     std::uint64_t partialFills = 0;   ///< word fills into WV lines
     std::uint64_t prefetches = 0;     ///< prefetch fills issued
     std::uint64_t streamHits = 0;     ///< misses served by a stream
@@ -121,6 +125,9 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
 
+    /** Register this cache's counters under @p group (see docs/observability.md). */
+    void publishStats(StatsGroup &group) const;
+
     /** True iff the block containing @p addr is resident. */
     bool contains(Addr addr) const;
 
@@ -191,6 +198,13 @@ class Cache
     };
     std::vector<Stream> streams_;
 };
+
+/**
+ * Publish @p stats into @p group: event counters, per-class byte
+ * counters under a "bytes" subtree, and derived miss_rate /
+ * traffic_ratio ratios.
+ */
+void publishCacheStats(StatsGroup &group, const CacheStats &stats);
 
 } // namespace membw
 

@@ -1,8 +1,39 @@
 #include "cache/hierarchy.hh"
 
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace membw {
+
+namespace {
+
+/** Hierarchy aggregates shared by the live and snapshot publishers. */
+void
+publishLevels(StatsRegistry &registry,
+              const std::vector<const CacheStats *> &levels)
+{
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        StatsGroup g =
+            registry.group("l" + std::to_string(i + 1));
+        publishCacheStats(g, *levels[i]);
+    }
+
+    StatsGroup hier = registry.group("hier");
+    hier.addCounter("levels", "cache levels simulated")
+        .set(levels.size());
+    auto &request = hier.addCounter(
+        "request_bytes", "processor-side request traffic (D_0)",
+        "bytes");
+    request.set(levels.front()->requestBytes);
+    auto &pin = hier.addCounter(
+        "pin_bytes", "traffic below the last level (D_k)", "bytes");
+    pin.set(levels.back()->trafficBelow());
+    hier.addRatio("traffic_ratio",
+                  "total R = pin_bytes / request_bytes", pin,
+                  request);
+}
+
+} // namespace
 
 CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &configs)
 {
@@ -62,12 +93,36 @@ CacheHierarchy::totalTrafficRatio() const
                  : 0.0;
 }
 
+void
+CacheHierarchy::publishStats(StatsRegistry &registry) const
+{
+    std::vector<const CacheStats *> levels;
+    for (const auto &cache : caches_)
+        levels.push_back(&cache->stats());
+    publishLevels(registry, levels);
+}
+
 TrafficResult
 runTrace(const Trace &trace, const std::vector<CacheConfig> &configs)
 {
+    return runTrace(trace, configs, TraceProgressFn{});
+}
+
+TrafficResult
+runTrace(const Trace &trace, const std::vector<CacheConfig> &configs,
+         const TraceProgressFn &progress)
+{
     CacheHierarchy hier(configs);
-    for (const MemRef &ref : trace)
-        hier.access(ref);
+    if (progress) {
+        const std::size_t total = trace.size();
+        for (std::size_t i = 0; i < total; ++i) {
+            hier.access(trace[i]);
+            progress(i + 1, total);
+        }
+    } else {
+        for (const MemRef &ref : trace)
+            hier.access(ref);
+    }
     hier.flush();
 
     TrafficResult result;
@@ -77,6 +132,7 @@ runTrace(const Trace &trace, const std::vector<CacheConfig> &configs)
     for (std::size_t i = 0; i < hier.levels(); ++i) {
         result.levelRatios.push_back(hier.trafficRatio(i));
         result.levelTraffic.push_back(hier.trafficBelow(i));
+        result.levels.push_back(hier.level(i).stats());
     }
     result.l1 = hier.level(0).stats();
     return result;
@@ -86,6 +142,15 @@ TrafficResult
 runTrace(const Trace &trace, const CacheConfig &config)
 {
     return runTrace(trace, std::vector<CacheConfig>{config});
+}
+
+void
+publishStats(StatsRegistry &registry, const TrafficResult &result)
+{
+    std::vector<const CacheStats *> levels;
+    for (const CacheStats &s : result.levels)
+        levels.push_back(&s);
+    publishLevels(registry, levels);
 }
 
 } // namespace membw

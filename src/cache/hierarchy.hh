@@ -12,6 +12,7 @@
 #ifndef MEMBW_CACHE_HIERARCHY_HH
 #define MEMBW_CACHE_HIERARCHY_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "trace/trace.hh"
 
 namespace membw {
+
+class StatsRegistry;
 
 /**
  * An ordered stack of cache levels (index 0 is closest to the
@@ -49,6 +52,12 @@ class CacheHierarchy
     /** Product of all per-level traffic ratios. */
     double totalTrafficRatio() const;
 
+    /**
+     * Register every level's counters under "l1", "l2", ... plus the
+     * hierarchy aggregates under "hier" (pin bytes, total R).
+     */
+    void publishStats(StatsRegistry &registry) const;
+
   private:
     std::vector<std::unique_ptr<Cache>> caches_;
 };
@@ -61,8 +70,16 @@ struct TrafficResult
     double trafficRatio = 0;  ///< pinBytes / requestBytes
     std::vector<double> levelRatios; ///< per-level R_i
     std::vector<Bytes> levelTraffic; ///< per-level D_i
+    std::vector<CacheStats> levels;  ///< full per-level snapshots
     CacheStats l1;            ///< stats snapshot of level 0
 };
+
+/**
+ * Per-reference progress hook: invoked as (refs done, total refs).
+ * Callers decide their own reporting cadence (see ProgressMeter).
+ */
+using TraceProgressFn =
+    std::function<void(std::size_t done, std::size_t total)>;
 
 /**
  * Run @p trace through a fresh hierarchy built from @p configs,
@@ -71,8 +88,20 @@ struct TrafficResult
 TrafficResult runTrace(const Trace &trace,
                        const std::vector<CacheConfig> &configs);
 
+/** As above, with a per-reference progress callback. */
+TrafficResult runTrace(const Trace &trace,
+                       const std::vector<CacheConfig> &configs,
+                       const TraceProgressFn &progress);
+
 /** Single-level convenience overload. */
 TrafficResult runTrace(const Trace &trace, const CacheConfig &config);
+
+/**
+ * Publish a summarized run under "l1".."lN" and "hier" — the same
+ * layout CacheHierarchy::publishStats produces live.
+ */
+void publishStats(StatsRegistry &registry,
+                  const TrafficResult &result);
 
 } // namespace membw
 

@@ -1,9 +1,15 @@
 /**
  * @file
- * gem5-style fatal()/panic() error reporting.
+ * gem5-style error reporting plus leveled diagnostic logging.
  *
  * fatal():  the *user* asked for something impossible (bad config).
  * panic():  the *library* is broken (internal invariant violated).
+ *
+ * Diagnostics go through logDebug/logInfo/logWarn/logError and are
+ * filtered by the MEMBW_LOG environment variable
+ * (debug|info|warn|error, default info).  warnOnce() emits a given
+ * warning at most once per process, so a per-reference condition
+ * cannot flood stderr on a multi-million-reference trace.
  */
 
 #ifndef MEMBW_COMMON_LOG_HH
@@ -11,8 +17,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
 namespace membw {
 
@@ -39,11 +48,85 @@ panic(const std::string &msg)
     std::abort();
 }
 
-/** Non-fatal warning to stderr. */
+/** Diagnostic severities, least to most severe. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Threshold from $MEMBW_LOG (debug|info|warn|error; default info). */
+inline LogLevel
+logThreshold()
+{
+    static const LogLevel level = [] {
+        const char *env = std::getenv("MEMBW_LOG");
+        if (!env)
+            return LogLevel::Info;
+        if (!std::strcmp(env, "debug"))
+            return LogLevel::Debug;
+        if (!std::strcmp(env, "info"))
+            return LogLevel::Info;
+        if (!std::strcmp(env, "warn"))
+            return LogLevel::Warn;
+        if (!std::strcmp(env, "error"))
+            return LogLevel::Error;
+        std::fprintf(stderr,
+                     "warn: unknown MEMBW_LOG level '%s' "
+                     "(want debug|info|warn|error)\n",
+                     env);
+        return LogLevel::Info;
+    }();
+    return level;
+}
+
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           static_cast<int>(logThreshold());
+}
+
+/** Emit one stderr line when @p level passes the threshold. */
+inline void
+logAt(LogLevel level, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    static constexpr const char *tags[] = {"debug", "info", "warn",
+                                           "error"};
+    std::fprintf(stderr, "%s: %s\n",
+                 tags[static_cast<int>(level)], msg.c_str());
+}
+
+inline void logDebug(const std::string &m) { logAt(LogLevel::Debug, m); }
+inline void logInfo(const std::string &m) { logAt(LogLevel::Info, m); }
+inline void logError(const std::string &m) { logAt(LogLevel::Error, m); }
+
+/** Non-fatal warning to stderr (subject to MEMBW_LOG). */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logAt(LogLevel::Warn, msg);
+}
+
+/**
+ * warn(), but at most once per distinct @p msg for the whole
+ * process.  Safe to call per reference on a long trace.
+ */
+inline void
+warnOnce(const std::string &msg)
+{
+    static std::unordered_set<std::string> seen;
+    static std::mutex mutex;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!seen.insert(msg).second)
+            return;
+    }
+    warn(msg + " (further occurrences suppressed)");
 }
 
 } // namespace membw

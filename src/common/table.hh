@@ -31,6 +31,18 @@ class TextTable
     /** Number of data rows added so far. */
     std::size_t rows() const { return rows_.size(); }
 
+    /** Header cells (empty until header() is called). */
+    const std::vector<std::string> &headerCells() const
+    {
+        return header_;
+    }
+
+    /** All data rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &dataRows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -37,6 +37,7 @@ constexpr Addr addrInvalid = ~Addr{0};
 
 constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
 constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
 
 } // namespace membw
 

@@ -56,6 +56,7 @@ class Bus
             return t;
         }
         t.grant = ready > nextFree_ ? ready : nextFree_;
+        waitCycles_ += t.grant - ready;
         const Cycle lead = static_cast<Cycle>(leadBeats) * beat_;
         const Cycle beats = divCeil(bytes, width_);
         t.firstBeat = t.grant + lead + beat_;
@@ -68,6 +69,8 @@ class Bus
 
     /** Cycles this bus spent occupied. */
     Cycle busyCycles() const { return busyCycles_; }
+    /** Cycles transfers queued waiting for the bus to free. */
+    Cycle waitCycles() const { return waitCycles_; }
     std::uint64_t transfers() const { return transfers_; }
     Cycle nextFree() const { return nextFree_; }
 
@@ -77,6 +80,7 @@ class Bus
     bool infinite_;
     Cycle nextFree_ = 0;
     Cycle busyCycles_ = 0;
+    Cycle waitCycles_ = 0;
     std::uint64_t transfers_ = 0;
 };
 

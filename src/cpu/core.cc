@@ -5,6 +5,7 @@
 
 #include "common/log.hh"
 #include "cpu/branch_pred.hh"
+#include "obs/registry.hh"
 
 namespace membw {
 
@@ -50,6 +51,16 @@ class OccupancyRing
     /** Time the oldest of the last N entries freed its slot. */
     Cycle oldest() const { return ring_[pos_]; }
 
+    /** Entries still occupied (not yet retired) at cycle @p t. */
+    unsigned
+    occupiedAt(Cycle t) const
+    {
+        unsigned n = 0;
+        for (const Cycle c : ring_)
+            n += c > t;
+        return n;
+    }
+
     void
     push(Cycle t)
     {
@@ -84,14 +95,23 @@ runCore(const InstrStream &stream, const CoreConfig &core,
     Cycle last_start = 0;      ///< in-order issue point
     Cycle last_load_done = 0;  ///< most recent load's data
     Cycle last_compute_done = 0;
+    Cycle last_dispatch = 0;   ///< stall-attribution baseline
     Addr last_load_addr = 0;
     std::uint64_t branch_pc = 0;
     std::uint64_t mispredicts = 0;
+
+    CoreStalls stalls;
+    DistData window_occ;
+    DistData lsq_occ;
 
     Addr cur_fetch_block = addrInvalid;
 
     for (std::size_t i = 0; i < stream.size(); ++i) {
         const MicroOp &op = stream[i];
+
+        if (core.progressEvery && core.progress && i &&
+            i % core.progressEvery == 0)
+            core.progress(i, stream.size());
 
         // Instruction fetch: crossing into a new fetch group costs
         // an I-cache access (free on a hit; a miss stalls fetch).
@@ -108,8 +128,17 @@ runCore(const InstrStream &stream, const CoreConfig &core,
         }
 
         // Dispatch: fetch bandwidth, redirect point, window space.
-        const Cycle dispatch =
-            fetch.take(std::max(fetch_earliest, window.oldest()));
+        // Stall attribution measures how far each constraint pushed
+        // the dispatch point past the previous one, fetch first.
+        const Cycle after_fetch =
+            std::max(last_dispatch, fetch_earliest);
+        const Cycle constraint =
+            std::max(after_fetch, window.oldest());
+        stalls.fetch += after_fetch - last_dispatch;
+        stalls.window += constraint - after_fetch;
+        const Cycle dispatch = fetch.take(constraint);
+        last_dispatch = dispatch;
+        window_occ.record(window.occupiedAt(dispatch));
 
         // Operand readiness.
         Cycle ready = dispatch;
@@ -127,6 +156,8 @@ runCore(const InstrStream &stream, const CoreConfig &core,
             break;
         }
 
+        stalls.data += ready - dispatch;
+
         // Issue: in-order cores cannot start an op before its
         // predecessors have started; OOO cores may.
         Cycle start = ready;
@@ -135,8 +166,11 @@ runCore(const InstrStream &stream, const CoreConfig &core,
             last_start = start;
         }
         if (op.kind == OpKind::Load || op.kind == OpKind::Store) {
+            const Cycle before_port = start;
             start = std::max(start, lsq.oldest());
             start = memPort.take(start);
+            stalls.memPort += start - before_port;
+            lsq_occ.record(lsq.occupiedAt(start));
         }
 
         // Execute.
@@ -194,8 +228,59 @@ runCore(const InstrStream &stream, const CoreConfig &core,
                      : 0.0;
     result.branches = bpred.branches();
     result.mispredicts = mispredicts;
+    result.stalls = stalls;
+    result.windowOcc = window_occ;
+    result.lsqOcc = lsq_occ;
     result.mem = mem.stats();
     return result;
+}
+
+void
+publishCoreStats(StatsGroup &group, const CoreResult &result)
+{
+    auto &cycles =
+        group.addCounter("cycles", "execution time", "cycles");
+    cycles.set(result.cycles);
+    auto &instructions = group.addCounter(
+        "instructions", "retired micro-ops", "ops");
+    instructions.set(result.instructions);
+    group.addRatio("ipc", "instructions / cycles", instructions,
+                   cycles);
+    auto &branches = group.addCounter(
+        "branches", "conditional branches executed", "ops");
+    branches.set(result.branches);
+    auto &mispredicts = group.addCounter(
+        "mispredicts", "branch mispredictions", "events");
+    mispredicts.set(result.mispredicts);
+    group.addRatio("mispredict_rate", "mispredicts / branches",
+                   mispredicts, branches);
+
+    StatsGroup stall = group.group("stall");
+    stall.addCounter("fetch",
+                     "dispatch pushed by redirects and I-misses",
+                     "cycles")
+        .set(result.stalls.fetch);
+    stall.addCounter("window", "dispatch pushed by a full window",
+                     "cycles")
+        .set(result.stalls.window);
+    stall.addCounter("data", "issue waiting on operand data",
+                     "cycles")
+        .set(result.stalls.data);
+    stall.addCounter("mem_port",
+                     "issue waiting on LSQ space or a memory port",
+                     "cycles")
+        .set(result.stalls.memPort);
+
+    group
+        .addDistribution("window_occupancy",
+                         "in-flight ops in the window at dispatch",
+                         "ops")
+        .set(result.windowOcc);
+    group
+        .addDistribution("lsq_occupancy",
+                         "occupied LSQ slots at memory-op issue",
+                         "ops")
+        .set(result.lsqOcc);
 }
 
 } // namespace membw

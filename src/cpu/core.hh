@@ -15,13 +15,18 @@
 #ifndef MEMBW_CPU_CORE_HH
 #define MEMBW_CPU_CORE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "common/types.hh"
 #include "cpu/instr_stream.hh"
 #include "cpu/memsys.hh"
+#include "obs/stat.hh"
 
 namespace membw {
+
+class StatsGroup;
 
 /** Core parameters (Table 5). */
 struct CoreConfig
@@ -35,6 +40,28 @@ struct CoreConfig
     unsigned bpredEntries = 8192;
     Cycle mispredictPenalty = 3; ///< fetch redirect cycles
     Bytes fetchBlockBytes = 16;  ///< I-fetch group size
+
+    /**
+     * Optional heartbeat: invoked as (ops done, total ops) every
+     * progressEvery micro-ops.  0 disables the hook entirely (no
+     * per-op overhead beyond one branch).
+     */
+    std::uint64_t progressEvery = 0;
+    std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/**
+ * Where dispatch/issue cycles went while the core could not make
+ * full-width progress.  Attribution is per micro-op and ordered:
+ * fetch (redirects + I-misses) first, then window occupancy, then
+ * operand data wait, then memory-port/LSQ contention.
+ */
+struct CoreStalls
+{
+    Cycle fetch = 0;   ///< redirects and I-cache misses
+    Cycle window = 0;  ///< RUU / in-flight window full
+    Cycle data = 0;    ///< waiting for load data / operands
+    Cycle memPort = 0; ///< LSQ full or load/store ports busy
 };
 
 /** Result of one timed run. */
@@ -45,6 +72,9 @@ struct CoreResult
     double ipc = 0.0;
     std::uint64_t branches = 0;
     std::uint64_t mispredicts = 0;
+    CoreStalls stalls;
+    DistData windowOcc; ///< RUU/in-flight occupancy at dispatch
+    DistData lsqOcc;    ///< LSQ occupancy at issue of mem ops
     MemSysStats mem;
 };
 
@@ -55,6 +85,13 @@ struct CoreResult
  */
 CoreResult runCore(const InstrStream &stream, const CoreConfig &core,
                    MemorySystem &mem);
+
+/**
+ * Publish a run's counters under @p group (typically "core"):
+ * cycles/instructions/ipc, branch outcomes, the stall breakdown
+ * under "stall", and the occupancy distributions.
+ */
+void publishCoreStats(StatsGroup &group, const CoreResult &result);
 
 } // namespace membw
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace membw {
 
@@ -133,6 +134,43 @@ runFull(const InstrStream &stream, const ExperimentConfig &config)
     m.mode = MemMode::Full;
     MemorySystem mem(m);
     return runCore(stream, config.core, mem);
+}
+
+void
+publishDecompositionStats(StatsRegistry &registry,
+                          const DecompositionResult &result)
+{
+    StatsGroup decomp = registry.group("decomp");
+    auto &tp = decomp.addCounter(
+        "t_p", "T_P: cycles with a perfect memory system", "cycles");
+    tp.set(result.split.perfectCycles);
+    decomp
+        .addCounter("t_i",
+                    "T_I: cycles with intrinsic latencies only",
+                    "cycles")
+        .set(result.split.infiniteCycles);
+    auto &t = decomp.addCounter("t", "T: cycles on the full system",
+                                "cycles");
+    t.set(result.split.fullCycles);
+    decomp
+        .addCounter("t_l", "latency stall cycles T_L = T_I - T_P",
+                    "cycles")
+        .set(result.split.latencyStall());
+    decomp
+        .addCounter("t_b", "bandwidth stall cycles T_B = T - T_I",
+                    "cycles")
+        .set(result.split.bandwidthStall());
+    decomp.addScalar("f_p", "processing fraction T_P / T")
+        .set(result.split.fP());
+    decomp.addScalar("f_l", "latency-stall fraction T_L / T")
+        .set(result.split.fL());
+    decomp.addScalar("f_b", "bandwidth-stall fraction T_B / T")
+        .set(result.split.fB());
+
+    StatsGroup core = registry.group("core");
+    publishCoreStats(core, result.full);
+    StatsGroup mem = registry.group("mem");
+    publishMemSysStats(mem, result.full.mem);
 }
 
 } // namespace membw

@@ -61,6 +61,16 @@ DecompositionResult runDecomposition(const InstrStream &stream,
 CoreResult runFull(const InstrStream &stream,
                    const ExperimentConfig &config);
 
+class StatsRegistry;
+
+/**
+ * Publish a decomposition run: the T_P/T_I/T split and f_P/f_L/f_B
+ * under "decomp", plus the full-system run's core counters under
+ * "core" and memory-system counters under "mem".
+ */
+void publishDecompositionStats(StatsRegistry &registry,
+                               const DecompositionResult &result);
+
 } // namespace membw
 
 #endif // MEMBW_CPU_EXPERIMENT_HH

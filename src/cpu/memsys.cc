@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace membw {
 
@@ -409,11 +410,87 @@ MemorySystem::stats() const
     MemSysStats s = stats_;
     s.l1l2BusBusy = l1l2Bus_.busyCycles();
     s.memBusBusy = memBus_.busyCycles();
+    s.l1l2BusWait = l1l2Bus_.waitCycles();
+    s.memBusWait = memBus_.waitCycles();
+    s.l1l2BusTransfers = l1l2Bus_.transfers();
+    s.memBusTransfers = memBus_.transfers();
     if (dram_) {
         s.dramRowHits = dram_->stats().rowHits;
         s.dramRowMisses = dram_->stats().rowMisses;
+        s.dramBusyCycles = dram_->stats().busyCycles;
     }
     return s;
+}
+
+namespace {
+
+void
+publishBus(StatsGroup &group, Cycle busy, Cycle wait,
+           std::uint64_t transfers)
+{
+    auto &busyStat = group.addCounter(
+        "busy_cycles", "cycles the bus was transferring", "cycles");
+    busyStat.set(busy);
+    auto &waitStat = group.addCounter(
+        "wait_cycles", "cycles transfers queued for the bus",
+        "cycles");
+    waitStat.set(wait);
+    auto &transferStat =
+        group.addCounter("transfers", "transfers granted", "events");
+    transferStat.set(transfers);
+    group.addRatio("mean_queue_wait",
+                   "wait_cycles / transfers (mean queue depth proxy)",
+                   waitStat, transferStat, "cycles");
+}
+
+} // namespace
+
+void
+publishMemSysStats(StatsGroup &group, const MemSysStats &stats)
+{
+    group.addCounter("loads", "timed demand loads", "refs")
+        .set(stats.loads);
+    group.addCounter("stores", "timed stores", "refs")
+        .set(stats.stores);
+    group.addCounter("ifetches", "instruction-group fetches", "refs")
+        .set(stats.ifetches);
+    group.addCounter("i_misses", "instruction fetch misses", "refs")
+        .set(stats.iMisses);
+    group.addCounter("l1_misses", "L1 data misses", "refs")
+        .set(stats.l1Misses);
+    group.addCounter("l2_misses", "L2 misses", "refs")
+        .set(stats.l2Misses);
+    group.addCounter("mshr_merges",
+                     "misses merged into an outstanding MSHR",
+                     "events")
+        .set(stats.mshrMerges);
+    group.addCounter("wrong_path_loads",
+                     "speculative wrong-path loads issued", "refs")
+        .set(stats.wrongPathLoads);
+
+    StatsGroup dram = group.group("dram");
+    auto &rowHits = dram.addCounter(
+        "row_hits", "accesses hitting an open row", "events");
+    rowHits.set(stats.dramRowHits);
+    dram.addCounter("row_misses",
+                    "accesses needing precharge+activate", "events")
+        .set(stats.dramRowMisses);
+    auto &rowAccesses = dram.addCounter(
+        "accesses", "banked-DRAM accesses (0 = flat-latency model)",
+        "events");
+    rowAccesses.set(stats.dramRowHits + stats.dramRowMisses);
+    dram.addRatio("row_hit_rate", "row_hits / accesses", rowHits,
+                  rowAccesses);
+    dram.addCounter("busy_cycles", "bank busy time", "cycles")
+        .set(stats.dramBusyCycles);
+
+    StatsGroup bus = group.group("bus");
+    StatsGroup l1l2 = bus.group("l1l2");
+    publishBus(l1l2, stats.l1l2BusBusy, stats.l1l2BusWait,
+               stats.l1l2BusTransfers);
+    StatsGroup mem = bus.group("mem");
+    publishBus(mem, stats.memBusBusy, stats.memBusWait,
+               stats.memBusTransfers);
 }
 
 } // namespace membw

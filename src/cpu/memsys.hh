@@ -91,9 +91,23 @@ struct MemSysStats
     std::uint64_t wrongPathLoads = 0;
     std::uint64_t dramRowHits = 0;
     std::uint64_t dramRowMisses = 0;
+    Cycle dramBusyCycles = 0; ///< banked-DRAM bank busy time
     Cycle l1l2BusBusy = 0;
     Cycle memBusBusy = 0;
+    Cycle l1l2BusWait = 0;  ///< cycles queued behind a busy L1/L2 bus
+    Cycle memBusWait = 0;   ///< cycles queued behind a busy mem bus
+    std::uint64_t l1l2BusTransfers = 0;
+    std::uint64_t memBusTransfers = 0;
 };
+
+class StatsGroup;
+
+/**
+ * Publish @p stats under @p group (typically "mem"): access mix,
+ * per-level miss counts, and the bus occupancy/queueing counters
+ * under "bus.l1l2" / "bus.mem".
+ */
+void publishMemSysStats(StatsGroup &group, const MemSysStats &stats);
 
 /**
  * The timing hierarchy.  Loads return the cycle at which the critical

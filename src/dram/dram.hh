@@ -26,6 +26,8 @@
 
 namespace membw {
 
+class StatsGroup;
+
 /** Mid-1990s DRAM interface generations (Prince [34]). */
 enum class DramKind : std::uint8_t
 {
@@ -109,6 +111,9 @@ class DramModel
     std::vector<Bank> banks_;
     DramStats stats_;
 };
+
+/** Publish @p stats under @p group (typically "dram"). */
+void publishDramStats(StatsGroup &group, const DramStats &stats);
 
 } // namespace membw
 

@@ -56,7 +56,7 @@ decompose(Cycle perfect, Cycle infinite, Cycle full)
     d.infiniteCycles = infinite;
     d.fullCycles = full;
     if (!d.consistent())
-        warn("decomposition ordering violated (T_P <= T_I <= T)");
+        warnOnce("decomposition ordering violated (T_P <= T_I <= T)");
     return d;
 }
 

@@ -6,6 +6,7 @@
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "mtc/next_use.hh"
+#include "obs/registry.hh"
 
 namespace membw {
 
@@ -174,6 +175,7 @@ MinCacheSim::run()
         } else { // WriteValidate: allocate without fetching.
             entry.validMask = words;
             entry.dirtyMask = words;
+            stats.validates++;
         }
         cache.emplace(block, entry);
         order.insert({nu, block});
@@ -190,6 +192,49 @@ MinCacheStats
 runMinCache(const Trace &trace, const MinCacheConfig &config)
 {
     return MinCacheSim(trace, config).run();
+}
+
+void
+publishMinCacheStats(StatsGroup &group, const MinCacheStats &stats)
+{
+    auto &accesses = group.addCounter(
+        "accesses", "references presented to the MTC", "refs");
+    accesses.set(stats.accesses);
+    group.addCounter("hits", "MIN-cache hits", "refs")
+        .set(stats.hits);
+    auto &misses =
+        group.addCounter("misses", "MIN-cache misses", "refs");
+    misses.set(stats.misses);
+    group.addCounter("bypasses",
+                     "misses serviced without caching (footnote 2)",
+                     "refs")
+        .set(stats.bypasses);
+    group.addCounter("validates",
+                     "write-validate allocations without a fetch",
+                     "events")
+        .set(stats.validates);
+    group.addRatio("miss_rate", "misses / accesses", misses,
+                   accesses);
+
+    StatsGroup bytes = group.group("bytes");
+    auto &request = bytes.addCounter(
+        "request", "traffic above the MTC (D_0)", "bytes");
+    request.set(stats.requestBytes);
+    bytes.addCounter("fetch", "fills and bypass load transfers",
+                     "bytes")
+        .set(stats.fetchBytes);
+    bytes.addCounter("writeback",
+                     "dirty evictions and bypassed stores", "bytes")
+        .set(stats.writebackBytes);
+    bytes.addCounter("flush_writeback", "end-of-run dirty flush",
+                     "bytes")
+        .set(stats.flushWritebackBytes);
+    auto &below = bytes.addCounter(
+        "below", "minimal traffic below the cache", "bytes");
+    below.set(stats.trafficBelow());
+    group.addRatio("traffic_ratio",
+                   "minimal R = bytes.below / bytes.request", below,
+                   request);
 }
 
 MinCacheConfig

@@ -29,6 +29,8 @@
 
 namespace membw {
 
+class StatsGroup;
+
 /** Configuration for a MIN-replacement fully-associative cache. */
 struct MinCacheConfig
 {
@@ -63,7 +65,8 @@ struct MinCacheStats
     std::uint64_t accesses = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t bypasses = 0; ///< subset of misses never cached
+    std::uint64_t bypasses = 0;  ///< subset of misses never cached
+    std::uint64_t validates = 0; ///< write-validate allocs (no fetch)
 
     Bytes requestBytes = 0;
     Bytes fetchBytes = 0;        ///< fills (and bypass load transfers)
@@ -120,6 +123,10 @@ class MinCacheSim
 /** Convenience: run an MTC (or variant) and return its stats. */
 MinCacheStats runMinCache(const Trace &trace,
                           const MinCacheConfig &config);
+
+/** Publish @p stats under @p group (typically "mtc"). */
+void publishMinCacheStats(StatsGroup &group,
+                          const MinCacheStats &stats);
 
 /** The paper's canonical MTC configuration for a given size. */
 MinCacheConfig canonicalMtc(Bytes size);

@@ -1,0 +1,450 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace membw {
+
+std::string
+formatJsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no NaN/Inf
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+// --- JsonWriter ------------------------------------------------------
+
+void
+JsonWriter::newline()
+{
+    out_.push_back('\n');
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.empty()) {
+        if (items_ > 0)
+            panic("JsonWriter: multiple top-level values");
+        ++items_;
+        return;
+    }
+    Scope &s = stack_.back();
+    if (s.array) {
+        if (s.items > 0)
+            out_.push_back(',');
+        newline();
+        ++s.items;
+    } else {
+        if (!s.expectValue)
+            panic("JsonWriter: object value without a key");
+        s.expectValue = false;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    out_.push_back('{');
+    stack_.push_back(Scope{false, false, 0});
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back().array ||
+        stack_.back().expectValue)
+        panic("JsonWriter: mismatched endObject");
+    const bool had = stack_.back().items > 0;
+    stack_.pop_back();
+    if (had)
+        newline();
+    out_.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    out_.push_back('[');
+    stack_.push_back(Scope{true, false, 0});
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack_.empty() || !stack_.back().array)
+        panic("JsonWriter: mismatched endArray");
+    const bool had = stack_.back().items > 0;
+    stack_.pop_back();
+    if (had)
+        newline();
+    out_.push_back(']');
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    if (stack_.empty() || stack_.back().array ||
+        stack_.back().expectValue)
+        panic("JsonWriter: key() outside an object");
+    Scope &s = stack_.back();
+    if (s.items > 0)
+        out_.push_back(',');
+    newline();
+    ++s.items;
+    s.expectValue = true;
+    appendEscaped(k);
+    out_.append(": ");
+}
+
+void
+JsonWriter::appendEscaped(std::string_view s)
+{
+    out_.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out_.append("\\\""); break;
+          case '\\': out_.append("\\\\"); break;
+          case '\n': out_.append("\\n"); break;
+          case '\t': out_.append("\\t"); break;
+          case '\r': out_.append("\\r"); break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out_.append(buf);
+            } else {
+                out_.push_back(c);
+            }
+        }
+    }
+    out_.push_back('"');
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    appendEscaped(v);
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    out_.append(formatJsonNumber(v));
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    out_.append(std::to_string(v));
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    out_.append(std::to_string(v));
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    out_.append(v ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    preValue();
+    out_.append("null");
+}
+
+// --- JsonValue accessors ---------------------------------------------
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal("json: missing key '" + std::string(key) + "'");
+    return *v;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    if (kind != Kind::Array || i >= array.size())
+        fatal("json: array index " + std::to_string(i) +
+              " out of range");
+    return array[i];
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind != Kind::Number)
+        fatal("json: value is not a number");
+    return number;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        fatal("json: value is not a string");
+    return string;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        fatal("json: value is not a bool");
+    return boolean;
+}
+
+// --- Parser ----------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        fatal("json parse error at offset " + std::to_string(pos_) +
+              ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': case 'f': return parseBool();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key");
+            JsonValue key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key.string), value());
+            const char next = peek();
+            ++pos_;
+            if (next == '}')
+                return v;
+            if (next != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(value());
+            const char next = peek();
+            ++pos_;
+            if (next == ']')
+                return v;
+            if (next != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.string.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': v.string.push_back('"'); break;
+              case '\\': v.string.push_back('\\'); break;
+              case '/': v.string.push_back('/'); break;
+              case 'n': v.string.push_back('\n'); break;
+              case 't': v.string.push_back('\t'); break;
+              case 'r': v.string.push_back('\r'); break;
+              case 'b': v.string.push_back('\b'); break;
+              case 'f': v.string.push_back('\f'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                const auto res = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4,
+                    code, 16);
+                if (res.ptr != text_.data() + pos_ + 4)
+                    fail("bad \\u escape");
+                pos_ += 4;
+                // The exporters only emit \u for control chars, so a
+                // plain narrow cast covers everything we write.
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                v.string.push_back(static_cast<char>(code));
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (consumeLiteral("true"))
+            v.boolean = true;
+        else if (consumeLiteral("false"))
+            v.boolean = false;
+        else
+            fail("bad literal");
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (!consumeLiteral("null"))
+            fail("bad literal");
+        return JsonValue{};
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const char *first = text_.data() + pos_;
+        const char *last = text_.data() + text_.size();
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        const auto res = std::from_chars(first, last, v.number);
+        if (res.ec != std::errc{} || res.ptr == first)
+            fail("bad number");
+        pos_ = static_cast<std::size_t>(res.ptr - text_.data());
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace membw

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Minimal JSON infrastructure for run telemetry.
+ *
+ * JsonWriter is a streaming, stack-checked pretty-printer whose
+ * output is byte-deterministic for a given call sequence (doubles are
+ * rendered with shortest-round-trip std::to_chars), which is what
+ * makes "two identical runs emit identical stats files" testable.
+ * JsonValue/parseJson is the matching reader, used by the exporters'
+ * round-trip tests and by downstream tooling that diffs BENCH_*.json
+ * trajectories.
+ */
+
+#ifndef MEMBW_OBS_JSON_HH
+#define MEMBW_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace membw {
+
+/** Render @p v with the shortest representation that round-trips. */
+std::string formatJsonNumber(double v);
+
+/** Streaming JSON writer with two-space indentation. */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** The document so far; complete once every scope is closed. */
+    const std::string &str() const { return out_; }
+
+    /** True when every begun object/array has been ended. */
+    bool complete() const { return stack_.empty() && items_ > 0; }
+
+  private:
+    struct Scope
+    {
+        bool array = false;
+        bool expectValue = false; ///< a key was emitted, value pending
+        std::size_t items = 0;
+    };
+
+    void preValue();
+    void newline();
+    void appendEscaped(std::string_view s);
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::size_t items_ = 0; ///< top-level values emitted
+};
+
+/** Parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered (mirrors the emitted document). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Member access; fatal() when absent. */
+    const JsonValue &at(std::string_view key) const;
+
+    /** Array element access; fatal() when out of range. */
+    const JsonValue &at(std::size_t i) const;
+
+    double asNumber() const;           ///< fatal() on non-numbers
+    const std::string &asString() const;
+    bool asBool() const;
+};
+
+/** Parse @p text; fatal() on malformed input or trailing garbage. */
+JsonValue parseJson(std::string_view text);
+
+} // namespace membw
+
+#endif // MEMBW_OBS_JSON_HH

@@ -1,0 +1,42 @@
+#include "obs/manifest.hh"
+
+#include <cstdio>
+
+namespace membw {
+
+std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+RunManifest::write(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("schema_version",
+            static_cast<std::int64_t>(telemetrySchemaVersion));
+    w.field("tool", tool);
+    w.field("experiment", experiment);
+    w.field("workload", workload);
+    w.field("config", config);
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(fnv1a64(config)));
+    w.field("config_digest", digest);
+    w.field("seed", seed);
+    w.field("scale", scale);
+    w.field("refs", refs);
+    w.field("wall_seconds", wallSeconds);
+    w.field("mrefs_per_sec", mrefsPerSec());
+    for (const auto &[k, v] : extra)
+        w.field(k, v);
+    w.endObject();
+}
+
+} // namespace membw

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Run manifest: the provenance block at the head of every telemetry
+ * file, identifying what was simulated (tool, experiment, workload,
+ * config + digest, seed, scale) and how fast the host simulated it
+ * (wall-clock, Mrefs/s).  Downstream trajectory tooling keys runs by
+ * (experiment, workload, config_digest, seed).
+ */
+
+#ifndef MEMBW_OBS_MANIFEST_HH
+#define MEMBW_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace membw {
+
+/** 64-bit FNV-1a, used to digest config descriptions. */
+std::uint64_t fnv1a64(std::string_view s);
+
+/** Current telemetry schema; bump on incompatible layout changes. */
+constexpr int telemetrySchemaVersion = 1;
+
+struct RunManifest
+{
+    std::string tool;       ///< emitting binary (membw_sim, ...)
+    std::string experiment; ///< paper table/figure or machine letter
+    std::string workload;   ///< kernel name ("" for multi-workload)
+    std::string config;     ///< human-readable config description
+    std::uint64_t seed = 0;
+    double scale = 0.0;
+    std::uint64_t refs = 0; ///< simulated references (0 = unknown)
+    double wallSeconds = 0.0;
+
+    /** Free-form extra fields appended verbatim to the manifest. */
+    std::vector<std::pair<std::string, std::string>> extra;
+
+    void
+    set(std::string key, std::string value)
+    {
+        extra.emplace_back(std::move(key), std::move(value));
+    }
+
+    /** Host simulation rate; 0 when refs or wall time is unknown. */
+    double
+    mrefsPerSec() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(refs) / wallSeconds / 1e6
+                   : 0.0;
+    }
+
+    /** Emit the manifest object (after key() or as array element). */
+    void write(JsonWriter &w) const;
+};
+
+} // namespace membw
+
+#endif // MEMBW_OBS_MANIFEST_HH

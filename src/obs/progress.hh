@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Wall-clock helpers: a run timer for the manifest and a periodic
+ * progress heartbeat (refs/sec + ETA) for long simulations.
+ *
+ * The heartbeat writes to stderr so it never contaminates stdout
+ * tables or redirected JSON.
+ */
+
+#ifndef MEMBW_OBS_PROGRESS_HH
+#define MEMBW_OBS_PROGRESS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace membw {
+
+/** Monotonic stopwatch started at construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Periodic progress reporter.  Call tick() once per unit of work;
+ * every @p every units it prints one stderr line with the completion
+ * fraction, the host simulation rate, and the ETA.  every == 0
+ * disables all output, so callers can tick() unconditionally.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(std::string label, std::uint64_t every)
+        : label_(std::move(label)), every_(every)
+    {
+    }
+
+    void
+    tick(std::uint64_t done, std::uint64_t total)
+    {
+        if (every_ == 0 || done == 0 || done % every_ != 0)
+            return;
+        emit(done, total);
+    }
+
+    /** Unconditional report (used for the final 100% line). */
+    void
+    emit(std::uint64_t done, std::uint64_t total) const
+    {
+        const double elapsed = timer_.seconds();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double pct =
+            total ? 100.0 * static_cast<double>(done) /
+                        static_cast<double>(total)
+                  : 0.0;
+        const double eta =
+            rate > 0.0 && total > done
+                ? static_cast<double>(total - done) / rate
+                : 0.0;
+        std::fprintf(stderr,
+                     "[%s] %llu/%llu refs (%.1f%%) | %.2f Mrefs/s | "
+                     "ETA %.1fs\n",
+                     label_.c_str(),
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total), pct,
+                     rate / 1e6, eta);
+    }
+
+    double elapsedSeconds() const { return timer_.seconds(); }
+
+  private:
+    std::string label_;
+    std::uint64_t every_;
+    WallTimer timer_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_OBS_PROGRESS_HH

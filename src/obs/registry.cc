@@ -1,0 +1,76 @@
+#include "obs/registry.hh"
+
+#include "common/log.hh"
+
+namespace membw {
+
+template <typename T, typename... Args>
+T &
+StatsRegistry::add(const std::string &name, Args &&...args)
+{
+    if (name.empty())
+        fatal("stat name must not be empty");
+    if (byName_.count(name))
+        fatal("duplicate stat '" + name + "'");
+    auto stat = std::make_unique<T>(name, std::forward<Args>(args)...);
+    T &ref = *stat;
+    byName_.emplace(name, stat.get());
+    stats_.push_back(std::move(stat));
+    return ref;
+}
+
+ScalarStat &
+StatsRegistry::addScalar(const std::string &name,
+                         const std::string &desc,
+                         const std::string &unit)
+{
+    return add<ScalarStat>(name, desc, unit);
+}
+
+CounterStat &
+StatsRegistry::addCounter(const std::string &name,
+                          const std::string &desc,
+                          const std::string &unit)
+{
+    return add<CounterStat>(name, desc, unit);
+}
+
+DistributionStat &
+StatsRegistry::addDistribution(const std::string &name,
+                               const std::string &desc,
+                               const std::string &unit)
+{
+    return add<DistributionStat>(name, desc, unit);
+}
+
+RatioStat &
+StatsRegistry::addRatio(const std::string &name,
+                        const std::string &desc,
+                        const StatBase &numerator,
+                        const StatBase &denominator,
+                        const std::string &unit)
+{
+    return add<RatioStat>(name, desc, unit, numerator, denominator);
+}
+
+const StatBase *
+StatsRegistry::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+}
+
+StatBase *
+StatsRegistry::find(const std::string &name)
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+}
+
+StatsGroup
+StatsRegistry::group(const std::string &prefix)
+{
+    return StatsGroup(*this, prefix);
+}
+
+} // namespace membw

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Stats live in one flat, registration-ordered table keyed by dotted
+ * names ("l1.demand_misses", "core.stall.fetch").  StatsGroup is a
+ * lightweight prefix view used by components to publish under their
+ * own subtree without knowing where in the hierarchy they sit:
+ *
+ *   StatsRegistry reg;
+ *   StatsGroup l1 = reg.group("l1");
+ *   cache.publishStats(l1);          // registers l1.hits, l1.misses...
+ *
+ * Registration order is deterministic (it follows program order), so
+ * exports of identical runs are byte-identical.
+ */
+
+#ifndef MEMBW_OBS_REGISTRY_HH
+#define MEMBW_OBS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/stat.hh"
+
+namespace membw {
+
+class StatsGroup;
+
+/** Owning container of all stats for one run. */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    ScalarStat &addScalar(const std::string &name,
+                          const std::string &desc,
+                          const std::string &unit = "");
+    CounterStat &addCounter(const std::string &name,
+                            const std::string &desc,
+                            const std::string &unit = "");
+    DistributionStat &addDistribution(const std::string &name,
+                                      const std::string &desc,
+                                      const std::string &unit = "");
+    RatioStat &addRatio(const std::string &name,
+                        const std::string &desc,
+                        const StatBase &numerator,
+                        const StatBase &denominator,
+                        const std::string &unit = "");
+
+    /** Lookup by full dotted name; nullptr when absent. */
+    const StatBase *find(const std::string &name) const;
+    StatBase *find(const std::string &name);
+
+    /** All stats in registration order. */
+    const std::vector<std::unique_ptr<StatBase>> &
+    stats() const
+    {
+        return stats_;
+    }
+
+    std::size_t size() const { return stats_.size(); }
+
+    /** A prefix view; names become "<prefix>.<name>". */
+    StatsGroup group(const std::string &prefix);
+
+  private:
+    template <typename T, typename... Args>
+    T &add(const std::string &name, Args &&...args);
+
+    std::vector<std::unique_ptr<StatBase>> stats_;
+    std::unordered_map<std::string, StatBase *> byName_;
+};
+
+/** Non-owning prefix view of a registry subtree. */
+class StatsGroup
+{
+  public:
+    StatsGroup(StatsRegistry &registry, std::string prefix)
+        : registry_(registry), prefix_(std::move(prefix))
+    {
+    }
+
+    ScalarStat &
+    addScalar(const std::string &name, const std::string &desc,
+              const std::string &unit = "")
+    {
+        return registry_.addScalar(qualify(name), desc, unit);
+    }
+
+    CounterStat &
+    addCounter(const std::string &name, const std::string &desc,
+               const std::string &unit = "")
+    {
+        return registry_.addCounter(qualify(name), desc, unit);
+    }
+
+    DistributionStat &
+    addDistribution(const std::string &name, const std::string &desc,
+                    const std::string &unit = "")
+    {
+        return registry_.addDistribution(qualify(name), desc, unit);
+    }
+
+    RatioStat &
+    addRatio(const std::string &name, const std::string &desc,
+             const StatBase &numerator, const StatBase &denominator,
+             const std::string &unit = "")
+    {
+        return registry_.addRatio(qualify(name), desc, numerator,
+                                  denominator, unit);
+    }
+
+    /** Nested subtree: group("bytes") under "l1" -> "l1.bytes". */
+    StatsGroup
+    group(const std::string &sub)
+    {
+        return StatsGroup(registry_, qualify(sub));
+    }
+
+    const std::string &prefix() const { return prefix_; }
+    StatsRegistry &registry() { return registry_; }
+
+  private:
+    std::string
+    qualify(const std::string &name) const
+    {
+        return prefix_.empty() ? name : prefix_ + "." + name;
+    }
+
+    StatsRegistry &registry_;
+    std::string prefix_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_OBS_REGISTRY_HH

@@ -1,0 +1,91 @@
+#include "obs/stat.hh"
+
+#include <cmath>
+
+namespace membw {
+
+const char *
+toString(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Scalar: return "scalar";
+      case StatKind::Counter: return "counter";
+      case StatKind::Distribution: return "distribution";
+      case StatKind::Ratio: return "ratio";
+    }
+    return "?";
+}
+
+double
+DistData::mean() const
+{
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double
+DistData::stddev() const
+{
+    if (count < 2)
+        return 0.0;
+    const double n = static_cast<double>(count);
+    const double var = sumSq / n - (sum / n) * (sum / n);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string
+StatBase::valueString() const
+{
+    return formatJsonNumber(numericValue());
+}
+
+void
+StatBase::jsonFields(JsonWriter &w) const
+{
+    w.field("value", numericValue());
+}
+
+std::string
+CounterStat::valueString() const
+{
+    return std::to_string(value());
+}
+
+void
+CounterStat::jsonFields(JsonWriter &w) const
+{
+    w.field("value", value());
+}
+
+std::string
+DistributionStat::valueString() const
+{
+    return formatJsonNumber(data_.mean()) + " +/- " +
+           formatJsonNumber(data_.stddev());
+}
+
+void
+DistributionStat::jsonFields(JsonWriter &w) const
+{
+    w.field("count", data_.count);
+    w.field("mean", data_.mean());
+    w.field("stddev", data_.stddev());
+    w.field("min", data_.count ? data_.minv : 0.0);
+    w.field("max", data_.count ? data_.maxv : 0.0);
+}
+
+double
+RatioStat::numericValue() const
+{
+    const double den = den_.numericValue();
+    return den != 0.0 ? num_.numericValue() / den : 0.0;
+}
+
+void
+RatioStat::jsonFields(JsonWriter &w) const
+{
+    w.field("value", numericValue());
+    w.field("numerator", num_.name());
+    w.field("denominator", den_.name());
+}
+
+} // namespace membw

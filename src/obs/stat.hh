@@ -1,0 +1,195 @@
+/**
+ * @file
+ * gem5-style statistics primitives.
+ *
+ * Every counted quantity in the simulator is published as a named
+ * Stat with a description and a unit, so exporters (text, JSON, CSV)
+ * and downstream tooling see one uniform schema instead of ad-hoc
+ * printf tables.  Four kinds cover the paper's needs:
+ *
+ *  - ScalarStat:       a settable double (T_P, f_B, E_pin, ...);
+ *  - CounterStat:      a monotone integer (hits, misses, bytes);
+ *  - DistributionStat: moments + extrema of a sampled value
+ *                      (RUU/LSQ occupancy, queue depth);
+ *  - RatioStat:        a derived quotient of two other stats,
+ *                      recomputed at read time (miss rate, R_i).
+ */
+
+#ifndef MEMBW_OBS_STAT_HH
+#define MEMBW_OBS_STAT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace membw {
+
+/** Discriminator for exporters. */
+enum class StatKind : std::uint8_t
+{
+    Scalar,
+    Counter,
+    Distribution,
+    Ratio,
+};
+
+const char *toString(StatKind kind);
+
+/**
+ * Value-type accumulator behind DistributionStat.  Kept separate so
+ * component result structs (e.g. CoreResult's occupancy tracking) can
+ * accumulate samples without owning a registry.
+ */
+struct DistData
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double minv = 0.0;
+    double maxv = 0.0;
+
+    void
+    record(double v)
+    {
+        if (count == 0) {
+            minv = maxv = v;
+        } else {
+            if (v < minv)
+                minv = v;
+            if (v > maxv)
+                maxv = v;
+        }
+        ++count;
+        sum += v;
+        sumSq += v * v;
+    }
+
+    double mean() const;
+    /** Population standard deviation; 0 for fewer than two samples. */
+    double stddev() const;
+};
+
+/** Common metadata + polymorphic value access. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc, std::string unit)
+        : name_(std::move(name)), desc_(std::move(desc)),
+          unit_(std::move(unit))
+    {
+    }
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    const std::string &unit() const { return unit_; }
+
+    virtual StatKind kind() const = 0;
+
+    /** The stat's primary value as a double (mean for distributions). */
+    virtual double numericValue() const = 0;
+
+    /** Human-readable value for the text exporter. */
+    virtual std::string valueString() const;
+
+    /** Emit kind-specific fields into an already-open JSON object. */
+    virtual void jsonFields(JsonWriter &w) const;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::string unit_;
+};
+
+/** A settable floating-point quantity. */
+class ScalarStat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    StatKind kind() const override { return StatKind::Scalar; }
+    double numericValue() const override { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A monotone event/byte counter. */
+class CounterStat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+
+    StatKind kind() const override { return StatKind::Counter; }
+    double
+    numericValue() const override
+    {
+        return static_cast<double>(value_);
+    }
+    std::string valueString() const override;
+    void jsonFields(JsonWriter &w) const override;
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Sampled-value moments (occupancies, depths, latencies). */
+class DistributionStat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void record(double v) { data_.record(v); }
+    void set(const DistData &d) { data_ = d; }
+    const DistData &data() const { return data_; }
+
+    StatKind kind() const override { return StatKind::Distribution; }
+    double numericValue() const override { return data_.mean(); }
+    std::string valueString() const override;
+    void jsonFields(JsonWriter &w) const override;
+
+  private:
+    DistData data_;
+};
+
+/**
+ * A derived quotient of two registered stats, evaluated lazily so it
+ * is always consistent with its operands.  The operands must outlive
+ * the ratio (the registry guarantees this for registry-owned stats).
+ */
+class RatioStat : public StatBase
+{
+  public:
+    RatioStat(std::string name, std::string desc, std::string unit,
+              const StatBase &numerator, const StatBase &denominator)
+        : StatBase(std::move(name), std::move(desc), std::move(unit)),
+          num_(numerator), den_(denominator)
+    {
+    }
+
+    StatKind kind() const override { return StatKind::Ratio; }
+    double numericValue() const override;
+    void jsonFields(JsonWriter &w) const override;
+
+    const StatBase &numerator() const { return num_; }
+    const StatBase &denominator() const { return den_; }
+
+  private:
+    const StatBase &num_;
+    const StatBase &den_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_OBS_STAT_HH

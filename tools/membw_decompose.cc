@@ -19,6 +19,10 @@
 #include "common/log.hh"
 #include "cpu/experiment.hh"
 #include "dram/dram.hh"
+#include "obs/export.hh"
+#include "obs/manifest.hh"
+#include "obs/progress.hh"
+#include "obs/registry.hh"
 #include "workloads/workload.hh"
 
 using namespace membw;
@@ -43,7 +47,10 @@ usage(int code)
         "  --no-prefetch        disable tagged prefetch\n"
         "  --l1l2-bus BYTES     L1/L2 bus width\n"
         "  --mem-bus BYTES      memory bus width\n"
-        "  --dram fpm|edo|sdram|rdram   banked DRAM backend\n");
+        "  --dram fpm|edo|sdram|rdram   banked DRAM backend\n"
+        "Telemetry:\n"
+        "  --stats-json FILE    write manifest + full stats as JSON\n"
+        "  --stats-every N      stderr progress line every N instrs\n");
     std::exit(code);
 }
 
@@ -58,6 +65,8 @@ main(int argc, char **argv)
         bool spec95 = false;
         double scale = 0.5;
         std::uint64_t seed = 42;
+        std::string statsJson;
+        std::uint64_t statsEvery = 0;
 
         struct Overrides
         {
@@ -101,6 +110,11 @@ main(int argc, char **argv)
                 ov.membus = std::atoi(need(i).c_str());
             else if (a == "--dram")
                 ov.dram = need(i);
+            else if (a == "--stats-json")
+                statsJson = need(i);
+            else if (a == "--stats-every")
+                statsEvery =
+                    std::strtoull(need(i).c_str(), nullptr, 10);
             else {
                 std::fprintf(stderr, "unknown flag '%s'\n",
                              a.c_str());
@@ -142,6 +156,16 @@ main(int argc, char **argv)
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(workload), seed);
 
+        WallTimer timer;
+        ProgressMeter meter("membw_decompose", statsEvery);
+        if (statsEvery) {
+            cfg.core.progressEvery = statsEvery;
+            cfg.core.progress = [&meter](std::size_t done,
+                                         std::size_t total) {
+                meter.tick(done, total);
+            };
+        }
+
         std::printf("%s on %s (%.0f MHz)\n", workload.c_str(),
                     cfg.describe().c_str(), cfg.cpuMHz);
         const DecompositionResult r = runDecomposition(stream, cfg);
@@ -171,6 +195,30 @@ main(int argc, char **argv)
                         100.0 * r.full.mem.dramRowHits /
                             (r.full.mem.dramRowHits +
                              r.full.mem.dramRowMisses));
+
+        if (!statsJson.empty()) {
+            StatsRegistry registry;
+            publishDecompositionStats(registry, r);
+
+            RunManifest manifest;
+            manifest.tool = "membw_decompose";
+            manifest.experiment = std::string(1, letter);
+            manifest.workload = workload;
+            manifest.config = cfg.describe();
+            manifest.seed = seed;
+            manifest.scale = scale;
+            manifest.refs = stream.size();
+            manifest.wallSeconds = timer.seconds();
+
+            JsonWriter w;
+            w.beginObject();
+            w.key("manifest");
+            manifest.write(w);
+            w.key("stats");
+            writeStatsArray(registry, w);
+            w.endObject();
+            writeFileOrDie(statsJson, w.str());
+        }
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());

@@ -22,6 +22,10 @@
 #include "cache/hierarchy.hh"
 #include "common/log.hh"
 #include "mtc/min_cache.hh"
+#include "obs/export.hh"
+#include "obs/manifest.hh"
+#include "obs/progress.hh"
+#include "obs/registry.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
 
@@ -61,7 +65,10 @@ usage(int code)
         "  --mtc               also run the same-size minimal-traffic "
         "cache\n"
         "  --pin-bandwidth MBs physical pin bandwidth for E_pin "
-        "(default 800)\n");
+        "(default 800)\n\n"
+        "Telemetry:\n"
+        "  --stats-json FILE   write manifest + full stats as JSON\n"
+        "  --stats-every N     stderr progress line every N refs\n");
     std::exit(code);
 }
 
@@ -70,18 +77,24 @@ parseSize(const std::string &s)
 {
     char *end = nullptr;
     const double v = std::strtod(s.c_str(), &end);
-    if (v <= 0)
+    if (end == s.c_str() || v <= 0)
         fatal("bad size '" + s + "'");
     Bytes mult = 1;
-    if (end && *end) {
+    if (*end) {
         switch (*end) {
-          case 'k': case 'K': mult = 1_KiB; break;
-          case 'm': case 'M': mult = 1_MiB; break;
-          case 'g': case 'G': mult = 1_MiB * 1024; break;
-          default: fatal("bad size suffix in '" + s + "'");
+          case 'k': case 'K': mult = 1_KiB; ++end; break;
+          case 'm': case 'M': mult = 1_MiB; ++end; break;
+          case 'g': case 'G': mult = 1_GiB; ++end; break;
         }
+        if (*end == 'b' || *end == 'B') // 64K and 64KB both work
+            ++end;
+        if (*end)
+            fatal("bad size suffix in '" + s + "'");
     }
-    return static_cast<Bytes>(v * static_cast<double>(mult));
+    const double bytes = v * static_cast<double>(mult);
+    if (bytes >= 9.0e18) // would overflow the 64-bit byte count
+        fatal("size '" + s + "' is too large");
+    return static_cast<Bytes>(bytes);
 }
 
 struct Options
@@ -97,6 +110,8 @@ struct Options
     CacheConfig l2;
     bool runMtc = false;
     double pinBandwidthMBs = 800.0;
+    std::string statsJson;
+    std::uint64_t statsEvery = 0;
 };
 
 Options
@@ -184,6 +199,10 @@ parse(int argc, char **argv)
             o.runMtc = true;
         } else if (a == "--pin-bandwidth") {
             o.pinBandwidthMBs = std::atof(need(i).c_str());
+        } else if (a == "--stats-json") {
+            o.statsJson = need(i);
+        } else if (a == "--stats-every") {
+            o.statsEvery = std::strtoull(need(i).c_str(), nullptr, 10);
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
             usage(1);
@@ -227,7 +246,15 @@ main(int argc, char **argv)
         std::vector<CacheConfig> levels{o.l1};
         if (o.haveL2)
             levels.push_back(o.l2);
-        const TrafficResult r = runTrace(trace, levels);
+
+        WallTimer timer;
+        ProgressMeter meter("membw_sim", o.statsEvery);
+        TraceProgressFn progress;
+        if (o.statsEvery)
+            progress = [&meter](std::size_t done, std::size_t total) {
+                meter.tick(done, total);
+            };
+        const TrafficResult r = runTrace(trace, levels, progress);
 
         std::printf("\nL1: %s\n", o.l1.describe().c_str());
         if (o.haveL2)
@@ -247,9 +274,9 @@ main(int argc, char **argv)
                     o.pinBandwidthMBs / r.trafficRatio,
                     o.pinBandwidthMBs);
 
+        MinCacheStats mtc;
         if (o.runMtc) {
-            const MinCacheStats mtc =
-                runMinCache(trace, canonicalMtc(o.l1.size));
+            mtc = runMinCache(trace, canonicalMtc(o.l1.size));
             const double g =
                 static_cast<double>(r.levelTraffic[0]) /
                 static_cast<double>(mtc.trafficBelow());
@@ -262,6 +289,39 @@ main(int argc, char **argv)
             std::printf("  OE_pin          : %.1f MB/s\n",
                         o.pinBandwidthMBs * g /
                             r.levelRatios[0]);
+        }
+
+        if (!o.statsJson.empty()) {
+            StatsRegistry registry;
+            publishStats(registry, r);
+            if (o.runMtc) {
+                StatsGroup mtcGroup = registry.group("mtc");
+                publishMinCacheStats(mtcGroup, mtc);
+            }
+
+            RunManifest manifest;
+            manifest.tool = "membw_sim";
+            manifest.workload =
+                o.workload.empty() ? o.loadTrace : o.workload;
+            manifest.config = o.l1.describe();
+            if (o.haveL2)
+                manifest.config += " + " + o.l2.describe();
+            manifest.seed = o.seed;
+            manifest.scale = o.scale;
+            manifest.refs = trace.size();
+            manifest.wallSeconds = timer.seconds();
+            if (o.runMtc)
+                manifest.set("mtc_config",
+                             canonicalMtc(o.l1.size).describe());
+
+            JsonWriter w;
+            w.beginObject();
+            w.key("manifest");
+            manifest.write(w);
+            w.key("stats");
+            writeStatsArray(registry, w);
+            w.endObject();
+            writeFileOrDie(o.statsJson, w.str());
         }
         return 0;
     } catch (const FatalError &e) {
