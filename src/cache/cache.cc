@@ -1,13 +1,67 @@
 #include "cache/cache.hh"
 
+#include <array>
 #include <bit>
 #include <cassert>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
 
 namespace membw {
+
+void
+saveCacheStats(ChkWriter &w, const CacheStats &s)
+{
+    w.u64(s.accesses);
+    w.u64(s.loads);
+    w.u64(s.stores);
+    w.u64(s.hits);
+    w.u64(s.misses);
+    w.u64(s.loadMisses);
+    w.u64(s.storeMisses);
+    w.u64(s.evictions);
+    w.u64(s.writebacks);
+    w.u64(s.partialFills);
+    w.u64(s.prefetches);
+    w.u64(s.streamHits);
+    w.u64(s.streamAllocs);
+    w.u64(s.requestBytes);
+    w.u64(s.demandFetchBytes);
+    w.u64(s.partialFillBytes);
+    w.u64(s.prefetchFetchBytes);
+    w.u64(s.streamFetchBytes);
+    w.u64(s.writebackBytes);
+    w.u64(s.writeThroughBytes);
+    w.u64(s.flushWritebackBytes);
+}
+
+void
+loadCacheStats(ChkReader &r, CacheStats &s)
+{
+    s.accesses = r.u64();
+    s.loads = r.u64();
+    s.stores = r.u64();
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.loadMisses = r.u64();
+    s.storeMisses = r.u64();
+    s.evictions = r.u64();
+    s.writebacks = r.u64();
+    s.partialFills = r.u64();
+    s.prefetches = r.u64();
+    s.streamHits = r.u64();
+    s.streamAllocs = r.u64();
+    s.requestBytes = r.u64();
+    s.demandFetchBytes = r.u64();
+    s.partialFillBytes = r.u64();
+    s.prefetchFetchBytes = r.u64();
+    s.streamFetchBytes = r.u64();
+    s.writebackBytes = r.u64();
+    s.writeThroughBytes = r.u64();
+    s.flushWritebackBytes = r.u64();
+}
 
 Cache::Cache(const CacheConfig &config)
     : config_(config),
@@ -483,6 +537,129 @@ publishCacheStats(StatsGroup &group, const CacheStats &stats)
     group.addRatio("traffic_ratio",
                    "R = bytes.below / bytes.request (Equation 4)",
                    below, request);
+}
+
+void
+Cache::saveState(ChkWriter &w) const
+{
+    w.beginSection(chkTag("CACH"));
+
+    // Geometry guard: a checkpoint only restores into an identically
+    // shaped cache.
+    w.u32(nsets_);
+    w.u32(config_.ways());
+    w.u64(blockBytes_);
+
+    w.u64(seq_);
+    for (std::uint64_t word : rng_.state())
+        w.u64(word);
+    saveCacheStats(w, stats_);
+
+    for (const Set &set : sets_) {
+        for (const Line &line : set.ways) {
+            w.u8(line.valid ? 1 : 0);
+            w.u64(line.blockAddr);
+            w.u64(line.lastUse);
+            w.u64(line.insertSeq);
+            w.u64(line.validMask);
+            w.u64(line.dirtyMask);
+            w.u8(line.prefetchTag ? 1 : 0);
+        }
+    }
+
+    w.u64(streams_.size());
+    for (const Stream &s : streams_) {
+        w.u64(s.lastUse);
+        w.u64(s.head);
+        w.u64(s.fifo.size());
+        for (Addr a : s.fifo)
+            w.u64(a);
+    }
+
+    w.endSection();
+}
+
+void
+Cache::loadState(ChkReader &r)
+{
+    r.enterSection(chkTag("CACH"));
+
+    const std::uint32_t nsets = r.u32();
+    const std::uint32_t ways = r.u32();
+    const std::uint64_t block = r.u64();
+    if (r.failed())
+        return;
+    if (nsets != nsets_ || ways != config_.ways() ||
+        block != blockBytes_) {
+        r.fail(Errc::Mismatch,
+               config_.name + ": checkpoint geometry " +
+                   std::to_string(nsets) + "x" + std::to_string(ways) +
+                   "x" + std::to_string(block) +
+                   "B does not match the configured " +
+                   std::to_string(nsets_) + "x" +
+                   std::to_string(config_.ways()) + "x" +
+                   std::to_string(blockBytes_) + "B cache");
+        return;
+    }
+
+    seq_ = r.u64();
+    std::array<std::uint64_t, 4> rstate;
+    for (std::uint64_t &word : rstate)
+        word = r.u64();
+    rng_.setState(rstate);
+    loadCacheStats(r, stats_);
+
+    for (Set &set : sets_) {
+        set.index.clear();
+        for (unsigned way = 0; way < set.ways.size(); ++way) {
+            Line &line = set.ways[way];
+            line.valid = r.u8() != 0;
+            line.blockAddr = r.u64();
+            line.lastUse = r.u64();
+            line.insertSeq = r.u64();
+            line.validMask = r.u64();
+            line.dirtyMask = r.u64();
+            line.prefetchTag = r.u8() != 0;
+            if (r.failed())
+                return;
+            if (line.valid &&
+                !set.index.emplace(line.blockAddr, way).second) {
+                r.fail(Errc::Corrupt,
+                       config_.name +
+                           ": duplicate resident block in set");
+                return;
+            }
+        }
+    }
+
+    const std::uint64_t nstreams = r.u64();
+    if (nstreams > config_.streamBuffers) {
+        r.fail(Errc::Corrupt,
+               config_.name + ": checkpoint carries " +
+                   std::to_string(nstreams) +
+                   " stream buffers but the config allows " +
+                   std::to_string(config_.streamBuffers));
+        return;
+    }
+    streams_.clear();
+    streams_.resize(static_cast<std::size_t>(nstreams));
+    for (Stream &s : streams_) {
+        s.lastUse = r.u64();
+        s.head = static_cast<std::size_t>(r.u64());
+        const std::uint64_t depth = r.u64();
+        if (r.failed())
+            return;
+        if (depth > r.remaining() / 8 || s.head > depth) {
+            r.fail(Errc::Corrupt,
+                   config_.name + ": malformed stream buffer");
+            return;
+        }
+        s.fifo.resize(static_cast<std::size_t>(depth));
+        for (Addr &a : s.fifo)
+            a = r.u64();
+    }
+
+    r.leaveSection();
 }
 
 bool

@@ -26,6 +26,8 @@
 namespace membw {
 
 class StatsGroup;
+class ChkWriter;
+class ChkReader;
 
 /** Byte counters for one cache level. */
 struct CacheStats
@@ -131,6 +133,20 @@ class Cache
     /** True iff the block containing @p addr is resident. */
     bool contains(Addr addr) const;
 
+    /**
+     * Serialize tag array, dirty/valid masks, stream buffers, RNG,
+     * and counters into one "CACH" checkpoint section.  Must not be
+     * called mid-access.
+     */
+    void saveState(ChkWriter &w) const;
+
+    /**
+     * Restore state written by saveState() into a cache built from
+     * the same config.  Geometry mismatches and malformed sections
+     * latch a classified error on @p r instead of throwing.
+     */
+    void loadState(ChkReader &r);
+
   private:
     struct Line
     {
@@ -205,6 +221,12 @@ class Cache
  * traffic_ratio ratios.
  */
 void publishCacheStats(StatsGroup &group, const CacheStats &stats);
+
+/** Append @p s's counters (fixed field order, no section framing). */
+void saveCacheStats(ChkWriter &w, const CacheStats &s);
+
+/** Read back what saveCacheStats() wrote. */
+void loadCacheStats(ChkReader &r, CacheStats &s);
 
 } // namespace membw
 

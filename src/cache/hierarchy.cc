@@ -2,6 +2,8 @@
 
 #include "common/log.hh"
 #include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/exit_codes.hh"
 
 namespace membw {
 
@@ -47,21 +49,41 @@ CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &configs)
     }
 
     // Wire each level's fills and write-backs into the next level.
+    // Every inter-level transfer counts against the per-reference
+    // event budget so a run-away fill/prefetch chain trips the
+    // watchdog instead of hanging the run.
     for (std::size_t i = 0; i + 1 < caches_.size(); ++i) {
         Cache *below = caches_[i + 1].get();
         caches_[i]->setBelow(
-            [below](Addr addr, Bytes bytes) {
+            [this, below](Addr addr, Bytes bytes) {
+                noteDownstreamEvent();
                 below->access(MemRef{addr, bytes, RefKind::Load});
             },
-            [below](Addr addr, Bytes bytes) {
+            [this, below](Addr addr, Bytes bytes) {
+                noteDownstreamEvent();
                 below->access(MemRef{addr, bytes, RefKind::Store});
             });
     }
 }
 
 void
+CacheHierarchy::noteDownstreamEvent()
+{
+    if (++accessEvents_ > maxEvents_)
+        maxEvents_ = accessEvents_;
+    if (eventBudget_ && accessEvents_ > eventBudget_)
+        throw WatchdogError(
+            "hierarchy watchdog: one reference triggered more than " +
+            std::to_string(eventBudget_) +
+            " downstream transfers — a fill/prefetch livelock "
+            "between cache levels (raise the budget with "
+            "setEventBudget() only if this chain is expected)");
+}
+
+void
 CacheHierarchy::access(const MemRef &ref)
 {
+    accessEvents_ = 0;
     caches_[0]->access(ref);
 }
 
@@ -103,6 +125,54 @@ CacheHierarchy::publishStats(StatsRegistry &registry) const
 }
 
 TrafficResult
+CacheHierarchy::summarize() const
+{
+    TrafficResult result;
+    result.requestBytes = level(0).stats().requestBytes;
+    result.pinBytes = trafficBelow(levels() - 1);
+    result.trafficRatio = totalTrafficRatio();
+    for (std::size_t i = 0; i < levels(); ++i) {
+        result.levelRatios.push_back(trafficRatio(i));
+        result.levelTraffic.push_back(trafficBelow(i));
+        result.levels.push_back(level(i).stats());
+    }
+    result.l1 = level(0).stats();
+    return result;
+}
+
+void
+CacheHierarchy::saveState(ChkWriter &w) const
+{
+    w.beginSection(chkTag("HIER"));
+    w.u32(static_cast<std::uint32_t>(caches_.size()));
+    w.endSection();
+    for (const auto &cache : caches_)
+        cache->saveState(w);
+}
+
+void
+CacheHierarchy::loadState(ChkReader &r)
+{
+    r.enterSection(chkTag("HIER"));
+    const std::uint32_t count = r.u32();
+    r.leaveSection();
+    if (r.failed())
+        return;
+    if (count != caches_.size()) {
+        r.fail(Errc::Mismatch,
+               "checkpoint holds " + std::to_string(count) +
+                   " cache levels but the configuration builds " +
+                   std::to_string(caches_.size()));
+        return;
+    }
+    for (auto &cache : caches_) {
+        cache->loadState(r);
+        if (r.failed())
+            return;
+    }
+}
+
+TrafficResult
 runTrace(const Trace &trace, const std::vector<CacheConfig> &configs)
 {
     return runTrace(trace, configs, TraceProgressFn{});
@@ -124,24 +194,59 @@ runTrace(const Trace &trace, const std::vector<CacheConfig> &configs,
             hier.access(ref);
     }
     hier.flush();
-
-    TrafficResult result;
-    result.requestBytes = hier.level(0).stats().requestBytes;
-    result.pinBytes = hier.trafficBelow(hier.levels() - 1);
-    result.trafficRatio = hier.totalTrafficRatio();
-    for (std::size_t i = 0; i < hier.levels(); ++i) {
-        result.levelRatios.push_back(hier.trafficRatio(i));
-        result.levelTraffic.push_back(hier.trafficBelow(i));
-        result.levels.push_back(hier.level(i).stats());
-    }
-    result.l1 = hier.level(0).stats();
-    return result;
+    return hier.summarize();
 }
 
 TrafficResult
 runTrace(const Trace &trace, const CacheConfig &config)
 {
     return runTrace(trace, std::vector<CacheConfig>{config});
+}
+
+void
+saveTrafficResult(ChkWriter &w, const TrafficResult &result)
+{
+    w.beginSection(chkTag("TRFR"));
+    w.u64(result.requestBytes);
+    w.u64(result.pinBytes);
+    w.f64(result.trafficRatio);
+    w.u64(result.levels.size());
+    for (std::size_t i = 0; i < result.levels.size(); ++i) {
+        w.f64(result.levelRatios[i]);
+        w.u64(result.levelTraffic[i]);
+        saveCacheStats(w, result.levels[i]);
+    }
+    w.endSection();
+}
+
+void
+loadTrafficResult(ChkReader &r, TrafficResult &result)
+{
+    result = TrafficResult{};
+    r.enterSection(chkTag("TRFR"));
+    result.requestBytes = r.u64();
+    result.pinBytes = r.u64();
+    result.trafficRatio = r.f64();
+    const std::uint64_t levels = r.u64();
+    if (r.failed())
+        return;
+    // A level costs well over 100 bytes; 1/16th is a safe floor for
+    // the pre-allocation cap.
+    if (levels == 0 || levels > r.remaining() / 16) {
+        r.fail(Errc::Corrupt, "implausible traffic-level count " +
+                                  std::to_string(levels));
+        return;
+    }
+    for (std::uint64_t i = 0; i < levels && !r.failed(); ++i) {
+        result.levelRatios.push_back(r.f64());
+        result.levelTraffic.push_back(r.u64());
+        CacheStats stats;
+        loadCacheStats(r, stats);
+        result.levels.push_back(stats);
+    }
+    r.leaveSection();
+    if (!r.failed())
+        result.l1 = result.levels.front();
 }
 
 void

@@ -22,6 +22,9 @@
 namespace membw {
 
 class StatsRegistry;
+class ChkWriter;
+class ChkReader;
+struct TrafficResult;
 
 /**
  * An ordered stack of cache levels (index 0 is closest to the
@@ -58,8 +61,56 @@ class CacheHierarchy
      */
     void publishStats(StatsRegistry &registry) const;
 
+    /**
+     * Snapshot current traffic into a TrafficResult.  Call after
+     * flush() for end-of-run semantics; mid-run snapshots are valid
+     * but exclude the final dirty flush.
+     */
+    TrafficResult summarize() const;
+
+    /**
+     * Cap the downstream events (fills, write-backs, prefetch and
+     * stream transfers between levels) one processor reference may
+     * trigger.  A run-away chain — a livelock in cache-interaction
+     * logic — trips a WatchdogError instead of hanging the run.
+     * 0 disables the guard.
+     */
+    void setEventBudget(std::uint64_t budget) { eventBudget_ = budget; }
+
+    std::uint64_t eventBudget() const { return eventBudget_; }
+
+    /** Most downstream events any single reference has triggered. */
+    std::uint64_t maxDownstreamEvents() const { return maxEvents_; }
+
+    /**
+     * Unused fraction of the event budget at the worst reference seen
+     * so far (1.0 = nowhere near tripping) — the heartbeat's
+     * "watchdog slack" figure.
+     */
+    double
+    eventHeadroom() const
+    {
+        if (!eventBudget_)
+            return 1.0;
+        if (maxEvents_ >= eventBudget_)
+            return 0.0;
+        return 1.0 - static_cast<double>(maxEvents_) /
+                         static_cast<double>(eventBudget_);
+    }
+
+    /** Serialize every level ("HIER" section + one per cache). */
+    void saveState(ChkWriter &w) const;
+
+    /** Restore state saved from an identically configured stack. */
+    void loadState(ChkReader &r);
+
   private:
+    void noteDownstreamEvent();
+
     std::vector<std::unique_ptr<Cache>> caches_;
+    std::uint64_t eventBudget_ = 1'000'000;
+    std::uint64_t accessEvents_ = 0;
+    std::uint64_t maxEvents_ = 0;
 };
 
 /** Per-run summary returned by runTrace(). */
@@ -102,6 +153,15 @@ TrafficResult runTrace(const Trace &trace, const CacheConfig &config);
  */
 void publishStats(StatsRegistry &registry,
                   const TrafficResult &result);
+
+/**
+ * Serialize a completed traffic summary ("TRFR" section) so a later
+ * phase of a checkpointed run can carry its predecessor's result.
+ */
+void saveTrafficResult(ChkWriter &w, const TrafficResult &result);
+
+/** Read back what saveTrafficResult() wrote. */
+void loadTrafficResult(ChkReader &r, TrafficResult &result);
 
 } // namespace membw
 

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * Used to guard checkpoint payloads and to digest in-memory traces so
+ * a resumed run can prove it is replaying the same input it was
+ * interrupted on.  A CRC is an integrity check against accidental
+ * corruption (truncated copies, bit rot), not an authenticity check.
+ */
+
+#ifndef MEMBW_COMMON_CRC_HH
+#define MEMBW_COMMON_CRC_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace membw {
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    /** Fold @p size bytes at @p data into the running value. */
+    void update(const void *data, std::size_t size);
+
+    /** Fold one integral value (little-endian byte order). */
+    template <typename T>
+    void
+    updateScalar(T v)
+    {
+        unsigned char bytes[sizeof(T)];
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            bytes[i] = static_cast<unsigned char>(
+                static_cast<std::uint64_t>(v) >> (8 * i));
+        update(bytes, sizeof(T));
+    }
+
+    /** The finalized CRC of everything folded so far. */
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+/** One-shot convenience. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_CRC_HH

@@ -1,0 +1,97 @@
+#include "common/parse.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace membw {
+
+Result<Bytes>
+tryParseSize(const std::string &text)
+{
+    if (text.empty())
+        return makeError(Errc::BadValue, "empty size");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || errno == ERANGE || !std::isfinite(v))
+        return makeError(Errc::BadValue,
+                         "'" + text + "' is not a number");
+    if (v <= 0)
+        return makeError(Errc::BadValue,
+                         "size '" + text + "' must be positive");
+    Bytes mult = 1;
+    if (*end) {
+        switch (*end) {
+          case 'k': case 'K': mult = 1_KiB; ++end; break;
+          case 'm': case 'M': mult = 1_MiB; ++end; break;
+          case 'g': case 'G': mult = 1_GiB; ++end; break;
+        }
+        if (*end == 'b' || *end == 'B') // 64K and 64KB both work
+            ++end;
+        if (*end)
+            return makeError(Errc::BadValue,
+                             "bad size suffix in '" + text +
+                                 "' (want K, M, or G)");
+    }
+    const double bytes = v * static_cast<double>(mult);
+    if (bytes >= 9.0e18) // would overflow the 64-bit byte count
+        return makeError(Errc::TooLarge,
+                         "size '" + text + "' overflows 64 bits");
+    return static_cast<Bytes>(bytes);
+}
+
+Result<std::uint64_t>
+tryParseU64(const std::string &text)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return makeError(Errc::BadValue,
+                         "'" + text +
+                             "' is not a non-negative integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end || errno == ERANGE)
+        return makeError(Errc::BadValue,
+                         "'" + text +
+                             "' is not a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+}
+
+Result<std::int64_t>
+tryParseInt(const std::string &text, std::int64_t min,
+            std::int64_t max)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long v =
+        text.empty() ? 0 : std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end == text.c_str() || *end ||
+        errno == ERANGE)
+        return makeError(Errc::BadValue,
+                         "'" + text + "' is not an integer");
+    if (v < min || v > max)
+        return makeError(Errc::BadValue,
+                         "'" + text + "' is out of range [" +
+                             std::to_string(min) + ", " +
+                             std::to_string(max) + "]");
+    return static_cast<std::int64_t>(v);
+}
+
+Result<double>
+tryParseDouble(const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v =
+        text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str() || *end ||
+        errno == ERANGE || !std::isfinite(v))
+        return makeError(Errc::BadValue,
+                         "'" + text + "' is not a finite number");
+    return v;
+}
+
+} // namespace membw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Checked scalar parsing for command-line flag values.
+ *
+ * The tools originally used atoi/atof/strtod directly, which silently
+ * accept garbage ("--scale 1.5x" parsed as 1.5, "--assoc foo" as 0)
+ * — precisely the "subtly invalid config" failure mode that kills a
+ * sweep hours in.  These helpers validate the whole token and return
+ * a classified Result so the caller can name the flag, the offending
+ * value, and the reason in one fatal diagnostic.
+ */
+
+#ifndef MEMBW_COMMON_PARSE_HH
+#define MEMBW_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hh"
+#include "common/types.hh"
+
+namespace membw {
+
+/**
+ * Parse a byte size: a positive number with an optional K/M/G suffix
+ * (optionally followed by 'B'), e.g. "64K", "1M", "8192", "1.5MB".
+ * Rejects trailing garbage, non-positive values, and sizes that would
+ * overflow a 64-bit byte count.
+ */
+Result<Bytes> tryParseSize(const std::string &text);
+
+/** Parse a whole non-negative decimal integer; rejects garbage. */
+Result<std::uint64_t> tryParseU64(const std::string &text);
+
+/**
+ * Parse a whole decimal integer in [@p min, @p max]; rejects garbage
+ * and out-of-range values with a message naming the allowed range.
+ */
+Result<std::int64_t> tryParseInt(const std::string &text,
+                                 std::int64_t min, std::int64_t max);
+
+/** Parse a finite double; rejects garbage, NaN, and infinity. */
+Result<double> tryParseDouble(const std::string &text);
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_PARSE_HH

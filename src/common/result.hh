@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Structured error layer for untrusted input.
+ *
+ * fatal()/FatalError (common/log.hh) is the right tool when the
+ * caller *is* the user: the message propagates to main() and the
+ * process exits.  It is the wrong tool inside parsers fed untrusted
+ * bytes (trace files, checkpoint files, flag values), where callers
+ * need to distinguish *why* the input was rejected — a truncated
+ * file, a bad magic number, and an implausible record count deserve
+ * different diagnostics, different tests, and different fuzz oracles.
+ *
+ * Result<T> is a minimal expected-style carrier: either a value or an
+ * Error{Errc, message}.  Parsers return Result and never throw on bad
+ * bytes; boundary wrappers (loadTrace, tool flag handling) convert a
+ * failed Result into a classified FatalError for the human.
+ */
+
+#ifndef MEMBW_COMMON_RESULT_HH
+#define MEMBW_COMMON_RESULT_HH
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/log.hh"
+
+namespace membw {
+
+/** Classified failure causes for untrusted-input parsing. */
+enum class Errc : int
+{
+    Ok = 0,
+    IoError,      ///< open/read/write failed at the OS level
+    BadMagic,     ///< leading magic bytes are not ours
+    BadVersion,   ///< recognized container, unsupported version
+    Truncated,    ///< file ends before the declared content does
+    Corrupt,      ///< structure decodes but violates an invariant
+    TooLarge,     ///< declared size exceeds a sane/overflow-safe cap
+    BadValue,     ///< a scalar field fails range/garbage validation
+    Mismatch,     ///< input is valid but inconsistent with the run
+};
+
+/** Stable lower-case identifier, e.g. for test assertions and logs. */
+constexpr const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::Ok: return "ok";
+      case Errc::IoError: return "io_error";
+      case Errc::BadMagic: return "bad_magic";
+      case Errc::BadVersion: return "bad_version";
+      case Errc::Truncated: return "truncated";
+      case Errc::Corrupt: return "corrupt";
+      case Errc::TooLarge: return "too_large";
+      case Errc::BadValue: return "bad_value";
+      case Errc::Mismatch: return "mismatch";
+    }
+    return "unknown";
+}
+
+/** A classified failure with a human-readable message. */
+struct Error
+{
+    Errc code = Errc::Ok;
+    std::string message;
+
+    /** "truncated: trace 'x.mbwt' ends inside record 7". */
+    std::string
+    describe() const
+    {
+        return std::string(errcName(code)) + ": " + message;
+    }
+};
+
+/** Either a T or an Error.  Moves freely; never throws on failure. */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : state_(std::move(value)) {}
+    Result(Error error) : state_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; panics if !ok() (caller must check). */
+    T &
+    value()
+    {
+        if (!ok())
+            panic("Result::value() on error: " + error().describe());
+        return std::get<T>(state_);
+    }
+    const T &
+    value() const
+    {
+        if (!ok())
+            panic("Result::value() on error: " + error().describe());
+        return std::get<T>(state_);
+    }
+
+    /** The error; panics if ok(). */
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Result::error() on success");
+        return std::get<Error>(state_);
+    }
+
+    Errc code() const { return ok() ? Errc::Ok : error().code; }
+
+    /** Unwrap or convert the classified error into a FatalError. */
+    T
+    orDie() &&
+    {
+        if (!ok())
+            fatal(error().describe());
+        return std::move(std::get<T>(state_));
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+/** Convenience factory: Result<T>(Error{code, msg}) reads poorly. */
+inline Error
+makeError(Errc code, std::string message)
+{
+    return Error{code, std::move(message)};
+}
+
+} // namespace membw
+
+#endif // MEMBW_COMMON_RESULT_HH

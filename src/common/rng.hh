@@ -10,6 +10,7 @@
 #ifndef MEMBW_COMMON_RNG_HH
 #define MEMBW_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace membw {
@@ -66,6 +67,21 @@ class Rng
 
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return uniform() < p; }
+
+    /** The raw 256-bit state, for checkpointing. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a state captured by state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
+    }
 
     /**
      * Geometric-ish draw used for burst lengths: value in [1, cap]

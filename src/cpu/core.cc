@@ -6,6 +6,8 @@
 #include "common/log.hh"
 #include "cpu/branch_pred.hh"
 #include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/watchdog.hh"
 
 namespace membw {
 
@@ -105,9 +107,45 @@ runCore(const InstrStream &stream, const CoreConfig &core,
     DistData lsq_occ;
 
     Addr cur_fetch_block = addrInvalid;
+    std::size_t cur_op = 0;
+
+    Watchdog localWatchdog(core.watchdogCycles);
+    Watchdog &watchdog =
+        core.watchdog ? *core.watchdog : localWatchdog;
+    watchdog.setDiagnostic([&](StatsRegistry &reg) {
+        StatsGroup g = reg.group("core");
+        g.addCounter("op_index", "micro-op being processed", "ops")
+            .set(cur_op);
+        g.addCounter("ops_total", "micro-ops in the stream", "ops")
+            .set(stream.size());
+        g.addCounter("last_retire", "last in-order retire cycle",
+                     "cycles")
+            .set(last_retire);
+        g.addCounter("last_dispatch", "last dispatch cycle", "cycles")
+            .set(last_dispatch);
+        g.addCounter("fetch_earliest", "fetch redirect point",
+                     "cycles")
+            .set(fetch_earliest);
+        g.addCounter("last_load_done",
+                     "most recent load completion cycle", "cycles")
+            .set(last_load_done);
+        StatsGroup stall = g.group("stall");
+        stall.addCounter("fetch", "fetch stall cycles so far",
+                         "cycles")
+            .set(stalls.fetch);
+        stall.addCounter("window", "window stall cycles so far",
+                         "cycles")
+            .set(stalls.window);
+        stall.addCounter("data", "data stall cycles so far", "cycles")
+            .set(stalls.data);
+        stall.addCounter("mem_port", "memory-port stall cycles so far",
+                         "cycles")
+            .set(stalls.memPort);
+    });
 
     for (std::size_t i = 0; i < stream.size(); ++i) {
         const MicroOp &op = stream[i];
+        cur_op = i;
 
         if (core.progressEvery && core.progress && i &&
             i % core.progressEvery == 0)
@@ -208,9 +246,12 @@ runCore(const InstrStream &stream, const CoreConfig &core,
           }
         }
 
-        // Retire in order.
+        // Retire in order.  Each retirement is a forward-progress
+        // event; a gap beyond the budget means the machine livelocked
+        // (e.g. a memory model returned an absurd ready cycle).
         const Cycle retired =
             retire.take(std::max(complete, last_retire));
+        watchdog.advance(retired);
         last_retire = retired;
         window.push(retired);
         if (op.kind == OpKind::Load || op.kind == OpKind::Store)
@@ -281,6 +322,102 @@ publishCoreStats(StatsGroup &group, const CoreResult &result)
                          "occupied LSQ slots at memory-op issue",
                          "ops")
         .set(result.lsqOcc);
+}
+
+namespace {
+
+void
+saveDist(ChkWriter &w, const DistData &d)
+{
+    w.u64(d.count);
+    w.f64(d.sum);
+    w.f64(d.sumSq);
+    w.f64(d.minv);
+    w.f64(d.maxv);
+}
+
+void
+loadDist(ChkReader &r, DistData &d)
+{
+    d.count = r.u64();
+    d.sum = r.f64();
+    d.sumSq = r.f64();
+    d.minv = r.f64();
+    d.maxv = r.f64();
+}
+
+} // namespace
+
+void
+saveCoreResult(ChkWriter &w, const CoreResult &result)
+{
+    w.beginSection(chkTag("CORE"));
+    w.u64(result.cycles);
+    w.u64(result.instructions);
+    w.f64(result.ipc);
+    w.u64(result.branches);
+    w.u64(result.mispredicts);
+    w.u64(result.stalls.fetch);
+    w.u64(result.stalls.window);
+    w.u64(result.stalls.data);
+    w.u64(result.stalls.memPort);
+    saveDist(w, result.windowOcc);
+    saveDist(w, result.lsqOcc);
+    const MemSysStats &m = result.mem;
+    w.u64(m.loads);
+    w.u64(m.stores);
+    w.u64(m.ifetches);
+    w.u64(m.iMisses);
+    w.u64(m.l1Misses);
+    w.u64(m.l2Misses);
+    w.u64(m.mshrMerges);
+    w.u64(m.wrongPathLoads);
+    w.u64(m.dramRowHits);
+    w.u64(m.dramRowMisses);
+    w.u64(m.dramBusyCycles);
+    w.u64(m.l1l2BusBusy);
+    w.u64(m.memBusBusy);
+    w.u64(m.l1l2BusWait);
+    w.u64(m.memBusWait);
+    w.u64(m.l1l2BusTransfers);
+    w.u64(m.memBusTransfers);
+    w.endSection();
+}
+
+void
+loadCoreResult(ChkReader &r, CoreResult &result)
+{
+    r.enterSection(chkTag("CORE"));
+    result.cycles = r.u64();
+    result.instructions = r.u64();
+    result.ipc = r.f64();
+    result.branches = r.u64();
+    result.mispredicts = r.u64();
+    result.stalls.fetch = r.u64();
+    result.stalls.window = r.u64();
+    result.stalls.data = r.u64();
+    result.stalls.memPort = r.u64();
+    loadDist(r, result.windowOcc);
+    loadDist(r, result.lsqOcc);
+    MemSysStats &m = result.mem;
+    m.loads = r.u64();
+    m.stores = r.u64();
+    m.ifetches = r.u64();
+    m.iMisses = r.u64();
+    m.l1Misses = r.u64();
+    m.l2Misses = r.u64();
+    m.mshrMerges = r.u64();
+    m.wrongPathLoads = r.u64();
+    m.dramRowHits = r.u64();
+    m.dramRowMisses = r.u64();
+    m.dramBusyCycles = r.u64();
+    m.l1l2BusBusy = r.u64();
+    m.memBusBusy = r.u64();
+    m.l1l2BusWait = r.u64();
+    m.memBusWait = r.u64();
+    m.l1l2BusTransfers = r.u64();
+    m.memBusTransfers = r.u64();
+    r.leaveSection();
 }
 
 } // namespace membw

@@ -27,6 +27,7 @@
 namespace membw {
 
 class StatsGroup;
+class Watchdog;
 
 /** Core parameters (Table 5). */
 struct CoreConfig
@@ -48,6 +49,22 @@ struct CoreConfig
      */
     std::uint64_t progressEvery = 0;
     std::function<void(std::size_t, std::size_t)> progress;
+
+    /**
+     * Forward-progress watchdog budget: the run fails with
+     * WatchdogError (exit code 4) if consecutive retirements are ever
+     * more than this many cycles apart — the timestamp-model
+     * signature of a livelocked memory system.  0 disables the guard.
+     */
+    Cycle watchdogCycles = 0;
+
+    /**
+     * Optional caller-owned watchdog to drive instead of an internal
+     * one (its own budget applies; watchdogCycles is ignored).  Lets
+     * a tool's heartbeat report live slack/headroom for the guard.
+     * Not owned; must outlive the run.
+     */
+    Watchdog *watchdog = nullptr;
 };
 
 /**
@@ -92,6 +109,18 @@ CoreResult runCore(const InstrStream &stream, const CoreConfig &core,
  * under "stall", and the occupancy distributions.
  */
 void publishCoreStats(StatsGroup &group, const CoreResult &result);
+
+class ChkWriter;
+class ChkReader;
+
+/**
+ * Serialize a completed run ("CORE" section) so the decomposition
+ * driver can checkpoint between its phases.
+ */
+void saveCoreResult(ChkWriter &w, const CoreResult &result);
+
+/** Read back what saveCoreResult() wrote (classified error on @p r). */
+void loadCoreResult(ChkReader &r, CoreResult &result);
 
 } // namespace membw
 

@@ -96,35 +96,61 @@ makeExperiment(char letter, bool spec95)
     return e;
 }
 
+CoreResult
+runPhase(const InstrStream &stream, const ExperimentConfig &config,
+         unsigned phase)
+{
+    MemSysConfig m = config.mem;
+    switch (phase) {
+      case 0:
+        m.mode = MemMode::Perfect;
+        break;
+      case 1:
+        m.mode = MemMode::InfiniteWidth;
+        break;
+      case 2:
+        m.mode = MemMode::Full;
+        break;
+      default:
+        fatal("decomposition phase must be 0-2");
+    }
+    MemorySystem mem(m);
+    return runCore(stream, config.core, mem);
+}
+
+const char *
+phaseName(unsigned phase)
+{
+    switch (phase) {
+      case 0: return "perfect";
+      case 1: return "infinite-width";
+      case 2: return "full";
+      default: return "?";
+    }
+}
+
+DecompositionResult
+assembleDecomposition(const CoreResult &perfect,
+                      const CoreResult &infinite,
+                      const CoreResult &full)
+{
+    DecompositionResult result;
+    result.perfect = perfect;
+    result.infinite = infinite;
+    result.full = full;
+    result.split = decompose(perfect.cycles, infinite.cycles,
+                             full.cycles);
+    return result;
+}
+
 DecompositionResult
 runDecomposition(const InstrStream &stream,
                  const ExperimentConfig &config)
 {
-    DecompositionResult result;
-
-    {
-        MemSysConfig m = config.mem;
-        m.mode = MemMode::Perfect;
-        MemorySystem mem(m);
-        result.perfect = runCore(stream, config.core, mem);
-    }
-    {
-        MemSysConfig m = config.mem;
-        m.mode = MemMode::InfiniteWidth;
-        MemorySystem mem(m);
-        result.infinite = runCore(stream, config.core, mem);
-    }
-    {
-        MemSysConfig m = config.mem;
-        m.mode = MemMode::Full;
-        MemorySystem mem(m);
-        result.full = runCore(stream, config.core, mem);
-    }
-
-    result.split = decompose(result.perfect.cycles,
-                             result.infinite.cycles,
-                             result.full.cycles);
-    return result;
+    const CoreResult perfect = runPhase(stream, config, 0);
+    const CoreResult infinite = runPhase(stream, config, 1);
+    const CoreResult full = runPhase(stream, config, 2);
+    return assembleDecomposition(perfect, infinite, full);
 }
 
 CoreResult

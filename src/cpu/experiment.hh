@@ -57,6 +57,27 @@ struct DecompositionResult
 DecompositionResult runDecomposition(const InstrStream &stream,
                                      const ExperimentConfig &config);
 
+/** The three decomposition runs, in execution order. */
+constexpr unsigned decompositionPhases = 3;
+
+/**
+ * Run one decomposition phase (0 = perfect memory, 1 =
+ * infinite-width, 2 = full system).  Each phase is deterministic and
+ * independent, which is what makes phase-granularity checkpointing
+ * sound: an interrupted phase is simply re-run from its start.
+ */
+CoreResult runPhase(const InstrStream &stream,
+                    const ExperimentConfig &config, unsigned phase);
+
+/** Human-readable name of decomposition phase @p phase. */
+const char *phaseName(unsigned phase);
+
+/** Assemble the Equations 1-3 split from three completed phases. */
+DecompositionResult
+assembleDecomposition(const CoreResult &perfect,
+                      const CoreResult &infinite,
+                      const CoreResult &full);
+
 /** Run only the full-system configuration. */
 CoreResult runFull(const InstrStream &stream,
                    const ExperimentConfig &config);

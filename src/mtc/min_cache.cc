@@ -1,5 +1,6 @@
 #include "mtc/min_cache.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -7,6 +8,7 @@
 #include "common/log.hh"
 #include "mtc/next_use.hh"
 #include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
 
 namespace membw {
 
@@ -35,6 +37,14 @@ MinCacheSim::MinCacheSim(const Trace &trace, const MinCacheConfig &config)
 {
     config_.validate();
     nextUse_ = buildNextUse(trace_, config_.blockBytes);
+
+    const unsigned words_per_block =
+        static_cast<unsigned>(config_.blockBytes / wordBytes);
+    fullMask_ = words_per_block == 64
+                    ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << words_per_block) - 1;
+    capacity_ = config_.blocks();
+    cache_.reserve(capacity_ * 2);
 }
 
 Bytes
@@ -48,144 +58,260 @@ MinCacheSim::writebackSize(const Entry &entry) const
     return config_.blockBytes;
 }
 
-MinCacheStats
-MinCacheSim::run()
+void
+MinCacheSim::accessOne(const MemRef &ref, Tick nu)
 {
     const Bytes block_bytes = config_.blockBytes;
-    const unsigned words_per_block =
-        static_cast<unsigned>(block_bytes / wordBytes);
-    const std::uint64_t full_mask =
-        words_per_block == 64
-            ? ~std::uint64_t{0}
-            : (std::uint64_t{1} << words_per_block) - 1;
-    const unsigned capacity = config_.blocks();
+    const Addr block = alignDown(ref.addr, block_bytes);
+    if (alignDown(ref.addr + ref.size - 1, block_bytes) != block)
+        fatal("MTC reference spans a block boundary");
 
-    MinCacheStats stats;
-    std::unordered_map<Addr, Entry> cache;
-    cache.reserve(capacity * 2);
-    // Replacement order: victim is the entry whose next use is
-    // furthest in the future, i.e. the largest (nextUse, addr) pair.
-    std::set<std::pair<Tick, Addr>> order;
-
-    auto words_mask = [&](Addr addr, Bytes size, Addr block) {
+    auto words_mask = [&] {
         const unsigned first =
-            static_cast<unsigned>((addr - block) / wordBytes);
+            static_cast<unsigned>((ref.addr - block) / wordBytes);
         const unsigned last = static_cast<unsigned>(
-            (addr + size - 1 - block) / wordBytes);
+            (ref.addr + ref.size - 1 - block) / wordBytes);
         std::uint64_t mask = 0;
         for (unsigned w = first; w <= last; ++w)
             mask |= std::uint64_t{1} << w;
         return mask;
     };
+    const std::uint64_t words = words_mask();
 
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-        const MemRef &ref = trace_[i];
-        const Addr block = alignDown(ref.addr, block_bytes);
-        if (alignDown(ref.addr + ref.size - 1, block_bytes) != block)
-            fatal("MTC reference spans a block boundary");
+    stats_.accesses++;
+    stats_.requestBytes += ref.size;
 
-        const std::uint64_t words =
-            words_mask(ref.addr, ref.size, block);
-        const Tick nu = nextUse_[i];
-
-        stats.accesses++;
-        stats.requestBytes += ref.size;
-
-        auto it = cache.find(block);
-        if (it != cache.end()) {
-            // Hit: re-key the replacement order with the new next use.
-            Entry &entry = it->second;
-            order.erase({entry.nextUse, block});
-            entry.nextUse = nu;
-            order.insert({nu, block});
-
-            if (ref.isLoad()) {
-                const std::uint64_t missing =
-                    words & ~entry.validMask;
-                if (missing) {
-                    const Bytes bytes =
-                        static_cast<Bytes>(std::popcount(missing)) *
-                        wordBytes;
-                    stats.fetchBytes += bytes;
-                    entry.validMask |= missing;
-                }
-            } else {
-                entry.validMask |= words;
-                entry.dirtyMask |= words;
-            }
-            stats.hits++;
-            continue;
-        }
-
-        stats.misses++;
-
-        if (cache.size() == capacity) {
-            auto victim_it = std::prev(order.end());
-            const Tick victim_next = victim_it->first;
-
-            if (config_.writeAware && victim_next == tickInfinity) {
-                // Scan the never-referenced-again candidates for a
-                // clean one; evicting it saves a write-back without
-                // adding any future miss.
-                auto scan = victim_it;
-                for (unsigned n = 0; n < 32; ++n) {
-                    if (scan->first != tickInfinity)
-                        break;
-                    auto entry = cache.find(scan->second);
-                    assert(entry != cache.end());
-                    if (entry->second.dirtyMask == 0) {
-                        victim_it = scan;
-                        break;
-                    }
-                    if (scan == order.begin())
-                        break;
-                    --scan;
-                }
-            }
-
-            if (config_.allowBypass && nu > victim_next) {
-                // The incoming block is the lowest-priority block:
-                // service the request without caching it.
-                stats.bypasses++;
-                if (ref.isLoad())
-                    stats.fetchBytes += ref.size;
-                else
-                    stats.writebackBytes += ref.size;
-                continue;
-            }
-
-            // Evict the furthest-referenced resident block.
-            const Addr victim_addr = victim_it->second;
-            auto victim = cache.find(victim_addr);
-            assert(victim != cache.end());
-            stats.writebackBytes += writebackSize(victim->second);
-            cache.erase(victim);
-            order.erase(victim_it);
-        }
-
-        Entry entry;
+    auto it = cache_.find(block);
+    if (it != cache_.end()) {
+        // Hit: re-key the replacement order with the new next use.
+        Entry &entry = it->second;
+        order_.erase({entry.nextUse, block});
         entry.nextUse = nu;
+        order_.insert({nu, block});
+
         if (ref.isLoad()) {
-            entry.validMask = full_mask;
-            stats.fetchBytes += block_bytes;
-        } else if (config_.alloc == AllocPolicy::WriteAllocate) {
-            entry.validMask = full_mask;
-            entry.dirtyMask = words;
-            stats.fetchBytes += block_bytes;
-        } else { // WriteValidate: allocate without fetching.
-            entry.validMask = words;
-            entry.dirtyMask = words;
-            stats.validates++;
+            const std::uint64_t missing = words & ~entry.validMask;
+            if (missing) {
+                const Bytes bytes =
+                    static_cast<Bytes>(std::popcount(missing)) *
+                    wordBytes;
+                stats_.fetchBytes += bytes;
+                entry.validMask |= missing;
+            }
+        } else {
+            entry.validMask |= words;
+            entry.dirtyMask |= words;
         }
-        cache.emplace(block, entry);
-        order.insert({nu, block});
+        stats_.hits++;
+        return;
     }
 
-    // Program completion: flush all dirty data (Section 4.1).
-    for (const auto &[addr, entry] : cache)
-        stats.flushWritebackBytes += writebackSize(entry);
+    stats_.misses++;
 
+    if (cache_.size() == capacity_) {
+        auto victim_it = std::prev(order_.end());
+        const Tick victim_next = victim_it->first;
+
+        if (config_.writeAware && victim_next == tickInfinity) {
+            // Scan the never-referenced-again candidates for a
+            // clean one; evicting it saves a write-back without
+            // adding any future miss.
+            auto scan = victim_it;
+            for (unsigned n = 0; n < 32; ++n) {
+                if (scan->first != tickInfinity)
+                    break;
+                auto entry = cache_.find(scan->second);
+                assert(entry != cache_.end());
+                if (entry->second.dirtyMask == 0) {
+                    victim_it = scan;
+                    break;
+                }
+                if (scan == order_.begin())
+                    break;
+                --scan;
+            }
+        }
+
+        if (config_.allowBypass && nu > victim_next) {
+            // The incoming block is the lowest-priority block:
+            // service the request without caching it.
+            stats_.bypasses++;
+            if (ref.isLoad())
+                stats_.fetchBytes += ref.size;
+            else
+                stats_.writebackBytes += ref.size;
+            return;
+        }
+
+        // Evict the furthest-referenced resident block.
+        const Addr victim_addr = victim_it->second;
+        auto victim = cache_.find(victim_addr);
+        assert(victim != cache_.end());
+        stats_.writebackBytes += writebackSize(victim->second);
+        cache_.erase(victim);
+        order_.erase(victim_it);
+    }
+
+    Entry entry;
+    entry.nextUse = nu;
+    if (ref.isLoad()) {
+        entry.validMask = fullMask_;
+        stats_.fetchBytes += config_.blockBytes;
+    } else if (config_.alloc == AllocPolicy::WriteAllocate) {
+        entry.validMask = fullMask_;
+        entry.dirtyMask = words;
+        stats_.fetchBytes += config_.blockBytes;
+    } else { // WriteValidate: allocate without fetching.
+        entry.validMask = words;
+        entry.dirtyMask = words;
+        stats_.validates++;
+    }
+    cache_.emplace(block, entry);
+    order_.insert({nu, block});
+}
+
+void
+MinCacheSim::step(std::size_t n)
+{
+    const std::size_t end =
+        cursor_ + std::min(n, trace_.size() - cursor_);
+    for (; cursor_ < end; ++cursor_)
+        accessOne(trace_[cursor_], nextUse_[cursor_]);
+}
+
+MinCacheStats
+MinCacheSim::finalize() const
+{
+    // Program completion: flush all dirty data (Section 4.1).
+    MinCacheStats stats = stats_;
+    for (const auto &[addr, entry] : cache_)
+        stats.flushWritebackBytes += writebackSize(entry);
     return stats;
+}
+
+MinCacheStats
+MinCacheSim::run()
+{
+    step(trace_.size() - cursor_);
+    return finalize();
+}
+
+void
+MinCacheSim::saveState(ChkWriter &w) const
+{
+    w.beginSection(chkTag("MTCS"));
+
+    // Identity guard: the checkpoint only restores over the same
+    // trace and configuration.
+    w.u64(config_.size);
+    w.u64(config_.blockBytes);
+    w.u8(static_cast<std::uint8_t>(config_.alloc));
+    w.u8(config_.allowBypass ? 1 : 0);
+    w.u8(config_.writeAware ? 1 : 0);
+    w.u64(trace_.size());
+
+    w.u64(cursor_);
+    w.u64(stats_.accesses);
+    w.u64(stats_.hits);
+    w.u64(stats_.misses);
+    w.u64(stats_.bypasses);
+    w.u64(stats_.validates);
+    w.u64(stats_.requestBytes);
+    w.u64(stats_.fetchBytes);
+    w.u64(stats_.writebackBytes);
+    w.u64(stats_.flushWritebackBytes);
+
+    // Resident set in order_ iteration order: sorted by
+    // (nextUse, addr), so the image is deterministic even though the
+    // backing map is unordered.
+    w.u64(order_.size());
+    for (const auto &[nu, addr] : order_) {
+        const auto it = cache_.find(addr);
+        assert(it != cache_.end());
+        w.u64(nu);
+        w.u64(addr);
+        w.u64(it->second.validMask);
+        w.u64(it->second.dirtyMask);
+    }
+
+    w.endSection();
+}
+
+void
+MinCacheSim::loadState(ChkReader &r)
+{
+    r.enterSection(chkTag("MTCS"));
+
+    const std::uint64_t size = r.u64();
+    const std::uint64_t block = r.u64();
+    const std::uint8_t alloc = r.u8();
+    const std::uint8_t bypass = r.u8();
+    const std::uint8_t aware = r.u8();
+    const std::uint64_t refs = r.u64();
+    if (r.failed())
+        return;
+    if (size != config_.size || block != config_.blockBytes ||
+        alloc != static_cast<std::uint8_t>(config_.alloc) ||
+        bypass != (config_.allowBypass ? 1 : 0) ||
+        aware != (config_.writeAware ? 1 : 0)) {
+        r.fail(Errc::Mismatch,
+               "MTC checkpoint was taken with a different "
+               "configuration (" +
+                   config_.describe() + " expected)");
+        return;
+    }
+    if (refs != trace_.size()) {
+        r.fail(Errc::Mismatch,
+               "MTC checkpoint covers a " + std::to_string(refs) +
+                   "-reference trace; this trace has " +
+                   std::to_string(trace_.size()));
+        return;
+    }
+
+    cursor_ = static_cast<std::size_t>(r.u64());
+    stats_ = MinCacheStats{};
+    stats_.accesses = r.u64();
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    stats_.bypasses = r.u64();
+    stats_.validates = r.u64();
+    stats_.requestBytes = r.u64();
+    stats_.fetchBytes = r.u64();
+    stats_.writebackBytes = r.u64();
+    stats_.flushWritebackBytes = r.u64();
+    if (cursor_ > trace_.size()) {
+        r.fail(Errc::Corrupt,
+               "MTC cursor lies beyond the end of the trace");
+        return;
+    }
+
+    const std::uint64_t resident = r.u64();
+    if (r.failed())
+        return;
+    if (resident > capacity_ || resident > r.remaining() / 32) {
+        r.fail(Errc::Corrupt,
+               "MTC resident count " + std::to_string(resident) +
+                   " exceeds the cache capacity");
+        return;
+    }
+    cache_.clear();
+    order_.clear();
+    for (std::uint64_t i = 0; i < resident && !r.failed(); ++i) {
+        const Tick nu = r.u64();
+        const Addr addr = r.u64();
+        Entry entry;
+        entry.nextUse = nu;
+        entry.validMask = r.u64();
+        entry.dirtyMask = r.u64();
+        if (!cache_.emplace(addr, entry).second) {
+            r.fail(Errc::Corrupt,
+                   "MTC checkpoint repeats a resident block");
+            return;
+        }
+        order_.insert({nu, addr});
+    }
+
+    r.leaveSection();
 }
 
 MinCacheStats

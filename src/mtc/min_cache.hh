@@ -30,6 +30,8 @@
 namespace membw {
 
 class StatsGroup;
+class ChkWriter;
+class ChkReader;
 
 /** Configuration for a MIN-replacement fully-associative cache. */
 struct MinCacheConfig
@@ -96,6 +98,12 @@ struct MinCacheStats
  * the resident block referenced furthest in the future.  With
  * bypassing enabled, a miss whose own next use lies beyond every
  * resident block's next use is never cached (Section 5.2, footnote 2).
+ *
+ * The simulation is resumable: step() advances by a bounded number of
+ * references and saveState()/loadState() checkpoint the resident set
+ * and counters.  The next-use side table is rebuilt deterministically
+ * by the constructor, so checkpoints stay proportional to the cache,
+ * not the trace.
  */
 class MinCacheSim
 {
@@ -104,6 +112,31 @@ class MinCacheSim
 
     /** Simulate the full trace, including the final dirty flush. */
     MinCacheStats run();
+
+    /** Advance by up to @p n references from the cursor. */
+    void step(std::size_t n);
+
+    /** References simulated so far. */
+    std::size_t cursor() const { return cursor_; }
+
+    /** True once every reference has been simulated. */
+    bool done() const { return cursor_ == trace_.size(); }
+
+    /**
+     * Stats including the end-of-run dirty flush (Section 4.1).
+     * Valid once done(); does not mutate, so mid-run heartbeats may
+     * also call it for a conservative snapshot.
+     */
+    MinCacheStats finalize() const;
+
+    /** Serialize cursor, counters, and resident set ("MTCS"). */
+    void saveState(ChkWriter &w) const;
+
+    /**
+     * Restore state written by saveState() for the same trace and
+     * config; mismatches latch a classified error on @p r.
+     */
+    void loadState(ChkReader &r);
 
   private:
     struct Entry
@@ -114,10 +147,20 @@ class MinCacheSim
     };
 
     Bytes writebackSize(const Entry &entry) const;
+    void accessOne(const MemRef &ref, Tick nu);
 
     const Trace &trace_;
     MinCacheConfig config_;
     std::vector<Tick> nextUse_;
+
+    std::uint64_t fullMask_ = 0;
+    unsigned capacity_ = 0;
+
+    MinCacheStats stats_;
+    std::unordered_map<Addr, Entry> cache_;
+    /** Victim order: largest (nextUse, addr) is furthest away. */
+    std::set<std::pair<Tick, Addr>> order_;
+    std::size_t cursor_ = 0;
 };
 
 /** Convenience: run an MTC (or variant) and return its stats. */

@@ -32,8 +32,12 @@ RunManifest::write(JsonWriter &w) const
     w.field("seed", seed);
     w.field("scale", scale);
     w.field("refs", refs);
-    w.field("wall_seconds", wallSeconds);
-    w.field("mrefs_per_sec", mrefsPerSec());
+    if (interrupted)
+        w.field("interrupted", true);
+    if (!omitTiming) {
+        w.field("wall_seconds", wallSeconds);
+        w.field("mrefs_per_sec", mrefsPerSec());
+    }
     for (const auto &[k, v] : extra)
         w.field(k, v);
     w.endObject();

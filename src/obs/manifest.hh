@@ -37,6 +37,21 @@ struct RunManifest
     std::uint64_t refs = 0; ///< simulated references (0 = unknown)
     double wallSeconds = 0.0;
 
+    /**
+     * True when the run was cut short by SIGINT/SIGTERM; the stats
+     * that follow are a partial snapshot.  Only emitted when set, so
+     * a resumed run that completes produces the same manifest as an
+     * uninterrupted one.
+     */
+    bool interrupted = false;
+
+    /**
+     * Omit wall_seconds / mrefs_per_sec (--stable-json): these are
+     * the only nondeterministic fields, and dropping them makes
+     * "byte-identical output" a checkable property for resume tests.
+     */
+    bool omitTiming = false;
+
     /** Free-form extra fields appended verbatim to the manifest. */
     std::vector<std::pair<std::string, std::string>> extra;
 

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -45,10 +46,18 @@ class WallTimer
 class ProgressMeter
 {
   public:
+    /**
+     * Extra per-heartbeat status (e.g. checkpoint age, watchdog
+     * slack) appended to each line.  Return "" for no annotation.
+     */
+    using AnnotateFn = std::function<std::string()>;
+
     ProgressMeter(std::string label, std::uint64_t every)
         : label_(std::move(label)), every_(every)
     {
     }
+
+    void setAnnotator(AnnotateFn fn) { annotate_ = std::move(fn); }
 
     void
     tick(std::uint64_t done, std::uint64_t total)
@@ -73,13 +82,15 @@ class ProgressMeter
             rate > 0.0 && total > done
                 ? static_cast<double>(total - done) / rate
                 : 0.0;
+        const std::string note = annotate_ ? annotate_() : "";
         std::fprintf(stderr,
                      "[%s] %llu/%llu refs (%.1f%%) | %.2f Mrefs/s | "
-                     "ETA %.1fs\n",
+                     "ETA %.1fs%s%s\n",
                      label_.c_str(),
                      static_cast<unsigned long long>(done),
                      static_cast<unsigned long long>(total), pct,
-                     rate / 1e6, eta);
+                     rate / 1e6, eta, note.empty() ? "" : " | ",
+                     note.c_str());
     }
 
     double elapsedSeconds() const { return timer_.seconds(); }
@@ -88,6 +99,7 @@ class ProgressMeter
     std::string label_;
     std::uint64_t every_;
     WallTimer timer_;
+    AnnotateFn annotate_;
 };
 
 } // namespace membw

@@ -1,0 +1,395 @@
+#include "resilience/checkpoint.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/crc.hh"
+#include "obs/registry.hh"
+
+namespace membw {
+
+namespace {
+
+constexpr std::size_t headerBytes = 20;
+
+void
+putLE(std::string &out, std::uint64_t v, unsigned nbytes)
+{
+    for (unsigned i = 0; i < nbytes; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+void
+ChkWriter::beginSection(std::uint32_t tag)
+{
+    if (inSection_)
+        panic("ChkWriter: nested section");
+    inSection_ = true;
+    putLE(payload_, tag, 4);
+    sectionStart_ = payload_.size();
+    putLE(payload_, 0, 8); // length patched by endSection()
+}
+
+void
+ChkWriter::endSection()
+{
+    if (!inSection_)
+        panic("ChkWriter: endSection without beginSection");
+    inSection_ = false;
+    const std::uint64_t len = payload_.size() - sectionStart_ - 8;
+    for (unsigned i = 0; i < 8; ++i)
+        payload_[sectionStart_ + i] =
+            static_cast<char>((len >> (8 * i)) & 0xff);
+}
+
+void ChkWriter::u8(std::uint8_t v) { putLE(payload_, v, 1); }
+void ChkWriter::u32(std::uint32_t v) { putLE(payload_, v, 4); }
+void ChkWriter::u64(std::uint64_t v) { putLE(payload_, v, 8); }
+
+void
+ChkWriter::i64(std::int64_t v)
+{
+    putLE(payload_, static_cast<std::uint64_t>(v), 8);
+}
+
+void
+ChkWriter::f64(double v)
+{
+    putLE(payload_, std::bit_cast<std::uint64_t>(v), 8);
+}
+
+void
+ChkWriter::str(const std::string &s)
+{
+    putLE(payload_, s.size(), 8);
+    payload_.append(s);
+}
+
+void
+ChkWriter::bytes(const void *data, std::size_t size)
+{
+    payload_.append(static_cast<const char *>(data), size);
+}
+
+std::string
+ChkWriter::serialize() const
+{
+    if (inSection_)
+        panic("ChkWriter: serialize with an open section");
+    std::string out;
+    out.reserve(headerBytes + payload_.size());
+    putLE(out, checkpointMagic, 4);
+    putLE(out, checkpointVersion, 4);
+    putLE(out, payload_.size(), 8);
+    putLE(out, crc32(payload_.data(), payload_.size()), 4);
+    out.append(payload_);
+    return out;
+}
+
+Result<bool>
+ChkWriter::writeFile(const std::string &path) const
+{
+    const std::string image = serialize();
+    const std::string tmp = path + ".tmp";
+    {
+        FilePtr f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
+            return makeError(Errc::IoError,
+                             "cannot open '" + tmp +
+                                 "' for writing");
+        if (image.size() &&
+            std::fwrite(image.data(), image.size(), 1, f.get()) != 1)
+            return makeError(Errc::IoError,
+                             "short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        return makeError(Errc::IoError,
+                         "cannot rename '" + tmp + "' to '" + path +
+                             "'");
+    return true;
+}
+
+Result<ChkReader>
+ChkReader::fromFile(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return makeError(Errc::IoError,
+                         "cannot open checkpoint '" + path +
+                             "' for reading");
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return makeError(Errc::IoError,
+                         "cannot seek in '" + path + "'");
+    const long sz = std::ftell(f.get());
+    if (sz < 0)
+        return makeError(Errc::IoError,
+                         "cannot size '" + path + "'");
+    std::rewind(f.get());
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(sz));
+    if (!image.empty() &&
+        std::fread(image.data(), image.size(), 1, f.get()) != 1)
+        return makeError(Errc::IoError,
+                         "cannot read '" + path + "'");
+    return fromMemory(image.data(), image.size());
+}
+
+Result<ChkReader>
+ChkReader::fromMemory(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    auto le = [&](std::size_t off, unsigned nbytes) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < nbytes; ++i)
+            v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+        return v;
+    };
+
+    if (size < headerBytes)
+        return makeError(Errc::Truncated,
+                         "checkpoint is " + std::to_string(size) +
+                             " bytes; the header alone needs " +
+                             std::to_string(headerBytes));
+    if (le(0, 4) != checkpointMagic)
+        return makeError(Errc::BadMagic,
+                         "not a membw checkpoint (bad magic)");
+    const std::uint64_t version = le(4, 4);
+    if (version != checkpointVersion)
+        return makeError(Errc::BadVersion,
+                         "unsupported checkpoint version " +
+                             std::to_string(version) +
+                             " (this build reads version " +
+                             std::to_string(checkpointVersion) + ")");
+    const std::uint64_t payloadLen = le(8, 8);
+    if (payloadLen != size - headerBytes)
+        return makeError(
+            Errc::Truncated,
+            "checkpoint declares a " + std::to_string(payloadLen) +
+                "-byte payload but carries " +
+                std::to_string(size - headerBytes) + " bytes");
+    const std::uint32_t wantCrc =
+        static_cast<std::uint32_t>(le(16, 4));
+    const std::uint32_t haveCrc =
+        crc32(p + headerBytes, static_cast<std::size_t>(payloadLen));
+    if (wantCrc != haveCrc)
+        return makeError(Errc::Corrupt,
+                         "checkpoint payload CRC mismatch "
+                         "(file is corrupt or was truncated and "
+                         "padded)");
+
+    ChkReader r;
+    r.payload_.assign(p + headerBytes, p + size);
+    return r;
+}
+
+bool
+ChkReader::take(void *out, std::size_t size)
+{
+    if (failed())
+        return false;
+    const std::size_t limit =
+        inSection_ ? sectionEnd_ : payload_.size();
+    if (size > limit - cursor_) {
+        fail(Errc::Truncated,
+             inSection_
+                 ? "read of " + std::to_string(size) +
+                       " bytes crosses the section boundary"
+                 : "read of " + std::to_string(size) +
+                       " bytes runs past the payload end");
+        return false;
+    }
+    std::memcpy(out, payload_.data() + cursor_, size);
+    cursor_ += size;
+    return true;
+}
+
+void
+ChkReader::enterSection(std::uint32_t tag)
+{
+    if (failed())
+        return;
+    if (inSection_) {
+        fail(Errc::Corrupt, "nested section read");
+        return;
+    }
+    std::uint8_t head[12];
+    if (!take(head, sizeof(head)))
+        return;
+    auto le = [&](unsigned off, unsigned nbytes) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < nbytes; ++i)
+            v |= static_cast<std::uint64_t>(head[off + i]) << (8 * i);
+        return v;
+    };
+    const std::uint32_t haveTag = static_cast<std::uint32_t>(le(0, 4));
+    const std::uint64_t len = le(4, 8);
+    if (haveTag != tag) {
+        fail(Errc::Corrupt,
+             "expected section tag 0x" /* tags are fourCCs */ +
+                 std::to_string(tag) + ", found 0x" +
+                 std::to_string(haveTag));
+        return;
+    }
+    if (len > payload_.size() - cursor_) {
+        fail(Errc::Truncated,
+             "section declares " + std::to_string(len) +
+                 " bytes but only " +
+                 std::to_string(payload_.size() - cursor_) +
+                 " remain");
+        return;
+    }
+    inSection_ = true;
+    sectionEnd_ = cursor_ + static_cast<std::size_t>(len);
+}
+
+void
+ChkReader::leaveSection()
+{
+    if (failed())
+        return;
+    if (!inSection_) {
+        fail(Errc::Corrupt, "leaveSection without enterSection");
+        return;
+    }
+    if (cursor_ != sectionEnd_) {
+        fail(Errc::Corrupt,
+             "section has " + std::to_string(sectionEnd_ - cursor_) +
+                 " unread bytes (layout drift between writer and "
+                 "reader)");
+        return;
+    }
+    inSection_ = false;
+    sectionEnd_ = 0;
+}
+
+std::uint8_t
+ChkReader::u8()
+{
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+}
+
+std::uint32_t
+ChkReader::u32()
+{
+    std::uint8_t b[4] = {};
+    take(b, 4);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ChkReader::u64()
+{
+    std::uint8_t b[8] = {};
+    take(b, 8);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::int64_t
+ChkReader::i64()
+{
+    return static_cast<std::int64_t>(u64());
+}
+
+double
+ChkReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+ChkReader::str()
+{
+    const std::uint64_t len = u64();
+    const std::size_t limit =
+        inSection_ ? sectionEnd_ : payload_.size();
+    if (failed() || len > limit - cursor_) {
+        fail(Errc::Truncated,
+             "string of " + std::to_string(len) +
+                 " bytes does not fit the remaining payload");
+        return "";
+    }
+    std::string s(reinterpret_cast<const char *>(
+                      payload_.data() + cursor_),
+                  static_cast<std::size_t>(len));
+    cursor_ += static_cast<std::size_t>(len);
+    return s;
+}
+
+void
+ChkReader::bytes(void *out, std::size_t size)
+{
+    if (!take(out, size))
+        std::memset(out, 0, size);
+}
+
+std::size_t
+ChkReader::remaining() const
+{
+    return (inSection_ ? sectionEnd_ : payload_.size()) - cursor_;
+}
+
+void
+ChkReader::fail(Errc code, const std::string &message)
+{
+    if (!failed())
+        error_ = Error{code, message};
+}
+
+void
+saveRegistryValues(const StatsRegistry &registry, ChkWriter &w)
+{
+    w.beginSection(chkTag("STAT"));
+    w.u64(registry.size());
+    for (const auto &stat : registry.stats()) {
+        w.str(stat->name());
+        w.u8(static_cast<std::uint8_t>(stat->kind()));
+        w.f64(stat->numericValue());
+    }
+    w.endSection();
+}
+
+std::vector<RegistryValue>
+loadRegistryValues(ChkReader &r)
+{
+    std::vector<RegistryValue> out;
+    r.enterSection(chkTag("STAT"));
+    const std::uint64_t count = r.u64();
+    // Each entry is at least 17 bytes (8-byte name length, kind,
+    // value); reject counts the section cannot possibly hold before
+    // reserving anything.
+    if (count > r.remaining() / 17 + 1) {
+        r.fail(Errc::TooLarge,
+               "stat count " + std::to_string(count) +
+                   " cannot fit the section");
+        return out;
+    }
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count && !r.failed(); ++i) {
+        RegistryValue v;
+        v.name = r.str();
+        v.kind = r.u8();
+        v.value = r.f64();
+        out.push_back(std::move(v));
+    }
+    r.leaveSection();
+    return out;
+}
+
+} // namespace membw

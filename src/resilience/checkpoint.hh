@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Versioned, CRC-guarded binary checkpoint container.
+ *
+ * A checkpoint file is:
+ *
+ *   offset  size  field
+ *   0       4     magic "MBWC" (0x4357424d little-endian)
+ *   4       4     container version (currently 1)
+ *   8       8     payload length in bytes
+ *   16      4     CRC-32 of the payload
+ *   20      ...   payload
+ *
+ * The payload is a sequence of tagged sections (u32 tag, u64 byte
+ * length, bytes), each holding little-endian primitives written by
+ * ChkWriter.  Sections give the format forward structure: a reader
+ * verifies every tag it enters and that it consumed a section
+ * exactly, so layout drift between writer and reader fails loudly
+ * instead of silently misaligning.
+ *
+ * ChkReader is hardened against untrusted bytes: every read is
+ * bounds-checked against the (CRC-verified) payload, string/blob
+ * lengths are capped by the remaining payload, and the first failure
+ * latches a classified Error — subsequent reads return zeros and the
+ * caller checks takeError() once per section.  It never throws and
+ * never allocates more than the file size, which makes it directly
+ * fuzzable (tests/fuzz/checkpoint_fuzz.cc).
+ *
+ * Writes are atomic: the payload is staged to "<path>.tmp" and
+ * renamed over the target, so a crash mid-write can lose at most the
+ * newest checkpoint, never corrupt the previous one.
+ */
+
+#ifndef MEMBW_RESILIENCE_CHECKPOINT_HH
+#define MEMBW_RESILIENCE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+#include "common/types.hh"
+
+namespace membw {
+
+class StatsRegistry;
+
+/** Build a section tag from four characters, e.g. chkTag("HIER"). */
+constexpr std::uint32_t
+chkTag(const char (&s)[5])
+{
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(s[0]) |
+        (static_cast<unsigned char>(s[1]) << 8) |
+        (static_cast<unsigned char>(s[2]) << 16) |
+        (static_cast<unsigned char>(s[3]) << 24));
+}
+
+constexpr std::uint32_t checkpointMagic = chkTag("MBWC");
+constexpr std::uint32_t checkpointVersion = 1;
+
+/** Streaming little-endian checkpoint writer. */
+class ChkWriter
+{
+  public:
+    /** Open a section; sections must not nest. */
+    void beginSection(std::uint32_t tag);
+    /** Close the open section, patching its length. */
+    void endSection();
+
+    void u8(std::uint8_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v);
+    void f64(double v);
+    void str(const std::string &s);
+    void bytes(const void *data, std::size_t size);
+
+    /** Header + payload as one buffer (tests, in-memory use). */
+    std::string serialize() const;
+
+    /**
+     * Atomically write the checkpoint to @p path (stage to
+     * "<path>.tmp", fsync-less rename).  Classified IoError on
+     * failure.
+     */
+    Result<bool> writeFile(const std::string &path) const;
+
+  private:
+    std::string payload_;
+    std::size_t sectionStart_ = 0; ///< offset of open section's length
+    bool inSection_ = false;
+};
+
+/** Bounds-checked, error-latching checkpoint reader. */
+class ChkReader
+{
+  public:
+    /** Read and verify @p path (magic, version, length, CRC). */
+    static Result<ChkReader> fromFile(const std::string &path);
+
+    /** Verify an in-memory image (fuzzing, tests). */
+    static Result<ChkReader> fromMemory(const void *data,
+                                        std::size_t size);
+
+    /**
+     * Enter the next section, which must carry @p tag; its length
+     * must fit the remaining payload.
+     */
+    void enterSection(std::uint32_t tag);
+
+    /** Leave the entered section; the cursor must sit at its end. */
+    void leaveSection();
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64();
+    double f64();
+    std::string str();
+    void bytes(void *out, std::size_t size);
+
+    /** True once any read has failed. */
+    bool failed() const { return error_.code != Errc::Ok; }
+
+    /** The latched first error ({Ok, ""} when none). */
+    const Error &error() const { return error_; }
+
+    /** Bytes left in the payload (or current section). */
+    std::size_t remaining() const;
+
+    /** True when the whole payload has been consumed cleanly. */
+    bool atEnd() const { return !failed() && cursor_ == payload_.size(); }
+
+    /** Latch @p error (for callers layering semantic validation). */
+    void fail(Errc code, const std::string &message);
+
+  private:
+    ChkReader() = default;
+
+    bool take(void *out, std::size_t size);
+
+    std::vector<std::uint8_t> payload_;
+    std::size_t cursor_ = 0;
+    std::size_t sectionEnd_ = 0;
+    bool inSection_ = false;
+    Error error_;
+};
+
+/**
+ * Serialize every stat's current value (name, kind, value — moments
+ * for distributions) so an interrupted run's registry travels inside
+ * its checkpoint.
+ */
+void saveRegistryValues(const StatsRegistry &registry, ChkWriter &w);
+
+/** One stat's checkpointed value. */
+struct RegistryValue
+{
+    std::string name;
+    std::uint8_t kind = 0;
+    double value = 0.0;
+};
+
+/** Read back what saveRegistryValues() wrote. */
+std::vector<RegistryValue> loadRegistryValues(ChkReader &r);
+
+} // namespace membw
+
+#endif // MEMBW_RESILIENCE_CHECKPOINT_HH

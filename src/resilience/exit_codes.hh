@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Process exit codes and the error types that map onto them.
+ *
+ * Long sweep campaigns are driven by scripts that must distinguish
+ * "this point is invalid" (skip it) from "the host interrupted us"
+ * (resume it) from "the simulator livelocked" (file a bug).  Every
+ * membw tool therefore exits with one of these codes, documented in
+ * --help and docs/resilience.md:
+ *
+ *   0  success
+ *   1  fatal error: invalid input or configuration (FatalError)
+ *   2  usage error: unknown flag or missing required argument
+ *   3  interrupted: SIGINT/SIGTERM received; the current reference
+ *      was drained, a final checkpoint (if --checkpoint was given)
+ *      and partial stats (if --stats-json was given) were written
+ *   4  watchdog: forward-progress guard tripped (livelock/deadlock);
+ *      a machine-state diagnostic was dumped to stderr
+ */
+
+#ifndef MEMBW_RESILIENCE_EXIT_CODES_HH
+#define MEMBW_RESILIENCE_EXIT_CODES_HH
+
+#include "common/log.hh"
+
+namespace membw {
+
+constexpr int exitOk = 0;
+constexpr int exitFatal = 1;
+constexpr int exitUsage = 2;
+constexpr int exitInterrupted = 3;
+constexpr int exitWatchdog = 4;
+
+/**
+ * Thrown by the forward-progress watchdog.  Derives from FatalError
+ * so library callers that only know FatalError still terminate
+ * cleanly; tools catch it first and exit with exitWatchdog.
+ */
+class WatchdogError : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** One --help paragraph documenting the table above. */
+constexpr const char *exitCodeHelp =
+    "Exit codes:\n"
+    "  0  success\n"
+    "  1  invalid input or configuration\n"
+    "  2  usage error (unknown flag / missing argument)\n"
+    "  3  interrupted by SIGINT/SIGTERM (checkpoint + partial stats "
+    "written)\n"
+    "  4  watchdog detected livelock/deadlock (diagnostic on "
+    "stderr)\n";
+
+} // namespace membw
+
+#endif // MEMBW_RESILIENCE_EXIT_CODES_HH

@@ -1,0 +1,55 @@
+#include "resilience/signals.hh"
+
+#include <csignal>
+
+namespace membw {
+
+namespace {
+
+volatile std::sig_atomic_t pendingSignal = 0;
+
+extern "C" void
+shutdownHandler(int signum)
+{
+    if (pendingSignal != 0) {
+        // Second request: restore default disposition and re-raise,
+        // so a stuck drain can still be killed from the keyboard.
+        std::signal(signum, SIG_DFL);
+        std::raise(signum);
+        return;
+    }
+    pendingSignal = signum;
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    std::signal(SIGINT, shutdownHandler);
+    std::signal(SIGTERM, shutdownHandler);
+}
+
+int
+shutdownRequested()
+{
+    return static_cast<int>(pendingSignal);
+}
+
+const char *
+shutdownSignalName()
+{
+    switch (pendingSignal) {
+      case SIGINT: return "SIGINT";
+      case SIGTERM: return "SIGTERM";
+      default: return "";
+    }
+}
+
+void
+clearShutdownRequest()
+{
+    pendingSignal = 0;
+}
+
+} // namespace membw

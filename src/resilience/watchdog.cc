@@ -1,0 +1,42 @@
+#include "resilience/watchdog.hh"
+
+#include <cstdio>
+
+#include "obs/export.hh"
+#include "obs/registry.hh"
+
+namespace membw {
+
+void
+Watchdog::trip(Cycle now) const
+{
+    std::fprintf(stderr,
+                 "watchdog[%s]: no forward progress for %llu cycles "
+                 "(budget %llu): last progress at cycle %llu, now at "
+                 "cycle %llu\n",
+                 label_.c_str(),
+                 static_cast<unsigned long long>(now - lastProgress_),
+                 static_cast<unsigned long long>(budget_),
+                 static_cast<unsigned long long>(lastProgress_),
+                 static_cast<unsigned long long>(now));
+
+    if (diagnostic_) {
+        StatsRegistry registry;
+        diagnostic_(registry);
+        std::fprintf(stderr,
+                     "watchdog[%s]: machine state at trip:\n%s",
+                     label_.c_str(),
+                     exportText(registry).c_str());
+    }
+
+    throw WatchdogError(
+        "watchdog: simulated machine made no forward progress for " +
+        std::to_string(now - lastProgress_) + " cycles (budget " +
+        std::to_string(budget_) +
+        "); this usually means a timing-model livelock or an "
+        "unserviceable configuration — see the machine-state dump "
+        "above, or raise the budget with --watchdog if the "
+        "configuration is legitimately this slow");
+}
+
+} // namespace membw

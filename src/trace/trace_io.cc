@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <vector>
 
+#include "common/crc.hh"
 #include "common/log.hh"
 
 namespace membw {
@@ -13,6 +16,8 @@ namespace {
 constexpr std::uint32_t traceMagic = 0x4d425754; // "MBWT"
 constexpr std::uint32_t versionRaw = 1;
 constexpr std::uint32_t versionCompact = 2;
+constexpr std::size_t rawRecordBytes = 16;
+constexpr std::size_t traceHeaderBytes = 16;
 
 struct FileCloser
 {
@@ -26,6 +31,8 @@ struct PackedRef
     std::uint32_t size;
     std::uint32_t kind;
 };
+static_assert(sizeof(PackedRef) == rawRecordBytes,
+              "raw trace records are 16 bytes on disk");
 
 std::uint64_t
 zigzag(std::int64_t v)
@@ -57,22 +64,82 @@ putVarint(std::FILE *f, std::uint64_t v, const std::string &path)
         fatal("short write to '" + path + "'");
 }
 
-std::uint64_t
-getVarint(std::FILE *f, const std::string &path)
+/**
+ * Bounds-checked cursor over the untrusted image.  Reads latch no
+ * state; each returns a Result so classification happens at the
+ * failure site where the record index is known.
+ */
+struct Cursor
 {
-    std::uint64_t v = 0;
-    unsigned shift = 0;
-    for (;;) {
-        const int c = std::fgetc(f);
-        if (c == EOF)
-            fatal("truncated trace file '" + path + "'");
-        v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-        if (!(c & 0x80))
-            return v;
-        shift += 7;
-        if (shift >= 64)
-            fatal("corrupt varint in '" + path + "'");
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    std::size_t remaining() const { return size - pos; }
+
+    bool
+    take(void *out, std::size_t n)
+    {
+        if (n > remaining())
+            return false;
+        std::memcpy(out, data + pos, n);
+        pos += n;
+        return true;
     }
+
+    /** Little-endian fixed-width read; false on truncation. */
+    bool
+    le(std::uint64_t &out, unsigned nbytes)
+    {
+        if (nbytes > remaining())
+            return false;
+        out = 0;
+        for (unsigned i = 0; i < nbytes; ++i)
+            out |= static_cast<std::uint64_t>(data[pos + i])
+                   << (8 * i);
+        pos += nbytes;
+        return true;
+    }
+
+    /** Varint read; 0 = ok, 1 = truncated, 2 = corrupt (>64 bits). */
+    int
+    varint(std::uint64_t &out)
+    {
+        out = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (pos >= size)
+                return 1;
+            const std::uint8_t c = data[pos++];
+            out |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+            if (!(c & 0x80))
+                return 0;
+            shift += 7;
+            if (shift >= 64)
+                return 2;
+        }
+    }
+};
+
+Error
+recordError(Errc code, const std::string &origin, std::uint64_t index,
+            const std::string &why)
+{
+    return makeError(code, "trace '" + origin + "', record " +
+                               std::to_string(index) + ": " + why);
+}
+
+/** Shared validity check for a decoded (addr, size) pair. */
+const char *
+refInvalid(Addr addr, Bytes size)
+{
+    if (size == 0)
+        return "zero-byte reference";
+    if (size > maxTraceRefBytes)
+        return "implausible reference size";
+    if (addr > ~Addr{0} - (size - 1))
+        return "reference wraps the address space";
+    return nullptr;
 }
 
 } // namespace
@@ -131,60 +198,163 @@ saveTrace(const Trace &trace, const std::string &path,
     }
 }
 
-Trace
-loadTrace(const std::string &path)
+Result<Trace>
+parseTrace(const std::uint8_t *data, std::size_t size,
+           const std::string &origin)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        fatal("cannot open '" + path + "' for reading");
+    Cursor in{data, size};
 
-    std::uint32_t header[2] = {0, 0};
-    std::uint64_t count = 0;
-    if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
-        std::fread(&count, sizeof(count), 1, f.get()) != 1)
-        fatal("truncated trace file '" + path + "'");
-    if (header[0] != traceMagic)
-        fatal("'" + path + "' is not a membw trace");
+    std::uint64_t magic = 0, version = 0, count = 0;
+    if (!in.le(magic, 4) || !in.le(version, 4) || !in.le(count, 8))
+        return makeError(Errc::Truncated,
+                         "trace '" + origin + "' is " +
+                             std::to_string(size) +
+                             " bytes; the header alone needs " +
+                             std::to_string(traceHeaderBytes));
+    if (magic != traceMagic)
+        return makeError(Errc::BadMagic,
+                         "'" + origin + "' is not a membw trace");
+    if (version != versionRaw && version != versionCompact)
+        return makeError(Errc::BadVersion,
+                         "trace '" + origin +
+                             "' has unsupported version " +
+                             std::to_string(version) +
+                             " (this build reads 1 and 2)");
+
+    // Truncation / overflow guard BEFORE any allocation: a raw
+    // record is 16 bytes and a compact record at least 1, so the
+    // record count bounds below must hold for the file to be whole.
+    // Dividing (rather than multiplying) sidesteps count*16 overflow.
+    const std::size_t body = in.remaining();
+    if (version == versionRaw) {
+        if (count > body / rawRecordBytes)
+            return makeError(
+                Errc::Truncated,
+                "trace '" + origin + "' declares " +
+                    std::to_string(count) + " records (" +
+                    std::to_string(count) + " * 16 bytes) but only " +
+                    std::to_string(body) + " bytes follow the header");
+        if (count * rawRecordBytes != body)
+            return makeError(
+                Errc::Corrupt,
+                "trace '" + origin + "' carries " +
+                    std::to_string(body - count * rawRecordBytes) +
+                    " trailing bytes after the declared records");
+    } else if (count > body) {
+        return makeError(
+            Errc::Truncated,
+            "trace '" + origin + "' declares " +
+                std::to_string(count) +
+                " compact records but only " + std::to_string(body) +
+                " bytes follow the header (each record needs at "
+                "least one byte)");
+    }
 
     Trace trace;
-    trace.reserve(count);
+    // Safe: count is bounded by the bytes actually present.
+    trace.reserve(static_cast<std::size_t>(count));
 
-    if (header[1] == versionRaw) {
+    if (version == versionRaw) {
         for (std::uint64_t i = 0; i < count; ++i) {
             PackedRef p;
-            if (std::fread(&p, sizeof(p), 1, f.get()) != 1)
-                fatal("truncated trace file '" + path + "'");
+            if (!in.take(&p, sizeof(p)))
+                return recordError(Errc::Truncated, origin, i,
+                                   "file ends inside the record");
             if (p.kind > 1)
-                fatal("corrupt record in '" + path + "'");
+                return recordError(Errc::Corrupt, origin, i,
+                                   "unknown reference kind " +
+                                       std::to_string(p.kind));
+            if (const char *why = refInvalid(p.addr, p.size))
+                return recordError(Errc::Corrupt, origin, i, why);
             trace.append(p.addr, p.size,
                          static_cast<RefKind>(p.kind));
         }
         return trace;
     }
 
-    if (header[1] != versionCompact)
-        fatal("unsupported trace version in '" + path + "'");
-
     Addr prev = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint64_t control = getVarint(f.get(), path);
+        std::uint64_t control = 0;
+        switch (in.varint(control)) {
+          case 1:
+            return recordError(Errc::Truncated, origin, i,
+                               "file ends inside the control varint");
+          case 2:
+            return recordError(Errc::Corrupt, origin, i,
+                               "control varint exceeds 64 bits");
+        }
         const RefKind kind =
             (control & 1) ? RefKind::Store : RefKind::Load;
         if (control & 2) {
-            const Addr addr = getVarint(f.get(), path);
-            const Bytes size = getVarint(f.get(), path);
-            trace.append(addr, size, kind);
+            std::uint64_t addr = 0, refSize = 0;
+            if (in.varint(addr) != 0 || in.varint(refSize) != 0)
+                return recordError(
+                    Errc::Truncated, origin, i,
+                    "file ends inside an address/size varint");
+            if (const char *why = refInvalid(addr, refSize))
+                return recordError(Errc::Corrupt, origin, i, why);
+            trace.append(addr, refSize, kind);
             prev = addr;
             continue;
         }
-        const std::int64_t delta = unzigzag(control >> 2);
-        const Addr addr = static_cast<Addr>(
-            static_cast<std::int64_t>(prev) +
-            delta * static_cast<std::int64_t>(wordBytes));
+        // Wrapping unsigned arithmetic: a hostile delta must not be
+        // UB, and any 64-bit address is representable anyway.
+        const std::uint64_t delta =
+            static_cast<std::uint64_t>(unzigzag(control >> 2));
+        const Addr addr = prev + delta * wordBytes;
+        if (const char *why = refInvalid(addr, wordBytes))
+            return recordError(Errc::Corrupt, origin, i, why);
         trace.append(addr, wordBytes, kind);
         prev = addr;
     }
+    if (in.remaining())
+        return makeError(Errc::Corrupt,
+                         "trace '" + origin + "' carries " +
+                             std::to_string(in.remaining()) +
+                             " trailing bytes after the declared "
+                             "records");
     return trace;
+}
+
+Result<Trace>
+tryLoadTrace(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return makeError(Errc::IoError,
+                         "cannot open '" + path + "' for reading");
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return makeError(Errc::IoError,
+                         "cannot seek in '" + path + "'");
+    const long sz = std::ftell(f.get());
+    if (sz < 0)
+        return makeError(Errc::IoError, "cannot size '" + path + "'");
+    std::rewind(f.get());
+    std::vector<std::uint8_t> image(static_cast<std::size_t>(sz));
+    if (!image.empty() &&
+        std::fread(image.data(), image.size(), 1, f.get()) != 1)
+        return makeError(Errc::IoError,
+                         "cannot read '" + path + "'");
+    return parseTrace(image.data(), image.size(), path);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    return tryLoadTrace(path).orDie();
+}
+
+std::uint32_t
+traceCrc32(const Trace &trace)
+{
+    Crc32 crc;
+    for (const MemRef &r : trace) {
+        crc.updateScalar(r.addr);
+        crc.updateScalar(static_cast<std::uint32_t>(r.size));
+        crc.updateScalar(
+            static_cast<std::uint8_t>(r.kind));
+    }
+    return crc.value();
 }
 
 } // namespace membw

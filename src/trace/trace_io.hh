@@ -2,13 +2,24 @@
  * @file
  * Binary save/load for traces so long workload generations can be
  * cached between tool invocations.
+ *
+ * Loading is hardened against untrusted bytes: the parser works over
+ * an in-memory image with every read bounds-checked, classifies
+ * failures (bad magic / unsupported version / truncation / corrupt
+ * records / implausible sizes) through the common Result layer, and
+ * never allocates more than the file itself could describe — a
+ * truncated or hostile record count is rejected *before* any
+ * allocation.  parseTrace() is the raw entry point and is fuzzed
+ * directly (tests/fuzz/trace_fuzz.cc).
  */
 
 #ifndef MEMBW_TRACE_TRACE_IO_HH
 #define MEMBW_TRACE_TRACE_IO_HH
 
+#include <cstdint>
 #include <string>
 
+#include "common/result.hh"
 #include "trace/trace.hh"
 
 namespace membw {
@@ -20,6 +31,9 @@ enum class TraceFormat
     Compact, ///< zigzag-varint address deltas; ~2 bytes/reference
 };
 
+/** Largest single-reference size the loader accepts, in bytes. */
+constexpr Bytes maxTraceRefBytes = 4096;
+
 /**
  * Write @p trace to @p path in the membw binary format
  * (magic "MBWT", version, count, then records in @p format).
@@ -28,8 +42,30 @@ enum class TraceFormat
 void saveTrace(const Trace &trace, const std::string &path,
                TraceFormat format = TraceFormat::Raw);
 
-/** Read a trace previously written by saveTrace() (either format). */
+/**
+ * Parse a trace image from memory.  @p origin names the source in
+ * diagnostics (a path, or "<fuzz>").  Never throws on bad bytes;
+ * returns a classified Error instead.
+ */
+Result<Trace> parseTrace(const std::uint8_t *data, std::size_t size,
+                         const std::string &origin);
+
+/** Read @p path and parse it; classified Error on failure. */
+Result<Trace> tryLoadTrace(const std::string &path);
+
+/**
+ * Read a trace previously written by saveTrace() (either format).
+ * Boundary wrapper over tryLoadTrace(): throws FatalError carrying
+ * the classified reason.
+ */
 Trace loadTrace(const std::string &path);
+
+/**
+ * CRC-32 over the trace's logical content (addr/size/kind per
+ * reference), independent of the on-disk encoding.  Checkpoints
+ * store it so --resume can prove it is replaying the same input.
+ */
+std::uint32_t traceCrc32(const Trace &trace);
 
 } // namespace membw
 

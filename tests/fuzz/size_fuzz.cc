@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fuzz target for the checked flag-value parsers.
+ *
+ * Oracle: tryParseSize/tryParseU64/tryParseInt/tryParseDouble accept
+ * arbitrary byte strings and must classify, never throw or abort —
+ * these feed directly from argv.  Accepted sizes must round-trip the
+ * documented bounds (nonzero, below the overflow cap).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/parse.hh"
+
+#include "standalone_driver.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace membw;
+
+    const std::string text(reinterpret_cast<const char *>(data), size);
+
+    if (auto r = tryParseSize(text); r.ok()) {
+        if (r.value() == 0)
+            std::abort(); // sizes are documented as nonzero
+    } else if (r.error().code == Errc::Ok) {
+        std::abort();
+    }
+
+    (void)tryParseU64(text);
+
+    if (auto r = tryParseInt(text, -1000, 1000); r.ok()) {
+        if (r.value() < -1000 || r.value() > 1000)
+            std::abort(); // range must be enforced
+    }
+
+    (void)tryParseDouble(text);
+    return 0;
+}

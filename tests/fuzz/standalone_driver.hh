@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Standalone replay driver for the fuzz targets.
+ *
+ * Under clang the targets link libFuzzer (-fsanitize=fuzzer) and this
+ * header contributes nothing.  Under toolchains without libFuzzer
+ * (MEMBW_FUZZ_STANDALONE) it supplies a main() that replays every
+ * file argument through LLVMFuzzerTestOneInput, so the same binaries
+ * double as corpus regression runners:
+ *
+ *   trace_fuzz tests/fuzz/corpus/<each file>
+ *
+ * Exit status is 0 unless a replay crashed the process — the oracle
+ * is "never aborts, never hangs", not "accepts the input".
+ */
+
+#ifndef MEMBW_TESTS_FUZZ_STANDALONE_DRIVER_HH
+#define MEMBW_TESTS_FUZZ_STANDALONE_DRIVER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+#ifdef MEMBW_FUZZ_STANDALONE
+
+#include <cstdio>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    int replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::FILE *f = std::fopen(argv[i], "rb");
+        if (!f) {
+            std::fprintf(stderr, "skip %s: cannot open\n", argv[i]);
+            continue;
+        }
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::rewind(f);
+        std::vector<std::uint8_t> data(
+            size > 0 ? static_cast<std::size_t>(size) : 0);
+        if (!data.empty() &&
+            std::fread(data.data(), data.size(), 1, f) != 1) {
+            std::fclose(f);
+            std::fprintf(stderr, "skip %s: cannot read\n", argv[i]);
+            continue;
+        }
+        std::fclose(f);
+        LLVMFuzzerTestOneInput(data.data(), data.size());
+        ++replayed;
+    }
+    std::fprintf(stderr, "replayed %d corpus files\n", replayed);
+    return 0;
+}
+
+#endif // MEMBW_FUZZ_STANDALONE
+
+#endif // MEMBW_TESTS_FUZZ_STANDALONE_DRIVER_HH

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * Unit tests for src/resilience: checkpoint container, watchdog,
+ * shutdown signals, and checkpoint/resume state equality for the
+ * cache, hierarchy, MTC, and core-result serializers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "mtc/min_cache.hh"
+#include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/exit_codes.hh"
+#include "resilience/signals.hh"
+#include "resilience/watchdog.hh"
+#include "trace/trace.hh"
+
+#ifdef MEMBW_CORPUS_DIR
+#include <filesystem>
+
+#include "trace/trace_io.hh"
+#endif
+
+namespace membw {
+namespace {
+
+TEST(Checkpoint, PrimitiveRoundTrip)
+{
+    ChkWriter w;
+    w.beginSection(chkTag("TEST"));
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x123456789abcdef0ull);
+    w.i64(-42);
+    w.f64(3.25);
+    w.str("hello checkpoint");
+    w.endSection();
+
+    const std::string image = w.serialize();
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok()) << opened.error().describe();
+    ChkReader r = std::move(opened.value());
+
+    r.enterSection(chkTag("TEST"));
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x123456789abcdef0ull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+    EXPECT_EQ(r.str(), "hello checkpoint");
+    r.leaveSection();
+    EXPECT_FALSE(r.failed()) << r.error().describe();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Checkpoint, CrcGuardsPayload)
+{
+    ChkWriter w;
+    w.beginSection(chkTag("TEST"));
+    w.u64(7);
+    w.endSection();
+    std::string image = w.serialize();
+
+    // Flip one payload bit; the container header stays intact.
+    image[image.size() - 1] ^= 0x01;
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_FALSE(opened.ok());
+    EXPECT_EQ(opened.error().code, Errc::Corrupt);
+}
+
+TEST(Checkpoint, RejectsForeignAndTruncatedImages)
+{
+    const std::string junk = "definitely not a checkpoint image";
+    auto bad = ChkReader::fromMemory(junk.data(), junk.size());
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, Errc::BadMagic);
+
+    ChkWriter w;
+    w.beginSection(chkTag("TEST"));
+    w.u64(7);
+    w.endSection();
+    const std::string image = w.serialize();
+    auto cut = ChkReader::fromMemory(image.data(), image.size() - 3);
+    ASSERT_FALSE(cut.ok());
+    EXPECT_EQ(cut.error().code, Errc::Truncated);
+}
+
+TEST(Checkpoint, SectionTagMismatchLatches)
+{
+    ChkWriter w;
+    w.beginSection(chkTag("AAAA"));
+    w.u64(1);
+    w.endSection();
+    const std::string image = w.serialize();
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+
+    r.enterSection(chkTag("BBBB"));
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.error().code, Errc::Corrupt);
+    // Latched: further reads stay failed and return zeros.
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_TRUE(r.failed());
+}
+
+TEST(Checkpoint, UnconsumedSectionBytesLatch)
+{
+    ChkWriter w;
+    w.beginSection(chkTag("TEST"));
+    w.u64(1);
+    w.u64(2);
+    w.endSection();
+    const std::string image = w.serialize();
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+
+    r.enterSection(chkTag("TEST"));
+    EXPECT_EQ(r.u64(), 1u); // leaves 8 bytes unread
+    r.leaveSection();
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.error().code, Errc::Corrupt);
+}
+
+TEST(Checkpoint, RegistryValuesRoundTrip)
+{
+    StatsRegistry registry;
+    StatsGroup g = registry.group("unit");
+    g.addCounter("events", "test events").set(12345);
+    g.addScalar("ratio", "test ratio").set(0.5);
+
+    ChkWriter w;
+    saveRegistryValues(registry, w);
+    const std::string image = w.serialize();
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+
+    const std::vector<RegistryValue> values = loadRegistryValues(r);
+    EXPECT_FALSE(r.failed()) << r.error().describe();
+    ASSERT_EQ(values.size(), 2u);
+    bool sawEvents = false;
+    for (const RegistryValue &v : values)
+        if (v.name == "unit.events") {
+            sawEvents = true;
+            EXPECT_DOUBLE_EQ(v.value, 12345.0);
+        }
+    EXPECT_TRUE(sawEvents);
+}
+
+TEST(Watchdog, TripsOnExcessiveGapAndReportsHeadroom)
+{
+    Watchdog wd(100);
+    wd.advance(40);
+    wd.advance(90); // gap 50: worst so far
+    EXPECT_EQ(wd.maxGap(), 50u);
+    EXPECT_DOUBLE_EQ(wd.headroom(), 0.5);
+    EXPECT_THROW(wd.advance(200), WatchdogError);
+}
+
+TEST(Watchdog, DisabledNeverTrips)
+{
+    Watchdog wd(0);
+    wd.advance(1);
+    wd.advance(1u << 30);
+    EXPECT_DOUBLE_EQ(wd.headroom(), 1.0);
+}
+
+TEST(Watchdog, TripDumpsDiagnosticRegistry)
+{
+    Watchdog wd(10, "unit");
+    bool diagnosed = false;
+    wd.setDiagnostic([&](StatsRegistry &registry) {
+        diagnosed = true;
+        registry.group("unit").addCounter("probe", "probe").set(1);
+    });
+    wd.advance(5);
+    EXPECT_THROW(wd.advance(1000), WatchdogError);
+    EXPECT_TRUE(diagnosed);
+}
+
+TEST(Signals, LatchedAndClearable)
+{
+    installShutdownHandlers();
+    clearShutdownRequest();
+    EXPECT_EQ(shutdownRequested(), 0);
+    std::raise(SIGTERM);
+    EXPECT_EQ(shutdownRequested(), SIGTERM);
+    EXPECT_STREQ(shutdownSignalName(), "SIGTERM");
+    clearShutdownRequest();
+    EXPECT_EQ(shutdownRequested(), 0);
+}
+
+namespace {
+
+Trace
+mixedTrace(std::size_t refs)
+{
+    // Deterministic blend of streaming, striding, and reuse so every
+    // cache feature (evictions, write-backs, prefetch, streams) has
+    // work to do.
+    Trace t;
+    Addr a = 0x10000;
+    for (std::size_t i = 0; i < refs; ++i) {
+        if (i % 11 == 0)
+            a = 0x10000 + (i % 7) * 4096;
+        else
+            a += (i % 3 == 0) ? 64 : 4;
+        t.append(a, 4, i % 4 == 0 ? RefKind::Store : RefKind::Load);
+    }
+    return t;
+}
+
+std::string
+serializeHierarchy(const CacheHierarchy &hier)
+{
+    ChkWriter w;
+    hier.saveState(w);
+    return w.serialize();
+}
+
+} // namespace
+
+TEST(Resume, HierarchyStateRoundTripsByteIdentically)
+{
+    const Trace trace = mixedTrace(4000);
+    CacheConfig l1;
+    l1.name = "L1";
+    l1.size = 8_KiB;
+    l1.streamBuffers = 2;
+    CacheConfig l2;
+    l2.name = "L2";
+    l2.size = 64_KiB;
+    l2.assoc = 4;
+    l2.blockBytes = 64;
+    const std::vector<CacheConfig> configs{l1, l2};
+
+    // Uninterrupted reference run.
+    CacheHierarchy straight(configs);
+    for (const MemRef &r : trace)
+        straight.access(r);
+
+    // Interrupted at the midpoint, serialized, restored into a fresh
+    // hierarchy, and continued.
+    CacheHierarchy first(configs);
+    for (std::size_t i = 0; i < trace.size() / 2; ++i)
+        first.access(trace[i]);
+    const std::string snapshot = serializeHierarchy(first);
+
+    CacheHierarchy second(configs);
+    auto opened =
+        ChkReader::fromMemory(snapshot.data(), snapshot.size());
+    ASSERT_TRUE(opened.ok()) << opened.error().describe();
+    ChkReader r = std::move(opened.value());
+    second.loadState(r);
+    ASSERT_FALSE(r.failed()) << r.error().describe();
+    for (std::size_t i = trace.size() / 2; i < trace.size(); ++i)
+        second.access(trace[i]);
+
+    // Full state equality, not just a few counters.
+    EXPECT_EQ(serializeHierarchy(second), serializeHierarchy(straight));
+}
+
+TEST(Resume, RandomReplacementStaysDeterministic)
+{
+    const Trace trace = mixedTrace(3000);
+    CacheConfig cfg;
+    cfg.name = "L1";
+    cfg.size = 4_KiB;
+    cfg.assoc = 4;
+    cfg.repl = ReplPolicy::Random;
+    const std::vector<CacheConfig> configs{cfg};
+
+    CacheHierarchy straight(configs);
+    for (const MemRef &r : trace)
+        straight.access(r);
+
+    CacheHierarchy first(configs);
+    for (std::size_t i = 0; i < 1000; ++i)
+        first.access(trace[i]);
+    const std::string snapshot = serializeHierarchy(first);
+
+    CacheHierarchy second(configs);
+    auto opened =
+        ChkReader::fromMemory(snapshot.data(), snapshot.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+    second.loadState(r);
+    ASSERT_FALSE(r.failed()) << r.error().describe();
+    for (std::size_t i = 1000; i < trace.size(); ++i)
+        second.access(trace[i]);
+
+    // The RNG state rides in the checkpoint, so even Random
+    // replacement resumes onto the uninterrupted trajectory.
+    EXPECT_EQ(serializeHierarchy(second), serializeHierarchy(straight));
+}
+
+TEST(Resume, GeometryMismatchIsClassified)
+{
+    CacheConfig small;
+    small.name = "L1";
+    small.size = 4_KiB;
+    CacheHierarchy donor(std::vector<CacheConfig>{small});
+    const std::string snapshot = serializeHierarchy(donor);
+
+    CacheConfig big = small;
+    big.size = 8_KiB;
+    CacheHierarchy other(std::vector<CacheConfig>{big});
+    auto opened =
+        ChkReader::fromMemory(snapshot.data(), snapshot.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+    other.loadState(r);
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.error().code, Errc::Mismatch);
+}
+
+TEST(Resume, MinCacheSimResumesToIdenticalStats)
+{
+    const Trace trace = mixedTrace(5000);
+    const MinCacheConfig cfg = canonicalMtc(2_KiB);
+
+    MinCacheSim straight(trace, cfg);
+    const MinCacheStats expect = straight.run();
+
+    MinCacheSim first(trace, cfg);
+    first.step(1700);
+    EXPECT_EQ(first.cursor(), 1700u);
+    ChkWriter w;
+    first.saveState(w);
+    const std::string image = w.serialize();
+
+    MinCacheSim second(trace, cfg);
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+    second.loadState(r);
+    ASSERT_FALSE(r.failed()) << r.error().describe();
+    const MinCacheStats got = second.run();
+
+    EXPECT_EQ(got.accesses, expect.accesses);
+    EXPECT_EQ(got.hits, expect.hits);
+    EXPECT_EQ(got.misses, expect.misses);
+    EXPECT_EQ(got.bypasses, expect.bypasses);
+    EXPECT_EQ(got.fetchBytes, expect.fetchBytes);
+    EXPECT_EQ(got.writebackBytes, expect.writebackBytes);
+    EXPECT_EQ(got.flushWritebackBytes, expect.flushWritebackBytes);
+}
+
+TEST(Resume, MinCacheConfigMismatchIsClassified)
+{
+    const Trace trace = mixedTrace(500);
+    MinCacheSim donor(trace, canonicalMtc(2_KiB));
+    donor.step(100);
+    ChkWriter w;
+    donor.saveState(w);
+    const std::string image = w.serialize();
+
+    MinCacheSim other(trace, canonicalMtc(4_KiB));
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+    other.loadState(r);
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.error().code, Errc::Mismatch);
+}
+
+TEST(Resume, CoreResultRoundTrips)
+{
+    CoreResult result;
+    result.cycles = 123456;
+    result.instructions = 65432;
+    result.ipc = 0.53;
+    result.branches = 777;
+    result.mispredicts = 33;
+    result.stalls.fetch = 10;
+    result.stalls.window = 20;
+    result.stalls.data = 30;
+    result.stalls.memPort = 40;
+    result.windowOcc.count = 5;
+    result.windowOcc.sum = 17.0;
+    result.mem.loads = 4321;
+    result.mem.dramRowHits = 99;
+
+    ChkWriter w;
+    saveCoreResult(w, result);
+    const std::string image = w.serialize();
+    auto opened = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(opened.ok());
+    ChkReader r = std::move(opened.value());
+    CoreResult back;
+    loadCoreResult(r, back);
+    ASSERT_FALSE(r.failed()) << r.error().describe();
+
+    EXPECT_EQ(back.cycles, result.cycles);
+    EXPECT_EQ(back.instructions, result.instructions);
+    EXPECT_DOUBLE_EQ(back.ipc, result.ipc);
+    EXPECT_EQ(back.mispredicts, result.mispredicts);
+    EXPECT_EQ(back.stalls.memPort, result.stalls.memPort);
+    EXPECT_EQ(back.windowOcc.count, result.windowOcc.count);
+    EXPECT_DOUBLE_EQ(back.windowOcc.sum, result.windowOcc.sum);
+    EXPECT_EQ(back.mem.loads, result.mem.loads);
+    EXPECT_EQ(back.mem.dramRowHits, result.mem.dramRowHits);
+}
+
+TEST(HierarchyWatchdog, EventBudgetTripsOnChattyReference)
+{
+    CacheConfig l1;
+    l1.name = "L1";
+    l1.size = 4_KiB;
+    l1.taggedPrefetch = true;
+    CacheConfig l2;
+    l2.name = "L2";
+    l2.size = 64_KiB;
+    l2.assoc = 4;
+    l2.blockBytes = 64;
+    CacheHierarchy hier(std::vector<CacheConfig>{l1, l2});
+    hier.setEventBudget(1);
+
+    const Trace trace = mixedTrace(200);
+    EXPECT_THROW(
+        {
+            for (const MemRef &r : trace)
+                hier.access(r);
+        },
+        WatchdogError);
+}
+
+TEST(HierarchyWatchdog, HeadroomTracksWorstReference)
+{
+    CacheConfig l1;
+    l1.name = "L1";
+    l1.size = 4_KiB;
+    CacheConfig l2;
+    l2.name = "L2";
+    l2.size = 64_KiB;
+    l2.assoc = 4;
+    l2.blockBytes = 64;
+    CacheHierarchy hier(std::vector<CacheConfig>{l1, l2});
+
+    EXPECT_DOUBLE_EQ(hier.eventHeadroom(), 1.0);
+    const Trace trace = mixedTrace(500);
+    for (const MemRef &r : trace)
+        hier.access(r);
+    EXPECT_GT(hier.maxDownstreamEvents(), 0u);
+    EXPECT_LT(hier.eventHeadroom(), 1.0);
+    EXPECT_GT(hier.eventHeadroom(), 0.0);
+}
+
+#ifdef MEMBW_CORPUS_DIR
+TEST(FuzzCorpus, EveryFileParsesOrFailsClassified)
+{
+    namespace fs = std::filesystem;
+    std::size_t files = 0, rejected = 0;
+    for (const auto &entry : fs::directory_iterator(MEMBW_CORPUS_DIR)) {
+        if (!entry.is_regular_file())
+            continue;
+        ++files;
+        auto result = tryLoadTrace(entry.path().string());
+        if (!result.ok()) {
+            ++rejected;
+            // Classified, never Ok; message names the file.
+            EXPECT_NE(result.error().code, Errc::Ok)
+                << entry.path();
+            EXPECT_NE(result.error().message.find(
+                          entry.path().filename().string()),
+                      std::string::npos)
+                << entry.path();
+        }
+    }
+    // The corpus ships both valid seeds and corrupted mutants.
+    EXPECT_GT(files, 5u);
+    EXPECT_GT(rejected, 0u);
+    EXPECT_LT(rejected, files);
+}
+#endif
+
+} // namespace
+} // namespace membw

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end fault-tolerance check: a run killed by SIGTERM and then
+# resumed from its checkpoint must produce byte-identical stats JSON
+# to an uninterrupted run (--stable-json drops the only wall-clock
+# fields).  Exercises both tools and both membw_sim phases.
+#
+# Usage: resume_equivalence_test.sh <membw_sim> <membw_decompose>
+set -u
+
+SIM="$1"
+DECOMP="$2"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+expect_exit() {
+    local want="$1"
+    shift
+    "$@" >/dev/null 2>&1
+    local got=$?
+    [ "$got" -eq "$want" ] ||
+        fail "expected exit $want from '$*', got $got"
+}
+
+# --- membw_sim: interrupt in the hierarchy phase -------------------
+SIMFLAGS=(--workload Compress --scale 0.1 --mtc --stable-json)
+
+expect_exit 0 "$SIM" "${SIMFLAGS[@]}" --stats-json base.json
+[ -s base.json ] || fail "baseline produced no stats JSON"
+
+expect_exit 3 "$SIM" "${SIMFLAGS[@]}" --stats-json int.json \
+    --checkpoint ck.bin --checkpoint-every 4096 --sigterm-after 20000
+[ -s ck.bin ] || fail "interrupted run left no checkpoint"
+grep -q '"interrupted": true' int.json ||
+    fail "partial stats JSON not flagged interrupted"
+
+expect_exit 0 "$SIM" "${SIMFLAGS[@]}" --stats-json resumed.json \
+    --resume ck.bin
+cmp -s base.json resumed.json ||
+    fail "membw_sim resume (hierarchy phase) is not byte-identical"
+
+# --- membw_sim: interrupt in the MTC phase -------------------------
+# Resuming past ref 20000 with a lower sigterm threshold means the
+# signal can only fire in the MTC phase, whose cursor restarts at 0.
+expect_exit 3 "$SIM" "${SIMFLAGS[@]}" --stats-json int2.json \
+    --resume ck.bin --checkpoint ck2.bin --checkpoint-every 4096 \
+    --sigterm-after 5000
+expect_exit 0 "$SIM" "${SIMFLAGS[@]}" --stats-json resumed2.json \
+    --resume ck2.bin
+cmp -s base.json resumed2.json ||
+    fail "membw_sim resume (MTC phase) is not byte-identical"
+
+# --- membw_sim: checkpoint/config mismatch must be classified ------
+"$SIM" "${SIMFLAGS[@]}" --size 8K --resume ck.bin >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "config-mismatch resume should exit 1"
+grep -q "different cache configuration" err.txt ||
+    fail "config-mismatch resume lacks a clear diagnostic"
+
+# --- membw_decompose: interrupt mid-decomposition ------------------
+DFLAGS=(--workload Compress --experiment E --scale 0.05 --stable-json)
+
+expect_exit 0 "$DECOMP" "${DFLAGS[@]}" --stats-json dbase.json
+[ -s dbase.json ] || fail "decompose baseline produced no stats JSON"
+
+# Interrupt inside phase 1 (ops counted across phases).
+REFS=$(grep -o '"refs": [0-9]*' dbase.json | grep -o '[0-9]*')
+expect_exit 3 "$DECOMP" "${DFLAGS[@]}" --stats-json dint.json \
+    --checkpoint dck.bin --sigterm-after $((REFS + REFS / 2))
+[ -s dck.bin ] || fail "interrupted decompose left no checkpoint"
+grep -q '"interrupted": true' dint.json ||
+    fail "decompose partial stats not flagged interrupted"
+
+expect_exit 0 "$DECOMP" "${DFLAGS[@]}" --stats-json dresumed.json \
+    --resume dck.bin
+cmp -s dbase.json dresumed.json ||
+    fail "membw_decompose resume is not byte-identical"
+
+echo "PASS"

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "trace/mem_ref.hh"
@@ -209,6 +211,9 @@ TEST(TraceIo, CompactIsMuchSmallerThanRaw)
 TEST(TraceIo, MissingFileFails)
 {
     EXPECT_THROW(loadTrace("/nonexistent/trace.bin"), FatalError);
+    const auto r = tryLoadTrace("/nonexistent/trace.bin");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::IoError);
 }
 
 TEST(TraceIo, RejectsCorruptMagic)
@@ -220,7 +225,206 @@ TEST(TraceIo, RejectsCorruptMagic)
     std::fwrite(junk, sizeof(junk), 1, f);
     std::fclose(f);
     EXPECT_THROW(loadTrace(path), FatalError);
+    const auto r = tryLoadTrace(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::BadMagic);
     std::remove(path.c_str());
+}
+
+namespace {
+
+/** Little-endian trace header: magic, version, record count. */
+std::vector<std::uint8_t>
+traceHeader(std::uint32_t magic, std::uint32_t version,
+            std::uint64_t count)
+{
+    std::vector<std::uint8_t> h(16);
+    for (unsigned i = 0; i < 4; ++i)
+        h[i] = static_cast<std::uint8_t>(magic >> (8 * i));
+    for (unsigned i = 0; i < 4; ++i)
+        h[4 + i] = static_cast<std::uint8_t>(version >> (8 * i));
+    for (unsigned i = 0; i < 8; ++i)
+        h[8 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+    return h;
+}
+
+constexpr std::uint32_t kMagic = 0x4d425754; // "MBWT"
+
+Errc
+parseCode(const std::vector<std::uint8_t> &image)
+{
+    return parseTrace(image.data(), image.size(), "<unit>").code();
+}
+
+} // namespace
+
+TEST(TraceIoHardened, ClassifiesTruncatedHeader)
+{
+    const std::vector<std::uint8_t> stub = {'M', 'B', 'W'};
+    EXPECT_EQ(parseCode(stub), Errc::Truncated);
+    EXPECT_EQ(parseCode({}), Errc::Truncated);
+}
+
+TEST(TraceIoHardened, ClassifiesBadVersion)
+{
+    EXPECT_EQ(parseCode(traceHeader(kMagic, 99, 0)), Errc::BadVersion);
+}
+
+TEST(TraceIoHardened, HugeCountIsRejectedBeforeAllocation)
+{
+    // A hostile header declaring 2^60 records over an empty body must
+    // be rejected by arithmetic, not by attempting the allocation.
+    auto image = traceHeader(kMagic, 1, 1ull << 60);
+    EXPECT_EQ(parseCode(image), Errc::Truncated);
+
+    // Same count with a multiply-overflow-friendly value: count * 16
+    // wraps to a small number, which the division-based check must
+    // still catch.
+    auto wrap = traceHeader(kMagic, 1, (1ull << 60) + 1);
+    wrap.resize(wrap.size() + 16, 0);
+    EXPECT_EQ(parseCode(wrap), Errc::Truncated);
+}
+
+TEST(TraceIoHardened, ClassifiesTruncatedBody)
+{
+    // Declares 2 raw records but carries only one and a half.
+    auto image = traceHeader(kMagic, 1, 2);
+    image.resize(image.size() + 24, 0);
+    image[16] = 0x10; // record 0: addr 0x10, needs valid size/kind
+    image[24] = 4;    // size 4
+    EXPECT_EQ(parseCode(image), Errc::Truncated);
+}
+
+TEST(TraceIoHardened, ClassifiesTrailingGarbage)
+{
+    auto image = traceHeader(kMagic, 1, 1);
+    image.resize(image.size() + 16, 0);
+    image[16] = 0x10;
+    image[24] = 4;
+    ASSERT_EQ(parseCode(image), Errc::Ok);
+    image.push_back(0xcc); // one stray byte after the records
+    EXPECT_EQ(parseCode(image), Errc::Corrupt);
+}
+
+TEST(TraceIoHardened, ClassifiesCorruptRecords)
+{
+    // Unknown reference kind.
+    auto badKind = traceHeader(kMagic, 1, 1);
+    badKind.resize(badKind.size() + 16, 0);
+    badKind[16] = 0x10;
+    badKind[24] = 4;
+    badKind[28] = 7; // kind 7
+    EXPECT_EQ(parseCode(badKind), Errc::Corrupt);
+
+    // Zero-byte reference.
+    auto zeroSize = traceHeader(kMagic, 1, 1);
+    zeroSize.resize(zeroSize.size() + 16, 0);
+    zeroSize[16] = 0x10;
+    EXPECT_EQ(parseCode(zeroSize), Errc::Corrupt);
+
+    // Implausibly large reference.
+    auto hugeRef = traceHeader(kMagic, 1, 1);
+    hugeRef.resize(hugeRef.size() + 16, 0);
+    hugeRef[24] = 0xff;
+    hugeRef[25] = 0xff;
+    hugeRef[26] = 0x01; // size 0x1ffff > maxTraceRefBytes
+    EXPECT_EQ(parseCode(hugeRef), Errc::Corrupt);
+}
+
+TEST(TraceIoHardened, ClassifiesCompactTruncationAndGarbage)
+{
+    // Declares more compact records than bytes present.
+    EXPECT_EQ(parseCode(traceHeader(kMagic, 2, 100)), Errc::Truncated);
+
+    // A control varint whose continuation bit runs off the end.
+    auto cut = traceHeader(kMagic, 2, 1);
+    cut.push_back(0x80);
+    EXPECT_EQ(parseCode(cut), Errc::Truncated);
+
+    // A varint longer than 64 bits of payload is garbage, not merely
+    // truncated.
+    auto wide = traceHeader(kMagic, 2, 1);
+    for (int i = 0; i < 10; ++i)
+        wide.push_back(0x80);
+    wide.push_back(0x01);
+    EXPECT_EQ(parseCode(wide), Errc::Corrupt);
+
+    // Odd-size escape (control bit1) with a zero-byte size.
+    auto zero = traceHeader(kMagic, 2, 1);
+    zero.push_back(0x02); // control: odd-size load
+    zero.push_back(0x10); // addr 0x10
+    zero.push_back(0x00); // size 0
+    EXPECT_EQ(parseCode(zero), Errc::Corrupt);
+}
+
+TEST(TraceIoHardened, ParserNeverThrowsOnHostileBytes)
+{
+    // A deterministic spray of mutations over a valid image: every
+    // outcome must be a classified Result, never an exception.
+    Trace t;
+    for (int i = 0; i < 64; ++i)
+        t.append(0x1000 + i * 4, 4,
+                 i % 2 ? RefKind::Store : RefKind::Load);
+    const std::string path =
+        testing::TempDir() + "membw_mutate.bin";
+    saveTrace(t, path, TraceFormat::Compact);
+    Trace loaded = loadTrace(path);
+    std::remove(path.c_str());
+
+    std::vector<std::uint8_t> image;
+    {
+        // Rebuild the compact image in memory via a save/read cycle.
+        const std::string p2 =
+            testing::TempDir() + "membw_mutate2.bin";
+        saveTrace(loaded, p2, TraceFormat::Compact);
+        std::FILE *f = std::fopen(p2.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        image.resize(static_cast<std::size_t>(std::ftell(f)));
+        std::rewind(f);
+        ASSERT_EQ(std::fread(image.data(), 1, image.size(), f),
+                  image.size());
+        std::fclose(f);
+        std::remove(p2.c_str());
+    }
+
+    std::uint64_t accepted = 0;
+    for (std::size_t pos = 0; pos < image.size(); ++pos) {
+        for (std::uint8_t flip : {0x01, 0x80, 0xff}) {
+            auto mutant = image;
+            mutant[pos] ^= flip;
+            const auto result =
+                parseTrace(mutant.data(), mutant.size(), "<mutant>");
+            if (result.ok())
+                ++accepted; // silent semantic change: allowed
+        }
+    }
+    // Sanity: the loop ran and most mutations were caught.
+    EXPECT_LT(accepted, image.size() * 3);
+}
+
+TEST(TraceIoHardened, CrcIsContentNotEncoding)
+{
+    Trace t;
+    Addr a = 0x4000;
+    for (int i = 0; i < 300; ++i) {
+        a += (i % 5 == 0) ? 4096 : 4;
+        t.append(a, 4, i % 3 ? RefKind::Load : RefKind::Store);
+    }
+    const std::string raw = testing::TempDir() + "membw_crc_raw.bin";
+    const std::string compact =
+        testing::TempDir() + "membw_crc_c.bin";
+    saveTrace(t, raw, TraceFormat::Raw);
+    saveTrace(t, compact, TraceFormat::Compact);
+    const std::uint32_t direct = traceCrc32(t);
+    EXPECT_EQ(traceCrc32(loadTrace(raw)), direct);
+    EXPECT_EQ(traceCrc32(loadTrace(compact)), direct);
+    std::remove(raw.c_str());
+    std::remove(compact.c_str());
+
+    Trace other = t;
+    other.append(0x9999, 4, RefKind::Load);
+    EXPECT_NE(traceCrc32(other), direct);
 }
 
 } // namespace

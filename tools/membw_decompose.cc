@@ -10,19 +10,33 @@
  *   membw_decompose --workload Vortex --experiment E --spec95
  *   membw_decompose --workload Swm --experiment F --dram sdram
  *   membw_decompose --workload Swm --experiment E --mshrs 2 --no-prefetch
+ *
+ * The decomposition is three independent deterministic runs (perfect
+ * memory, infinite-width, full system), so fault tolerance is
+ * phase-granular: --checkpoint saves each completed phase's result,
+ * --resume skips completed phases and re-runs only the interrupted
+ * one, and SIGINT/SIGTERM abort the in-flight phase cleanly with a
+ * final checkpoint, partial stats, and a distinct exit code (see
+ * --help).
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "common/log.hh"
+#include "common/parse.hh"
 #include "cpu/experiment.hh"
 #include "dram/dram.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/exit_codes.hh"
+#include "resilience/signals.hh"
+#include "resilience/watchdog.hh"
 #include "workloads/workload.hh"
 
 using namespace membw;
@@ -48,10 +62,131 @@ usage(int code)
         "  --l1l2-bus BYTES     L1/L2 bus width\n"
         "  --mem-bus BYTES      memory bus width\n"
         "  --dram fpm|edo|sdram|rdram   banked DRAM backend\n"
+        "Fault tolerance:\n"
+        "  --checkpoint FILE    save each completed phase to FILE\n"
+        "  --resume FILE        skip phases already completed in FILE\n"
+        "  --watchdog N         max cycles between retirements before\n"
+        "                       declaring livelock (default 1000000;\n"
+        "                       0 disables)\n"
+        "  --sigterm-after N    raise SIGTERM once this process has\n"
+        "                       simulated N micro-ops (testing)\n"
         "Telemetry:\n"
         "  --stats-json FILE    write manifest + full stats as JSON\n"
-        "  --stats-every N      stderr progress line every N instrs\n");
+        "  --stable-json        omit wall-clock fields from the JSON\n"
+        "  --stats-every N      stderr progress line every N instrs\n\n"
+        "%s",
+        exitCodeHelp);
     std::exit(code);
+}
+
+/** Report a malformed flag value and die: names the flag, echoes the
+ * offending value, and shows a working example. */
+[[noreturn]] void
+badFlag(const std::string &flag, const std::string &value,
+        const Error &error, const std::string &example)
+{
+    fatal("invalid value '" + value + "' for " + flag + ": " +
+          error.message + " (example: " + flag + " " + example + ")");
+}
+
+unsigned
+smallFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseInt(value, 1, 1 << 20);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "4");
+    return static_cast<unsigned>(r.value());
+}
+
+std::uint64_t
+countFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseU64(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "100000");
+    return r.value();
+}
+
+double
+doubleFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseDouble(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "0.5");
+    return r.value();
+}
+
+/** Thrown from the progress hook to abort an in-flight phase once a
+ * shutdown signal has been latched. */
+struct PhaseInterrupt
+{
+};
+
+void
+writeCheckpoint(const std::string &path, std::uint64_t digest,
+                std::uint64_t streamSize, unsigned phasesDone,
+                const CoreResult *results)
+{
+    ChkWriter w;
+    w.beginSection(chkTag("META"));
+    w.str("membw_decompose");
+    w.u64(digest);
+    w.u64(streamSize);
+    w.u8(static_cast<std::uint8_t>(phasesDone));
+    w.endSection();
+    for (unsigned i = 0; i < phasesDone; ++i)
+        saveCoreResult(w, results[i]);
+
+    auto result = w.writeFile(path);
+    if (!result.ok())
+        fatal("checkpoint failed: " + result.error().describe());
+}
+
+unsigned
+loadCheckpoint(const std::string &path, std::uint64_t digest,
+               std::uint64_t streamSize, CoreResult *results)
+{
+    auto opened = ChkReader::fromFile(path);
+    if (!opened.ok())
+        fatal("cannot resume from '" + path +
+              "': " + opened.error().describe());
+    ChkReader r = std::move(opened.value());
+
+    r.enterSection(chkTag("META"));
+    const std::string tool = r.str();
+    const std::uint64_t chkDigest = r.u64();
+    const std::uint64_t chkStream = r.u64();
+    const unsigned phasesDone = r.u8();
+    r.leaveSection();
+
+    if (r.failed())
+        fatal("cannot resume from '" + path +
+              "': " + r.error().describe());
+    if (tool != "membw_decompose")
+        fatal("cannot resume from '" + path +
+              "': checkpoint was written by '" + tool + "'");
+    if (chkDigest != digest)
+        fatal("cannot resume from '" + path +
+              "': checkpoint was taken under a different "
+              "experiment/workload configuration");
+    if (chkStream != streamSize)
+        fatal("cannot resume from '" + path +
+              "': checkpoint simulated a different instruction "
+              "stream (" +
+              std::to_string(chkStream) + " vs " +
+              std::to_string(streamSize) + " micro-ops)");
+    if (phasesDone > decompositionPhases)
+        fatal("cannot resume from '" + path +
+              "': implausible completed-phase count " +
+              std::to_string(phasesDone));
+
+    for (unsigned i = 0; i < phasesDone; ++i) {
+        loadCoreResult(r, results[i]);
+        if (r.failed())
+            fatal("cannot resume from '" + path +
+                  "': " + r.error().describe());
+    }
+    return phasesDone;
 }
 
 } // namespace
@@ -66,7 +201,12 @@ main(int argc, char **argv)
         double scale = 0.5;
         std::uint64_t seed = 42;
         std::string statsJson;
+        bool stableJson = false;
         std::uint64_t statsEvery = 0;
+        std::string checkpoint;
+        std::string resume;
+        Cycle watchdogCycles = 1'000'000;
+        std::uint64_t sigtermAfter = 0;
 
         struct Overrides
         {
@@ -77,15 +217,20 @@ main(int argc, char **argv)
         } ov;
 
         auto need = [&](int &i) -> std::string {
-            if (i + 1 >= argc)
-                fatal(std::string("missing value for ") + argv[i]);
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "missing value for %s (run --help for "
+                             "the flag list)\n",
+                             argv[i]);
+                std::exit(exitUsage);
+            }
             return argv[++i];
         };
 
         for (int i = 1; i < argc; ++i) {
             const std::string a = argv[i];
             if (a == "--help" || a == "-h")
-                usage(0);
+                usage(exitOk);
             else if (a == "--workload")
                 workload = need(i);
             else if (a == "--experiment")
@@ -93,36 +238,49 @@ main(int argc, char **argv)
             else if (a == "--spec95")
                 spec95 = true;
             else if (a == "--scale")
-                scale = std::atof(need(i).c_str());
+                scale = doubleFlag(a, need(i));
             else if (a == "--seed")
-                seed = std::strtoull(need(i).c_str(), nullptr, 10);
+                seed = countFlag(a, need(i));
             else if (a == "--mshrs")
-                ov.mshrs = std::atoi(need(i).c_str());
+                ov.mshrs = static_cast<int>(smallFlag(a, need(i)));
             else if (a == "--window")
-                ov.window = std::atoi(need(i).c_str());
+                ov.window = static_cast<int>(smallFlag(a, need(i)));
             else if (a == "--issue-width")
-                ov.width = std::atoi(need(i).c_str());
+                ov.width = static_cast<int>(smallFlag(a, need(i)));
             else if (a == "--no-prefetch")
                 ov.noPrefetch = true;
             else if (a == "--l1l2-bus")
-                ov.l1l2 = std::atoi(need(i).c_str());
+                ov.l1l2 = static_cast<int>(smallFlag(a, need(i)));
             else if (a == "--mem-bus")
-                ov.membus = std::atoi(need(i).c_str());
+                ov.membus = static_cast<int>(smallFlag(a, need(i)));
             else if (a == "--dram")
                 ov.dram = need(i);
             else if (a == "--stats-json")
                 statsJson = need(i);
+            else if (a == "--stable-json")
+                stableJson = true;
             else if (a == "--stats-every")
-                statsEvery =
-                    std::strtoull(need(i).c_str(), nullptr, 10);
+                statsEvery = countFlag(a, need(i));
+            else if (a == "--checkpoint")
+                checkpoint = need(i);
+            else if (a == "--resume")
+                resume = need(i);
+            else if (a == "--watchdog")
+                watchdogCycles = countFlag(a, need(i));
+            else if (a == "--sigterm-after")
+                sigtermAfter = countFlag(a, need(i));
             else {
-                std::fprintf(stderr, "unknown flag '%s'\n",
+                std::fprintf(stderr,
+                             "unknown flag '%s' (run --help for the "
+                             "flag list)\n",
                              a.c_str());
-                usage(1);
+                std::exit(exitUsage);
             }
         }
         if (workload.empty())
-            usage(1);
+            usage(exitUsage);
+
+        installShutdownHandlers();
 
         ExperimentConfig cfg = makeExperiment(letter, spec95);
         if (ov.mshrs > 0)
@@ -144,7 +302,9 @@ main(int argc, char **argv)
                 : ov.dram == "sdram" ? DramKind::Synchronous
                 : ov.dram == "rdram"
                     ? DramKind::Rambus
-                    : (fatal("bad --dram '" + ov.dram + "'"),
+                    : (fatal("invalid value '" + ov.dram +
+                             "' for --dram: expected fpm, edo, "
+                             "sdram, or rdram"),
                        DramKind::FastPageMode);
             cfg.mem.dram = DramConfig::preset(kind, cfg.cpuMHz);
         }
@@ -156,19 +316,133 @@ main(int argc, char **argv)
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(workload), seed);
 
+        // Checkpoint identity: the full machine description plus the
+        // stream's provenance.  The stream size is verified
+        // separately for a clearer message.
+        const std::uint64_t digest = fnv1a64(
+            cfg.describe() + "|" + workload + "|" +
+            std::to_string(seed) + "|" + std::to_string(scale));
+
+        CoreResult results[decompositionPhases];
+        unsigned phasesDone = 0;
+        if (!resume.empty()) {
+            phasesDone = loadCheckpoint(resume, digest, stream.size(),
+                                        results);
+            std::printf("resumed from %s (%u of %u phases done)\n",
+                        resume.c_str(), phasesDone,
+                        decompositionPhases);
+        }
+
         WallTimer timer;
         ProgressMeter meter("membw_decompose", statsEvery);
-        if (statsEvery) {
-            cfg.core.progressEvery = statsEvery;
-            cfg.core.progress = [&meter](std::size_t done,
-                                         std::size_t total) {
-                meter.tick(done, total);
-            };
-        }
+
+        // Per-phase watchdog; the cycle domain restarts at zero each
+        // phase, so the guard must too.
+        const Watchdog *liveWatchdog = nullptr;
+        unsigned livePhase = 0;
+        meter.setAnnotator([&] {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "phase %s | wd slack %.0f%%",
+                          phaseName(livePhase),
+                          100.0 * (liveWatchdog
+                                       ? liveWatchdog->headroom()
+                                       : 1.0));
+            return std::string(buf);
+        });
+
+        // The progress hook doubles as the shutdown poll (and the
+        // deterministic SIGTERM test point), so it must stay armed
+        // even without --stats-every.  --sigterm-after counts
+        // micro-ops across all three phases (including phases a
+        // resume skipped), so the same flag value always interrupts
+        // the same phase.
+        bool sigtermFired = false;
+        std::uint64_t opsCompleted = phasesDone * stream.size();
+        cfg.core.progressEvery = statsEvery ? statsEvery : 65536;
+        cfg.core.progress = [&](std::size_t done, std::size_t total) {
+            meter.tick(done, total);
+            if (sigtermAfter && !sigtermFired &&
+                opsCompleted + done >= sigtermAfter) {
+                sigtermFired = true;
+                std::raise(SIGTERM);
+            }
+            if (shutdownRequested())
+                throw PhaseInterrupt{};
+        };
 
         std::printf("%s on %s (%.0f MHz)\n", workload.c_str(),
                     cfg.describe().c_str(), cfg.cpuMHz);
-        const DecompositionResult r = runDecomposition(stream, cfg);
+
+        for (; phasesDone < decompositionPhases; ++phasesDone) {
+            Watchdog watchdog(watchdogCycles);
+            cfg.core.watchdog = &watchdog;
+            liveWatchdog = &watchdog;
+            livePhase = phasesDone;
+            try {
+                results[phasesDone] =
+                    runPhase(stream, cfg, phasesDone);
+            } catch (const PhaseInterrupt &) {
+                // Drained: the completed phases are all durable
+                // state there is; the interrupted phase re-runs
+                // from its start on --resume.
+                std::fprintf(stderr,
+                             "\n%s received: aborted %s phase "
+                             "(%u of %u phases complete)\n",
+                             shutdownSignalName(),
+                             phaseName(phasesDone), phasesDone,
+                             decompositionPhases);
+                if (!checkpoint.empty()) {
+                    writeCheckpoint(checkpoint, digest,
+                                    stream.size(), phasesDone,
+                                    results);
+                    std::fprintf(stderr, "final checkpoint: %s\n",
+                                 checkpoint.c_str());
+                }
+                if (!statsJson.empty()) {
+                    StatsRegistry registry;
+                    for (unsigned i = 0; i < phasesDone; ++i) {
+                        StatsGroup g =
+                            registry.group(phaseName(i));
+                        publishCoreStats(g, results[i]);
+                    }
+                    RunManifest manifest;
+                    manifest.tool = "membw_decompose";
+                    manifest.experiment = std::string(1, letter);
+                    manifest.workload = workload;
+                    manifest.config = cfg.describe();
+                    manifest.seed = seed;
+                    manifest.scale = scale;
+                    manifest.refs = stream.size();
+                    manifest.wallSeconds = timer.seconds();
+                    manifest.interrupted = true;
+                    manifest.omitTiming = stableJson;
+                    manifest.set("phases_done",
+                                 std::to_string(phasesDone));
+
+                    JsonWriter w;
+                    w.beginObject();
+                    w.key("manifest");
+                    manifest.write(w);
+                    w.key("stats");
+                    writeStatsArray(registry, w);
+                    w.endObject();
+                    writeFileOrDie(statsJson, w.str());
+                    std::fprintf(stderr, "partial stats: %s\n",
+                                 statsJson.c_str());
+                }
+                return exitInterrupted;
+            }
+            cfg.core.watchdog = nullptr;
+            liveWatchdog = nullptr;
+            opsCompleted += stream.size();
+            if (!checkpoint.empty())
+                writeCheckpoint(checkpoint, digest, stream.size(),
+                                phasesDone + 1, results);
+        }
+
+        const DecompositionResult r = assembleDecomposition(
+            results[0], results[1], results[2]);
 
         std::printf("T_P %llu | T_I %llu | T %llu cycles\n",
                     static_cast<unsigned long long>(
@@ -209,6 +483,7 @@ main(int argc, char **argv)
             manifest.scale = scale;
             manifest.refs = stream.size();
             manifest.wallSeconds = timer.seconds();
+            manifest.omitTiming = stableJson;
 
             JsonWriter w;
             w.beginObject();
@@ -219,9 +494,12 @@ main(int argc, char **argv)
             w.endObject();
             writeFileOrDie(statsJson, w.str());
         }
-        return 0;
+        return exitOk;
+    } catch (const WatchdogError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return exitWatchdog;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        return exitFatal;
     }
 }

@@ -10,22 +10,35 @@
  *   membw_sim --load-trace refs.mbwt --size 8K --mtc
  *   membw_sim --workload Eqntott --save-trace refs.mbwt
  *
+ * Long runs are fault tolerant: --checkpoint/--checkpoint-every
+ * snapshot the full simulation state at reference granularity,
+ * --resume restarts from a snapshot (producing output byte-identical
+ * to an uninterrupted run with --stable-json), and SIGINT/SIGTERM
+ * drain the current reference, write a final checkpoint plus partial
+ * stats, and exit with a distinct code (see --help).
+ *
  * Run with --help for the full flag list.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "common/log.hh"
+#include "common/parse.hh"
 #include "mtc/min_cache.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/exit_codes.hh"
+#include "resilience/signals.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
 
@@ -66,35 +79,69 @@ usage(int code)
         "cache\n"
         "  --pin-bandwidth MBs physical pin bandwidth for E_pin "
         "(default 800)\n\n"
+        "Fault tolerance:\n"
+        "  --checkpoint FILE   snapshot simulation state to FILE\n"
+        "  --checkpoint-every N  snapshot every N references "
+        "(default 1000000 when --checkpoint is given)\n"
+        "  --resume FILE       restore state from FILE and continue\n"
+        "  --watchdog N        per-reference downstream-event budget "
+        "(default 1000000; 0 disables)\n"
+        "  --sigterm-after N   raise SIGTERM after N references "
+        "(deterministic shutdown testing)\n\n"
         "Telemetry:\n"
         "  --stats-json FILE   write manifest + full stats as JSON\n"
-        "  --stats-every N     stderr progress line every N refs\n");
+        "  --stable-json       omit wall-clock fields from the JSON "
+        "(byte-identical across reruns)\n"
+        "  --stats-every N     stderr progress line every N refs\n\n"
+        "%s",
+        exitCodeHelp);
     std::exit(code);
 }
 
-Bytes
-parseSize(const std::string &s)
+/** Report a malformed flag value and die: names the flag, echoes the
+ * offending value, and shows a working example. */
+[[noreturn]] void
+badFlag(const std::string &flag, const std::string &value,
+        const Error &error, const std::string &example)
 {
-    char *end = nullptr;
-    const double v = std::strtod(s.c_str(), &end);
-    if (end == s.c_str() || v <= 0)
-        fatal("bad size '" + s + "'");
-    Bytes mult = 1;
-    if (*end) {
-        switch (*end) {
-          case 'k': case 'K': mult = 1_KiB; ++end; break;
-          case 'm': case 'M': mult = 1_MiB; ++end; break;
-          case 'g': case 'G': mult = 1_GiB; ++end; break;
-        }
-        if (*end == 'b' || *end == 'B') // 64K and 64KB both work
-            ++end;
-        if (*end)
-            fatal("bad size suffix in '" + s + "'");
-    }
-    const double bytes = v * static_cast<double>(mult);
-    if (bytes >= 9.0e18) // would overflow the 64-bit byte count
-        fatal("size '" + s + "' is too large");
-    return static_cast<Bytes>(bytes);
+    fatal("invalid value '" + value + "' for " + flag + ": " +
+          error.message + " (example: " + flag + " " + example + ")");
+}
+
+Bytes
+sizeFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseSize(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "64K");
+    return r.value();
+}
+
+std::uint64_t
+countFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseU64(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "100000");
+    return r.value();
+}
+
+unsigned
+smallFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseInt(value, 0, 1 << 20);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "4");
+    return static_cast<unsigned>(r.value());
+}
+
+double
+doubleFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseDouble(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "1.0");
+    return r.value();
 }
 
 struct Options
@@ -111,7 +158,13 @@ struct Options
     bool runMtc = false;
     double pinBandwidthMBs = 800.0;
     std::string statsJson;
+    bool stableJson = false;
     std::uint64_t statsEvery = 0;
+    std::string checkpoint;
+    std::uint64_t checkpointEvery = 0;
+    std::string resume;
+    std::uint64_t eventBudget = 1'000'000;
+    std::uint64_t sigtermAfter = 0;
 };
 
 Options
@@ -126,19 +179,24 @@ parse(int argc, char **argv)
     o.l2.blockBytes = 64;
 
     auto need = [&](int &i) -> std::string {
-        if (i + 1 >= argc)
-            fatal(std::string("missing value for ") + argv[i]);
+        if (i + 1 >= argc) {
+            std::fprintf(stderr,
+                         "missing value for %s (run --help for the "
+                         "flag list)\n",
+                         argv[i]);
+            std::exit(exitUsage);
+        }
         return argv[++i];
     };
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
-            usage(0);
+            usage(exitOk);
         } else if (a == "--list") {
             for (const auto &n : allWorkloadNames())
                 std::printf("%s\n", n.c_str());
-            std::exit(0);
+            std::exit(exitOk);
         } else if (a == "--workload") {
             o.workload = need(i);
         } else if (a == "--load-trace") {
@@ -148,69 +206,272 @@ parse(int argc, char **argv)
         } else if (a == "--compact") {
             o.format = TraceFormat::Compact;
         } else if (a == "--scale") {
-            o.scale = std::atof(need(i).c_str());
+            o.scale = doubleFlag(a, need(i));
         } else if (a == "--seed") {
-            o.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+            o.seed = countFlag(a, need(i));
         } else if (a == "--size") {
-            o.l1.size = parseSize(need(i));
+            o.l1.size = sizeFlag(a, need(i));
         } else if (a == "--assoc") {
-            o.l1.assoc = std::atoi(need(i).c_str());
+            o.l1.assoc = smallFlag(a, need(i));
         } else if (a == "--block") {
-            o.l1.blockBytes = parseSize(need(i));
+            o.l1.blockBytes = sizeFlag(a, need(i));
         } else if (a == "--sector") {
-            o.l1.sectorBytes = parseSize(need(i));
+            o.l1.sectorBytes = sizeFlag(a, need(i));
         } else if (a == "--repl") {
             const std::string v = need(i);
             o.l1.repl = v == "lru"    ? ReplPolicy::LRU
                         : v == "fifo" ? ReplPolicy::FIFO
                         : v == "random"
                             ? ReplPolicy::Random
-                            : (fatal("bad --repl '" + v + "'"),
+                            : (fatal("invalid value '" + v +
+                                     "' for --repl: expected lru, "
+                                     "fifo, or random"),
                                ReplPolicy::LRU);
         } else if (a == "--write") {
             const std::string v = need(i);
             o.l1.write = v == "wb"   ? WritePolicy::WriteBack
                          : v == "wt" ? WritePolicy::WriteThrough
-                                     : (fatal("bad --write"),
+                                     : (fatal("invalid value '" + v +
+                                              "' for --write: "
+                                              "expected wb or wt"),
                                         WritePolicy::WriteBack);
         } else if (a == "--alloc") {
             const std::string v = need(i);
             o.l1.alloc = v == "wa"    ? AllocPolicy::WriteAllocate
                          : v == "wna" ? AllocPolicy::WriteNoAllocate
                          : v == "wv"  ? AllocPolicy::WriteValidate
-                                      : (fatal("bad --alloc"),
+                                      : (fatal("invalid value '" + v +
+                                               "' for --alloc: "
+                                               "expected wa, wna, or "
+                                               "wv"),
                                          AllocPolicy::WriteAllocate);
         } else if (a == "--prefetch") {
             o.l1.taggedPrefetch = true;
         } else if (a == "--stream-buffers") {
-            o.l1.streamBuffers = std::atoi(need(i).c_str());
+            o.l1.streamBuffers = smallFlag(a, need(i));
         } else if (a == "--stream-depth") {
-            o.l1.streamDepth = std::atoi(need(i).c_str());
+            o.l1.streamDepth = smallFlag(a, need(i));
         } else if (a == "--l2-size") {
-            o.l2.size = parseSize(need(i));
+            o.l2.size = sizeFlag(a, need(i));
             o.haveL2 = true;
         } else if (a == "--l2-assoc") {
-            o.l2.assoc = std::atoi(need(i).c_str());
+            o.l2.assoc = smallFlag(a, need(i));
             o.haveL2 = true;
         } else if (a == "--l2-block") {
-            o.l2.blockBytes = parseSize(need(i));
+            o.l2.blockBytes = sizeFlag(a, need(i));
             o.haveL2 = true;
         } else if (a == "--mtc") {
             o.runMtc = true;
         } else if (a == "--pin-bandwidth") {
-            o.pinBandwidthMBs = std::atof(need(i).c_str());
+            o.pinBandwidthMBs = doubleFlag(a, need(i));
         } else if (a == "--stats-json") {
             o.statsJson = need(i);
+        } else if (a == "--stable-json") {
+            o.stableJson = true;
         } else if (a == "--stats-every") {
-            o.statsEvery = std::strtoull(need(i).c_str(), nullptr, 10);
+            o.statsEvery = countFlag(a, need(i));
+        } else if (a == "--checkpoint") {
+            o.checkpoint = need(i);
+        } else if (a == "--checkpoint-every") {
+            o.checkpointEvery = countFlag(a, need(i));
+        } else if (a == "--resume") {
+            o.resume = need(i);
+        } else if (a == "--watchdog") {
+            o.eventBudget = countFlag(a, need(i));
+        } else if (a == "--sigterm-after") {
+            o.sigtermAfter = countFlag(a, need(i));
         } else {
-            std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
-            usage(1);
+            std::fprintf(stderr,
+                         "unknown flag '%s' (run --help for the flag "
+                         "list)\n",
+                         a.c_str());
+            std::exit(exitUsage);
         }
     }
     if (o.workload.empty() && o.loadTrace.empty())
-        usage(1);
+        usage(exitUsage);
+    if (!o.checkpoint.empty() && o.checkpointEvery == 0)
+        o.checkpointEvery = 1'000'000;
     return o;
+}
+
+/** Simulation phases, in execution order. */
+enum : std::uint8_t
+{
+    phaseHierarchy = 0,
+    phaseMtc = 1,
+};
+
+/**
+ * Everything the run needs to persist and verify.  The identity
+ * fields (trace CRC + config digest) prove a --resume replays the
+ * same input under the same configuration.
+ */
+struct RunState
+{
+    std::uint32_t traceCrc = 0;
+    std::uint64_t configDigest = 0;
+    std::uint8_t phase = phaseHierarchy;
+    std::uint64_t cursor = 0; ///< refs consumed in the active phase
+    TrafficResult hierResult; ///< valid once phase > phaseHierarchy
+};
+
+void
+writeCheckpoint(const Options &o, const RunState &state,
+                const CacheHierarchy *hier, const MinCacheSim *mtc)
+{
+    ChkWriter w;
+    w.beginSection(chkTag("META"));
+    w.str("membw_sim");
+    w.u32(state.traceCrc);
+    w.u64(state.configDigest);
+    w.u8(state.phase);
+    w.u64(state.cursor);
+    w.endSection();
+
+    if (state.phase == phaseHierarchy) {
+        hier->saveState(w);
+    } else {
+        saveTrafficResult(w, state.hierResult);
+        mtc->saveState(w);
+    }
+
+    auto result = w.writeFile(o.checkpoint);
+    if (!result.ok())
+        fatal("checkpoint failed: " + result.error().describe());
+}
+
+void
+loadCheckpoint(const Options &o, RunState &state, CacheHierarchy &hier,
+               MinCacheSim *mtc)
+{
+    auto opened = ChkReader::fromFile(o.resume);
+    if (!opened.ok())
+        fatal("cannot resume from '" + o.resume +
+              "': " + opened.error().describe());
+    ChkReader r = std::move(opened.value());
+
+    r.enterSection(chkTag("META"));
+    const std::string tool = r.str();
+    const std::uint32_t crc = r.u32();
+    const std::uint64_t digest = r.u64();
+    state.phase = r.u8();
+    state.cursor = r.u64();
+    r.leaveSection();
+
+    if (r.failed())
+        fatal("cannot resume from '" + o.resume +
+              "': " + r.error().describe());
+    if (tool != "membw_sim")
+        fatal("cannot resume from '" + o.resume +
+              "': checkpoint was written by '" + tool + "'");
+    if (crc != state.traceCrc)
+        fatal("cannot resume from '" + o.resume +
+              "': checkpoint was taken over a different trace "
+              "(CRC mismatch — same workload/scale/seed or trace "
+              "file required)");
+    if (digest != state.configDigest)
+        fatal("cannot resume from '" + o.resume +
+              "': checkpoint was taken under a different cache "
+              "configuration");
+    if (state.phase == phaseMtc && !o.runMtc)
+        fatal("cannot resume from '" + o.resume +
+              "': checkpoint is in the MTC phase but --mtc was not "
+              "given");
+
+    if (state.phase == phaseHierarchy) {
+        hier.loadState(r);
+    } else {
+        loadTrafficResult(r, state.hierResult);
+        if (mtc)
+            mtc->loadState(r);
+    }
+    if (r.failed())
+        fatal("cannot resume from '" + o.resume +
+              "': " + r.error().describe());
+}
+
+void
+writeStatsJson(const Options &o, const RunState &state,
+               const Trace &trace, const TrafficResult *traffic,
+               const MinCacheStats *mtc, double wallSeconds,
+               bool interrupted)
+{
+    StatsRegistry registry;
+    if (traffic)
+        publishStats(registry, *traffic);
+    if (mtc) {
+        StatsGroup mtcGroup = registry.group("mtc");
+        publishMinCacheStats(mtcGroup, *mtc);
+    }
+
+    RunManifest manifest;
+    manifest.tool = "membw_sim";
+    manifest.workload = o.workload.empty() ? o.loadTrace : o.workload;
+    manifest.config = o.l1.describe();
+    if (o.haveL2)
+        manifest.config += " + " + o.l2.describe();
+    manifest.seed = o.seed;
+    manifest.scale = o.scale;
+    manifest.refs = trace.size();
+    manifest.wallSeconds = wallSeconds;
+    manifest.interrupted = interrupted;
+    manifest.omitTiming = o.stableJson;
+    if (interrupted) {
+        manifest.set("interrupted_phase",
+                     state.phase == phaseHierarchy ? "hierarchy"
+                                                   : "mtc");
+    }
+    if (o.runMtc)
+        manifest.set("mtc_config", canonicalMtc(o.l1.size).describe());
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("manifest");
+    manifest.write(w);
+    w.key("stats");
+    writeStatsArray(registry, w);
+    w.endObject();
+    writeFileOrDie(o.statsJson, w.str());
+}
+
+/**
+ * Drain point: called between references once a SIGINT/SIGTERM has
+ * been latched.  Persists a final checkpoint and partial stats, then
+ * exits with the interrupted code.
+ */
+[[noreturn]] void
+shutdownNow(const Options &o, const RunState &state, const Trace &trace,
+            const CacheHierarchy *hier, const MinCacheSim *mtc,
+            double wallSeconds)
+{
+    std::fprintf(stderr,
+                 "\n%s received: drained reference %llu, shutting "
+                 "down\n",
+                 shutdownSignalName(),
+                 static_cast<unsigned long long>(state.cursor));
+    if (!o.checkpoint.empty()) {
+        writeCheckpoint(o, state, hier, mtc);
+        std::fprintf(stderr, "final checkpoint: %s\n",
+                     o.checkpoint.c_str());
+    }
+    if (!o.statsJson.empty()) {
+        // Partial snapshot: hierarchy stats straight off the live
+        // caches (no flush), or the completed hierarchy result plus
+        // a conservative MTC snapshot.
+        if (state.phase == phaseHierarchy) {
+            const TrafficResult partial = hier->summarize();
+            writeStatsJson(o, state, trace, &partial, nullptr,
+                           wallSeconds, true);
+        } else {
+            const MinCacheStats partial = mtc->finalize();
+            writeStatsJson(o, state, trace, &state.hierResult,
+                           &partial, wallSeconds, true);
+        }
+        std::fprintf(stderr, "partial stats: %s\n",
+                     o.statsJson.c_str());
+    }
+    std::exit(exitInterrupted);
 }
 
 } // namespace
@@ -220,12 +481,13 @@ main(int argc, char **argv)
 {
     try {
         const Options o = parse(argc, argv);
+        installShutdownHandlers();
 
         Trace trace;
         if (!o.loadTrace.empty()) {
             trace = loadTrace(o.loadTrace);
-            std::printf("trace: %s (%zu refs)\n",
-                        o.loadTrace.c_str(), trace.size());
+            std::printf("trace: %s (%zu refs)\n", o.loadTrace.c_str(),
+                        trace.size());
         } else {
             WorkloadParams p;
             p.scale = o.scale;
@@ -240,21 +502,89 @@ main(int argc, char **argv)
         if (!o.saveTrace.empty()) {
             saveTrace(trace, o.saveTrace, o.format);
             std::printf("saved trace to %s\n", o.saveTrace.c_str());
-            return 0;
+            return exitOk;
         }
 
         std::vector<CacheConfig> levels{o.l1};
         if (o.haveL2)
             levels.push_back(o.l2);
 
+        RunState state;
+        state.traceCrc = traceCrc32(trace);
+        {
+            std::string identity = o.l1.describe();
+            if (o.haveL2)
+                identity += " + " + o.l2.describe();
+            identity += o.runMtc ? " +mtc" : "";
+            state.configDigest = fnv1a64(identity);
+        }
+
+        CacheHierarchy hier(levels);
+        hier.setEventBudget(o.eventBudget);
+
+        // The MTC's next-use pass is O(n) over the trace, so only
+        // build the simulator when the phase can actually run.
+        std::optional<MinCacheSim> mtcSim;
+        if (o.runMtc)
+            mtcSim.emplace(trace, canonicalMtc(o.l1.size));
+
+        if (!o.resume.empty()) {
+            loadCheckpoint(o, state, hier,
+                           o.runMtc ? &*mtcSim : nullptr);
+            std::printf("resumed from %s (%s phase, ref %llu)\n",
+                        o.resume.c_str(),
+                        state.phase == phaseHierarchy ? "hierarchy"
+                                                      : "mtc",
+                        static_cast<unsigned long long>(
+                            state.cursor));
+        }
+
         WallTimer timer;
         ProgressMeter meter("membw_sim", o.statsEvery);
-        TraceProgressFn progress;
-        if (o.statsEvery)
-            progress = [&meter](std::size_t done, std::size_t total) {
-                meter.tick(done, total);
-            };
-        const TrafficResult r = runTrace(trace, levels, progress);
+        std::uint64_t lastCkptRef = state.cursor;
+        meter.setAnnotator([&] {
+            char buf[96];
+            if (o.checkpointEvery) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "ckpt age %llu refs | wd slack %.0f%%",
+                    static_cast<unsigned long long>(state.cursor -
+                                                    lastCkptRef),
+                    100.0 * hier.eventHeadroom());
+            } else {
+                std::snprintf(buf, sizeof(buf), "wd slack %.0f%%",
+                              100.0 * hier.eventHeadroom());
+            }
+            return std::string(buf);
+        });
+
+        const std::size_t total = trace.size();
+
+        // Phase 0: the functional hierarchy, reference by reference.
+        if (state.phase == phaseHierarchy) {
+            for (std::size_t i = state.cursor; i < total; ++i) {
+                hier.access(trace[i]);
+                state.cursor = i + 1;
+                meter.tick(state.cursor, total);
+                if (o.sigtermAfter && state.cursor == o.sigtermAfter)
+                    std::raise(SIGTERM);
+                if (!o.checkpoint.empty() &&
+                    state.cursor % o.checkpointEvery == 0) {
+                    writeCheckpoint(o, state, &hier, nullptr);
+                    lastCkptRef = state.cursor;
+                }
+                if (shutdownRequested())
+                    shutdownNow(o, state, trace, &hier, nullptr,
+                                timer.seconds());
+            }
+            hier.flush();
+            state.hierResult = hier.summarize();
+            state.phase = phaseMtc;
+            state.cursor = 0;
+            lastCkptRef = 0;
+        }
+
+        const TrafficResult &r = state.hierResult;
 
         std::printf("\nL1: %s\n", o.l1.describe().c_str());
         if (o.haveL2)
@@ -276,10 +606,34 @@ main(int argc, char **argv)
 
         MinCacheStats mtc;
         if (o.runMtc) {
-            mtc = runMinCache(trace, canonicalMtc(o.l1.size));
-            const double g =
-                static_cast<double>(r.levelTraffic[0]) /
-                static_cast<double>(mtc.trafficBelow());
+            // Phase 1: the minimal-traffic cache, in checkpointable
+            // slices.
+            const std::size_t slice =
+                o.checkpointEvery
+                    ? static_cast<std::size_t>(o.checkpointEvery)
+                    : (o.statsEvery
+                           ? static_cast<std::size_t>(o.statsEvery)
+                           : std::size_t{1} << 20);
+            while (!mtcSim->done()) {
+                const std::size_t before = mtcSim->cursor();
+                mtcSim->step(slice);
+                state.cursor = mtcSim->cursor();
+                meter.tick(state.cursor, total);
+                if (o.sigtermAfter && before < o.sigtermAfter &&
+                    state.cursor >= o.sigtermAfter)
+                    std::raise(SIGTERM);
+                if (!o.checkpoint.empty() && !mtcSim->done()) {
+                    writeCheckpoint(o, state, nullptr, &*mtcSim);
+                    lastCkptRef = state.cursor;
+                }
+                if (shutdownRequested())
+                    shutdownNow(o, state, trace, nullptr, &*mtcSim,
+                                timer.seconds());
+            }
+            mtc = mtcSim->finalize();
+
+            const double g = static_cast<double>(r.levelTraffic[0]) /
+                             static_cast<double>(mtc.trafficBelow());
             std::printf("\nMTC (%s):\n",
                         canonicalMtc(o.l1.size).describe().c_str());
             std::printf("  MTC traffic     : %llu bytes\n",
@@ -287,45 +641,19 @@ main(int argc, char **argv)
                             mtc.trafficBelow()));
             std::printf("  inefficiency G  : %.2f\n", g);
             std::printf("  OE_pin          : %.1f MB/s\n",
-                        o.pinBandwidthMBs * g /
-                            r.levelRatios[0]);
+                        o.pinBandwidthMBs * g / r.levelRatios[0]);
         }
 
-        if (!o.statsJson.empty()) {
-            StatsRegistry registry;
-            publishStats(registry, r);
-            if (o.runMtc) {
-                StatsGroup mtcGroup = registry.group("mtc");
-                publishMinCacheStats(mtcGroup, mtc);
-            }
-
-            RunManifest manifest;
-            manifest.tool = "membw_sim";
-            manifest.workload =
-                o.workload.empty() ? o.loadTrace : o.workload;
-            manifest.config = o.l1.describe();
-            if (o.haveL2)
-                manifest.config += " + " + o.l2.describe();
-            manifest.seed = o.seed;
-            manifest.scale = o.scale;
-            manifest.refs = trace.size();
-            manifest.wallSeconds = timer.seconds();
-            if (o.runMtc)
-                manifest.set("mtc_config",
-                             canonicalMtc(o.l1.size).describe());
-
-            JsonWriter w;
-            w.beginObject();
-            w.key("manifest");
-            manifest.write(w);
-            w.key("stats");
-            writeStatsArray(registry, w);
-            w.endObject();
-            writeFileOrDie(o.statsJson, w.str());
-        }
-        return 0;
+        if (!o.statsJson.empty())
+            writeStatsJson(o, state, trace, &r,
+                           o.runMtc ? &mtc : nullptr, timer.seconds(),
+                           false);
+        return exitOk;
+    } catch (const WatchdogError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return exitWatchdog;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
-        return 1;
+        return exitFatal;
     }
 }
