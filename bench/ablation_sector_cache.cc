@@ -36,21 +36,31 @@ main(int argc, char **argv)
 
         TextTable t;
         t.header({"block", "sector", "miss%", "R"});
-        for (Bytes block : {32u, 64u, 128u}) {
-            for (Bytes sector : {0u, 4u, 8u, 16u, 32u}) {
-                if (sector > block)
-                    continue;
+
+        // Enumerate the valid (block, sector) grid first, then fan
+        // one cell per combination across --jobs workers; rows
+        // render serially in submission order.
+        std::vector<std::pair<Bytes, Bytes>> combos;
+        for (Bytes block : {32u, 64u, 128u})
+            for (Bytes sector : {0u, 4u, 8u, 16u, 32u})
+                if (sector <= block)
+                    combos.emplace_back(block, sector);
+        const auto results = bench::sweep(
+            opt, combos.size(), [&](std::size_t i) {
                 CacheConfig cfg;
                 cfg.size = 64_KiB;
                 cfg.assoc = 1;
-                cfg.blockBytes = block;
-                cfg.sectorBytes = sector;
-                const TrafficResult r = runTrace(trace, cfg);
-                t.row({formatSize(block),
-                       sector ? formatSize(sector) : "off",
-                       fixed(r.l1.missRate() * 100, 2),
-                       fixed(r.trafficRatio, 3)});
-            }
+                cfg.blockBytes = combos[i].first;
+                cfg.sectorBytes = combos[i].second;
+                return runTrace(trace, cfg);
+            });
+        for (std::size_t i = 0; i < combos.size(); ++i) {
+            const auto [block, sector] = combos[i];
+            const TrafficResult &r = results[i];
+            t.row({formatSize(block),
+                   sector ? formatSize(sector) : "off",
+                   fixed(r.l1.missRate() * 100, 2),
+                   fixed(r.trafficRatio, 3)});
         }
         std::printf("%s\n%s\n", name, t.render().c_str());
         report.addTable(name, t);

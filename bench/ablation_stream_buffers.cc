@@ -53,9 +53,16 @@ main(int argc, char **argv)
             return runTrace(trace, cfg);
         };
 
-        const TrafficResult base = run(false, 0);
-        const TrafficResult tagged = run(true, 0);
-        const TrafficResult streams = run(false, 4);
+        // The three prefetch variants are independent cells.
+        const auto results =
+            bench::sweep(opt, 3, [&](std::size_t i) {
+                return i == 0 ? run(false, 0)
+                     : i == 1 ? run(true, 0)
+                              : run(false, 4);
+            });
+        const TrafficResult &base = results[0];
+        const TrafficResult &tagged = results[1];
+        const TrafficResult &streams = results[2];
 
         auto add = [&](const char *variant,
                        const TrafficResult &r) {

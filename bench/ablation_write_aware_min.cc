@@ -55,11 +55,16 @@ main(int argc, char **argv)
                                       static_cast<double>(plain));
         };
 
-        const Bytes plain = bytes(false, true);
-        const double saved = saved_pct(plain, bytes(true, true));
-        const Bytes plain_nb = bytes(false, false);
-        const double saved_nb =
-            saved_pct(plain_nb, bytes(true, false));
+        // The four MIN variants are independent cells.
+        const auto traffic =
+            bench::sweep(opt, 4, [&](std::size_t i) -> Bytes {
+                return bytes(/*aware=*/i == 1 || i == 3,
+                             /*bypass=*/i < 2);
+            });
+        const Bytes plain = traffic[0];
+        const double saved = saved_pct(plain, traffic[1]);
+        const Bytes plain_nb = traffic[2];
+        const double saved_nb = saved_pct(plain_nb, traffic[3]);
         worst = std::max({worst, saved, saved_nb});
 
         t.row({name, formatSize(size), std::to_string(plain),

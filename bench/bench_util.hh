@@ -19,8 +19,11 @@
 
 #include "cache/config.hh"
 #include "common/log.hh"
+#include "common/parse.hh"
 #include "common/table.hh"
 #include "common/types.hh"
+#include "exec/parallel_sweep.hh"
+#include "exec/thread_pool.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
@@ -59,12 +62,14 @@ struct BenchOptions
 {
     double scale = 1.0;
     std::string jsonPath; ///< --json FILE; empty = no telemetry
+    unsigned jobs = defaultJobs(); ///< sweep workers (--jobs N)
+    bool stableJson = false; ///< --stable-json: omit wall-clock fields
 };
 
 /**
  * Parse bench arguments: a bare positive number (legacy positional
- * scale), --scale S, and --json FILE.  $MEMBW_SCALE applies when no
- * explicit scale is given.
+ * scale), --scale S, --json FILE, --jobs N, and --stable-json.
+ * $MEMBW_SCALE applies when no explicit scale is given.
  */
 inline BenchOptions
 parseOptions(int argc, char **argv, double dfltScale)
@@ -89,15 +94,39 @@ parseOptions(int argc, char **argv, double dfltScale)
                 cliFatal("bad --scale value");
         } else if (a == "--json") {
             o.jsonPath = need();
+        } else if (a == "--jobs") {
+            const std::string v = need();
+            Result<unsigned> jobs = tryParseJobs(v);
+            if (!jobs.ok())
+                cliFatal("bad --jobs value: " +
+                         jobs.error().message);
+            o.jobs = jobs.value();
+        } else if (a == "--stable-json") {
+            o.stableJson = true;
         } else if (!a.empty() && a[0] != '-' &&
                    std::atof(a.c_str()) > 0) {
             o.scale = std::atof(a.c_str());
         } else {
             cliFatal("unknown bench flag '" + a +
-                     "' (expected SCALE, --scale S, or --json FILE)");
+                     "' (expected SCALE, --scale S, --json FILE, "
+                     "--jobs N, or --stable-json)");
         }
     }
     return o;
+}
+
+/**
+ * Fan @p fn(0..n-1) across opt.jobs workers and return the results
+ * in submission order.  Cells must be independent (each builds its
+ * own simulator over the shared read-only trace) and return plain
+ * values; callers render tables / publish stats from the returned
+ * vector so output is byte-identical at any --jobs value.
+ */
+template <typename Fn>
+auto
+sweep(const BenchOptions &opt, std::size_t n, Fn &&fn)
+{
+    return parallelSweep(n, opt.jobs, std::forward<Fn>(fn));
 }
 
 /**
@@ -117,6 +146,11 @@ class JsonReport
         manifest_.tool = std::move(tool);
         manifest_.experiment = std::move(experiment);
         manifest_.scale = opt.scale;
+        // --stable-json drops wall-clock fields so that runs at
+        // different --jobs values can be diffed byte-for-byte.  The
+        // jobs value itself is deliberately NOT recorded for the
+        // same reason.
+        manifest_.omitTiming = opt.stableJson;
     }
 
     bool enabled() const { return !path_.empty(); }

@@ -52,33 +52,47 @@ main(int argc, char **argv)
             t.header(header);
         }
 
-        for (Bytes size : sizes) {
-            std::vector<std::string> row{formatSize(size)};
-            for (Bytes block : blocks) {
-                if (size < block || size / block < 4) {
-                    row.push_back("-");
-                    continue;
+        // One independent cell per table entry — cache points plus
+        // the two MTC columns — fanned across --jobs workers; rows
+        // are rendered serially below, in submission order.
+        struct Cell
+        {
+            bool skipped = false;
+            Bytes traffic = 0;
+        };
+        const std::size_t perRow = blocks.size() + 2;
+        const auto cells = bench::sweep(
+            opt, sizes.size() * perRow,
+            [&](std::size_t i) -> Cell {
+                const Bytes size = sizes[i / perRow];
+                const std::size_t col = i % perRow;
+                if (col < blocks.size()) {
+                    const Bytes block = blocks[col];
+                    if (size < block || size / block < 4)
+                        return {true, 0};
+                    CacheConfig cfg;
+                    cfg.size = size;
+                    cfg.assoc = 4;
+                    cfg.blockBytes = block;
+                    return {false, runTrace(trace, cfg).pinBytes};
                 }
-                CacheConfig cfg;
-                cfg.size = size;
-                cfg.assoc = 4;
-                cfg.blockBytes = block;
-                const TrafficResult r = runTrace(trace, cfg);
-                row.push_back(
-                    std::to_string(r.pinBytes / 1024) + "K");
+                // MTC lines: fully associative MIN, 4B transfers.
+                MinCacheConfig mtc = canonicalMtc(size);
+                if (col == blocks.size())
+                    mtc.alloc = AllocPolicy::WriteAllocate;
+                return {false,
+                        runMinCache(trace, mtc).trafficBelow()};
+            });
+
+        for (std::size_t si = 0; si < sizes.size(); ++si) {
+            std::vector<std::string> row{formatSize(sizes[si])};
+            for (std::size_t col = 0; col < perRow; ++col) {
+                const Cell &c = cells[si * perRow + col];
+                row.push_back(c.skipped
+                                  ? "-"
+                                  : std::to_string(c.traffic / 1024) +
+                                        "K");
             }
-            // MTC lines: fully associative MIN, 4B transfers.
-            MinCacheConfig wa = canonicalMtc(size);
-            wa.alloc = AllocPolicy::WriteAllocate;
-            row.push_back(std::to_string(
-                              runMinCache(trace, wa).trafficBelow() /
-                              1024) +
-                          "K");
-            const MinCacheConfig wv = canonicalMtc(size);
-            row.push_back(std::to_string(
-                              runMinCache(trace, wv).trafficBelow() /
-                              1024) +
-                          "K");
             t.row(row);
         }
         std::printf("%s (%zu refs)\n%s\n", name,

@@ -67,8 +67,15 @@ main(int argc, char **argv)
              level("L2", 256_KiB, 4, 64),
              level("L3", 2_MiB, 8, 128)},
         };
-        for (const auto &configs : hierarchies) {
-            const TrafficResult r = runTrace(trace, configs);
+        // One cell per hierarchy depth, fanned across --jobs
+        // workers; rows render serially in submission order.
+        const auto results = bench::sweep(
+            opt, hierarchies.size(), [&](std::size_t i) {
+                return runTrace(trace, hierarchies[i]);
+            });
+        for (std::size_t h = 0; h < hierarchies.size(); ++h) {
+            const auto &configs = hierarchies[h];
+            const TrafficResult &r = results[h];
             std::vector<std::string> row;
             std::string label;
             for (const auto &c : configs)

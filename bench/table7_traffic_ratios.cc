@@ -46,17 +46,26 @@ main(int argc, char **argv)
         const Bytes data_set = w->nominalDataSetBytes();
         report.addRefs(trace.size());
 
+        // One cell per cache size, fanned across --jobs workers;
+        // the row and the mean pool are assembled serially so the
+        // output (and the mean) is identical at any --jobs value.
+        const auto ratios = bench::sweep(
+            opt, sizes.size(), [&](std::size_t i) -> double {
+                if (sizes[i] >= data_set)
+                    return -1.0; // skipped: at/above the data set
+                return runTrace(trace, bench::table7Cache(sizes[i]))
+                    .trafficRatio;
+            });
+
         std::vector<std::string> row{name};
-        for (Bytes size : sizes) {
-            if (size >= data_set) {
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (ratios[i] < 0) {
                 row.push_back("<<<");
                 continue;
             }
-            const TrafficResult r =
-                runTrace(trace, bench::table7Cache(size));
-            row.push_back(fixed(r.trafficRatio, 2));
-            if (size >= 64_KiB)
-                mean_pool.push_back(r.trafficRatio);
+            row.push_back(fixed(ratios[i], 2));
+            if (sizes[i] >= 64_KiB)
+                mean_pool.push_back(ratios[i]);
         }
         t.row(row);
     }

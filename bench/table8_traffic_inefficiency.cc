@@ -49,20 +49,29 @@ main(int argc, char **argv)
         const Bytes data_set = w->nominalDataSetBytes();
         report.addRefs(trace.size());
 
+        // One cell per size (the cache run and its same-size MTC
+        // pair), fanned across --jobs workers; rows and the running
+        // maximum are assembled serially in submission order.
+        const auto gaps = bench::sweep(
+            opt, sizes.size(), [&](std::size_t i) -> double {
+                if (sizes[i] >= data_set)
+                    return -1.0; // skipped: at/above the data set
+                const TrafficResult cache =
+                    runTrace(trace, bench::table7Cache(sizes[i]));
+                const MinCacheStats mtc =
+                    runMinCache(trace, canonicalMtc(sizes[i]));
+                return trafficInefficiency(cache.pinBytes,
+                                           mtc.trafficBelow());
+            });
+
         std::vector<std::string> row{name};
-        for (Bytes size : sizes) {
-            if (size >= data_set) {
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            if (gaps[i] < 0) {
                 row.push_back("<<<");
                 continue;
             }
-            const TrafficResult cache =
-                runTrace(trace, bench::table7Cache(size));
-            const MinCacheStats mtc =
-                runMinCache(trace, canonicalMtc(size));
-            const double g = trafficInefficiency(
-                cache.pinBytes, mtc.trafficBelow());
-            max_gap = g > max_gap ? g : max_gap;
-            row.push_back(fixed(g, 1));
+            max_gap = gaps[i] > max_gap ? gaps[i] : max_gap;
+            row.push_back(fixed(gaps[i], 1));
         }
         t.row(row);
     }

@@ -81,23 +81,36 @@ main(int argc, char **argv)
         // 64KB everywhere except Espresso's 16KB (small data set).
         const Bytes size = name == "Espresso" ? 16_KiB : 64_KiB;
 
-        const double assoc =
-            static_cast<double>(cacheTraffic(trace, size, 1, 32)) /
-            cacheTraffic(trace, size, 0, 32);
-        const double repl =
-            static_cast<double>(cacheTraffic(trace, size, 0, 32)) /
-            minTraffic(trace, size, 32, AllocPolicy::WriteAllocate);
-        const double blk_cache =
-            static_cast<double>(cacheTraffic(trace, size, 1, 32)) /
-            cacheTraffic(trace, size, 1, 4);
+        // Six distinct simulations feed the five ratios; run each
+        // once as an independent sweep cell across --jobs workers.
+        const auto traffic = bench::sweep(
+            opt, 6, [&](std::size_t i) -> Bytes {
+                switch (i) {
+                  case 0: return cacheTraffic(trace, size, 1, 32);
+                  case 1: return cacheTraffic(trace, size, 0, 32);
+                  case 2: return cacheTraffic(trace, size, 1, 4);
+                  case 3:
+                    return minTraffic(trace, size, 32,
+                                      AllocPolicy::WriteAllocate);
+                  case 4:
+                    return minTraffic(trace, size, 4,
+                                      AllocPolicy::WriteAllocate);
+                  default:
+                    return minTraffic(trace, size, 4,
+                                      AllocPolicy::WriteValidate);
+                }
+            });
+        const Bytes dm32 = traffic[0], fa32 = traffic[1];
+        const Bytes dm4 = traffic[2];
+        const Bytes min32wa = traffic[3], min4wa = traffic[4];
+        const Bytes min4wv = traffic[5];
+
+        const double assoc = static_cast<double>(dm32) / fa32;
+        const double repl = static_cast<double>(fa32) / min32wa;
+        const double blk_cache = static_cast<double>(dm32) / dm4;
         const double blk_mtc =
-            static_cast<double>(minTraffic(
-                trace, size, 32, AllocPolicy::WriteAllocate)) /
-            minTraffic(trace, size, 4, AllocPolicy::WriteAllocate);
-        const double wval =
-            static_cast<double>(minTraffic(
-                trace, size, 4, AllocPolicy::WriteAllocate)) /
-            minTraffic(trace, size, 4, AllocPolicy::WriteValidate);
+            static_cast<double>(min32wa) / min4wa;
+        const double wval = static_cast<double>(min4wa) / min4wv;
 
         t.row({name, formatSize(size), fixed(assoc, 2),
                fixed(repl, 2), fixed(blk_cache, 2),

@@ -63,11 +63,23 @@ loadCacheStats(ChkReader &r, CacheStats &s)
     s.flushWritebackBytes = r.u64();
 }
 
+/**
+ * Sets this narrow are probed faster by scanning the ways (a handful
+ * of tag compares in one or two cache lines) than by hashing into the
+ * per-set index map.  Wider sets — notably fully-associative
+ * geometries, where ways == blocks — keep the map.
+ */
+static constexpr unsigned linearScanWays = 8;
+
 Cache::Cache(const CacheConfig &config)
     : config_(config),
       blockBytes_(config.blockBytes),
+      blockShift_(static_cast<unsigned>(
+          std::countr_zero(config.blockBytes))),
       wordsPerBlock_(static_cast<unsigned>(config.blockBytes / wordBytes)),
       nsets_(config.sets()),
+      setMask_(nsets_ - 1),
+      useIndex_(config.ways() > linearScanWays),
       rng_(config.seed)
 {
     config_.validate();
@@ -75,22 +87,33 @@ Cache::Cache(const CacheConfig &config)
     const unsigned ways = config_.ways();
     for (Set &set : sets_) {
         set.ways.resize(ways);
-        set.index.reserve(ways * 2);
+        if (useIndex_)
+            set.index.reserve(ways * 2);
     }
+}
+
+void
+Cache::setBelow(DownstreamFn fetch, DownstreamFn writeback, void *ctx)
+{
+    shim_.reset();
+    fetchBelow_ = fetch;
+    writebackBelow_ = writeback;
+    belowCtx_ = ctx;
 }
 
 void
 Cache::setBelow(FetchFn fetch, WritebackFn writeback)
 {
-    fetchBelow_ = std::move(fetch);
-    writebackBelow_ = std::move(writeback);
-}
-
-unsigned
-Cache::setIndex(Addr block_addr) const
-{
-    return static_cast<unsigned>((block_addr / blockBytes_) &
-                                 (nsets_ - 1));
+    shim_ = std::make_unique<FnShim>(
+        FnShim{std::move(fetch), std::move(writeback)});
+    belowCtx_ = shim_.get();
+    fetchBelow_ = shim_->fetch ? [](void *ctx, Addr addr, Bytes bytes) {
+        static_cast<FnShim *>(ctx)->fetch(addr, bytes);
+    } : static_cast<DownstreamFn>(nullptr);
+    writebackBelow_ =
+        shim_->writeback ? [](void *ctx, Addr addr, Bytes bytes) {
+            static_cast<FnShim *>(ctx)->writeback(addr, bytes);
+        } : static_cast<DownstreamFn>(nullptr);
 }
 
 std::uint64_t
@@ -139,6 +162,12 @@ Cache::Line *
 Cache::findLine(Addr block_addr)
 {
     Set &set = sets_[setIndex(block_addr)];
+    if (!useIndex_) {
+        for (Line &line : set.ways)
+            if (line.valid && line.blockAddr == block_addr)
+                return &line;
+        return nullptr;
+    }
     auto it = set.index.find(block_addr);
     if (it == set.index.end())
         return nullptr;
@@ -210,7 +239,8 @@ Cache::evict(Set &set, unsigned way, bool to_flush)
             stats_.writebackBytes += wb;
         sendWriteback(line.blockAddr, wb);
     }
-    set.index.erase(line.blockAddr);
+    if (useIndex_)
+        set.index.erase(line.blockAddr);
     line = Line{};
     return wb;
 }
@@ -230,7 +260,8 @@ Cache::insert(Addr block_addr)
     line.validMask = 0;
     line.dirtyMask = 0;
     line.prefetchTag = false;
-    set.index.emplace(block_addr, way);
+    if (useIndex_)
+        set.index.emplace(block_addr, way);
     return line;
 }
 
@@ -238,14 +269,14 @@ void
 Cache::sendFetch(Addr addr, Bytes bytes)
 {
     if (fetchBelow_)
-        fetchBelow_(addr, bytes);
+        fetchBelow_(belowCtx_, addr, bytes);
 }
 
 void
 Cache::sendWriteback(Addr addr, Bytes bytes)
 {
     if (writebackBelow_)
-        writebackBelow_(addr, bytes);
+        writebackBelow_(belowCtx_, addr, bytes);
 }
 
 void
@@ -630,6 +661,10 @@ Cache::loadState(ChkReader &r)
                 return;
             }
         }
+        // The map above doubles as the duplicate detector; linear-
+        // scan geometries don't keep it at runtime.
+        if (!useIndex_)
+            set.index.clear();
     }
 
     const std::uint64_t nstreams = r.u64();

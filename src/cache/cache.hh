@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -102,13 +103,34 @@ struct AccessResult
 class Cache
 {
   public:
-    /** Downstream hooks used when the cache is part of a hierarchy. */
+    /**
+     * Downstream hook: plain function pointer plus an opaque context,
+     * so forwarding a fill or write-back to the next level costs one
+     * indirect call — no std::function dispatch (and no possible
+     * allocation) on the per-reference hot path.
+     */
+    using DownstreamFn = void (*)(void *ctx, Addr addr, Bytes bytes);
+
+    /** Legacy std::function hooks (tests, ad-hoc recorders). */
     using FetchFn = std::function<void(Addr addr, Bytes bytes)>;
     using WritebackFn = std::function<void(Addr addr, Bytes bytes)>;
 
     explicit Cache(const CacheConfig &config);
 
-    /** Wire this cache above another level (or a memory recorder). */
+    /**
+     * Wire this cache above another level (or a memory recorder).
+     * @p ctx is passed through to both callbacks verbatim; either
+     * may be null to drop that event class.
+     */
+    void setBelow(DownstreamFn fetch, DownstreamFn writeback,
+                  void *ctx);
+
+    /**
+     * Convenience overload for std::function callers.  Keeps the old
+     * capture-anything API for tests and one-off recorders at the
+     * cost of one std::function dispatch per downstream event; the
+     * hierarchy and the timing memory system use the raw form above.
+     */
     void setBelow(FetchFn fetch, WritebackFn writeback);
 
     /**
@@ -166,7 +188,18 @@ class Cache
     };
 
     Addr blockAddr(Addr addr) const { return addr & ~(blockBytes_ - 1); }
-    unsigned setIndex(Addr block_addr) const;
+
+    /**
+     * blockBytes is a power of two (validate() enforces it), so the
+     * block number is a shift, not a 64-bit divide, and the set mask
+     * folds the power-of-two set count.
+     */
+    unsigned
+    setIndex(Addr block_addr) const
+    {
+        return static_cast<unsigned>((block_addr >> blockShift_) &
+                                     setMask_);
+    }
     std::uint64_t wordsMask(Addr addr, Bytes size) const;
     std::uint64_t fullMask() const;
     /** Words covered by the sectors containing @p words (or the
@@ -195,14 +228,30 @@ class Cache
 
     CacheConfig config_;
     Bytes blockBytes_;
+    unsigned blockShift_;   ///< log2(blockBytes_)
     unsigned wordsPerBlock_;
     unsigned nsets_;
+    Addr setMask_;          ///< nsets_ - 1
+    /**
+     * Lookup strategy: sets with few ways are probed by linear tag
+     * scan (fits in a cache line, no hashing); wide/fully-associative
+     * sets keep the blockAddr -> way hash index.
+     */
+    bool useIndex_;
     std::vector<Set> sets_;
     std::uint64_t seq_ = 0;
     Rng rng_;
     CacheStats stats_;
-    FetchFn fetchBelow_;
-    WritebackFn writebackBelow_;
+    DownstreamFn fetchBelow_ = nullptr;
+    DownstreamFn writebackBelow_ = nullptr;
+    void *belowCtx_ = nullptr;
+    /** Storage behind the std::function setBelow() overload. */
+    struct FnShim
+    {
+        FetchFn fetch;
+        WritebackFn writeback;
+    };
+    std::unique_ptr<FnShim> shim_;
     bool inPrefetch_ = false;
 
     /** One Jouppi stream buffer: FIFO of prefetched blocks. */

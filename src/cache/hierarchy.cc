@@ -9,18 +9,22 @@ namespace membw {
 
 namespace {
 
-/** Hierarchy aggregates shared by the live and snapshot publishers. */
+/**
+ * Hierarchy aggregates shared by the live and snapshot publishers.
+ * @p parent is a StatsRegistry (top-level layout) or a StatsGroup
+ * (per-cell sweep subtree); both expose group().
+ */
+template <typename Parent>
 void
-publishLevels(StatsRegistry &registry,
+publishLevels(Parent &parent,
               const std::vector<const CacheStats *> &levels)
 {
     for (std::size_t i = 0; i < levels.size(); ++i) {
-        StatsGroup g =
-            registry.group("l" + std::to_string(i + 1));
+        StatsGroup g = parent.group("l" + std::to_string(i + 1));
         publishCacheStats(g, *levels[i]);
     }
 
-    StatsGroup hier = registry.group("hier");
+    StatsGroup hier = parent.group("hier");
     hier.addCounter("levels", "cache levels simulated")
         .set(levels.size());
     auto &request = hier.addCounter(
@@ -48,22 +52,34 @@ CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig> &configs)
         caches_.push_back(std::make_unique<Cache>(configs[i]));
     }
 
-    // Wire each level's fills and write-backs into the next level.
-    // Every inter-level transfer counts against the per-reference
-    // event budget so a run-away fill/prefetch chain trips the
-    // watchdog instead of hanging the run.
+    // Wire each level's fills and write-backs into the next level
+    // through the non-allocating callback form (one indirect call
+    // per transfer).  Every inter-level transfer counts against the
+    // per-reference event budget so a run-away fill/prefetch chain
+    // trips the watchdog instead of hanging the run.
+    links_.reserve(caches_.size());
     for (std::size_t i = 0; i + 1 < caches_.size(); ++i) {
-        Cache *below = caches_[i + 1].get();
-        caches_[i]->setBelow(
-            [this, below](Addr addr, Bytes bytes) {
-                noteDownstreamEvent();
-                below->access(MemRef{addr, bytes, RefKind::Load});
-            },
-            [this, below](Addr addr, Bytes bytes) {
-                noteDownstreamEvent();
-                below->access(MemRef{addr, bytes, RefKind::Store});
-            });
+        links_.push_back(DownLink{this, caches_[i + 1].get()});
+        caches_[i]->setBelow(&CacheHierarchy::forwardFetch,
+                             &CacheHierarchy::forwardWriteback,
+                             &links_.back());
     }
+}
+
+void
+CacheHierarchy::forwardFetch(void *ctx, Addr addr, Bytes bytes)
+{
+    auto *link = static_cast<DownLink *>(ctx);
+    link->hier->noteDownstreamEvent();
+    link->below->access(MemRef{addr, bytes, RefKind::Load});
+}
+
+void
+CacheHierarchy::forwardWriteback(void *ctx, Addr addr, Bytes bytes)
+{
+    auto *link = static_cast<DownLink *>(ctx);
+    link->hier->noteDownstreamEvent();
+    link->below->access(MemRef{addr, bytes, RefKind::Store});
 }
 
 void
@@ -256,6 +272,15 @@ publishStats(StatsRegistry &registry, const TrafficResult &result)
     for (const CacheStats &s : result.levels)
         levels.push_back(&s);
     publishLevels(registry, levels);
+}
+
+void
+publishStats(StatsGroup &group, const TrafficResult &result)
+{
+    std::vector<const CacheStats *> levels;
+    for (const CacheStats &s : result.levels)
+        levels.push_back(&s);
+    publishLevels(group, levels);
 }
 
 } // namespace membw

@@ -107,7 +107,22 @@ class CacheHierarchy
   private:
     void noteDownstreamEvent();
 
+    /**
+     * Context for the non-allocating downstream callbacks: which
+     * hierarchy (for the event watchdog) and which cache the event
+     * lands in.  Addresses must stay stable — the vector is sized
+     * once during construction.
+     */
+    struct DownLink
+    {
+        CacheHierarchy *hier;
+        Cache *below;
+    };
+    static void forwardFetch(void *ctx, Addr addr, Bytes bytes);
+    static void forwardWriteback(void *ctx, Addr addr, Bytes bytes);
+
     std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<DownLink> links_;
     std::uint64_t eventBudget_ = 1'000'000;
     std::uint64_t accessEvents_ = 0;
     std::uint64_t maxEvents_ = 0;
@@ -153,6 +168,12 @@ TrafficResult runTrace(const Trace &trace, const CacheConfig &config);
  */
 void publishStats(StatsRegistry &registry,
                   const TrafficResult &result);
+
+/**
+ * As above, but nested under @p group — used by sweep mode to give
+ * each cell its own "sweep.<config>" subtree.
+ */
+void publishStats(StatsGroup &group, const TrafficResult &result);
 
 /**
  * Serialize a completed traffic summary ("TRFR" section) so a later

@@ -94,4 +94,51 @@ tryParseDouble(const std::string &text)
     return v;
 }
 
+Result<unsigned>
+tryParseJobs(const std::string &text)
+{
+    Result<std::uint64_t> n = tryParseU64(text);
+    if (!n.ok())
+        return makeError(Errc::BadValue,
+                         "'" + text + "' is not a worker count");
+    if (n.value() == 0)
+        return makeError(Errc::BadValue,
+                         "0 workers would run nothing — "
+                         "--jobs needs at least 1");
+    if (n.value() > maxParallelJobs)
+        return makeError(Errc::TooLarge,
+                         "'" + text +
+                             "' oversubscribes the host: worker "
+                             "counts above " +
+                             std::to_string(maxParallelJobs) +
+                             " are rejected");
+    return static_cast<unsigned>(n.value());
+}
+
+Result<std::vector<Bytes>>
+tryParseSizeList(const std::string &text)
+{
+    std::vector<Bytes> sizes;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        Result<Bytes> size = tryParseSize(item);
+        if (!size.ok())
+            return makeError(size.error().code,
+                             "bad list element: " +
+                                 size.error().message);
+        sizes.push_back(size.value());
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (sizes.empty())
+        return makeError(Errc::BadValue, "empty size list");
+    return sizes;
+}
+
 } // namespace membw

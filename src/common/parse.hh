@@ -15,11 +15,21 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.hh"
 #include "common/types.hh"
 
 namespace membw {
+
+/**
+ * Hard ceiling for --jobs worker counts.  Sweep cells are
+ * memory-bound; beyond this every extra thread is pure
+ * oversubscription (stacks + scheduler churn, no throughput), so the
+ * parser rejects larger requests outright rather than letting a
+ * typo'd "--jobs 40000" take down the host.
+ */
+inline constexpr unsigned maxParallelJobs = 256;
 
 /**
  * Parse a byte size: a positive number with an optional K/M/G suffix
@@ -41,6 +51,19 @@ Result<std::int64_t> tryParseInt(const std::string &text,
 
 /** Parse a finite double; rejects garbage, NaN, and infinity. */
 Result<double> tryParseDouble(const std::string &text);
+
+/**
+ * Parse a --jobs worker count: an integer in [1, maxParallelJobs].
+ * 0 ("run nothing"?) and oversubscribed counts are classified
+ * errors, so every tool reports them identically.
+ */
+Result<unsigned> tryParseJobs(const std::string &text);
+
+/**
+ * Parse a comma-separated list of byte sizes ("1K,64K,2M"), each
+ * validated by tryParseSize; rejects empty lists/elements.
+ */
+Result<std::vector<Bytes>> tryParseSizeList(const std::string &text);
 
 } // namespace membw
 

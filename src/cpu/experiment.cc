@@ -162,11 +162,14 @@ runFull(const InstrStream &stream, const ExperimentConfig &config)
     return runCore(stream, config.core, mem);
 }
 
-void
-publishDecompositionStats(StatsRegistry &registry,
-                          const DecompositionResult &result)
+/** Shared body for the registry-rooted and group-rooted publishers;
+ * Parent is StatsRegistry or StatsGroup (both expose group()). */
+template <typename Parent>
+static void
+publishDecompositionInto(Parent &parent,
+                         const DecompositionResult &result)
 {
-    StatsGroup decomp = registry.group("decomp");
+    StatsGroup decomp = parent.group("decomp");
     auto &tp = decomp.addCounter(
         "t_p", "T_P: cycles with a perfect memory system", "cycles");
     tp.set(result.split.perfectCycles);
@@ -193,10 +196,24 @@ publishDecompositionStats(StatsRegistry &registry,
     decomp.addScalar("f_b", "bandwidth-stall fraction T_B / T")
         .set(result.split.fB());
 
-    StatsGroup core = registry.group("core");
+    StatsGroup core = parent.group("core");
     publishCoreStats(core, result.full);
-    StatsGroup mem = registry.group("mem");
+    StatsGroup mem = parent.group("mem");
     publishMemSysStats(mem, result.full.mem);
+}
+
+void
+publishDecompositionStats(StatsRegistry &registry,
+                          const DecompositionResult &result)
+{
+    publishDecompositionInto(registry, result);
+}
+
+void
+publishDecompositionStats(StatsGroup &group,
+                          const DecompositionResult &result)
+{
+    publishDecompositionInto(group, result);
 }
 
 } // namespace membw

@@ -92,6 +92,11 @@ class StatsRegistry;
 void publishDecompositionStats(StatsRegistry &registry,
                                const DecompositionResult &result);
 
+/** Same layout rooted under an existing group — lets callers publish
+ * several experiments side by side ("A.decomp.t_p", ...). */
+void publishDecompositionStats(StatsGroup &group,
+                               const DecompositionResult &result);
+
 } // namespace membw
 
 #endif // MEMBW_CPU_EXPERIMENT_HH

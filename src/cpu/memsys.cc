@@ -63,9 +63,8 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
 {
     // L2's misses and write-backs go to main memory: accumulate the
     // byte counts so the enclosing L1 event can be costed.
-    l2_->setBelow(
-        [this](Addr, Bytes bytes) { memFetchAcc_ += bytes; },
-        [this](Addr, Bytes bytes) { memWritebackAcc_ += bytes; });
+    l2_->setBelow(&MemorySystem::memFetch,
+                  &MemorySystem::memWriteback, this);
 
     if (config.splitL1)
         il1_ = std::make_unique<Cache>(il1Config(config));
@@ -82,30 +81,51 @@ MemorySystem::MemorySystem(const MemSysConfig &config)
 void
 MemorySystem::installBelow(Cache &cache)
 {
-    cache.setBelow(
-        [this](Addr addr, Bytes bytes) {
-            const Bytes mf0 = memFetchAcc_;
-            const Bytes mw0 = memWritebackAcc_;
-            const AccessResult r =
-                l2_->access(MemRef{addr, bytes, RefKind::Load});
-            FetchEvent ev;
-            ev.addr = addr;
-            ev.bytes = bytes;
-            ev.l2Hit = r.hit;
-            ev.memFetch = memFetchAcc_ - mf0;
-            ev.memWriteback = memWritebackAcc_ - mw0;
-            fetchEvents_.push_back(ev);
-        },
-        [this](Addr addr, Bytes bytes) {
-            const Bytes mf0 = memFetchAcc_;
-            const Bytes mw0 = memWritebackAcc_;
-            l2_->access(MemRef{addr, bytes, RefKind::Store});
-            WritebackEvent ev;
-            ev.bytes = bytes;
-            ev.memFetch = memFetchAcc_ - mf0;
-            ev.memWriteback = memWritebackAcc_ - mw0;
-            writebackEvents_.push_back(ev);
-        });
+    cache.setBelow(&MemorySystem::l1Fetch,
+                   &MemorySystem::l1Writeback, this);
+}
+
+void
+MemorySystem::memFetch(void *ctx, Addr, Bytes bytes)
+{
+    static_cast<MemorySystem *>(ctx)->memFetchAcc_ += bytes;
+}
+
+void
+MemorySystem::memWriteback(void *ctx, Addr, Bytes bytes)
+{
+    static_cast<MemorySystem *>(ctx)->memWritebackAcc_ += bytes;
+}
+
+void
+MemorySystem::l1Fetch(void *ctx, Addr addr, Bytes bytes)
+{
+    auto *self = static_cast<MemorySystem *>(ctx);
+    const Bytes mf0 = self->memFetchAcc_;
+    const Bytes mw0 = self->memWritebackAcc_;
+    const AccessResult r =
+        self->l2_->access(MemRef{addr, bytes, RefKind::Load});
+    FetchEvent ev;
+    ev.addr = addr;
+    ev.bytes = bytes;
+    ev.l2Hit = r.hit;
+    ev.memFetch = self->memFetchAcc_ - mf0;
+    ev.memWriteback = self->memWritebackAcc_ - mw0;
+    self->fetchEvents_.push_back(ev);
+}
+
+void
+MemorySystem::l1Writeback(void *ctx, Addr addr, Bytes bytes)
+{
+    auto *self = static_cast<MemorySystem *>(ctx);
+    const Bytes mf0 = self->memFetchAcc_;
+    const Bytes mw0 = self->memWritebackAcc_;
+    self->l2_->access(MemRef{addr, bytes, RefKind::Store});
+    WritebackEvent ev;
+    ev.bytes = bytes;
+    ev.memFetch = self->memFetchAcc_ - mf0;
+    ev.memWriteback = self->memWritebackAcc_ - mw0;
+    self->writebackEvents_.push_back(ev);
 }
 
 MemorySystem::~MemorySystem() = default;

@@ -174,6 +174,14 @@ class MemorySystem
     /** Wire @p cache's fills/write-backs into the functional L2. */
     void installBelow(Cache &cache);
 
+    // Non-allocating downstream callbacks (ctx = this MemorySystem):
+    // L2 -> memory byte accumulators, and L1/IL1 -> functional L2
+    // event capture.
+    static void memFetch(void *ctx, Addr addr, Bytes bytes);
+    static void memWriteback(void *ctx, Addr addr, Bytes bytes);
+    static void l1Fetch(void *ctx, Addr addr, Bytes bytes);
+    static void l1Writeback(void *ctx, Addr addr, Bytes bytes);
+
     /** Demand-miss timing; returns critical-word arrival. */
     Cycle missTiming(Cycle reqStart, const FetchEvent &demand);
 

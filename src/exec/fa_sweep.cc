@@ -1,0 +1,84 @@
+#include "exec/fa_sweep.hh"
+
+#include "cache/stack_distance.hh"
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+bool
+faLruCollapsible(const Trace &trace,
+                 const std::vector<CacheConfig> &configs)
+{
+    if (configs.empty())
+        return false;
+    const Bytes block = configs.front().blockBytes;
+    if (!isPowerOfTwo(block))
+        return false;
+    for (const CacheConfig &cfg : configs) {
+        if (cfg.assoc != 0 || cfg.repl != ReplPolicy::LRU ||
+            cfg.blockBytes != block || cfg.taggedPrefetch ||
+            cfg.sectorBytes != 0 || cfg.streamBuffers != 0 ||
+            cfg.size < block)
+            return false;
+    }
+    for (const MemRef &ref : trace) {
+        if (!ref.isLoad())
+            return false;
+        // The direct simulator rejects block-spanning references;
+        // the profile would silently accept them, so bail out.
+        if (alignDown(ref.addr, block) !=
+            alignDown(ref.addr + ref.size - 1, block))
+            return false;
+    }
+    return true;
+}
+
+std::vector<TrafficResult>
+faLruSizeSweep(const Trace &trace,
+               const std::vector<CacheConfig> &configs)
+{
+    if (!faLruCollapsible(trace, configs))
+        fatal("faLruSizeSweep: sweep is not collapsible "
+              "(check faLruCollapsible first)");
+
+    const Bytes block = configs.front().blockBytes;
+    const StackDistanceProfile profile(trace, block);
+
+    Bytes requestBytes = 0;
+    for (const MemRef &ref : trace)
+        requestBytes += ref.size;
+
+    std::vector<TrafficResult> out;
+    out.reserve(configs.size());
+    for (const CacheConfig &cfg : configs) {
+        const std::uint64_t refs = profile.references();
+        const std::uint64_t misses = profile.missesAtSize(cfg.size);
+
+        CacheStats s;
+        s.accesses = refs;
+        s.loads = refs;
+        s.hits = refs - misses;
+        s.misses = misses;
+        s.loadMisses = misses;
+        // Every fill is eventually displaced — during the run once
+        // the cache is full, or by the end-of-run flush — and none
+        // is ever dirty, so evictions == misses and no write-backs.
+        s.evictions = misses;
+        s.requestBytes = requestBytes;
+        s.demandFetchBytes = misses * block;
+
+        TrafficResult r;
+        r.requestBytes = s.requestBytes;
+        r.pinBytes = s.trafficBelow();
+        r.trafficRatio = s.trafficRatio();
+        r.levelRatios = {s.trafficRatio()};
+        r.levelTraffic = {s.trafficBelow()};
+        r.levels = {s};
+        r.l1 = s;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace membw

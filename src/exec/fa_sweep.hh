@@ -1,0 +1,52 @@
+/**
+ * @file
+ * One-pass collapse of fully-associative LRU size sweeps.
+ *
+ * Mattson's stack algorithm (cache/stack_distance.hh) yields the
+ * miss count of *every* fully-associative LRU capacity in a single
+ * O(n log n) trace pass.  For load-only traces with no prefetch,
+ * stream buffers, or sectoring, a cache's entire traffic story is
+ * determined by those miss counts — every miss fetches exactly one
+ * full block and nothing is ever dirty — so an m-point size sweep
+ * that would cost m trace passes through the direct simulator
+ * collapses into one profiling pass plus m histogram lookups.
+ *
+ * The reconstruction is exact: faLruSizeSweep() reproduces, counter
+ * for counter, the TrafficResult the direct simulator produces for
+ * the same configs (sweep_test.cc asserts this).  When the geometry
+ * or trace falls outside the exact regime, faLruCollapsible()
+ * returns false and callers fall back to per-config simulation.
+ */
+
+#ifndef MEMBW_EXEC_FA_SWEEP_HH
+#define MEMBW_EXEC_FA_SWEEP_HH
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+/**
+ * True iff the @p configs sweep over @p trace can be collapsed into
+ * one stack-distance pass with exact results: every config is a
+ * single-level fully-associative LRU cache with one common block
+ * size and no prefetch/stream/sector features, and every reference
+ * in the trace is a load contained in one block.
+ */
+bool faLruCollapsible(const Trace &trace,
+                      const std::vector<CacheConfig> &configs);
+
+/**
+ * Traffic results for each config of a collapsible sweep, in order,
+ * from a single trace pass.  Precondition: faLruCollapsible().
+ */
+std::vector<TrafficResult>
+faLruSizeSweep(const Trace &trace,
+               const std::vector<CacheConfig> &configs);
+
+} // namespace membw
+
+#endif // MEMBW_EXEC_FA_SWEEP_HH

@@ -1,0 +1,77 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace membw {
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? std::min(hw, maxParallelJobs) : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = std::clamp(threads, 1u, maxParallelJobs);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idleCv_.wait(lock,
+                     [this] { return queue_.empty() && !running_; });
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(
+                lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (queue_.empty() && !running_)
+                idleCv_.notify_all();
+        }
+    }
+}
+
+} // namespace membw

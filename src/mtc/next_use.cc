@@ -15,7 +15,13 @@ buildNextUse(const Trace &trace, Bytes blockBytes)
 
     std::vector<Tick> next(trace.size(), tickInfinity);
     std::unordered_map<Addr, Tick> lastSeen;
-    lastSeen.reserve(trace.size() / 8 + 16);
+    // One entry per distinct block, which can approach one per
+    // reference for small blocks over sparse traces.  Reserving for
+    // the worst case up front costs at most ~16 bytes per reference
+    // of transient bucket space and eliminates the rehash storms
+    // (log2(n) full-table rehashes) the old /8 heuristic paid on
+    // every large trace.
+    lastSeen.reserve(trace.size() + 16);
 
     // Walk backwards: lastSeen[b] is the next position at which block
     // b is referenced, relative to the position being filled in.

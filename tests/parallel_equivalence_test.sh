@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end determinism check for the parallel sweep engine: every
+# sweep-mode output (stdout, --stats-json with --stable-json) must be
+# byte-identical at --jobs 1 and --jobs 4 — including a run truncated
+# by the deterministic --sigterm-after cell-count trigger.  Also
+# checks the --jobs input contract and, on hosts with enough
+# hardware threads, that parallel sweeps actually run faster.
+#
+# Usage: parallel_equivalence_test.sh <membw_sim> <membw_decompose> \
+#            <fig4_traffic_curves>
+set -u
+
+SIM="$1"
+DECOMP="$2"
+FIG4="$3"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+expect_exit() {
+    local want="$1"
+    shift
+    "$@" >/dev/null 2>&1
+    local got=$?
+    [ "$got" -eq "$want" ] ||
+        fail "expected exit $want from '$*', got $got"
+}
+
+# --- membw_sim sweep mode: jobs 1 vs jobs 4 ------------------------
+SWEEP=(--workload Compress --scale 0.05 --sweep-sizes 1K,4K,16K,64K
+       --sweep-blocks 16,32,64 --mtc --stable-json)
+
+"$SIM" "${SWEEP[@]}" --jobs 1 --stats-json s1.json > s1.txt 2>/dev/null ||
+    fail "sweep --jobs 1 failed"
+"$SIM" "${SWEEP[@]}" --jobs 4 --stats-json s4.json > s4.txt 2>/dev/null ||
+    fail "sweep --jobs 4 failed"
+cmp -s s1.txt s4.txt ||
+    fail "membw_sim sweep stdout differs between --jobs 1 and 4"
+cmp -s s1.json s4.json ||
+    fail "membw_sim sweep stats JSON differs between --jobs 1 and 4"
+grep -q '"sweep.64KB.32B.hier.traffic_ratio"' s1.json ||
+    fail "sweep stats JSON lacks per-cell groups"
+
+# --- membw_sim sweep mode: SIGTERM drain is jobs-independent -------
+expect_exit 3 "$SIM" "${SWEEP[@]}" --jobs 1 --sigterm-after 7 \
+    --stats-json t1.json
+expect_exit 3 "$SIM" "${SWEEP[@]}" --jobs 4 --sigterm-after 7 \
+    --stats-json t4.json
+"$SIM" "${SWEEP[@]}" --jobs 1 --sigterm-after 7 > t1.txt 2>/dev/null
+"$SIM" "${SWEEP[@]}" --jobs 4 --sigterm-after 7 > t4.txt 2>/dev/null
+cmp -s t1.txt t4.txt ||
+    fail "interrupted sweep stdout differs between --jobs 1 and 4"
+cmp -s t1.json t4.json ||
+    fail "interrupted sweep stats JSON differs between --jobs 1 and 4"
+grep -q '"sweep_completed": "7"' t1.json ||
+    fail "interrupted sweep did not truncate to exactly 7 cells"
+grep -q '"interrupted": true' t1.json ||
+    fail "interrupted sweep JSON not flagged interrupted"
+
+# --- membw_sim sweep mode: flag contract ---------------------------
+expect_exit 1 "$SIM" "${SWEEP[@]}" --jobs 0
+expect_exit 1 "$SIM" "${SWEEP[@]}" --jobs 999
+expect_exit 1 "$SIM" "${SWEEP[@]}" --checkpoint ck.bin
+expect_exit 1 "$SIM" "${SWEEP[@]}" --l2-size 1M
+
+# --- membw_decompose --experiment all: jobs 1 vs jobs 4 ------------
+DALL=(--workload Swm --experiment all --scale 0.05 --stable-json)
+
+"$DECOMP" "${DALL[@]}" --jobs 1 --stats-json d1.json > d1.txt 2>/dev/null ||
+    fail "decompose all --jobs 1 failed"
+"$DECOMP" "${DALL[@]}" --jobs 4 --stats-json d4.json > d4.txt 2>/dev/null ||
+    fail "decompose all --jobs 4 failed"
+cmp -s d1.txt d4.txt ||
+    fail "decompose all stdout differs between --jobs 1 and 4"
+cmp -s d1.json d4.json ||
+    fail "decompose all stats JSON differs between --jobs 1 and 4"
+grep -q '"A.decomp.t_p"' d1.json ||
+    fail "decompose all stats JSON lacks per-experiment groups"
+expect_exit 1 "$DECOMP" "${DALL[@]}" --checkpoint dck.bin
+expect_exit 1 "$DECOMP" "${DALL[@]}" --sigterm-after 100
+
+# --- bench sweeps: jobs 1 vs jobs 4 --------------------------------
+"$FIG4" --scale 0.02 --jobs 1 --stable-json --json f1.json > f1.txt 2>/dev/null ||
+    fail "fig4 --jobs 1 failed"
+"$FIG4" --scale 0.02 --jobs 4 --stable-json --json f4.json > f4.txt 2>/dev/null ||
+    fail "fig4 --jobs 4 failed"
+cmp -s f1.txt f4.txt ||
+    fail "fig4 stdout differs between --jobs 1 and 4"
+cmp -s f1.json f4.json ||
+    fail "fig4 JSON report differs between --jobs 1 and 4"
+
+# --- wall-clock speedup (only meaningful on multi-core hosts) ------
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "$CORES" -ge 4 ]; then
+    t_serial=$({ time -p "$SIM" "${SWEEP[@]}" --scale 0.5 --jobs 1 \
+        >/dev/null 2>&1; } 2>&1 | awk '/^real/ {print $2}')
+    t_par=$({ time -p "$SIM" "${SWEEP[@]}" --scale 0.5 --jobs 4 \
+        >/dev/null 2>&1; } 2>&1 | awk '/^real/ {print $2}')
+    awk -v s="$t_serial" -v p="$t_par" \
+        'BEGIN { exit !(p > 0 && s / p >= 1.5) }' ||
+        fail "sweep --jobs 4 not faster than --jobs 1 ($t_serial vs $t_par s) on a $CORES-core host"
+else
+    echo "SKIP speedup check: only $CORES hardware thread(s)"
+fi
+
+echo "PASS"

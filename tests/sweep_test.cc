@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/rng.hh"
 #include "cpu/experiment.hh"
+#include "exec/fa_sweep.hh"
+#include "exec/parallel_sweep.hh"
 #include "mtc/min_cache.hh"
 #include "workloads/workload.hh"
 
@@ -107,6 +111,151 @@ TEST_P(EveryBenchmark, AggressiveMachineNeverSlower)
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EveryBenchmark,
                          ::testing::ValuesIn(allWorkloadNames()));
+
+// ---------------------------------------------------------------
+// Parallel sweeps vs serial: identical TrafficResults
+// ---------------------------------------------------------------
+
+void
+expectSameTraffic(const TrafficResult &a, const TrafficResult &b,
+                  const std::string &what)
+{
+    EXPECT_EQ(a.requestBytes, b.requestBytes) << what;
+    EXPECT_EQ(a.pinBytes, b.pinBytes) << what;
+    EXPECT_EQ(a.trafficRatio, b.trafficRatio) << what;
+    EXPECT_EQ(a.levelRatios, b.levelRatios) << what;
+    EXPECT_EQ(a.levelTraffic, b.levelTraffic) << what;
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses) << what;
+    EXPECT_EQ(a.l1.hits, b.l1.hits) << what;
+    EXPECT_EQ(a.l1.misses, b.l1.misses) << what;
+    EXPECT_EQ(a.l1.loadMisses, b.l1.loadMisses) << what;
+    EXPECT_EQ(a.l1.storeMisses, b.l1.storeMisses) << what;
+    EXPECT_EQ(a.l1.evictions, b.l1.evictions) << what;
+    EXPECT_EQ(a.l1.writebacks, b.l1.writebacks) << what;
+    EXPECT_EQ(a.l1.requestBytes, b.l1.requestBytes) << what;
+    EXPECT_EQ(a.l1.demandFetchBytes, b.l1.demandFetchBytes) << what;
+    EXPECT_EQ(a.l1.partialFillBytes, b.l1.partialFillBytes) << what;
+    EXPECT_EQ(a.l1.prefetchFetchBytes, b.l1.prefetchFetchBytes)
+        << what;
+    EXPECT_EQ(a.l1.streamFetchBytes, b.l1.streamFetchBytes) << what;
+    EXPECT_EQ(a.l1.writebackBytes, b.l1.writebackBytes) << what;
+    EXPECT_EQ(a.l1.writeThroughBytes, b.l1.writeThroughBytes) << what;
+    EXPECT_EQ(a.l1.flushWritebackBytes, b.l1.flushWritebackBytes)
+        << what;
+}
+
+TEST(ParallelSweepEquivalence, CacheCellsMatchSerial)
+{
+    WorkloadParams p;
+    p.scale = 0.03;
+    const Trace trace = makeWorkload("Compress")->trace(p);
+
+    std::vector<CacheConfig> cfgs;
+    for (Bytes size : {1_KiB, 8_KiB, 64_KiB})
+        for (Bytes block : {16u, 32u, 64u}) {
+            CacheConfig cfg;
+            cfg.size = size;
+            cfg.assoc = 1;
+            cfg.blockBytes = block;
+            cfgs.push_back(cfg);
+        }
+
+    auto cell = [&](std::size_t i) {
+        return runTrace(trace, cfgs[i]);
+    };
+    const auto serial = parallelSweep(cfgs.size(), 1, cell);
+    const auto parallel = parallelSweep(cfgs.size(), 4, cell);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        expectSameTraffic(serial[i], parallel[i],
+                          cfgs[i].describe());
+}
+
+// ---------------------------------------------------------------
+// FA-LRU collapse: one stack-distance pass == m direct simulations
+// ---------------------------------------------------------------
+
+Trace
+loadOnlyTrace()
+{
+    // Mixed locality: sequential runs, a hot working set, and
+    // scattered cold touches — all loads, all word-sized.
+    Rng rng(7);
+    Trace t;
+    Addr cursor = 0;
+    for (std::size_t i = 0; i < 40000; ++i) {
+        if (rng.chance(0.3))
+            cursor = rng.below(1 << 14);
+        else if (rng.chance(0.1))
+            cursor = rng.below(1 << 20);
+        else
+            cursor = (cursor + 1) & 0xfffff;
+        t.append(cursor * wordBytes, wordBytes, RefKind::Load);
+    }
+    return t;
+}
+
+std::vector<CacheConfig>
+faConfigs(Bytes block)
+{
+    std::vector<CacheConfig> cfgs;
+    for (Bytes size : {1_KiB, 4_KiB, 16_KiB, 64_KiB, 256_KiB}) {
+        CacheConfig cfg;
+        cfg.size = size;
+        cfg.assoc = 0; // fully associative
+        cfg.blockBytes = block;
+        cfgs.push_back(cfg);
+    }
+    return cfgs;
+}
+
+TEST(FaSweepCollapse, MatchesDirectSimulationExactly)
+{
+    const Trace trace = loadOnlyTrace();
+    for (Bytes block : {16u, 32u, 64u}) {
+        const auto cfgs = faConfigs(block);
+        ASSERT_TRUE(faLruCollapsible(trace, cfgs));
+        const auto collapsed = faLruSizeSweep(trace, cfgs);
+        ASSERT_EQ(collapsed.size(), cfgs.size());
+        for (std::size_t i = 0; i < cfgs.size(); ++i)
+            expectSameTraffic(runTrace(trace, cfgs[i]), collapsed[i],
+                              cfgs[i].describe());
+    }
+}
+
+TEST(FaSweepCollapse, GuardsRejectInexactRegimes)
+{
+    const Trace loads = loadOnlyTrace();
+
+    // Any store disqualifies the trace.
+    Trace withStore = loadOnlyTrace();
+    withStore.append(0, wordBytes, RefKind::Store);
+    EXPECT_TRUE(faLruCollapsible(loads, faConfigs(32)));
+    EXPECT_FALSE(faLruCollapsible(withStore, faConfigs(32)));
+
+    // Set-associative, non-LRU, prefetching, sectored, or streamed
+    // configs disqualify the sweep.
+    auto mutate = [](auto fn) {
+        auto cfgs = faConfigs(32);
+        fn(cfgs[2]);
+        return cfgs;
+    };
+    EXPECT_FALSE(faLruCollapsible(
+        loads, mutate([](CacheConfig &c) { c.assoc = 4; })));
+    EXPECT_FALSE(faLruCollapsible(
+        loads,
+        mutate([](CacheConfig &c) { c.repl = ReplPolicy::FIFO; })));
+    EXPECT_FALSE(faLruCollapsible(
+        loads,
+        mutate([](CacheConfig &c) { c.taggedPrefetch = true; })));
+    EXPECT_FALSE(faLruCollapsible(
+        loads, mutate([](CacheConfig &c) { c.sectorBytes = 8; })));
+    EXPECT_FALSE(faLruCollapsible(
+        loads, mutate([](CacheConfig &c) { c.streamBuffers = 2; })));
+    // Mixed block sizes break the single-profile premise.
+    EXPECT_FALSE(faLruCollapsible(
+        loads, mutate([](CacheConfig &c) { c.blockBytes = 64; })));
+}
 
 } // namespace
 } // namespace membw

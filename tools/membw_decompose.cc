@@ -24,10 +24,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/parse.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
 #include "cpu/experiment.hh"
+#include "exec/parallel_sweep.hh"
 #include "dram/dram.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
@@ -51,6 +55,22 @@ usage(int code)
         "(Equations 1-3)\n\n"
         "  --workload NAME      synthetic kernel (required)\n"
         "  --experiment A-F     Table 5 machine (default F)\n"
+        "  --experiment all     all six machines at once: 18 "
+        "phase-cells\n"
+        "                       (6 experiments x 3 runs) fanned "
+        "across\n"
+        "                       --jobs workers; output is "
+        "byte-identical at\n"
+        "                       any worker count.  Excludes "
+        "--checkpoint,\n"
+        "                       --resume, and --sigterm-after.\n"
+        "  --jobs N             workers for --experiment all "
+        "(default:\n"
+        "                       hardware concurrency, max 256).  0 "
+        "and\n"
+        "                       oversubscribed counts are rejected "
+        "as\n"
+        "                       invalid input (exit 1).\n"
         "  --spec95             use the SPEC95 parameter set\n"
         "  --scale S            trace-length scale (default 0.5)\n"
         "  --seed N             generation seed (default 42)\n"
@@ -113,6 +133,15 @@ doubleFlag(const std::string &flag, const std::string &value)
     auto r = tryParseDouble(value);
     if (!r.ok())
         badFlag(flag, value, r.error(), "0.5");
+    return r.value();
+}
+
+unsigned
+jobsFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseJobs(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "4");
     return r.value();
 }
 
@@ -197,6 +226,8 @@ main(int argc, char **argv)
     try {
         std::string workload;
         char letter = 'F';
+        bool allExperiments = false;
+        unsigned jobs = defaultJobs();
         bool spec95 = false;
         double scale = 0.5;
         std::uint64_t seed = 42;
@@ -233,8 +264,14 @@ main(int argc, char **argv)
                 usage(exitOk);
             else if (a == "--workload")
                 workload = need(i);
-            else if (a == "--experiment")
-                letter = need(i)[0];
+            else if (a == "--experiment") {
+                const std::string v = need(i);
+                if (v == "all")
+                    allExperiments = true;
+                else
+                    letter = v[0];
+            } else if (a == "--jobs")
+                jobs = jobsFlag(a, need(i));
             else if (a == "--spec95")
                 spec95 = true;
             else if (a == "--scale")
@@ -282,32 +319,37 @@ main(int argc, char **argv)
 
         installShutdownHandlers();
 
+        auto applyOverrides = [&](ExperimentConfig &cfg) {
+            if (ov.mshrs > 0)
+                cfg.mem.mshrs = static_cast<unsigned>(ov.mshrs);
+            if (ov.window > 0)
+                cfg.core.windowSlots =
+                    static_cast<unsigned>(ov.window);
+            if (ov.width > 0)
+                cfg.core.issueWidth = static_cast<unsigned>(ov.width);
+            if (ov.noPrefetch)
+                cfg.mem.taggedPrefetch = false;
+            if (ov.l1l2 > 0)
+                cfg.mem.l1l2BusBytes = static_cast<Bytes>(ov.l1l2);
+            if (ov.membus > 0)
+                cfg.mem.memBusBytes = static_cast<Bytes>(ov.membus);
+            if (!ov.dram.empty()) {
+                const DramKind kind =
+                    ov.dram == "fpm"     ? DramKind::FastPageMode
+                    : ov.dram == "edo"   ? DramKind::EDO
+                    : ov.dram == "sdram" ? DramKind::Synchronous
+                    : ov.dram == "rdram"
+                        ? DramKind::Rambus
+                        : (fatal("invalid value '" + ov.dram +
+                                 "' for --dram: expected fpm, edo, "
+                                 "sdram, or rdram"),
+                           DramKind::FastPageMode);
+                cfg.mem.dram = DramConfig::preset(kind, cfg.cpuMHz);
+            }
+        };
+
         ExperimentConfig cfg = makeExperiment(letter, spec95);
-        if (ov.mshrs > 0)
-            cfg.mem.mshrs = static_cast<unsigned>(ov.mshrs);
-        if (ov.window > 0)
-            cfg.core.windowSlots = static_cast<unsigned>(ov.window);
-        if (ov.width > 0)
-            cfg.core.issueWidth = static_cast<unsigned>(ov.width);
-        if (ov.noPrefetch)
-            cfg.mem.taggedPrefetch = false;
-        if (ov.l1l2 > 0)
-            cfg.mem.l1l2BusBytes = static_cast<Bytes>(ov.l1l2);
-        if (ov.membus > 0)
-            cfg.mem.memBusBytes = static_cast<Bytes>(ov.membus);
-        if (!ov.dram.empty()) {
-            const DramKind kind =
-                ov.dram == "fpm"     ? DramKind::FastPageMode
-                : ov.dram == "edo"   ? DramKind::EDO
-                : ov.dram == "sdram" ? DramKind::Synchronous
-                : ov.dram == "rdram"
-                    ? DramKind::Rambus
-                    : (fatal("invalid value '" + ov.dram +
-                             "' for --dram: expected fpm, edo, "
-                             "sdram, or rdram"),
-                       DramKind::FastPageMode);
-            cfg.mem.dram = DramConfig::preset(kind, cfg.cpuMHz);
-        }
+        applyOverrides(cfg);
 
         WorkloadParams p;
         p.scale = scale;
@@ -315,6 +357,127 @@ main(int argc, char **argv)
         const auto run = makeWorkload(workload)->run(p);
         const InstrStream stream = InstrStream::fromRun(
             run, codeFootprintBytes(workload), seed);
+
+        if (allExperiments) {
+            if (!checkpoint.empty() || !resume.empty())
+                fatal("--experiment all does not support "
+                      "--checkpoint/--resume: each of the 18 phase "
+                      "cells is cheap to rerun, so drop those flags "
+                      "(or run one experiment)");
+            if (sigtermAfter)
+                fatal("--sigterm-after is not supported with "
+                      "--experiment all: micro-op counts are "
+                      "per-cell and scheduling is parallel; use a "
+                      "single experiment");
+
+            static constexpr char letters[] = {'A', 'B', 'C',
+                                               'D', 'E', 'F'};
+            constexpr std::size_t nCells = 6 * decompositionPhases;
+
+            std::printf("%s on experiments A-F%s (%zu micro-ops)\n",
+                        workload.c_str(), spec95 ? " (SPEC95)" : "",
+                        stream.size());
+            // Worker count goes to stderr: stdout must stay
+            // byte-identical at any --jobs value.
+            std::fprintf(stderr,
+                         "membw_decompose: %u worker%s over %zu "
+                         "cells\n",
+                         jobs, jobs == 1 ? "" : "s", nCells);
+
+            WallTimer timer;
+            SweepOptions sopt;
+            sopt.jobs = jobs;
+            sopt.cancel = [] { return shutdownRequested(); };
+
+            SweepResult<CoreResult> sweep;
+            try {
+                sweep = parallelSweep(
+                    nCells, sopt, [&](std::size_t i) {
+                        ExperimentConfig cell = makeExperiment(
+                            letters[i / decompositionPhases],
+                            spec95);
+                        applyOverrides(cell);
+                        Watchdog watchdog(watchdogCycles);
+                        cell.core.watchdog = &watchdog;
+                        // The hook is a shutdown poll only:
+                        // progress meters and stats registries are
+                        // not thread-safe, so cells stay silent.
+                        cell.core.progressEvery = 65536;
+                        cell.core.progress = [](std::size_t,
+                                                std::size_t) {
+                            if (shutdownRequested())
+                                throw PhaseInterrupt{};
+                        };
+                        return runPhase(stream, cell,
+                                        static_cast<unsigned>(
+                                            i % decompositionPhases));
+                    });
+            } catch (const PhaseInterrupt &) {
+                std::fprintf(stderr,
+                             "\n%s received: aborted --experiment "
+                             "all sweep\n",
+                             shutdownSignalName());
+                return exitInterrupted;
+            }
+            if (sweep.interrupted || sweep.completed < nCells) {
+                std::fprintf(stderr,
+                             "\n%s received: %zu of %zu cells "
+                             "completed\n",
+                             shutdownSignalName(), sweep.completed,
+                             nCells);
+                return exitInterrupted;
+            }
+
+            TextTable t;
+            t.header({"exp", "T_P", "T_I", "T", "f_P", "f_L", "f_B",
+                      "IPC"});
+            StatsRegistry registry;
+            for (std::size_t e = 0; e < 6; ++e) {
+                const DecompositionResult r = assembleDecomposition(
+                    sweep.cells[e * decompositionPhases],
+                    sweep.cells[e * decompositionPhases + 1],
+                    sweep.cells[e * decompositionPhases + 2]);
+                t.row({std::string(1, letters[e]),
+                       std::to_string(r.split.perfectCycles),
+                       std::to_string(r.split.infiniteCycles),
+                       std::to_string(r.split.fullCycles),
+                       fixed(r.split.fP(), 3),
+                       fixed(r.split.fL(), 3),
+                       fixed(r.split.fB(), 3),
+                       fixed(r.full.ipc, 2)});
+                if (!statsJson.empty()) {
+                    StatsGroup g = registry.group(
+                        std::string(1, letters[e]));
+                    publishDecompositionStats(g, r);
+                }
+            }
+            std::printf("%s\n", t.render().c_str());
+
+            if (!statsJson.empty()) {
+                RunManifest manifest;
+                manifest.tool = "membw_decompose";
+                manifest.experiment = "all";
+                manifest.workload = workload;
+                manifest.config = spec95 ? "Table 5 A-F (SPEC95)"
+                                         : "Table 5 A-F";
+                manifest.seed = seed;
+                manifest.scale = scale;
+                manifest.refs = stream.size();
+                manifest.wallSeconds = timer.seconds();
+                manifest.omitTiming = stableJson;
+                // --jobs deliberately unrecorded: the JSON must be
+                // byte-identical at any worker count.
+                JsonWriter w;
+                w.beginObject();
+                w.key("manifest");
+                manifest.write(w);
+                w.key("stats");
+                writeStatsArray(registry, w);
+                w.endObject();
+                writeFileOrDie(statsJson, w.str());
+            }
+            return exitOk;
+        }
 
         // Checkpoint identity: the full machine description plus the
         // stream's provenance.  The stream size is verified

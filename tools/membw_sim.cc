@@ -31,6 +31,10 @@
 #include "cache/hierarchy.hh"
 #include "common/log.hh"
 #include "common/parse.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "exec/fa_sweep.hh"
+#include "exec/parallel_sweep.hh"
 #include "mtc/min_cache.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
@@ -79,6 +83,27 @@ usage(int code)
         "cache\n"
         "  --pin-bandwidth MBs physical pin bandwidth for E_pin "
         "(default 800)\n\n"
+        "Sweep mode (multi-config, one shared trace):\n"
+        "  --sweep-sizes LIST  comma-separated L1 sizes "
+        "(e.g. 1K,64K,1M);\n"
+        "                      one cell per size x block, fanned "
+        "across --jobs\n"
+        "                      workers; with --mtc, one extra MTC "
+        "cell per size.\n"
+        "                      Fully-associative LRU load-only "
+        "sweeps collapse\n"
+        "                      into a single stack-distance pass.\n"
+        "  --sweep-blocks LIST comma-separated block sizes "
+        "(default: --block)\n"
+        "  --jobs N            sweep workers (default: hardware "
+        "concurrency,\n"
+        "                      max 256).  Output is byte-identical "
+        "at any N.\n"
+        "                      --jobs 0 and oversubscribed counts "
+        "are rejected\n"
+        "                      as invalid input (exit 1).  Sweep "
+        "mode excludes\n"
+        "                      --checkpoint/--resume and --l2-*.\n\n"
         "Fault tolerance:\n"
         "  --checkpoint FILE   snapshot simulation state to FILE\n"
         "  --checkpoint-every N  snapshot every N references "
@@ -87,7 +112,11 @@ usage(int code)
         "  --watchdog N        per-reference downstream-event budget "
         "(default 1000000; 0 disables)\n"
         "  --sigterm-after N   raise SIGTERM after N references "
-        "(deterministic shutdown testing)\n\n"
+        "(deterministic shutdown testing;\n"
+        "                      in sweep mode N counts completed "
+        "cells and output is\n"
+        "                      truncated to exactly N cells at any "
+        "--jobs value)\n\n"
         "Telemetry:\n"
         "  --stats-json FILE   write manifest + full stats as JSON\n"
         "  --stable-json       omit wall-clock fields from the JSON "
@@ -144,6 +173,24 @@ doubleFlag(const std::string &flag, const std::string &value)
     return r.value();
 }
 
+std::vector<Bytes>
+sizeListFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseSizeList(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "1K,64K,1M");
+    return r.value();
+}
+
+unsigned
+jobsFlag(const std::string &flag, const std::string &value)
+{
+    auto r = tryParseJobs(value);
+    if (!r.ok())
+        badFlag(flag, value, r.error(), "4");
+    return r.value();
+}
+
 struct Options
 {
     std::string workload;
@@ -157,6 +204,9 @@ struct Options
     CacheConfig l2;
     bool runMtc = false;
     double pinBandwidthMBs = 800.0;
+    std::vector<Bytes> sweepSizes;  ///< non-empty = sweep mode
+    std::vector<Bytes> sweepBlocks; ///< default: the single --block
+    unsigned jobs = defaultJobs();
     std::string statsJson;
     bool stableJson = false;
     std::uint64_t statsEvery = 0;
@@ -262,6 +312,12 @@ parse(int argc, char **argv)
             o.haveL2 = true;
         } else if (a == "--mtc") {
             o.runMtc = true;
+        } else if (a == "--sweep-sizes") {
+            o.sweepSizes = sizeListFlag(a, need(i));
+        } else if (a == "--sweep-blocks") {
+            o.sweepBlocks = sizeListFlag(a, need(i));
+        } else if (a == "--jobs") {
+            o.jobs = jobsFlag(a, need(i));
         } else if (a == "--pin-bandwidth") {
             o.pinBandwidthMBs = doubleFlag(a, need(i));
         } else if (a == "--stats-json") {
@@ -474,6 +530,213 @@ shutdownNow(const Options &o, const RunState &state, const Trace &trace,
     std::exit(exitInterrupted);
 }
 
+/** One sweep cell: a fresh single-level hierarchy over the shared
+ * trace, honouring the per-reference watchdog budget. */
+TrafficResult
+runSweepCell(const Trace &trace, const CacheConfig &cfg,
+             std::uint64_t eventBudget)
+{
+    CacheHierarchy hier({cfg});
+    hier.setEventBudget(eventBudget);
+    for (const MemRef &ref : trace)
+        hier.access(ref);
+    hier.flush();
+    return hier.summarize();
+}
+
+/**
+ * Multi-config sweep mode: one cell per (size, block) pair — plus one
+ * MTC cell per size with --mtc — fanned across --jobs workers over
+ * the shared read-only trace.  Results are consumed in submission
+ * order, so stdout and --stats-json are byte-identical at any --jobs
+ * value; --sigterm-after N truncates output to exactly N completed
+ * cells for jobs-independent shutdown testing.
+ */
+int
+runSweep(const Options &o, const Trace &trace)
+{
+    if (!o.checkpoint.empty() || !o.resume.empty())
+        fatal("sweep mode does not support --checkpoint/--resume: "
+              "individual cells are cheap to rerun, so drop those "
+              "flags (or run single-config)");
+    if (o.haveL2)
+        fatal("sweep mode is single-level: drop the --l2-* flags");
+
+    const std::vector<Bytes> blocks =
+        o.sweepBlocks.empty() ? std::vector<Bytes>{o.l1.blockBytes}
+                              : o.sweepBlocks;
+    const std::size_t nHier = o.sweepSizes.size() * blocks.size();
+    const std::size_t nCells =
+        nHier + (o.runMtc ? o.sweepSizes.size() : 0);
+
+    auto configFor = [&](std::size_t cell) {
+        CacheConfig cfg = o.l1;
+        cfg.size = o.sweepSizes[cell / blocks.size()];
+        cfg.blockBytes = blocks[cell % blocks.size()];
+        return cfg;
+    };
+    // Validate every cell geometry up front: one clear diagnostic on
+    // the main thread instead of an exception out of a worker.
+    for (std::size_t i = 0; i < nHier; ++i)
+        configFor(i).validate();
+
+    // The worker count goes to stderr: stdout must stay
+    // byte-identical at any --jobs value.
+    std::printf("\nsweep: %zu cells (%zu sizes x %zu blocks%s)\n",
+                nCells, o.sweepSizes.size(), blocks.size(),
+                o.runMtc ? " + MTC" : "");
+    std::fprintf(stderr, "membw_sim: sweep using %u worker%s\n",
+                 o.jobs, o.jobs == 1 ? "" : "s");
+
+    // Single-block FA-LRU sweeps over load-only traces collapse into
+    // one stack-distance pass; the results are exact and
+    // jobs-independent, so the hierarchy cells become lookups.
+    std::vector<TrafficResult> collapsed;
+    if (blocks.size() == 1) {
+        std::vector<CacheConfig> cfgs;
+        cfgs.reserve(nHier);
+        for (std::size_t i = 0; i < nHier; ++i)
+            cfgs.push_back(configFor(i));
+        if (faLruCollapsible(trace, cfgs)) {
+            collapsed = faLruSizeSweep(trace, cfgs);
+            std::printf("FA-LRU sweep collapsed into one "
+                        "stack-distance pass\n");
+        }
+    }
+
+    struct CellOut
+    {
+        TrafficResult traffic;
+        MinCacheStats mtc;
+    };
+
+    WallTimer timer;
+    SweepOptions sopt;
+    sopt.jobs = o.jobs;
+    sopt.cancel = [] { return shutdownRequested(); };
+    sopt.onPrefix = [&](std::size_t prefix) {
+        if (o.statsEvery)
+            std::fprintf(stderr, "membw_sim: sweep %zu/%zu cells\n",
+                         prefix, nCells);
+        if (o.sigtermAfter && prefix == o.sigtermAfter)
+            std::raise(SIGTERM);
+    };
+
+    const auto sweepRes =
+        parallelSweep(nCells, sopt, [&](std::size_t i) -> CellOut {
+            CellOut out;
+            if (i >= nHier)
+                out.mtc = runMinCache(
+                    trace, canonicalMtc(o.sweepSizes[i - nHier]));
+            else if (!collapsed.empty())
+                out.traffic = collapsed[i];
+            else
+                out.traffic = runSweepCell(trace, configFor(i),
+                                           o.eventBudget);
+            return out;
+        });
+
+    // --sigterm-after fires once the completed prefix reaches N, but
+    // with jobs > 1 in-flight cells drain past it; truncate to
+    // exactly N so every --jobs value reports the same cells.
+    const bool sigFired =
+        o.sigtermAfter && sweepRes.completed >= o.sigtermAfter;
+    std::size_t usable = sweepRes.completed;
+    if (sigFired && usable > o.sigtermAfter)
+        usable = static_cast<std::size_t>(o.sigtermAfter);
+    const bool interrupted =
+        sweepRes.interrupted || sigFired || shutdownRequested();
+
+    TextTable t;
+    std::vector<std::string> hdr{"size"};
+    for (Bytes b : blocks)
+        hdr.push_back("R @" + formatSize(b));
+    if (o.runMtc)
+        hdr.push_back("MTC KB");
+    t.header(hdr);
+    for (std::size_t si = 0; si < o.sweepSizes.size(); ++si) {
+        std::vector<std::string> row{formatSize(o.sweepSizes[si])};
+        for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+            const std::size_t idx = si * blocks.size() + bi;
+            row.push_back(
+                idx < usable
+                    ? fixed(sweepRes.cells[idx].traffic.trafficRatio,
+                            4)
+                    : "...");
+        }
+        if (o.runMtc) {
+            const std::size_t idx = nHier + si;
+            row.push_back(
+                idx < usable
+                    ? std::to_string(
+                          sweepRes.cells[idx].mtc.trafficBelow() /
+                          1024) +
+                          "K"
+                    : "...");
+        }
+        t.row(row);
+    }
+    std::printf("\n%s\n", t.render().c_str());
+    if (interrupted)
+        std::printf("sweep interrupted: %zu of %zu cells completed\n",
+                    usable, nCells);
+
+    if (!o.statsJson.empty()) {
+        StatsRegistry registry;
+        for (std::size_t i = 0; i < usable && i < nHier; ++i) {
+            const CacheConfig cfg = configFor(i);
+            StatsGroup g = registry.group(
+                "sweep." + formatSize(cfg.size) + "." +
+                formatSize(cfg.blockBytes));
+            publishStats(g, sweepRes.cells[i].traffic);
+        }
+        for (std::size_t i = nHier; i < usable; ++i) {
+            StatsGroup g = registry.group(
+                "sweep.mtc." + formatSize(o.sweepSizes[i - nHier]));
+            publishMinCacheStats(g, sweepRes.cells[i].mtc);
+        }
+
+        RunManifest manifest;
+        manifest.tool = "membw_sim";
+        manifest.workload =
+            o.workload.empty() ? o.loadTrace : o.workload;
+        manifest.config = o.l1.describe() + " [sweep]";
+        manifest.seed = o.seed;
+        manifest.scale = o.scale;
+        manifest.refs = trace.size();
+        manifest.wallSeconds = timer.seconds();
+        manifest.interrupted = interrupted;
+        manifest.omitTiming = o.stableJson;
+        // --jobs is deliberately not recorded: the JSON must be
+        // byte-identical at any worker count.
+        auto joinSizes = [](const std::vector<Bytes> &v) {
+            std::string s;
+            for (Bytes b : v) {
+                if (!s.empty())
+                    s += ',';
+                s += formatSize(b);
+            }
+            return s;
+        };
+        manifest.set("sweep_sizes", joinSizes(o.sweepSizes));
+        manifest.set("sweep_blocks", joinSizes(blocks));
+        manifest.set("sweep_cells", std::to_string(nCells));
+        manifest.set("sweep_completed", std::to_string(usable));
+        if (!collapsed.empty())
+            manifest.set("fa_collapse", "stack-distance");
+
+        JsonWriter w;
+        w.beginObject();
+        w.key("manifest");
+        manifest.write(w);
+        w.key("stats");
+        writeStatsArray(registry, w);
+        w.endObject();
+        writeFileOrDie(o.statsJson, w.str());
+    }
+    return interrupted ? exitInterrupted : exitOk;
+}
+
 } // namespace
 
 int
@@ -504,6 +767,9 @@ main(int argc, char **argv)
             std::printf("saved trace to %s\n", o.saveTrace.c_str());
             return exitOk;
         }
+
+        if (!o.sweepSizes.empty())
+            return runSweep(o, trace);
 
         std::vector<CacheConfig> levels{o.l1};
         if (o.haveL2)
