@@ -64,6 +64,9 @@ struct BenchOptions
     std::string jsonPath; ///< --json FILE; empty = no telemetry
     unsigned jobs = defaultJobs(); ///< sweep workers (--jobs N)
     bool stableJson = false; ///< --stable-json: omit wall-clock fields
+    /** --no-collapse: force direct per-cell simulation instead of
+     * the exact one-pass sweep engines (equivalence testing). */
+    bool noCollapse = false;
 };
 
 /**
@@ -103,13 +106,15 @@ parseOptions(int argc, char **argv, double dfltScale)
             o.jobs = jobs.value();
         } else if (a == "--stable-json") {
             o.stableJson = true;
+        } else if (a == "--no-collapse") {
+            o.noCollapse = true;
         } else if (!a.empty() && a[0] != '-' &&
                    std::atof(a.c_str()) > 0) {
             o.scale = std::atof(a.c_str());
         } else {
             cliFatal("unknown bench flag '" + a +
                      "' (expected SCALE, --scale S, --json FILE, "
-                     "--jobs N, or --stable-json)");
+                     "--jobs N, --stable-json, or --no-collapse)");
         }
     }
     return o;

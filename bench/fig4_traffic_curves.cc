@@ -9,12 +9,14 @@
  */
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "exec/collapsed_sweep.hh"
 #include "mtc/min_cache.hh"
 #include "workloads/workload.hh"
 
@@ -61,27 +63,61 @@ main(int argc, char **argv)
             Bytes traffic = 0;
         };
         const std::size_t perRow = blocks.size() + 2;
+        const std::size_t nCells = sizes.size() * perRow;
+
+        auto cacheConfigFor =
+            [&](std::size_t i) -> std::optional<CacheConfig> {
+            const Bytes size = sizes[i / perRow];
+            const std::size_t col = i % perRow;
+            if (col >= blocks.size())
+                return std::nullopt; // MTC column
+            const Bytes block = blocks[col];
+            if (size < block || size / block < 4)
+                return std::nullopt; // skipped cell
+            CacheConfig cfg;
+            cfg.size = size;
+            cfg.assoc = 4;
+            cfg.blockBytes = block;
+            return cfg;
+        };
+
+        // Precompute every ladder-coverable cache cell in one pass
+        // per block size; MTC cells share one next-use side table.
+        CollapsedSweep collapsed;
+        std::vector<std::size_t> slotOf(nCells, nCells);
+        if (!opt.noCollapse) {
+            std::vector<CacheConfig> cfgs;
+            for (std::size_t i = 0; i < nCells; ++i) {
+                if (const auto cfg = cacheConfigFor(i)) {
+                    slotOf[i] = cfgs.size();
+                    cfgs.push_back(*cfg);
+                }
+            }
+            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+        }
+        const NextUseTable mtcNextUse =
+            makeNextUseTable(trace, wordBytes);
+
         const auto cells = bench::sweep(
-            opt, sizes.size() * perRow,
-            [&](std::size_t i) -> Cell {
+            opt, nCells, [&](std::size_t i) -> Cell {
                 const Bytes size = sizes[i / perRow];
                 const std::size_t col = i % perRow;
                 if (col < blocks.size()) {
-                    const Bytes block = blocks[col];
-                    if (size < block || size / block < 4)
+                    const auto cfg = cacheConfigFor(i);
+                    if (!cfg)
                         return {true, 0};
-                    CacheConfig cfg;
-                    cfg.size = size;
-                    cfg.assoc = 4;
-                    cfg.blockBytes = block;
-                    return {false, runTrace(trace, cfg).pinBytes};
+                    if (slotOf[i] < nCells &&
+                        collapsed.has(slotOf[i]))
+                        return {false, collapsed.result(slotOf[i])
+                                           .pinBytes};
+                    return {false, runTrace(trace, *cfg).pinBytes};
                 }
                 // MTC lines: fully associative MIN, 4B transfers.
                 MinCacheConfig mtc = canonicalMtc(size);
                 if (col == blocks.size())
                     mtc.alloc = AllocPolicy::WriteAllocate;
-                return {false,
-                        runMinCache(trace, mtc).trafficBelow()};
+                return {false, runMinCache(trace, mtc, mtcNextUse)
+                                   .trafficBelow()};
             });
 
         for (std::size_t si = 0; si < sizes.size(); ++si) {

@@ -16,6 +16,7 @@
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "exec/collapsed_sweep.hh"
 #include "metrics/traffic.hh"
 #include "workloads/workload.hh"
 
@@ -67,10 +68,30 @@ main(int argc, char **argv)
              level("L2", 256_KiB, 4, 64),
              level("L3", 2_MiB, 8, 128)},
         };
+        // Only single-level hierarchies fit the one-pass kernel;
+        // multi-level cells keep the direct simulation (inclusion
+        // between levels is inherently stateful across the stack).
+        CollapsedSweep collapsed;
+        std::vector<std::size_t> slotOf(hierarchies.size(),
+                                        hierarchies.size());
+        if (!opt.noCollapse) {
+            std::vector<CacheConfig> cfgs;
+            for (std::size_t i = 0; i < hierarchies.size(); ++i) {
+                if (hierarchies[i].size() == 1) {
+                    slotOf[i] = cfgs.size();
+                    cfgs.push_back(hierarchies[i][0]);
+                }
+            }
+            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+        }
+
         // One cell per hierarchy depth, fanned across --jobs
         // workers; rows render serially in submission order.
         const auto results = bench::sweep(
             opt, hierarchies.size(), [&](std::size_t i) {
+                if (slotOf[i] < hierarchies.size() &&
+                    collapsed.has(slotOf[i]))
+                    return collapsed.result(slotOf[i]);
                 return runTrace(trace, hierarchies[i]);
             });
         for (std::size_t h = 0; h < hierarchies.size(); ++h) {

@@ -13,6 +13,7 @@
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "exec/collapsed_sweep.hh"
 #include "workloads/workload.hh"
 
 using namespace membw;
@@ -46,6 +47,16 @@ main(int argc, char **argv)
         const Bytes data_set = w->nominalDataSetBytes();
         report.addRefs(trace.size());
 
+        // The whole direct-mapped ladder shares one block size, so
+        // the one-pass kernel covers every non-skipped cell.
+        CollapsedSweep collapsed;
+        if (!opt.noCollapse) {
+            std::vector<CacheConfig> cfgs;
+            for (Bytes s : sizes)
+                cfgs.push_back(bench::table7Cache(s));
+            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+        }
+
         // One cell per cache size, fanned across --jobs workers;
         // the row and the mean pool are assembled serially so the
         // output (and the mean) is identical at any --jobs value.
@@ -53,6 +64,8 @@ main(int argc, char **argv)
             opt, sizes.size(), [&](std::size_t i) -> double {
                 if (sizes[i] >= data_set)
                     return -1.0; // skipped: at/above the data set
+                if (collapsed.has(i))
+                    return collapsed.result(i).trafficRatio;
                 return runTrace(trace, bench::table7Cache(sizes[i]))
                     .trafficRatio;
             });

@@ -13,6 +13,7 @@
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "exec/collapsed_sweep.hh"
 #include "metrics/traffic.hh"
 #include "mtc/min_cache.hh"
 #include "workloads/workload.hh"
@@ -49,6 +50,19 @@ main(int argc, char **argv)
         const Bytes data_set = w->nominalDataSetBytes();
         report.addRefs(trace.size());
 
+        // The cache half of every cell is the same direct-mapped
+        // ladder as Table 7, so one ladder pass covers it; the MTC
+        // halves share one precomputed next-use side table.
+        CollapsedSweep collapsed;
+        if (!opt.noCollapse) {
+            std::vector<CacheConfig> cfgs;
+            for (Bytes s : sizes)
+                cfgs.push_back(bench::table7Cache(s));
+            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+        }
+        const NextUseTable mtcNextUse =
+            makeNextUseTable(trace, wordBytes);
+
         // One cell per size (the cache run and its same-size MTC
         // pair), fanned across --jobs workers; rows and the running
         // maximum are assembled serially in submission order.
@@ -57,9 +71,12 @@ main(int argc, char **argv)
                 if (sizes[i] >= data_set)
                     return -1.0; // skipped: at/above the data set
                 const TrafficResult cache =
-                    runTrace(trace, bench::table7Cache(sizes[i]));
-                const MinCacheStats mtc =
-                    runMinCache(trace, canonicalMtc(sizes[i]));
+                    collapsed.has(i)
+                        ? collapsed.result(i)
+                        : runTrace(trace,
+                                   bench::table7Cache(sizes[i]));
+                const MinCacheStats mtc = runMinCache(
+                    trace, canonicalMtc(sizes[i]), mtcNextUse);
                 return trafficInefficiency(cache.pinBytes,
                                            mtc.trafficBelow());
             });

@@ -1,0 +1,104 @@
+#include "exec/collapsed_sweep.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bitops.hh"
+#include "exec/fa_sweep.hh"
+#include "exec/ladder_sweep.hh"
+#include "exec/parallel_sweep.hh"
+#include "trace/block_stream.hh"
+
+namespace membw {
+
+namespace {
+
+struct Group
+{
+    Bytes blockBytes = 0;
+    bool mattson = false; ///< false = ladder kernel
+    std::vector<std::size_t> indices;
+    std::vector<CacheConfig> configs;
+};
+
+/** Per-config half of the faLruCollapsible() guard; the trace half
+ * (load-only, no block-spanning refs) is checked once per group. */
+bool
+faCandidate(const CacheConfig &cfg)
+{
+    return cfg.assoc == 0 && cfg.repl == ReplPolicy::LRU &&
+           !cfg.taggedPrefetch && cfg.sectorBytes == 0 &&
+           cfg.streamBuffers == 0 && cfg.size >= cfg.blockBytes &&
+           isPowerOfTwo(cfg.blockBytes);
+}
+
+} // namespace
+
+CollapsedSweep::CollapsedSweep(const Trace &trace,
+                               const std::vector<CacheConfig> &configs,
+                               unsigned jobs)
+{
+    results_.resize(configs.size());
+
+    // Group candidate configs by (block size, engine).  std::map
+    // keeps group order deterministic.
+    std::map<std::pair<Bytes, bool>, Group> grouped;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const CacheConfig &cfg = configs[i];
+        bool mattson = false;
+        if (ladderKernelSupported(cfg))
+            mattson = false;
+        else if (faCandidate(cfg))
+            mattson = true;
+        else
+            continue;
+        Group &g = grouped[{cfg.blockBytes, mattson}];
+        g.blockBytes = cfg.blockBytes;
+        g.mattson = mattson;
+        g.indices.push_back(i);
+        g.configs.push_back(cfg);
+    }
+
+    std::vector<Group> groups;
+    groups.reserve(grouped.size());
+    for (auto &[key, g] : grouped)
+        groups.push_back(std::move(g));
+    if (groups.empty())
+        return;
+
+    // One pass per group, fanned across the sweep workers.  A group
+    // whose guard fails at run time (e.g. an FA group over a trace
+    // with stores) simply stays uncovered.
+    const auto passResults = parallelSweep(
+        groups.size(), std::max(jobs, 1u),
+        [&](std::size_t gi) -> std::vector<TrafficResult> {
+            const Group &g = groups[gi];
+            if (g.mattson) {
+                if (!faLruCollapsible(trace, g.configs))
+                    return {};
+                return faLruSizeSweep(trace, g.configs);
+            }
+            const BlockStream stream =
+                buildBlockStream(trace, g.blockBytes);
+            if (!ladderCollapsible(stream, g.configs))
+                return {};
+            return ladderSweep(stream, g.configs);
+        });
+
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        const Group &g = groups[gi];
+        const auto &res = passResults[gi];
+        if (res.empty())
+            continue;
+        if (g.mattson)
+            mattsonPasses_++;
+        else
+            ladderPasses_++;
+        for (std::size_t k = 0; k < g.indices.size(); ++k) {
+            results_[g.indices[k]] = res[k];
+            covered_++;
+        }
+    }
+}
+
+} // namespace membw

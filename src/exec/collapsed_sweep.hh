@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sweep planner: route each cell of a multi-configuration sweep to
+ * the cheapest exact engine.
+ *
+ * Given the full config list of a sweep, CollapsedSweep groups the
+ * cells by block size and precomputes every group that an exact
+ * one-pass engine covers:
+ *
+ *  - fully-associative LRU groups over load-only traces collapse
+ *    into one Mattson stack-distance pass (exec/fa_sweep.*);
+ *  - set-associative LRU groups collapse into one chunked
+ *    BlockStream pass through the ladder kernel
+ *    (exec/ladder_sweep.*), whatever their mix of sizes,
+ *    associativities, and write policies.
+ *
+ * Everything else — Random/FIFO replacement, sectoring, stream
+ * buffers, prefetch, multi-level hierarchies, MTC cells — is left
+ * uncovered and the caller's per-cell fallback simulates it
+ * directly, so results stay exact everywhere.
+ *
+ * Intended use in a parallelSweep() caller: construct the planner
+ * *before* the per-cell fan-out (group passes themselves fan across
+ * @p jobs workers), then each cell either consumes its precomputed
+ * TrafficResult or simulates directly.  Precomputed results are
+ * index-addressed, so cell accounting (ordering, --sigterm-after
+ * truncation, stats publication) is unchanged.
+ */
+
+#ifndef MEMBW_EXEC_COLLAPSED_SWEEP_HH
+#define MEMBW_EXEC_COLLAPSED_SWEEP_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+class CollapsedSweep
+{
+  public:
+    /** An empty planner covers nothing (every cell falls back). */
+    CollapsedSweep() = default;
+
+    /**
+     * Plan and run every collapsible group of @p configs over
+     * @p trace, fanning the group passes across @p jobs workers.
+     * Results are exact and jobs-independent.
+     */
+    CollapsedSweep(const Trace &trace,
+                   const std::vector<CacheConfig> &configs,
+                   unsigned jobs);
+
+    /** True iff config @p i was covered by a one-pass group. */
+    bool
+    has(std::size_t i) const
+    {
+        return i < results_.size() && results_[i].has_value();
+    }
+
+    /** The precomputed result for a covered config. */
+    const TrafficResult &
+    result(std::size_t i) const
+    {
+        return *results_[i];
+    }
+
+    /** Configs covered by any one-pass engine. */
+    std::size_t covered() const { return covered_; }
+
+    /** Mattson stack-distance group passes run. */
+    std::size_t mattsonPasses() const { return mattsonPasses_; }
+
+    /** Ladder-kernel group passes run. */
+    std::size_t ladderPasses() const { return ladderPasses_; }
+
+  private:
+    std::vector<std::optional<TrafficResult>> results_;
+    std::size_t covered_ = 0;
+    std::size_t mattsonPasses_ = 0;
+    std::size_t ladderPasses_ = 0;
+};
+
+} // namespace membw
+
+#endif // MEMBW_EXEC_COLLAPSED_SWEEP_HH

@@ -1,6 +1,7 @@
 #include "mtc/min_cache.hh"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
 
@@ -33,10 +34,18 @@ MinCacheConfig::describe() const
 }
 
 MinCacheSim::MinCacheSim(const Trace &trace, const MinCacheConfig &config)
-    : trace_(trace), config_(config)
+    : MinCacheSim(trace, config,
+                  makeNextUseTable(trace, config.blockBytes))
+{
+}
+
+MinCacheSim::MinCacheSim(const Trace &trace, const MinCacheConfig &config,
+                         NextUseTable nextUse)
+    : trace_(trace), config_(config), nextUse_(std::move(nextUse))
 {
     config_.validate();
-    nextUse_ = buildNextUse(trace_, config_.blockBytes);
+    if (!nextUse_ || nextUse_->size() != trace_.size())
+        fatal("MTC shared next-use table does not match the trace");
 
     const unsigned words_per_block =
         static_cast<unsigned>(config_.blockBytes / wordBytes);
@@ -44,18 +53,127 @@ MinCacheSim::MinCacheSim(const Trace &trace, const MinCacheConfig &config)
                     ? ~std::uint64_t{0}
                     : (std::uint64_t{1} << words_per_block) - 1;
     capacity_ = config_.blocks();
-    cache_.reserve(capacity_ * 2);
+    resetResident();
 }
 
 Bytes
-MinCacheSim::writebackSize(const Entry &entry) const
+MinCacheSim::writebackSize(const Slot &slot) const
 {
-    if (entry.dirtyMask == 0)
+    if (slot.dirtyMask == 0)
         return 0;
     if (config_.alloc == AllocPolicy::WriteValidate)
-        return static_cast<Bytes>(std::popcount(entry.dirtyMask)) *
+        return static_cast<Bytes>(std::popcount(slot.dirtyMask)) *
                wordBytes;
     return config_.blockBytes;
+}
+
+void
+MinCacheSim::resetResident()
+{
+    slots_.clear();
+    // Residency is bounded by both the capacity and the number of
+    // distinct blocks the trace can touch (the pool still grows on
+    // demand if a restore exceeds the estimate).
+    slots_.reserve(std::min<std::size_t>(capacity_, trace_.size()));
+    freeList_.clear();
+    resident_ = 0;
+    nuBits_.init(trace_.size());
+    nuOwner_.assign(trace_.size(), 0);
+    infHeap_.clear();
+}
+
+std::uint32_t
+MinCacheSim::allocSlot()
+{
+    std::uint32_t i;
+    if (!freeList_.empty()) {
+        i = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        i = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[i] = Slot{};
+    slots_[i].used = true;
+    resident_++;
+    return i;
+}
+
+void
+MinCacheSim::freeSlot(std::uint32_t i)
+{
+    slots_[i].used = false;
+    freeList_.push_back(i);
+    resident_--;
+}
+
+void
+MinCacheSim::MaxBitmap::init(std::size_t bits)
+{
+    levels_.clear();
+    std::size_t words = (bits + 63) / 64;
+    if (words == 0)
+        words = 1;
+    for (;;) {
+        levels_.emplace_back(words, 0);
+        if (words == 1)
+            break;
+        words = (words + 63) / 64;
+    }
+}
+
+void
+MinCacheSim::MaxBitmap::set(std::size_t i)
+{
+    for (auto &level : levels_) {
+        level[i >> 6] |= std::uint64_t{1} << (i & 63);
+        i >>= 6;
+    }
+}
+
+void
+MinCacheSim::MaxBitmap::clear(std::size_t i)
+{
+    for (auto &level : levels_) {
+        std::uint64_t &word = level[i >> 6];
+        word &= ~(std::uint64_t{1} << (i & 63));
+        if (word != 0)
+            break;
+        i >>= 6;
+    }
+}
+
+bool
+MinCacheSim::MaxBitmap::test(std::size_t i) const
+{
+    return levels_[0][i >> 6] & (std::uint64_t{1} << (i & 63));
+}
+
+bool
+MinCacheSim::MaxBitmap::findMax(std::size_t &out) const
+{
+    if (levels_.back()[0] == 0)
+        return false;
+    std::size_t i = 0;
+    for (std::size_t l = levels_.size(); l-- > 0;) {
+        const std::uint64_t word = levels_[l][i];
+        i = (i << 6) +
+            (63 - static_cast<std::size_t>(std::countl_zero(word)));
+    }
+    out = i;
+    return true;
+}
+
+void
+MinCacheSim::keyInsert(Tick nu, Addr addr, std::uint32_t slot)
+{
+    if (nu == tickInfinity) {
+        infHeap_.emplace_back(addr, slot);
+        std::push_heap(infHeap_.begin(), infHeap_.end());
+    } else {
+        nuBits_.set(static_cast<std::size_t>(nu));
+        nuOwner_[static_cast<std::size_t>(nu)] = slot;
+    }
 }
 
 void
@@ -81,13 +199,18 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
     stats_.accesses++;
     stats_.requestBytes += ref.size;
 
-    auto it = cache_.find(block);
-    if (it != cache_.end()) {
-        // Hit: re-key the replacement order with the new next use.
-        Entry &entry = it->second;
-        order_.erase({entry.nextUse, block});
+    // Residency test without a lookup: the current position is, by
+    // construction, the recorded next use of the block it references
+    // — so the reference hits iff the victim-order bit for this very
+    // tick is set, and nuOwner_ names the resident copy.
+    if (nuBits_.test(cursor_)) {
+        const std::uint32_t idx = nuOwner_[cursor_];
+        Slot &entry = slots_[idx];
+        assert(entry.used && entry.addr == block &&
+               entry.nextUse == static_cast<Tick>(cursor_));
+        nuBits_.clear(cursor_);
         entry.nextUse = nu;
-        order_.insert({nu, block});
+        keyInsert(nu, block, idx);
 
         if (ref.isLoad()) {
             const std::uint64_t missing = words & ~entry.validMask;
@@ -108,29 +231,20 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
 
     stats_.misses++;
 
-    if (cache_.size() == capacity_) {
-        auto victim_it = std::prev(order_.end());
-        const Tick victim_next = victim_it->first;
-
-        if (config_.writeAware && victim_next == tickInfinity) {
-            // Scan the never-referenced-again candidates for a
-            // clean one; evicting it saves a write-back without
-            // adding any future miss.
-            auto scan = victim_it;
-            for (unsigned n = 0; n < 32; ++n) {
-                if (scan->first != tickInfinity)
-                    break;
-                auto entry = cache_.find(scan->second);
-                assert(entry != cache_.end());
-                if (entry->second.dirtyMask == 0) {
-                    victim_it = scan;
-                    break;
-                }
-                if (scan == order_.begin())
-                    break;
-                --scan;
-            }
+    if (resident_ == capacity_) {
+        // The furthest-referenced resident block: any
+        // never-referenced-again block outranks every finite key,
+        // with the highest address first among them (the ordered-set
+        // tie-break); otherwise the owner of the highest finite tick.
+        std::size_t max_nu = 0;
+        if (infHeap_.empty()) {
+            const bool any = nuBits_.findMax(max_nu);
+            assert(any);
+            (void)any;
         }
+        const Tick victim_next = infHeap_.empty()
+                                     ? static_cast<Tick>(max_nu)
+                                     : tickInfinity;
 
         if (config_.allowBypass && nu > victim_next) {
             // The incoming block is the lowest-priority block:
@@ -143,16 +257,48 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
             return;
         }
 
-        // Evict the furthest-referenced resident block.
-        const Addr victim_addr = victim_it->second;
-        auto victim = cache_.find(victim_addr);
-        assert(victim != cache_.end());
-        stats_.writebackBytes += writebackSize(victim->second);
-        cache_.erase(victim);
-        order_.erase(victim_it);
+        std::uint32_t victim;
+        if (!infHeap_.empty()) {
+            // Pop the victim — and, for the write-aware scan, up to
+            // 31 runners-up in descending address order, looking for
+            // a clean block whose eviction saves a write-back
+            // without adding any future miss.  Candidates not
+            // chosen are pushed back.
+            std::pair<Addr, std::uint32_t> cand[32];
+            std::size_t popped = 0;
+            std::size_t chosen = 0;
+            const std::size_t limit = config_.writeAware ? 32 : 1;
+            while (popped < limit && !infHeap_.empty()) {
+                std::pop_heap(infHeap_.begin(), infHeap_.end());
+                cand[popped] = infHeap_.back();
+                infHeap_.pop_back();
+                const bool clean =
+                    slots_[cand[popped].second].dirtyMask == 0;
+                popped++;
+                if (clean) {
+                    chosen = popped - 1;
+                    break;
+                }
+            }
+            victim = cand[chosen].second;
+            for (std::size_t k = 0; k < popped; ++k) {
+                if (k == chosen)
+                    continue;
+                infHeap_.push_back(cand[k]);
+                std::push_heap(infHeap_.begin(), infHeap_.end());
+            }
+        } else {
+            victim = nuOwner_[max_nu];
+            nuBits_.clear(max_nu);
+        }
+
+        stats_.writebackBytes += writebackSize(slots_[victim]);
+        freeSlot(victim);
     }
 
-    Entry entry;
+    const std::uint32_t idx = allocSlot();
+    Slot &entry = slots_[idx];
+    entry.addr = block;
     entry.nextUse = nu;
     if (ref.isLoad()) {
         entry.validMask = fullMask_;
@@ -166,8 +312,7 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
         entry.dirtyMask = words;
         stats_.validates++;
     }
-    cache_.emplace(block, entry);
-    order_.insert({nu, block});
+    keyInsert(nu, block, idx);
 }
 
 void
@@ -175,8 +320,9 @@ MinCacheSim::step(std::size_t n)
 {
     const std::size_t end =
         cursor_ + std::min(n, trace_.size() - cursor_);
+    const std::vector<Tick> &nextUse = *nextUse_;
     for (; cursor_ < end; ++cursor_)
-        accessOne(trace_[cursor_], nextUse_[cursor_]);
+        accessOne(trace_[cursor_], nextUse[cursor_]);
 }
 
 MinCacheStats
@@ -184,8 +330,9 @@ MinCacheSim::finalize() const
 {
     // Program completion: flush all dirty data (Section 4.1).
     MinCacheStats stats = stats_;
-    for (const auto &[addr, entry] : cache_)
-        stats.flushWritebackBytes += writebackSize(entry);
+    for (const Slot &slot : slots_)
+        if (slot.used)
+            stats.flushWritebackBytes += writebackSize(slot);
     return stats;
 }
 
@@ -221,18 +368,21 @@ MinCacheSim::saveState(ChkWriter &w) const
     w.u64(stats_.writebackBytes);
     w.u64(stats_.flushWritebackBytes);
 
-    // Resident set in order_ iteration order: sorted by
-    // (nextUse, addr), so the image is deterministic even though the
-    // backing map is unordered.
-    w.u64(order_.size());
-    for (const auto &[nu, addr] : order_) {
-        const auto it = cache_.find(addr);
-        assert(it != cache_.end());
-        w.u64(nu);
-        w.u64(addr);
-        w.u64(it->second.validMask);
-        w.u64(it->second.dirtyMask);
-    }
+    // Resident set sorted by (nextUse, addr): the image is
+    // deterministic (and matches what the earlier ordered-set
+    // implementation wrote) even though neither backing container
+    // iterates in that order.
+    std::vector<std::array<std::uint64_t, 4>> rows;
+    rows.reserve(resident_);
+    for (const Slot &slot : slots_)
+        if (slot.used)
+            rows.push_back({slot.nextUse, slot.addr, slot.validMask,
+                            slot.dirtyMask});
+    std::sort(rows.begin(), rows.end());
+    w.u64(rows.size());
+    for (const auto &row : rows)
+        for (const std::uint64_t v : row)
+            w.u64(v);
 
     w.endSection();
 }
@@ -294,21 +444,38 @@ MinCacheSim::loadState(ChkReader &r)
                    " exceeds the cache capacity");
         return;
     }
-    cache_.clear();
-    order_.clear();
+    resetResident();
+    std::vector<Addr> seen;
+    seen.reserve(static_cast<std::size_t>(resident));
     for (std::uint64_t i = 0; i < resident && !r.failed(); ++i) {
         const Tick nu = r.u64();
         const Addr addr = r.u64();
-        Entry entry;
-        entry.nextUse = nu;
-        entry.validMask = r.u64();
-        entry.dirtyMask = r.u64();
-        if (!cache_.emplace(addr, entry).second) {
+        const std::uint64_t valid = r.u64();
+        const std::uint64_t dirty = r.u64();
+        // The victim-order structures rely on finite next uses being
+        // in-range and unique (position t references one block);
+        // anything else is not a state this simulation can produce.
+        if (nu != tickInfinity &&
+            (nu >= trace_.size() ||
+             nuBits_.test(static_cast<std::size_t>(nu)))) {
             r.fail(Errc::Corrupt,
-                   "MTC checkpoint repeats a resident block");
+                   "MTC checkpoint has an invalid next-use key");
             return;
         }
-        order_.insert({nu, addr});
+        const std::uint32_t idx = allocSlot();
+        Slot &slot = slots_[idx];
+        slot.addr = addr;
+        slot.nextUse = nu;
+        slot.validMask = valid;
+        slot.dirtyMask = dirty;
+        keyInsert(nu, addr, idx);
+        seen.push_back(addr);
+    }
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) {
+        r.fail(Errc::Corrupt,
+               "MTC checkpoint repeats a resident block");
+        return;
     }
 
     r.leaveSection();
@@ -318,6 +485,13 @@ MinCacheStats
 runMinCache(const Trace &trace, const MinCacheConfig &config)
 {
     return MinCacheSim(trace, config).run();
+}
+
+MinCacheStats
+runMinCache(const Trace &trace, const MinCacheConfig &config,
+            NextUseTable nextUse)
+{
+    return MinCacheSim(trace, config, std::move(nextUse)).run();
 }
 
 void

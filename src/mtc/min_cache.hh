@@ -18,13 +18,12 @@
 #define MEMBW_MTC_MIN_CACHE_HH
 
 #include <cstdint>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/config.hh"
 #include "common/types.hh"
+#include "mtc/next_use.hh"
 #include "trace/trace.hh"
 
 namespace membw {
@@ -110,6 +109,15 @@ class MinCacheSim
   public:
     MinCacheSim(const Trace &trace, const MinCacheConfig &config);
 
+    /**
+     * Like the two-argument constructor, but reuses a next-use table
+     * previously built by makeNextUseTable() for the same trace at
+     * config.blockBytes granularity, skipping pass one.  A null or
+     * mismatched table is fatal.
+     */
+    MinCacheSim(const Trace &trace, const MinCacheConfig &config,
+                NextUseTable nextUse);
+
     /** Simulate the full trace, including the final dirty flush. */
     MinCacheStats run();
 
@@ -139,33 +147,89 @@ class MinCacheSim
     void loadState(ChkReader &r);
 
   private:
-    struct Entry
+    /** One resident block in the slot pool. */
+    struct Slot
     {
+        Addr addr = 0;
         Tick nextUse = tickInfinity;
         std::uint64_t validMask = 0;
         std::uint64_t dirtyMask = 0;
+        bool used = false;
     };
 
-    Bytes writebackSize(const Entry &entry) const;
+    Bytes writebackSize(const Slot &slot) const;
     void accessOne(const MemRef &ref, Tick nu);
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t i);
+    void keyInsert(Tick nu, Addr addr, std::uint32_t slot);
+    void resetResident();
 
     const Trace &trace_;
     MinCacheConfig config_;
-    std::vector<Tick> nextUse_;
+    NextUseTable nextUse_;
 
     std::uint64_t fullMask_ = 0;
     unsigned capacity_ = 0;
 
     MinCacheStats stats_;
-    std::unordered_map<Addr, Entry> cache_;
-    /** Victim order: largest (nextUse, addr) is furthest away. */
-    std::set<std::pair<Tick, Addr>> order_;
+
+    /** Dense pool of resident blocks; freed slots are recycled via
+     * freeList_.  The pool is reached through the victim-order
+     * structures below, never searched. */
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeList_;
+    std::size_t resident_ = 0;
+
+    /**
+     * Hierarchical bitmap over tick indices supporting O(1) set and
+     * clear and near-O(1) find-max (one word scan per level).  Used
+     * for the finite next-use keys of the victim order.
+     */
+    class MaxBitmap
+    {
+      public:
+        void init(std::size_t bits);
+        void set(std::size_t i);
+        void clear(std::size_t i);
+        bool test(std::size_t i) const;
+        /** Highest set bit, or false when the bitmap is empty. */
+        bool findMax(std::size_t &out) const;
+
+      private:
+        std::vector<std::vector<std::uint64_t>> levels_;
+    };
+
+    /**
+     * Victim order, split by the structure of next-use keys.  Trace
+     * position t references exactly one block, so at most one
+     * resident block has nextUse == t: the finite keys form a set of
+     * distinct ticks (nuBits_) with the owning slot alongside
+     * (nuOwner_).  This doubles as the residency index — the access
+     * at position t hits if and only if the bit at t is set, because
+     * only the block referenced at t can carry that key.  Blocks
+     * keyed tickInfinity are never referenced again — they can never
+     * be hit, so they leave only by eviction and a plain max-heap of
+     * (addr, slot) pairs (the ordered-set tie-break: highest address
+     * first) needs no re-keying or staleness handling.  The global
+     * victim is the top of infHeap_ when non-empty, else the owner
+     * of the highest finite tick.
+     */
+    MaxBitmap nuBits_;
+    std::vector<std::uint32_t> nuOwner_;
+    std::vector<std::pair<Addr, std::uint32_t>> infHeap_;
+
     std::size_t cursor_ = 0;
 };
 
 /** Convenience: run an MTC (or variant) and return its stats. */
 MinCacheStats runMinCache(const Trace &trace,
                           const MinCacheConfig &config);
+
+/** Like runMinCache(), reusing a shared next-use table. */
+MinCacheStats runMinCache(const Trace &trace,
+                          const MinCacheConfig &config,
+                          NextUseTable nextUse);
 
 /** Publish @p stats under @p group (typically "mtc"). */
 void publishMinCacheStats(StatsGroup &group,

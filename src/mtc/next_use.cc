@@ -45,4 +45,11 @@ buildNextUse(const Trace &trace, Bytes blockBytes)
     return next;
 }
 
+NextUseTable
+makeNextUseTable(const Trace &trace, Bytes blockBytes)
+{
+    return std::make_shared<const std::vector<Tick>>(
+        buildNextUse(trace, blockBytes));
+}
+
 } // namespace membw

@@ -11,6 +11,7 @@
 #ifndef MEMBW_MTC_NEXT_USE_HH
 #define MEMBW_MTC_NEXT_USE_HH
 
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,6 +25,18 @@ namespace membw {
  * word traces never do) take the earlier of the two next-uses.
  */
 std::vector<Tick> buildNextUse(const Trace &trace, Bytes blockBytes);
+
+/**
+ * Shareable next-use table.  Every MTC cell of a sweep that uses the
+ * same (trace, block granularity) pair needs the same table; build it
+ * once with makeNextUseTable() and hand the same handle to each
+ * MinCacheSim so pass one runs once per sweep instead of once per
+ * cell.
+ */
+using NextUseTable = std::shared_ptr<const std::vector<Tick>>;
+
+/** Build a shareable next-use table (see buildNextUse()). */
+NextUseTable makeNextUseTable(const Trace &trace, Bytes blockBytes);
 
 } // namespace membw
 

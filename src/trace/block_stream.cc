@@ -1,0 +1,59 @@
+#include "trace/block_stream.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace membw {
+
+BlockStream
+buildBlockStream(const Trace &trace, Bytes blockBytes)
+{
+    if (blockBytes < wordBytes || !isPowerOfTwo(blockBytes))
+        fatal("block stream needs a power-of-two block size >= 4B");
+
+    BlockStream s;
+    s.blockBytes = blockBytes;
+    s.blockShift = floorLog2(blockBytes);
+    s.refs = trace.size();
+    s.blockNum.reserve(s.refs);
+    s.isStore.reserve(s.refs);
+    s.size.reserve(s.refs);
+    s.wordMask.reserve(s.refs);
+
+    for (const MemRef &ref : trace) {
+        const Addr block = alignDown(ref.addr, blockBytes);
+        const bool spans =
+            ref.size == 0 ||
+            alignDown(ref.addr + ref.size - 1, blockBytes) != block;
+        if (spans)
+            s.spansBlock = true;
+
+        s.blockNum.push_back(ref.addr >> s.blockShift);
+        s.isStore.push_back(ref.isLoad() ? 0 : 1);
+        s.size.push_back(static_cast<std::uint16_t>(
+            ref.size <= blockBytes ? ref.size : blockBytes));
+        if (ref.isLoad())
+            s.loads++;
+        else
+            s.stores++;
+        s.requestBytes += ref.size;
+
+        // Word mask within the block, exactly as Cache::wordsMask
+        // computes it.  Spanning references make the stream
+        // ineligible for one-pass kernels, so an empty mask is fine
+        // there.
+        std::uint64_t mask = 0;
+        if (!spans) {
+            const unsigned first =
+                static_cast<unsigned>((ref.addr - block) / wordBytes);
+            const unsigned last = static_cast<unsigned>(
+                (ref.addr + ref.size - 1 - block) / wordBytes);
+            for (unsigned w = first; w <= last; ++w)
+                mask |= std::uint64_t{1} << w;
+        }
+        s.wordMask.push_back(mask);
+    }
+    return s;
+}
+
+} // namespace membw

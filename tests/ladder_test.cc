@@ -1,0 +1,411 @@
+/**
+ * @file
+ * One-pass ladder sweep kernel: BlockStream decoding, randomized
+ * counter-level equivalence against the direct simulator, the
+ * supported-regime guards, and the CollapsedSweep planner's routing
+ * between the Mattson, ladder, and direct-fallback engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/rng.hh"
+#include "exec/collapsed_sweep.hh"
+#include "exec/ladder_sweep.hh"
+#include "trace/block_stream.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+namespace {
+
+/** Mixed loads/stores over a footprint that misses in small caches
+ * and mostly hits in big ones, so every ladder rung is exercised. */
+Trace
+randomTrace(std::uint64_t seed, std::size_t refs)
+{
+    Rng rng(seed);
+    Trace t;
+    t.reserve(refs);
+    Addr cursor = 0;
+    for (std::size_t i = 0; i < refs; ++i) {
+        cursor = rng.chance(0.3) ? rng.below(1 << 13)
+                                 : (cursor + 1) & 0x1fff;
+        t.append(cursor * wordBytes, wordBytes,
+                 rng.chance(0.35) ? RefKind::Store : RefKind::Load);
+    }
+    return t;
+}
+
+/** Every counter the direct simulator keeps, field for field. */
+void
+expectStatsEqual(const CacheStats &a, const CacheStats &b,
+                 const std::string &label)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << label;
+    EXPECT_EQ(a.loads, b.loads) << label;
+    EXPECT_EQ(a.stores, b.stores) << label;
+    EXPECT_EQ(a.hits, b.hits) << label;
+    EXPECT_EQ(a.misses, b.misses) << label;
+    EXPECT_EQ(a.loadMisses, b.loadMisses) << label;
+    EXPECT_EQ(a.storeMisses, b.storeMisses) << label;
+    EXPECT_EQ(a.evictions, b.evictions) << label;
+    EXPECT_EQ(a.writebacks, b.writebacks) << label;
+    EXPECT_EQ(a.partialFills, b.partialFills) << label;
+    EXPECT_EQ(a.requestBytes, b.requestBytes) << label;
+    EXPECT_EQ(a.demandFetchBytes, b.demandFetchBytes) << label;
+    EXPECT_EQ(a.partialFillBytes, b.partialFillBytes) << label;
+    EXPECT_EQ(a.writebackBytes, b.writebackBytes) << label;
+    EXPECT_EQ(a.writeThroughBytes, b.writeThroughBytes) << label;
+    EXPECT_EQ(a.flushWritebackBytes, b.flushWritebackBytes) << label;
+}
+
+// ---------------------------------------------------------------
+// BlockStream decoding
+// ---------------------------------------------------------------
+
+TEST(BlockStream, DecodesBlockNumbersKindsAndMasks)
+{
+    Trace t;
+    t.append(0, 4, RefKind::Load);    // block 0, word 0
+    t.append(40, 4, RefKind::Store);  // block 1, word 2
+    t.append(60, 4, RefKind::Load);   // block 1, word 7
+    t.append(8, 8, RefKind::Store);   // block 0, words 2-3
+
+    const BlockStream s = buildBlockStream(t, 32);
+    EXPECT_EQ(s.blockBytes, 32u);
+    EXPECT_EQ(s.blockShift, 5u);
+    EXPECT_EQ(s.refs, 4u);
+    EXPECT_EQ(s.loads, 2u);
+    EXPECT_EQ(s.stores, 2u);
+    EXPECT_EQ(s.requestBytes, 20u);
+    EXPECT_FALSE(s.spansBlock);
+
+    EXPECT_EQ(s.blockNum,
+              (std::vector<std::uint64_t>{0, 1, 1, 0}));
+    EXPECT_EQ(s.isStore, (std::vector<std::uint8_t>{0, 1, 0, 1}));
+    EXPECT_EQ(s.wordMask,
+              (std::vector<std::uint64_t>{0x1, 0x4, 0x80, 0xc}));
+}
+
+TEST(BlockStream, FlagsBlockSpanningReferences)
+{
+    Trace t;
+    t.append(28, 8, RefKind::Load); // crosses the 32B boundary
+    const BlockStream s = buildBlockStream(t, 32);
+    EXPECT_TRUE(s.spansBlock);
+
+    // The same reference fits a 64B block.
+    EXPECT_FALSE(buildBlockStream(t, 64).spansBlock);
+}
+
+// ---------------------------------------------------------------
+// Kernel equivalence against the direct simulator
+// ---------------------------------------------------------------
+
+TEST(LadderSweep, MatchesDirectSimulatorAcrossPolicyGrid)
+{
+    // Sizes x associativities x every supported write/alloc pairing,
+    // all sharing one block size: the full one-pass regime.
+    const Trace trace = randomTrace(7, 20000);
+    std::vector<CacheConfig> cfgs;
+    for (Bytes size : {1_KiB, 4_KiB, 16_KiB}) {
+        for (unsigned assoc : {1u, 2u, 4u, 8u}) {
+            for (WritePolicy wp :
+                 {WritePolicy::WriteBack, WritePolicy::WriteThrough}) {
+                for (AllocPolicy ap : {AllocPolicy::WriteAllocate,
+                                       AllocPolicy::WriteNoAllocate,
+                                       AllocPolicy::WriteValidate}) {
+                    if (ap == AllocPolicy::WriteValidate &&
+                        wp == WritePolicy::WriteThrough)
+                        continue; // invalid pairing
+                    CacheConfig c;
+                    c.size = size;
+                    c.assoc = assoc;
+                    c.blockBytes = 32;
+                    c.write = wp;
+                    c.alloc = ap;
+                    cfgs.push_back(c);
+                }
+            }
+        }
+    }
+
+    const BlockStream stream = buildBlockStream(trace, 32);
+    ASSERT_TRUE(ladderCollapsible(stream, cfgs));
+    const auto onepass = ladderSweep(stream, cfgs);
+    ASSERT_EQ(onepass.size(), cfgs.size());
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const TrafficResult direct = runTrace(trace, cfgs[i]);
+        const std::string label = cfgs[i].describe();
+        EXPECT_EQ(onepass[i].pinBytes, direct.pinBytes) << label;
+        EXPECT_EQ(onepass[i].requestBytes, direct.requestBytes)
+            << label;
+        EXPECT_DOUBLE_EQ(onepass[i].trafficRatio,
+                         direct.trafficRatio)
+            << label;
+        expectStatsEqual(onepass[i].l1, direct.l1, label);
+    }
+}
+
+TEST(LadderSweep, MatchesDirectAcrossBlockSizesAndSeeds)
+{
+    // Randomized sweep shapes: several trace seeds, several block
+    // sizes (each its own BlockStream), random size/assoc rungs.
+    for (std::uint64_t seed : {11u, 23u, 47u}) {
+        const Trace trace = randomTrace(seed, 12000);
+        Rng rng(seed * 977);
+        for (Bytes block : {8u, 32u, 128u}) {
+            std::vector<CacheConfig> cfgs;
+            for (int k = 0; k < 6; ++k) {
+                CacheConfig c;
+                c.size = Bytes{1} << (10 + rng.below(6)); // 1K..32K
+                c.assoc = 1u << rng.below(4);             // 1..8
+                c.blockBytes = block;
+                c.write = rng.chance(0.5)
+                              ? WritePolicy::WriteBack
+                              : WritePolicy::WriteThrough;
+                c.alloc = rng.chance(0.5)
+                              ? AllocPolicy::WriteAllocate
+                              : AllocPolicy::WriteNoAllocate;
+                cfgs.push_back(c);
+            }
+            const BlockStream stream =
+                buildBlockStream(trace, block);
+            ASSERT_TRUE(ladderCollapsible(stream, cfgs));
+            const auto onepass = ladderSweep(stream, cfgs);
+            for (std::size_t i = 0; i < cfgs.size(); ++i) {
+                const TrafficResult direct =
+                    runTrace(trace, cfgs[i]);
+                const std::string label =
+                    "seed " + std::to_string(seed) + " " +
+                    cfgs[i].describe();
+                EXPECT_EQ(onepass[i].pinBytes, direct.pinBytes)
+                    << label;
+                expectStatsEqual(onepass[i].l1, direct.l1, label);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Supported-regime guards
+// ---------------------------------------------------------------
+
+TEST(LadderSweep, GuardAcceptsTheSweepShapes)
+{
+    CacheConfig c;
+    c.size = 64_KiB;
+    c.assoc = 4;
+    c.blockBytes = 32;
+    EXPECT_TRUE(ladderKernelSupported(c));
+    c.assoc = 1; // Table 7/8 shape
+    EXPECT_TRUE(ladderKernelSupported(c));
+    c.alloc = AllocPolicy::WriteValidate;
+    EXPECT_TRUE(ladderKernelSupported(c));
+}
+
+TEST(LadderSweep, GuardRejectsEverythingOutsideTheExactRegime)
+{
+    const CacheConfig base = [] {
+        CacheConfig c;
+        c.size = 64_KiB;
+        c.assoc = 4;
+        c.blockBytes = 32;
+        return c;
+    }();
+
+    auto with = [&](auto mutate) {
+        CacheConfig c = base;
+        mutate(c);
+        return ladderKernelSupported(c);
+    };
+
+    // Replacement policies the flat-LRU kernel cannot reproduce.
+    EXPECT_FALSE(with(
+        [](CacheConfig &c) { c.repl = ReplPolicy::Random; }));
+    EXPECT_FALSE(
+        with([](CacheConfig &c) { c.repl = ReplPolicy::FIFO; }));
+    // Feature caches: sectoring, stream buffers, tagged prefetch.
+    EXPECT_FALSE(
+        with([](CacheConfig &c) { c.sectorBytes = 16; }));
+    EXPECT_FALSE(
+        with([](CacheConfig &c) { c.streamBuffers = 4; }));
+    EXPECT_FALSE(
+        with([](CacheConfig &c) { c.taggedPrefetch = true; }));
+    // Geometry outside the kernel: fully associative, too many
+    // ways, non-power-of-two sets, size not a block multiple.
+    EXPECT_FALSE(with([](CacheConfig &c) { c.assoc = 0; }));
+    EXPECT_FALSE(with([](CacheConfig &c) { c.assoc = 32; }));
+    EXPECT_FALSE(with([](CacheConfig &c) { c.size = 12_KiB; }));
+    EXPECT_FALSE(with([](CacheConfig &c) { c.size = 100; }));
+    // validate() rejects WV+WT; the guard must not claim it.
+    EXPECT_FALSE(with([](CacheConfig &c) {
+        c.write = WritePolicy::WriteThrough;
+        c.alloc = AllocPolicy::WriteValidate;
+    }));
+}
+
+TEST(LadderSweep, CollapsibleRejectsSpansAndMixedBlocks)
+{
+    const Trace trace = randomTrace(3, 500);
+    const BlockStream s32 = buildBlockStream(trace, 32);
+
+    CacheConfig a;
+    a.size = 8_KiB;
+    a.assoc = 2;
+    a.blockBytes = 32;
+    EXPECT_TRUE(ladderCollapsible(s32, {a}));
+
+    // A config whose block size differs from the stream's.
+    CacheConfig b = a;
+    b.blockBytes = 64;
+    EXPECT_FALSE(ladderCollapsible(s32, {a, b}));
+    // No configs at all.
+    EXPECT_FALSE(ladderCollapsible(s32, {}));
+
+    // A block-spanning reference poisons the whole stream.
+    Trace spanning;
+    spanning.append(28, 8, RefKind::Load);
+    EXPECT_FALSE(
+        ladderCollapsible(buildBlockStream(spanning, 32), {a}));
+}
+
+// ---------------------------------------------------------------
+// CollapsedSweep routing
+// ---------------------------------------------------------------
+
+TEST(CollapsedSweep, RoutesLadderCellsAndLeavesUnsupportedOnes)
+{
+    const Trace trace = randomTrace(5, 8000);
+
+    std::vector<CacheConfig> cfgs;
+    for (Bytes size : {1_KiB, 8_KiB, 64_KiB}) { // ladder, block 32
+        CacheConfig c;
+        c.size = size;
+        c.assoc = 4;
+        c.blockBytes = 32;
+        cfgs.push_back(c);
+    }
+    CacheConfig random = cfgs[0]; // unsupported: Random replacement
+    random.repl = ReplPolicy::Random;
+    cfgs.push_back(random);
+    CacheConfig sector = cfgs[1]; // unsupported: sector cache
+    sector.sectorBytes = 8;
+    cfgs.push_back(sector);
+    CacheConfig stream = cfgs[2]; // unsupported: stream buffers
+    stream.streamBuffers = 4;
+    cfgs.push_back(stream);
+
+    const CollapsedSweep sweep(trace, cfgs, 1);
+    EXPECT_EQ(sweep.covered(), 3u);
+    EXPECT_EQ(sweep.ladderPasses(), 1u);
+    EXPECT_EQ(sweep.mattsonPasses(), 0u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(sweep.has(i)) << i;
+        const TrafficResult direct = runTrace(trace, cfgs[i]);
+        EXPECT_EQ(sweep.result(i).pinBytes, direct.pinBytes) << i;
+        expectStatsEqual(sweep.result(i).l1, direct.l1,
+                         cfgs[i].describe());
+    }
+    // The feature cells fall back to the caller's direct path.
+    EXPECT_FALSE(sweep.has(3));
+    EXPECT_FALSE(sweep.has(4));
+    EXPECT_FALSE(sweep.has(5));
+}
+
+TEST(CollapsedSweep, GroupsMixedBlockSizesIntoSeparatePasses)
+{
+    const Trace trace = randomTrace(9, 8000);
+    std::vector<CacheConfig> cfgs;
+    for (Bytes block : {16u, 32u, 64u}) {
+        for (Bytes size : {4_KiB, 32_KiB}) {
+            CacheConfig c;
+            c.size = size;
+            c.assoc = 2;
+            c.blockBytes = block;
+            cfgs.push_back(c);
+        }
+    }
+    const CollapsedSweep sweep(trace, cfgs, 1);
+    EXPECT_EQ(sweep.covered(), cfgs.size());
+    EXPECT_EQ(sweep.ladderPasses(), 3u); // one per block size
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        ASSERT_TRUE(sweep.has(i));
+        EXPECT_EQ(sweep.result(i).pinBytes,
+                  runTrace(trace, cfgs[i]).pinBytes)
+            << cfgs[i].describe();
+    }
+}
+
+TEST(CollapsedSweep, StoreBearingFullyAssociativeCellsFallBack)
+{
+    // FA cells collapse via Mattson only over load-only traces; with
+    // stores present they must stay on the exact direct path.
+    const Trace trace = randomTrace(13, 4000);
+    CacheConfig fa;
+    fa.size = 8_KiB;
+    fa.assoc = 0;
+    fa.blockBytes = 32;
+    const CollapsedSweep sweep(trace, {fa}, 1);
+    EXPECT_EQ(sweep.mattsonPasses(), 0u);
+    EXPECT_FALSE(sweep.has(0));
+}
+
+TEST(CollapsedSweep, LoadOnlyFullyAssociativeCellsUseMattson)
+{
+    Rng rng(17);
+    Trace trace;
+    for (std::size_t i = 0; i < 4000; ++i)
+        trace.append(rng.below(1 << 12) * wordBytes, wordBytes,
+                     RefKind::Load);
+    std::vector<CacheConfig> cfgs;
+    for (Bytes size : {1_KiB, 8_KiB}) {
+        CacheConfig c;
+        c.size = size;
+        c.assoc = 0;
+        c.blockBytes = 32;
+        cfgs.push_back(c);
+    }
+    const CollapsedSweep sweep(trace, cfgs, 1);
+    EXPECT_EQ(sweep.mattsonPasses(), 1u);
+    EXPECT_EQ(sweep.covered(), 2u);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        ASSERT_TRUE(sweep.has(i));
+        EXPECT_EQ(sweep.result(i).pinBytes,
+                  runTrace(trace, cfgs[i]).pinBytes);
+    }
+}
+
+TEST(CollapsedSweep, ResultsAreJobsIndependent)
+{
+    const Trace trace = randomTrace(21, 6000);
+    std::vector<CacheConfig> cfgs;
+    for (Bytes block : {16u, 64u}) {
+        for (Bytes size : {2_KiB, 16_KiB, 128_KiB}) {
+            CacheConfig c;
+            c.size = size;
+            c.assoc = 4;
+            c.blockBytes = block;
+            cfgs.push_back(c);
+        }
+    }
+    const CollapsedSweep serial(trace, cfgs, 1);
+    const CollapsedSweep parallel(trace, cfgs, 4);
+    ASSERT_EQ(serial.covered(), parallel.covered());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        ASSERT_TRUE(serial.has(i));
+        ASSERT_TRUE(parallel.has(i));
+        EXPECT_EQ(serial.result(i).pinBytes,
+                  parallel.result(i).pinBytes);
+        expectStatsEqual(serial.result(i).l1, parallel.result(i).l1,
+                         cfgs[i].describe());
+    }
+}
+
+} // namespace
+} // namespace membw

@@ -33,7 +33,7 @@
 #include "common/parse.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "exec/fa_sweep.hh"
+#include "exec/collapsed_sweep.hh"
 #include "exec/parallel_sweep.hh"
 #include "mtc/min_cache.hh"
 #include "obs/export.hh"
@@ -92,7 +92,13 @@ usage(int code)
         "cell per size.\n"
         "                      Fully-associative LRU load-only "
         "sweeps collapse\n"
-        "                      into a single stack-distance pass.\n"
+        "                      into a single stack-distance pass; "
+        "set-associative\n"
+        "                      LRU cells collapse into one-pass "
+        "ladder kernels.\n"
+        "  --no-collapse       force direct per-cell simulation "
+        "(disable the\n"
+        "                      exact one-pass sweep engines)\n"
         "  --sweep-blocks LIST comma-separated block sizes "
         "(default: --block)\n"
         "  --jobs N            sweep workers (default: hardware "
@@ -203,6 +209,7 @@ struct Options
     bool haveL2 = false;
     CacheConfig l2;
     bool runMtc = false;
+    bool noCollapse = false;
     double pinBandwidthMBs = 800.0;
     std::vector<Bytes> sweepSizes;  ///< non-empty = sweep mode
     std::vector<Bytes> sweepBlocks; ///< default: the single --block
@@ -312,6 +319,8 @@ parse(int argc, char **argv)
             o.haveL2 = true;
         } else if (a == "--mtc") {
             o.runMtc = true;
+        } else if (a == "--no-collapse") {
+            o.noCollapse = true;
         } else if (a == "--sweep-sizes") {
             o.sweepSizes = sizeListFlag(a, need(i));
         } else if (a == "--sweep-blocks") {
@@ -588,20 +597,33 @@ runSweep(const Options &o, const Trace &trace)
     std::fprintf(stderr, "membw_sim: sweep using %u worker%s\n",
                  o.jobs, o.jobs == 1 ? "" : "s");
 
-    // Single-block FA-LRU sweeps over load-only traces collapse into
-    // one stack-distance pass; the results are exact and
-    // jobs-independent, so the hierarchy cells become lookups.
-    std::vector<TrafficResult> collapsed;
-    if (blocks.size() == 1) {
+    // Route every coverable cell to an exact one-pass engine:
+    // FA-LRU groups over load-only traces collapse into Mattson
+    // stack-distance passes and set-associative LRU groups into
+    // chunked ladder-kernel passes.  Results are exact and
+    // jobs-independent, so covered hierarchy cells become lookups;
+    // anything the guards reject falls back to direct simulation.
+    CollapsedSweep collapsed;
+    if (!o.noCollapse) {
         std::vector<CacheConfig> cfgs;
         cfgs.reserve(nHier);
         for (std::size_t i = 0; i < nHier; ++i)
             cfgs.push_back(configFor(i));
-        if (faLruCollapsible(trace, cfgs)) {
-            collapsed = faLruSizeSweep(trace, cfgs);
+        collapsed = CollapsedSweep(trace, cfgs, o.jobs);
+        if (collapsed.mattsonPasses() == 1)
             std::printf("FA-LRU sweep collapsed into one "
                         "stack-distance pass\n");
-        }
+        else if (collapsed.mattsonPasses() > 1)
+            std::printf("FA-LRU sweep collapsed into %zu "
+                        "stack-distance passes\n",
+                        collapsed.mattsonPasses());
+        if (collapsed.ladderPasses() > 0)
+            std::fprintf(stderr,
+                         "membw_sim: %zu of %zu cells precomputed "
+                         "by %zu ladder-kernel pass%s\n",
+                         collapsed.covered(), nHier,
+                         collapsed.ladderPasses(),
+                         collapsed.ladderPasses() == 1 ? "" : "es");
     }
 
     struct CellOut
@@ -622,14 +644,21 @@ runSweep(const Options &o, const Trace &trace)
             std::raise(SIGTERM);
     };
 
+    // All MTC cells share one next-use side table (pass one of the
+    // two-pass MIN simulation depends only on the trace and block
+    // granularity, and the canonical MTC always uses word blocks).
+    const NextUseTable mtcNextUse =
+        o.runMtc ? makeNextUseTable(trace, wordBytes) : nullptr;
+
     const auto sweepRes =
         parallelSweep(nCells, sopt, [&](std::size_t i) -> CellOut {
             CellOut out;
             if (i >= nHier)
                 out.mtc = runMinCache(
-                    trace, canonicalMtc(o.sweepSizes[i - nHier]));
-            else if (!collapsed.empty())
-                out.traffic = collapsed[i];
+                    trace, canonicalMtc(o.sweepSizes[i - nHier]),
+                    mtcNextUse);
+            else if (collapsed.has(i))
+                out.traffic = collapsed.result(i);
             else
                 out.traffic = runSweepCell(trace, configFor(i),
                                            o.eventBudget);
@@ -722,7 +751,7 @@ runSweep(const Options &o, const Trace &trace)
         manifest.set("sweep_blocks", joinSizes(blocks));
         manifest.set("sweep_cells", std::to_string(nCells));
         manifest.set("sweep_completed", std::to_string(usable));
-        if (!collapsed.empty())
+        if (collapsed.mattsonPasses() > 0)
             manifest.set("fa_collapse", "stack-distance");
 
         JsonWriter w;
