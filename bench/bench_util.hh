@@ -28,6 +28,8 @@
 #include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/progress.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_span.hh"
 #include "workloads/workload.hh"
 
 namespace membw::bench {
@@ -67,12 +69,16 @@ struct BenchOptions
     /** --no-collapse: force direct per-cell simulation instead of
      * the exact one-pass sweep engines (equivalence testing). */
     bool noCollapse = false;
+    std::string traceOut;  ///< --trace-out FILE (Chrome trace JSON)
+    std::string seriesOut; ///< --series-out FILE (JSONL time series)
 };
 
 /**
  * Parse bench arguments: a bare positive number (legacy positional
- * scale), --scale S, --json FILE, --jobs N, and --stable-json.
- * $MEMBW_SCALE applies when no explicit scale is given.
+ * scale), --scale S, --json FILE, --jobs N, --stable-json,
+ * --no-collapse, --trace-out FILE, and --series-out FILE.
+ * $MEMBW_SCALE applies when no explicit scale is given.  Tracing and
+ * the series sampler are armed here, so drivers need no extra setup.
  */
 inline BenchOptions
 parseOptions(int argc, char **argv, double dfltScale)
@@ -108,15 +114,24 @@ parseOptions(int argc, char **argv, double dfltScale)
             o.stableJson = true;
         } else if (a == "--no-collapse") {
             o.noCollapse = true;
+        } else if (a == "--trace-out") {
+            o.traceOut = need();
+        } else if (a == "--series-out") {
+            o.seriesOut = need();
         } else if (!a.empty() && a[0] != '-' &&
                    std::atof(a.c_str()) > 0) {
             o.scale = std::atof(a.c_str());
         } else {
             cliFatal("unknown bench flag '" + a +
                      "' (expected SCALE, --scale S, --json FILE, "
-                     "--jobs N, --stable-json, or --no-collapse)");
+                     "--jobs N, --stable-json, --no-collapse, "
+                     "--trace-out FILE, or --series-out FILE)");
         }
     }
+    if (!o.traceOut.empty())
+        tracingInit(o.traceOut, argc > 0 ? argv[0] : "bench");
+    if (!o.seriesOut.empty())
+        SeriesWriter::global().init(o.seriesOut);
     return o;
 }
 
@@ -146,15 +161,16 @@ class JsonReport
   public:
     JsonReport(std::string tool, std::string experiment,
                const BenchOptions &opt)
-        : path_(opt.jsonPath)
+        : path_(opt.jsonPath), jobs_(opt.jobs),
+          noCollapse_(opt.noCollapse)
     {
         manifest_.tool = std::move(tool);
         manifest_.experiment = std::move(experiment);
         manifest_.scale = opt.scale;
         // --stable-json drops wall-clock fields so that runs at
-        // different --jobs values can be diffed byte-for-byte.  The
-        // jobs value itself is deliberately NOT recorded for the
-        // same reason.
+        // different --jobs values can be diffed byte-for-byte.
+        // jobs/collapse describe how the run executed, so they are
+        // recorded under the same gate (see write()).
         manifest_.omitTiming = opt.stableJson;
     }
 
@@ -187,6 +203,10 @@ class JsonReport
         if (path_.empty())
             return;
         manifest_.wallSeconds = timer_.seconds();
+        if (!manifest_.omitTiming) {
+            manifest_.set("jobs", std::to_string(jobs_));
+            manifest_.set("collapse", noCollapse_ ? "off" : "on");
+        }
         JsonWriter w;
         w.beginObject();
         w.key("manifest");
@@ -231,6 +251,8 @@ class JsonReport
     }
 
     std::string path_;
+    unsigned jobs_ = 1;
+    bool noCollapse_ = false;
     RunManifest manifest_;
     WallTimer timer_;
     std::vector<std::pair<std::string, TextTable>> tables_;

@@ -2,14 +2,30 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "common/bitops.hh"
 #include "exec/fa_sweep.hh"
 #include "exec/ladder_sweep.hh"
 #include "exec/parallel_sweep.hh"
+#include "obs/trace_span.hh"
 #include "trace/block_stream.hh"
 
 namespace membw {
+
+const char *
+cellRouteName(CellRoute route)
+{
+    switch (route) {
+    case CellRoute::Ladder:
+        return "ladder";
+    case CellRoute::Mattson:
+        return "mattson";
+    case CellRoute::Direct:
+        break;
+    }
+    return "direct";
+}
 
 namespace {
 
@@ -39,6 +55,7 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
                                unsigned jobs)
 {
     results_.resize(configs.size());
+    routes_.assign(configs.size(), CellRoute::Direct);
 
     // Group candidate configs by (block size, engine).  std::map
     // keeps group order deterministic.
@@ -73,6 +90,11 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
         groups.size(), std::max(jobs, 1u),
         [&](std::size_t gi) -> std::vector<TrafficResult> {
             const Group &g = groups[gi];
+            MEMBW_SPAN_D(
+                g.mattson ? "collapse.mattson_pass"
+                          : "collapse.ladder_pass",
+                "block=" + std::to_string(g.blockBytes) +
+                    "B cells=" + std::to_string(g.configs.size()));
             if (g.mattson) {
                 if (!faLruCollapsible(trace, g.configs))
                     return {};
@@ -96,6 +118,8 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
             ladderPasses_++;
         for (std::size_t k = 0; k < g.indices.size(); ++k) {
             results_[g.indices[k]] = res[k];
+            routes_[g.indices[k]] =
+                g.mattson ? CellRoute::Mattson : CellRoute::Ladder;
             covered_++;
         }
     }

@@ -31,6 +31,7 @@
 #define MEMBW_EXEC_COLLAPSED_SWEEP_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -39,6 +40,17 @@
 #include "trace/trace.hh"
 
 namespace membw {
+
+/** Which engine actually produced a sweep cell's result. */
+enum class CellRoute : std::uint8_t
+{
+    Direct = 0,  ///< per-cell fallback simulation
+    Ladder = 1,  ///< collapsed set-associative ladder pass
+    Mattson = 2, ///< collapsed FA stack-distance pass
+};
+
+/** Stable lowercase name for reports and trace span details. */
+const char *cellRouteName(CellRoute route);
 
 class CollapsedSweep
 {
@@ -69,6 +81,17 @@ class CollapsedSweep
         return *results_[i];
     }
 
+    /**
+     * The engine that covered config @p i — Direct for cells the
+     * caller must simulate itself (also for indices never planned,
+     * so it is safe on a default-constructed planner).
+     */
+    CellRoute
+    route(std::size_t i) const
+    {
+        return i < routes_.size() ? routes_[i] : CellRoute::Direct;
+    }
+
     /** Configs covered by any one-pass engine. */
     std::size_t covered() const { return covered_; }
 
@@ -80,6 +103,7 @@ class CollapsedSweep
 
   private:
     std::vector<std::optional<TrafficResult>> results_;
+    std::vector<CellRoute> routes_;
     std::size_t covered_ = 0;
     std::size_t mattsonPasses_ = 0;
     std::size_t ladderPasses_ = 0;

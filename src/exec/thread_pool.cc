@@ -1,8 +1,22 @@
 #include "exec/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "obs/trace_span.hh"
 
 namespace membw {
+
+namespace {
+
+// Process-wide occupancy gauges (see poolQueueDepth()).  Relaxed is
+// fine: every mutation happens under a pool's mutex and readers only
+// want a recent value.
+std::atomic<std::size_t> g_queueDepth{0};
+std::atomic<std::size_t> g_busyWorkers{0};
+
+} // namespace
 
 unsigned
 defaultJobs()
@@ -11,12 +25,24 @@ defaultJobs()
     return hw ? std::min(hw, maxParallelJobs) : 1u;
 }
 
+std::size_t
+poolQueueDepth()
+{
+    return g_queueDepth.load(std::memory_order_relaxed);
+}
+
+std::size_t
+poolBusyWorkers()
+{
+    return g_busyWorkers.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     const unsigned n = std::clamp(threads, 1u, maxParallelJobs);
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -35,10 +61,14 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        depth = queue_.size();
     }
+    g_queueDepth.fetch_add(1, std::memory_order_relaxed);
+    tracingCounter("pool.queue_depth", static_cast<double>(depth));
     workCv_.notify_one();
 }
 
@@ -50,10 +80,14 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    char name[24];
+    std::snprintf(name, sizeof(name), "worker-%u", index);
+    bool named = false;
     for (;;) {
         std::function<void()> task;
+        std::size_t depth, busy;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             workCv_.wait(
@@ -63,14 +97,29 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
             ++running_;
+            depth = queue_.size();
+            busy = running_;
         }
+        g_queueDepth.fetch_sub(1, std::memory_order_relaxed);
+        g_busyWorkers.fetch_add(1, std::memory_order_relaxed);
+        if (!named && tracingActive()) {
+            // Lazy so workers spawned before tracingInit() still
+            // register under their pool name, not "thread-N".
+            tracingSetThreadName(name);
+            named = true;
+        }
+        tracingCounter("pool.queue_depth", static_cast<double>(depth));
+        tracingCounter("pool.busy_workers", static_cast<double>(busy));
         task();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --running_;
+            busy = running_;
             if (queue_.empty() && !running_)
                 idleCv_.notify_all();
         }
+        g_busyWorkers.fetch_sub(1, std::memory_order_relaxed);
+        tracingCounter("pool.busy_workers", static_cast<double>(busy));
     }
 }
 

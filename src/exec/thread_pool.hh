@@ -32,6 +32,15 @@ namespace membw {
  */
 unsigned defaultJobs();
 
+/**
+ * Live occupancy across every ThreadPool in the process (queued
+ * tasks / tasks mid-execution).  Telemetry only — values are racy
+ * snapshots for the trace counters and --series-out sampler, never
+ * for scheduling decisions.
+ */
+std::size_t poolQueueDepth();
+std::size_t poolBusyWorkers();
+
 /** Fixed-size FIFO worker pool. */
 class ThreadPool
 {
@@ -60,7 +69,7 @@ class ThreadPool
     }
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     std::mutex mutex_;
     std::condition_variable workCv_; ///< wakes workers

@@ -9,6 +9,7 @@
 #include "common/log.hh"
 #include "mtc/next_use.hh"
 #include "obs/registry.hh"
+#include "obs/trace_span.hh"
 #include "resilience/checkpoint.hh"
 
 namespace membw {
@@ -281,6 +282,7 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
                 }
             }
             victim = cand[chosen].second;
+            victimScanPops_ += popped;
             for (std::size_t k = 0; k < popped; ++k) {
                 if (k == chosen)
                     continue;
@@ -318,11 +320,14 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
 void
 MinCacheSim::step(std::size_t n)
 {
+    MEMBW_SPAN("mtc.step");
     const std::size_t end =
         cursor_ + std::min(n, trace_.size() - cursor_);
     const std::vector<Tick> &nextUse = *nextUse_;
     for (; cursor_ < end; ++cursor_)
         accessOne(trace_[cursor_], nextUse[cursor_]);
+    tracingCounter("mtc.victim_scan_pops",
+                   static_cast<double>(victimScanPops_));
 }
 
 MinCacheStats

@@ -174,6 +174,12 @@ class MinCacheSim
 
     MinCacheStats stats_;
 
+    /** Cumulative write-aware victim-scan heap pops.  Telemetry
+     * only: sampled as a trace counter, deliberately excluded from
+     * MinCacheStats and the checkpoint image so neither format
+     * changes. */
+    std::uint64_t victimScanPops_ = 0;
+
     /** Dense pool of resident blocks; freed slots are recycled via
      * freeList_.  The pool is reached through the victim-order
      * structures below, never searched. */

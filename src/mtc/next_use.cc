@@ -1,9 +1,11 @@
 #include "mtc/next_use.hh"
 
+#include <string>
 #include <unordered_map>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "obs/trace_span.hh"
 
 namespace membw {
 
@@ -12,6 +14,10 @@ buildNextUse(const Trace &trace, Bytes blockBytes)
 {
     if (!isPowerOfTwo(blockBytes))
         fatal("next-use granularity must be a power of two");
+
+    MEMBW_SPAN_D("mtc.next_use_build",
+                 "block=" + std::to_string(blockBytes) +
+                     "B refs=" + std::to_string(trace.size()));
 
     std::vector<Tick> next(trace.size(), tickInfinity);
     std::unordered_map<Addr, Tick> lastSeen;

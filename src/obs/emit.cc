@@ -1,0 +1,56 @@
+#include "obs/emit.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace membw {
+
+namespace {
+
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+void
+emitLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(emitMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    if (line.empty() || line.back() != '\n')
+        std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+void
+emitLinef(const char *fmt, ...)
+{
+    char fixed[512];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(fixed, sizeof(fixed), fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof(fixed)) {
+        va_end(ap2);
+        emitLine(std::string(fixed, static_cast<std::size_t>(n)));
+        return;
+    }
+    std::vector<char> big(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(big.data(), big.size(), fmt, ap2);
+    va_end(ap2);
+    emitLine(std::string(big.data(), static_cast<std::size_t>(n)));
+}
+
+} // namespace membw

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Serialized stderr line emitter.
+ *
+ * The heartbeat (--stats-every), the sweep progress callback, and
+ * worker-side diagnostics can all write to stderr concurrently; raw
+ * fprintf interleaves their bytes into torn lines at --jobs N.
+ * emitLine()/emitLinef() build each message into one buffer and hand
+ * it to the stream in a single locked write, so every emitted line
+ * arrives whole.
+ */
+
+#ifndef MEMBW_OBS_EMIT_HH
+#define MEMBW_OBS_EMIT_HH
+
+#include <string>
+
+namespace membw {
+
+/** Write @p line (a trailing '\n' is appended if absent) to stderr
+ * as one atomic unit. */
+void emitLine(const std::string &line);
+
+/** printf-style emitLine(). */
+void emitLinef(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace membw
+
+#endif // MEMBW_OBS_EMIT_HH

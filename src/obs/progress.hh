@@ -4,7 +4,9 @@
  * progress heartbeat (refs/sec + ETA) for long simulations.
  *
  * The heartbeat writes to stderr so it never contaminates stdout
- * tables or redirected JSON.
+ * tables or redirected JSON.  Every line goes through the
+ * serialized emitter (obs/emit.hh), so heartbeats from --jobs N
+ * sweeps never tear against other stderr writers.
  */
 
 #ifndef MEMBW_OBS_PROGRESS_HH
@@ -16,6 +18,8 @@
 #include <functional>
 #include <string>
 #include <utility>
+
+#include "obs/emit.hh"
 
 namespace membw {
 
@@ -83,14 +87,13 @@ class ProgressMeter
                 ? static_cast<double>(total - done) / rate
                 : 0.0;
         const std::string note = annotate_ ? annotate_() : "";
-        std::fprintf(stderr,
-                     "[%s] %llu/%llu refs (%.1f%%) | %.2f Mrefs/s | "
-                     "ETA %.1fs%s%s\n",
-                     label_.c_str(),
-                     static_cast<unsigned long long>(done),
-                     static_cast<unsigned long long>(total), pct,
-                     rate / 1e6, eta, note.empty() ? "" : " | ",
-                     note.c_str());
+        emitLinef("[%s] %llu/%llu refs (%.1f%%) | %.2f Mrefs/s | "
+                  "ETA %.1fs%s%s",
+                  label_.c_str(),
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total), pct,
+                  rate / 1e6, eta, note.empty() ? "" : " | ",
+                  note.c_str());
     }
 
     double elapsedSeconds() const { return timer_.seconds(); }

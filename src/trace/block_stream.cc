@@ -1,7 +1,10 @@
 #include "trace/block_stream.hh"
 
+#include <string>
+
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "obs/trace_span.hh"
 
 namespace membw {
 
@@ -10,6 +13,10 @@ buildBlockStream(const Trace &trace, Bytes blockBytes)
 {
     if (blockBytes < wordBytes || !isPowerOfTwo(blockBytes))
         fatal("block stream needs a power-of-two block size >= 4B");
+
+    MEMBW_SPAN_D("block_stream.decode",
+                 "block=" + std::to_string(blockBytes) +
+                     "B refs=" + std::to_string(trace.size()));
 
     BlockStream s;
     s.blockBytes = blockBytes;

@@ -8,6 +8,7 @@
 
 #include "common/crc.hh"
 #include "common/log.hh"
+#include "obs/trace_span.hh"
 
 namespace membw {
 
@@ -148,6 +149,8 @@ void
 saveTrace(const Trace &trace, const std::string &path,
           TraceFormat format)
 {
+    MEMBW_SPAN_D("trace.save",
+                 "refs=" + std::to_string(trace.size()));
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
         fatal("cannot open '" + path + "' for writing");
@@ -319,6 +322,7 @@ parseTrace(const std::uint8_t *data, std::size_t size,
 Result<Trace>
 tryLoadTrace(const std::string &path)
 {
+    MEMBW_SPAN("trace.load");
     FilePtr f(std::fopen(path.c_str(), "rb"));
     if (!f)
         return makeError(Errc::IoError,

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the span tracing layer (obs/trace_span.hh) and its
+ * exporters (obs/trace_export.hh): ring wrap-around accounting,
+ * open-span clipping at flush, empty traces, per-thread timestamp
+ * monotonicity in the Chrome JSON, and the JSONL series writer.
+ *
+ * Every test that records events resets the tracing runtime first;
+ * gtest runs tests in one process, and the rings are process-global.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_span.hh"
+
+using namespace membw;
+
+#ifdef MEMBW_TRACING_ENABLED
+
+namespace {
+
+/** Fresh runtime with @p capacity events per thread, recording on. */
+void
+restartTracing(std::size_t capacity)
+{
+    tracingStop();
+    tracingReset();
+    tracingSetCapacity(capacity);
+    tracingStart();
+}
+
+/** Parse a Chrome trace document and return its traceEvents array. */
+JsonValue
+traceEventsOf(const std::string &json)
+{
+    JsonValue doc = parseJson(json);
+    const JsonValue *evs = doc.find("traceEvents");
+    EXPECT_NE(evs, nullptr);
+    return evs ? *evs : JsonValue{};
+}
+
+} // namespace
+
+TEST(TraceSpan, RingWrapsAndCountsOverwrites)
+{
+    restartTracing(8);
+    for (int i = 0; i < 20; ++i) {
+        MEMBW_SPAN("wrap_span");
+    }
+
+    std::vector<tracedetail::FlatEvent> events;
+    std::uint64_t dropped = 0;
+    std::vector<std::pair<std::uint32_t, std::string>> threads;
+    tracedetail::snapshot(events, dropped, threads);
+
+    // 20 recorded into an 8-slot ring: the newest 8 survive, the 12
+    // oldest were overwritten and must be accounted for.
+    EXPECT_EQ(events.size(), 8u);
+    EXPECT_EQ(dropped, 12u);
+    for (const auto &e : events)
+        EXPECT_EQ(e.name, "wrap_span");
+    tracingStop();
+}
+
+TEST(TraceSpan, OpenSpanClippedAtFlush)
+{
+    restartTracing(64);
+    tracedetail::beginSpan("still_open", "why=sigterm");
+    const std::string json = tracingChromeJson("test");
+    tracedetail::endSpan(); // clean up before the next test
+
+    const JsonValue evs = traceEventsOf(json);
+    bool found = false;
+    for (const JsonValue &ev : evs.array) {
+        if (ev.at("ph").asString() != "X" ||
+            ev.at("name").asString() != "still_open")
+            continue;
+        found = true;
+        EXPECT_GE(ev.at("dur").asNumber(), 0.0);
+        EXPECT_TRUE(ev.at("args").at("open").asBool());
+        EXPECT_EQ(ev.at("args").at("detail").asString(),
+                  "why=sigterm");
+    }
+    EXPECT_TRUE(found) << "open span missing from flush";
+    tracingStop();
+}
+
+TEST(TraceSpan, EmptyTraceIsWellFormed)
+{
+    restartTracing(64);
+    const std::string json = tracingChromeJson("test");
+    const JsonValue evs = traceEventsOf(json);
+    // Only metadata (process_name) may be present — no data events.
+    for (const JsonValue &ev : evs.array)
+        EXPECT_EQ(ev.at("ph").asString(), "M");
+    tracingStop();
+}
+
+TEST(TraceSpan, CountersAndInstantsExport)
+{
+    restartTracing(64);
+    tracingCounter("queue_depth", 3.0);
+    tracingCounter("queue_depth", 5.0);
+    tracingInstant("shutdown", "sig=SIGTERM");
+    const std::string json = tracingChromeJson("test");
+    tracingStop();
+
+    const JsonValue evs = traceEventsOf(json);
+    int counters = 0, instants = 0;
+    for (const JsonValue &ev : evs.array) {
+        const std::string &ph = ev.at("ph").asString();
+        if (ph == "C") {
+            ++counters;
+            EXPECT_EQ(ev.at("name").asString(), "queue_depth");
+            EXPECT_GE(ev.at("args").at("value").asNumber(), 3.0);
+        } else if (ph == "i") {
+            ++instants;
+            EXPECT_EQ(ev.at("args").at("detail").asString(),
+                      "sig=SIGTERM");
+        }
+    }
+    EXPECT_EQ(counters, 2);
+    EXPECT_EQ(instants, 1);
+}
+
+TEST(TraceSpan, PerThreadTimestampsMonotonic)
+{
+    restartTracing(1 << 10);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < 50; ++i) {
+                MEMBW_SPAN("worker_span");
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    const std::string json = tracingChromeJson("test");
+    tracingStop();
+
+    const JsonValue evs = traceEventsOf(json);
+    std::map<std::int64_t, double> lastTs;
+    std::size_t spans = 0;
+    for (const JsonValue &ev : evs.array) {
+        if (ev.at("ph").asString() != "X")
+            continue;
+        ++spans;
+        const auto tid =
+            static_cast<std::int64_t>(ev.at("tid").asNumber());
+        const double ts = ev.at("ts").asNumber();
+        auto [it, fresh] = lastTs.try_emplace(tid, ts);
+        EXPECT_TRUE(fresh || ts >= it->second)
+            << "ts regressed on tid " << tid;
+        it->second = ts;
+    }
+    EXPECT_EQ(spans, 200u);
+}
+
+TEST(TraceSpan, DetailExprNotEvaluatedWhenInactive)
+{
+    tracingStop();
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return std::string("detail");
+    };
+    {
+        MEMBW_SPAN_D("gated", expensive());
+    }
+    EXPECT_EQ(evaluations, 0);
+}
+
+#endif // MEMBW_TRACING_ENABLED
+
+TEST(SeriesWriter, LinesParseAsJson)
+{
+    const std::string path = "series_writer_test.jsonl";
+    SeriesWriter w;
+    w.init(path, 0.0);
+    EXPECT_TRUE(w.enabled());
+    EXPECT_TRUE(w.sample({{"refs", 100.0}, {"cells_done", 2.0}}));
+    EXPECT_TRUE(w.sample({{"refs", 200.0}}, /*force=*/true));
+    EXPECT_EQ(w.lines(), 2u);
+    w.close();
+    EXPECT_FALSE(w.sample({{"refs", 300.0}}, true));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    std::size_t lines = 0, pos = 0;
+    double lastT = -1.0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos) << "unterminated line";
+        const JsonValue v =
+            parseJson(std::string_view(text.data() + pos, eol - pos));
+        ASSERT_TRUE(v.isObject());
+        EXPECT_GE(v.at("t").asNumber(), lastT);
+        lastT = v.at("t").asNumber();
+        if (lines == 0) {
+            EXPECT_DOUBLE_EQ(v.at("refs").asNumber(), 100.0);
+            EXPECT_DOUBLE_EQ(v.at("cells_done").asNumber(), 2.0);
+        }
+        ++lines;
+        pos = eol + 1;
+    }
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST(SeriesWriter, DisabledWriterDropsSamples)
+{
+    SeriesWriter w;
+    EXPECT_FALSE(w.enabled());
+    EXPECT_FALSE(w.sample({{"refs", 1.0}}, true));
+    EXPECT_EQ(w.lines(), 0u);
+}

@@ -32,11 +32,14 @@
 #include "common/table.hh"
 #include "cpu/experiment.hh"
 #include "exec/parallel_sweep.hh"
+#include "exec/thread_pool.hh"
 #include "dram/dram.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_span.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/exit_codes.hh"
 #include "resilience/signals.hh"
@@ -93,7 +96,11 @@ usage(int code)
         "Telemetry:\n"
         "  --stats-json FILE    write manifest + full stats as JSON\n"
         "  --stable-json        omit wall-clock fields from the JSON\n"
-        "  --stats-every N      stderr progress line every N instrs\n\n"
+        "  --stats-every N      stderr progress line every N instrs\n"
+        "  --trace-out FILE     write a Chrome trace-event JSON "
+        "(Perfetto)\n"
+        "  --series-out FILE    append a JSONL time series of live "
+        "counters\n\n"
         "%s",
         exitCodeHelp);
     std::exit(code);
@@ -156,6 +163,7 @@ writeCheckpoint(const std::string &path, std::uint64_t digest,
                 std::uint64_t streamSize, unsigned phasesDone,
                 const CoreResult *results)
 {
+    MEMBW_SPAN("checkpoint.write");
     ChkWriter w;
     w.beginSection(chkTag("META"));
     w.str("membw_decompose");
@@ -175,6 +183,7 @@ unsigned
 loadCheckpoint(const std::string &path, std::uint64_t digest,
                std::uint64_t streamSize, CoreResult *results)
 {
+    MEMBW_SPAN("checkpoint.load");
     auto opened = ChkReader::fromFile(path);
     if (!opened.ok())
         fatal("cannot resume from '" + path +
@@ -234,6 +243,8 @@ main(int argc, char **argv)
         std::string statsJson;
         bool stableJson = false;
         std::uint64_t statsEvery = 0;
+        std::string traceOut;
+        std::string seriesOut;
         std::string checkpoint;
         std::string resume;
         Cycle watchdogCycles = 1'000'000;
@@ -298,6 +309,10 @@ main(int argc, char **argv)
                 stableJson = true;
             else if (a == "--stats-every")
                 statsEvery = countFlag(a, need(i));
+            else if (a == "--trace-out")
+                traceOut = need(i);
+            else if (a == "--series-out")
+                seriesOut = need(i);
             else if (a == "--checkpoint")
                 checkpoint = need(i);
             else if (a == "--resume")
@@ -318,6 +333,10 @@ main(int argc, char **argv)
             usage(exitUsage);
 
         installShutdownHandlers();
+        if (!traceOut.empty())
+            tracingInit(traceOut, "membw_decompose");
+        if (!seriesOut.empty())
+            SeriesWriter::global().init(seriesOut);
 
         auto applyOverrides = [&](ExperimentConfig &cfg) {
             if (ov.mshrs > 0)
@@ -354,9 +373,12 @@ main(int argc, char **argv)
         WorkloadParams p;
         p.scale = scale;
         p.seed = seed;
-        const auto run = makeWorkload(workload)->run(p);
-        const InstrStream stream = InstrStream::fromRun(
-            run, codeFootprintBytes(workload), seed);
+        const InstrStream stream = [&] {
+            MEMBW_SPAN_D("stream.build", workload);
+            const auto run = makeWorkload(workload)->run(p);
+            return InstrStream::fromRun(
+                run, codeFootprintBytes(workload), seed);
+        }();
 
         if (allExperiments) {
             if (!checkpoint.empty() || !resume.empty())
@@ -384,15 +406,33 @@ main(int argc, char **argv)
                          "cells\n",
                          jobs, jobs == 1 ? "" : "s", nCells);
 
+            MEMBW_SPAN("run");
             WallTimer timer;
             SweepOptions sopt;
             sopt.jobs = jobs;
             sopt.cancel = [] { return shutdownRequested(); };
+            sopt.onPrefix = [&](std::size_t prefix) {
+                // Serialized under the sweep mutex.
+                SeriesWriter::global().sample(
+                    {{"cells_done", static_cast<double>(prefix)},
+                     {"cells_total", static_cast<double>(nCells)},
+                     {"pool_queue_depth",
+                      static_cast<double>(poolQueueDepth())},
+                     {"pool_busy_workers",
+                      static_cast<double>(poolBusyWorkers())}});
+            };
 
             SweepResult<CoreResult> sweep;
             try {
                 sweep = parallelSweep(
                     nCells, sopt, [&](std::size_t i) {
+                        MEMBW_SPAN_D(
+                            "cell",
+                            std::string("exp=") +
+                                letters[i / decompositionPhases] +
+                                " phase=" +
+                                phaseName(static_cast<unsigned>(
+                                    i % decompositionPhases)));
                         ExperimentConfig cell = makeExperiment(
                             letters[i / decompositionPhases],
                             spec95);
@@ -496,6 +536,7 @@ main(int argc, char **argv)
                         decompositionPhases);
         }
 
+        MEMBW_SPAN("run");
         WallTimer timer;
         ProgressMeter meter("membw_decompose", statsEvery);
 
@@ -525,6 +566,13 @@ main(int argc, char **argv)
         cfg.core.progressEvery = statsEvery ? statsEvery : 65536;
         cfg.core.progress = [&](std::size_t done, std::size_t total) {
             meter.tick(done, total);
+            SeriesWriter::global().sample(
+                {{"ops",
+                  static_cast<double>(opsCompleted + done)},
+                 {"phase", static_cast<double>(livePhase)},
+                 {"wd_slack", liveWatchdog
+                                  ? liveWatchdog->headroom()
+                                  : 1.0}});
             if (sigtermAfter && !sigtermFired &&
                 opsCompleted + done >= sigtermAfter) {
                 sigtermFired = true;
@@ -543,9 +591,12 @@ main(int argc, char **argv)
             liveWatchdog = &watchdog;
             livePhase = phasesDone;
             try {
+                MEMBW_SPAN_D("phase",
+                             std::string(phaseName(phasesDone)));
                 results[phasesDone] =
                     runPhase(stream, cfg, phasesDone);
             } catch (const PhaseInterrupt &) {
+                tracingInstant("shutdown", shutdownSignalName());
                 // Drained: the completed phases are all durable
                 // state there is; the interrupted phase re-runs
                 // from its start on --resume.

@@ -35,11 +35,15 @@
 #include "common/table.hh"
 #include "exec/collapsed_sweep.hh"
 #include "exec/parallel_sweep.hh"
+#include "exec/thread_pool.hh"
 #include "mtc/min_cache.hh"
+#include "obs/emit.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_span.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/exit_codes.hh"
 #include "resilience/signals.hh"
@@ -127,7 +131,12 @@ usage(int code)
         "  --stats-json FILE   write manifest + full stats as JSON\n"
         "  --stable-json       omit wall-clock fields from the JSON "
         "(byte-identical across reruns)\n"
-        "  --stats-every N     stderr progress line every N refs\n\n"
+        "  --stats-every N     stderr progress line every N refs\n"
+        "  --trace-out FILE    write a Chrome trace-event JSON "
+        "(load in Perfetto;\n"
+        "                      inspect with membw_trace_report)\n"
+        "  --series-out FILE   append a JSONL time series of live "
+        "counters\n\n"
         "%s",
         exitCodeHelp);
     std::exit(code);
@@ -217,6 +226,8 @@ struct Options
     std::string statsJson;
     bool stableJson = false;
     std::uint64_t statsEvery = 0;
+    std::string traceOut;
+    std::string seriesOut;
     std::string checkpoint;
     std::uint64_t checkpointEvery = 0;
     std::string resume;
@@ -335,6 +346,10 @@ parse(int argc, char **argv)
             o.stableJson = true;
         } else if (a == "--stats-every") {
             o.statsEvery = countFlag(a, need(i));
+        } else if (a == "--trace-out") {
+            o.traceOut = need(i);
+        } else if (a == "--series-out") {
+            o.seriesOut = need(i);
         } else if (a == "--checkpoint") {
             o.checkpoint = need(i);
         } else if (a == "--checkpoint-every") {
@@ -385,6 +400,7 @@ void
 writeCheckpoint(const Options &o, const RunState &state,
                 const CacheHierarchy *hier, const MinCacheSim *mtc)
 {
+    MEMBW_SPAN("checkpoint.write");
     ChkWriter w;
     w.beginSection(chkTag("META"));
     w.str("membw_sim");
@@ -410,6 +426,7 @@ void
 loadCheckpoint(const Options &o, RunState &state, CacheHierarchy &hier,
                MinCacheSim *mtc)
 {
+    MEMBW_SPAN("checkpoint.load");
     auto opened = ChkReader::fromFile(o.resume);
     if (!opened.ok())
         fatal("cannot resume from '" + o.resume +
@@ -510,6 +527,11 @@ shutdownNow(const Options &o, const RunState &state, const Trace &trace,
             const CacheHierarchy *hier, const MinCacheSim *mtc,
             double wallSeconds)
 {
+    tracingInstant("shutdown", shutdownSignalName());
+    SeriesWriter::global().sample(
+        {{"refs", static_cast<double>(state.cursor)},
+         {"phase", static_cast<double>(state.phase)}},
+        /*force=*/true);
     std::fprintf(stderr,
                  "\n%s received: drained reference %llu, shutting "
                  "down\n",
@@ -594,8 +616,8 @@ runSweep(const Options &o, const Trace &trace)
     std::printf("\nsweep: %zu cells (%zu sizes x %zu blocks%s)\n",
                 nCells, o.sweepSizes.size(), blocks.size(),
                 o.runMtc ? " + MTC" : "");
-    std::fprintf(stderr, "membw_sim: sweep using %u worker%s\n",
-                 o.jobs, o.jobs == 1 ? "" : "s");
+    emitLinef("membw_sim: sweep using %u worker%s", o.jobs,
+              o.jobs == 1 ? "" : "s");
 
     // Route every coverable cell to an exact one-pass engine:
     // FA-LRU groups over load-only traces collapse into Mattson
@@ -618,13 +640,37 @@ runSweep(const Options &o, const Trace &trace)
                         "stack-distance passes\n",
                         collapsed.mattsonPasses());
         if (collapsed.ladderPasses() > 0)
-            std::fprintf(stderr,
-                         "membw_sim: %zu of %zu cells precomputed "
-                         "by %zu ladder-kernel pass%s\n",
-                         collapsed.covered(), nHier,
-                         collapsed.ladderPasses(),
-                         collapsed.ladderPasses() == 1 ? "" : "es");
+            emitLinef("membw_sim: %zu of %zu cells precomputed "
+                      "by %zu ladder-kernel pass%s",
+                      collapsed.covered(), nHier,
+                      collapsed.ladderPasses(),
+                      collapsed.ladderPasses() == 1 ? "" : "es");
     }
+
+    // Per-cell span detail: config, routing decision, and a short
+    // config digest so Perfetto rows tie back to exact cells.
+    auto cellDetail = [&](std::size_t i) {
+        char buf[traceDetailBytes];
+        if (i >= nHier) {
+            const Bytes size = o.sweepSizes[i - nHier];
+            std::snprintf(
+                buf, sizeof(buf), "cfg=%s/mtc route=mtc d=%08llx",
+                formatSize(size).c_str(),
+                static_cast<unsigned long long>(
+                    fnv1a64(canonicalMtc(size).describe()) &
+                    0xffffffffu));
+        } else {
+            const CacheConfig cfg = configFor(i);
+            std::snprintf(
+                buf, sizeof(buf), "cfg=%s/%s route=%s d=%08llx",
+                formatSize(cfg.size).c_str(),
+                formatSize(cfg.blockBytes).c_str(),
+                cellRouteName(collapsed.route(i)),
+                static_cast<unsigned long long>(
+                    fnv1a64(cfg.describe()) & 0xffffffffu));
+        }
+        return std::string(buf);
+    };
 
     struct CellOut
     {
@@ -632,14 +678,23 @@ runSweep(const Options &o, const Trace &trace)
         MinCacheStats mtc;
     };
 
+    MEMBW_SPAN("run");
     WallTimer timer;
     SweepOptions sopt;
     sopt.jobs = o.jobs;
     sopt.cancel = [] { return shutdownRequested(); };
     sopt.onPrefix = [&](std::size_t prefix) {
+        // Serialized under the sweep mutex, so sampling here is safe.
+        SeriesWriter::global().sample(
+            {{"cells_done", static_cast<double>(prefix)},
+             {"cells_total", static_cast<double>(nCells)},
+             {"pool_queue_depth",
+              static_cast<double>(poolQueueDepth())},
+             {"pool_busy_workers",
+              static_cast<double>(poolBusyWorkers())}});
         if (o.statsEvery)
-            std::fprintf(stderr, "membw_sim: sweep %zu/%zu cells\n",
-                         prefix, nCells);
+            emitLinef("membw_sim: sweep %zu/%zu cells", prefix,
+                      nCells);
         if (o.sigtermAfter && prefix == o.sigtermAfter)
             std::raise(SIGTERM);
     };
@@ -652,6 +707,7 @@ runSweep(const Options &o, const Trace &trace)
 
     const auto sweepRes =
         parallelSweep(nCells, sopt, [&](std::size_t i) -> CellOut {
+            MEMBW_SPAN_D("cell", cellDetail(i));
             CellOut out;
             if (i >= nHier)
                 out.mtc = runMinCache(
@@ -664,6 +720,10 @@ runSweep(const Options &o, const Trace &trace)
                                            o.eventBudget);
             return out;
         });
+    SeriesWriter::global().sample(
+        {{"cells_done", static_cast<double>(sweepRes.completed)},
+         {"cells_total", static_cast<double>(nCells)}},
+        /*force=*/true);
 
     // --sigterm-after fires once the completed prefix reaches N, but
     // with jobs > 1 in-flight cells drain past it; truncate to
@@ -758,6 +818,41 @@ runSweep(const Options &o, const Trace &trace)
         w.beginObject();
         w.key("manifest");
         manifest.write(w);
+        // Per-cell kernel routing.  Describes how this run executed
+        // rather than what it computed, so — like wall_seconds — it
+        // is omitted under --stable-json (the equivalence tests
+        // byte-diff that output across --jobs and --no-collapse).
+        if (!o.stableJson) {
+            std::size_t nLadder = 0, nMattson = 0, nDirect = 0;
+            for (std::size_t i = 0; i < usable && i < nHier; ++i) {
+                switch (collapsed.route(i)) {
+                case CellRoute::Ladder:
+                    nLadder++;
+                    break;
+                case CellRoute::Mattson:
+                    nMattson++;
+                    break;
+                case CellRoute::Direct:
+                    nDirect++;
+                    break;
+                }
+            }
+            const std::size_t nMtc =
+                usable > nHier ? usable - nHier : 0;
+            w.key("routing");
+            w.beginObject();
+            w.field("ladder", static_cast<std::uint64_t>(nLadder));
+            w.field("mattson", static_cast<std::uint64_t>(nMattson));
+            w.field("direct", static_cast<std::uint64_t>(nDirect));
+            w.field("mtc", static_cast<std::uint64_t>(nMtc));
+            w.field("ladder_passes",
+                    static_cast<std::uint64_t>(
+                        collapsed.ladderPasses()));
+            w.field("mattson_passes",
+                    static_cast<std::uint64_t>(
+                        collapsed.mattsonPasses()));
+            w.endObject();
+        }
         w.key("stats");
         writeStatsArray(registry, w);
         w.endObject();
@@ -774,6 +869,10 @@ main(int argc, char **argv)
     try {
         const Options o = parse(argc, argv);
         installShutdownHandlers();
+        if (!o.traceOut.empty())
+            tracingInit(o.traceOut, "membw_sim");
+        if (!o.seriesOut.empty())
+            SeriesWriter::global().init(o.seriesOut);
 
         Trace trace;
         if (!o.loadTrace.empty()) {
@@ -781,6 +880,7 @@ main(int argc, char **argv)
             std::printf("trace: %s (%zu refs)\n", o.loadTrace.c_str(),
                         trace.size());
         } else {
+            MEMBW_SPAN_D("trace.generate", o.workload);
             WorkloadParams p;
             p.scale = o.scale;
             p.seed = o.seed;
@@ -834,6 +934,7 @@ main(int argc, char **argv)
                             state.cursor));
         }
 
+        MEMBW_SPAN("run");
         WallTimer timer;
         ProgressMeter meter("membw_sim", o.statsEvery);
         std::uint64_t lastCkptRef = state.cursor;
@@ -857,10 +958,21 @@ main(int argc, char **argv)
 
         // Phase 0: the functional hierarchy, reference by reference.
         if (state.phase == phaseHierarchy) {
+            MEMBW_SPAN("phase.hierarchy");
             for (std::size_t i = state.cursor; i < total; ++i) {
                 hier.access(trace[i]);
                 state.cursor = i + 1;
                 meter.tick(state.cursor, total);
+                // Stride-gated so the sampler's clock read stays off
+                // the per-reference path.
+                if ((state.cursor & 0xFFFF) == 0)
+                    SeriesWriter::global().sample(
+                        {{"refs",
+                          static_cast<double>(state.cursor)},
+                         {"ckpt_age_refs",
+                          static_cast<double>(state.cursor -
+                                              lastCkptRef)},
+                         {"wd_slack", hier.eventHeadroom()}});
                 if (o.sigtermAfter && state.cursor == o.sigtermAfter)
                     std::raise(SIGTERM);
                 if (!o.checkpoint.empty() &&
@@ -909,11 +1021,18 @@ main(int argc, char **argv)
                     : (o.statsEvery
                            ? static_cast<std::size_t>(o.statsEvery)
                            : std::size_t{1} << 20);
+            MEMBW_SPAN("phase.mtc");
             while (!mtcSim->done()) {
                 const std::size_t before = mtcSim->cursor();
                 mtcSim->step(slice);
                 state.cursor = mtcSim->cursor();
                 meter.tick(state.cursor, total);
+                SeriesWriter::global().sample(
+                    {{"refs", static_cast<double>(state.cursor)},
+                     {"ckpt_age_refs",
+                      static_cast<double>(state.cursor -
+                                          lastCkptRef)},
+                     {"phase", 1.0}});
                 if (o.sigtermAfter && before < o.sigtermAfter &&
                     state.cursor >= o.sigtermAfter)
                     std::raise(SIGTERM);

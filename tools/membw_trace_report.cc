@@ -1,0 +1,448 @@
+/**
+ * @file
+ * membw_trace_report — offline analyzer for --trace-out files.
+ *
+ * Reads the Chrome trace-event JSON written by membw_sim /
+ * membw_decompose / the bench drivers and prints three analyses:
+ *
+ *   - self-time per phase: wall time inside each span name minus its
+ *     nested children (where does the run actually go?);
+ *   - per-worker utilization: fraction of the trace window each
+ *     thread spent inside top-level spans;
+ *   - critical-path cell: the single longest sweep cell, with its
+ *     config/route detail.
+ *
+ * The file is validated on the way in (complete "X" events only,
+ * timestamps monotonic per thread track) so a malformed trace fails
+ * loudly instead of producing a nonsense table.  --series validates
+ * and summarizes a --series-out JSONL file alongside.
+ *
+ *   membw_trace_report trace.json
+ *   membw_trace_report trace.json --series series.jsonl
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "obs/json.hh"
+#include "resilience/exit_codes.hh"
+
+using namespace membw;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "membw_trace_report — analyze a --trace-out span trace\n\n"
+        "  membw_trace_report TRACE.json [--series FILE] [--top N]\n\n"
+        "  TRACE.json      Chrome trace-event file from --trace-out\n"
+        "  --series FILE   also validate/summarize a --series-out "
+        "JSONL file\n"
+        "  --top N         rows in the self-time table (default "
+        "15)\n\n"
+        "Prints self-time per phase, per-worker utilization, and the\n"
+        "critical-path (longest) sweep cell.  Exits 2 on a malformed\n"
+        "trace (incomplete events, non-monotonic per-thread "
+        "timestamps).\n");
+    std::exit(code);
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '" + path + "' for reading");
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        fatal("cannot read '" + path + "'");
+    return out;
+}
+
+/** One complete ("X") span event, timestamps in microseconds. */
+struct Span
+{
+    std::string name;
+    std::string detail;
+    std::int64_t tid = 0;
+    double ts = 0.0;
+    double dur = 0.0;
+};
+
+struct TraceDoc
+{
+    std::vector<Span> spans;
+    std::map<std::int64_t, std::string> threadNames;
+    std::set<std::int64_t> tids; ///< every track with any event
+    std::uint64_t counters = 0;
+    std::uint64_t instants = 0;
+    std::uint64_t dropped = 0;
+    std::string tool;
+};
+
+double
+numField(const JsonValue &ev, const char *key, std::size_t index)
+{
+    const JsonValue *v = ev.find(key);
+    if (!v || !v->isNumber())
+        fatal("malformed trace: event " + std::to_string(index) +
+              " lacks numeric '" + key + "'");
+    return v->number;
+}
+
+TraceDoc
+loadTrace(const std::string &path)
+{
+    const JsonValue doc = parseJson(readFileOrDie(path));
+    if (!doc.isObject())
+        fatal("malformed trace: top level is not an object");
+    const JsonValue *evs = doc.find("traceEvents");
+    if (!evs || !evs->isArray())
+        fatal("malformed trace: no traceEvents array");
+
+    TraceDoc out;
+    if (const JsonValue *other = doc.find("otherData")) {
+        if (const JsonValue *t = other->find("tool"))
+            out.tool = t->isString() ? t->string : "";
+        if (const JsonValue *d = other->find("dropped_events"))
+            out.dropped =
+                d->isNumber() ? static_cast<std::uint64_t>(d->number)
+                              : 0;
+    }
+
+    // File-order monotonicity per thread track: the exporters sort
+    // by (tid, ts), and Perfetto relies on it.
+    std::map<std::int64_t, double> lastTs;
+    for (std::size_t i = 0; i < evs->array.size(); ++i) {
+        const JsonValue &ev = evs->array[i];
+        if (!ev.isObject())
+            fatal("malformed trace: event " + std::to_string(i) +
+                  " is not an object");
+        const JsonValue *ph = ev.find("ph");
+        if (!ph || !ph->isString())
+            fatal("malformed trace: event " + std::to_string(i) +
+                  " lacks 'ph'");
+        const std::string &kind = ph->string;
+        if (kind == "M")
+            continue; // metadata handled below
+        if (kind == "B" || kind == "E")
+            fatal("malformed trace: event " + std::to_string(i) +
+                  " is an unmatched begin/end ('" + kind +
+                  "'); the exporters only emit complete X events");
+
+        const auto tid =
+            static_cast<std::int64_t>(numField(ev, "tid", i));
+        const double ts = numField(ev, "ts", i);
+        auto [it, fresh] = lastTs.try_emplace(tid, ts);
+        if (!fresh && ts < it->second)
+            fatal("malformed trace: ts not monotonic on tid " +
+                  std::to_string(tid) + " at event " +
+                  std::to_string(i));
+        it->second = ts;
+        out.tids.insert(tid);
+
+        if (kind == "C") {
+            out.counters++;
+            continue;
+        }
+        if (kind == "i") {
+            out.instants++;
+            continue;
+        }
+        if (kind != "X")
+            fatal("malformed trace: event " + std::to_string(i) +
+                  " has unsupported ph '" + kind + "'");
+
+        Span s;
+        const JsonValue *name = ev.find("name");
+        if (!name || !name->isString())
+            fatal("malformed trace: X event " + std::to_string(i) +
+                  " lacks a name");
+        s.name = name->string;
+        s.tid = tid;
+        s.ts = ts;
+        s.dur = numField(ev, "dur", i);
+        if (s.dur < 0)
+            fatal("malformed trace: X event " + std::to_string(i) +
+                  " has negative dur");
+        if (const JsonValue *args = ev.find("args"))
+            if (const JsonValue *d = args->find("detail"))
+                if (d->isString())
+                    s.detail = d->string;
+        out.spans.push_back(std::move(s));
+    }
+
+    for (const JsonValue &ev : evs->array) {
+        const JsonValue *ph = ev.find("ph");
+        if (!ph || ph->string != "M")
+            continue;
+        const JsonValue *name = ev.find("name");
+        const JsonValue *tid = ev.find("tid");
+        const JsonValue *args = ev.find("args");
+        if (name && name->string == "thread_name" && tid &&
+            tid->isNumber() && args)
+            if (const JsonValue *n = args->find("name"))
+                out.threadNames[static_cast<std::int64_t>(
+                    tid->number)] = n->string;
+    }
+    return out;
+}
+
+struct PhaseAgg
+{
+    double selfUs = 0.0;
+    double totalUs = 0.0;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Nesting pass over one thread's spans (sorted by begin ts, ties
+ * broken longest-first so parents precede their children): a span is
+ * a child of the nearest enclosing open span; self = dur − children.
+ * Returns the thread's top-level busy time in µs.
+ */
+double
+selfTimes(std::vector<const Span *> &track,
+          std::map<std::string, PhaseAgg> &byPhase)
+{
+    std::stable_sort(track.begin(), track.end(),
+                     [](const Span *a, const Span *b) {
+                         if (a->ts != b->ts)
+                             return a->ts < b->ts;
+                         return a->dur > b->dur;
+                     });
+    struct Open
+    {
+        const Span *span;
+        double childUs = 0.0;
+    };
+    std::vector<Open> stack;
+    double busyUs = 0.0;
+    auto close = [&](const Open &top) {
+        PhaseAgg &agg = byPhase[top.span->name];
+        agg.selfUs += top.span->dur - top.childUs;
+        agg.totalUs += top.span->dur;
+        agg.count++;
+    };
+    for (const Span *s : track) {
+        while (!stack.empty() &&
+               stack.back().span->ts + stack.back().span->dur <=
+                   s->ts) {
+            close(stack.back());
+            stack.pop_back();
+        }
+        if (stack.empty())
+            busyUs += s->dur;
+        else
+            stack.back().childUs += s->dur;
+        stack.push_back(Open{s});
+    }
+    while (!stack.empty()) {
+        close(stack.back());
+        stack.pop_back();
+    }
+    return busyUs;
+}
+
+std::string
+fmtMs(double us)
+{
+    return fixed(us / 1e3, 3);
+}
+
+int
+report(const std::string &tracePath, const std::string &seriesPath,
+       std::size_t topN)
+{
+    const TraceDoc doc = loadTrace(tracePath);
+
+    if (doc.spans.empty()) {
+        std::printf("%s: no span events (%llu counters, %llu "
+                    "instants, %llu dropped)\n",
+                    tracePath.c_str(),
+                    static_cast<unsigned long long>(doc.counters),
+                    static_cast<unsigned long long>(doc.instants),
+                    static_cast<unsigned long long>(doc.dropped));
+        return exitOk;
+    }
+
+    double beginUs = doc.spans.front().ts, endUs = 0.0;
+    for (const Span &s : doc.spans) {
+        beginUs = std::min(beginUs, s.ts);
+        endUs = std::max(endUs, s.ts + s.dur);
+    }
+    const double wallUs = endUs - beginUs;
+
+    std::printf("trace: %s (%s)\n", tracePath.c_str(),
+                doc.tool.empty() ? "unknown tool" : doc.tool.c_str());
+    std::printf("spans %zu | counters %llu | instants %llu | "
+                "dropped %llu | threads %zu\n",
+                doc.spans.size(),
+                static_cast<unsigned long long>(doc.counters),
+                static_cast<unsigned long long>(doc.instants),
+                static_cast<unsigned long long>(doc.dropped),
+                doc.tids.size());
+    // Stable machine-readable line for the telemetry golden test.
+    std::printf("trace wall seconds: %.6f\n", wallUs / 1e6);
+
+    // ---- self-time per phase ------------------------------------
+    std::map<std::int64_t, std::vector<const Span *>> tracks;
+    for (const Span &s : doc.spans)
+        tracks[s.tid].push_back(&s);
+
+    std::map<std::string, PhaseAgg> byPhase;
+    std::map<std::int64_t, double> busyUs;
+    for (auto &[tid, track] : tracks)
+        busyUs[tid] = selfTimes(track, byPhase);
+
+    std::vector<std::pair<std::string, PhaseAgg>> phases(
+        byPhase.begin(), byPhase.end());
+    std::sort(phases.begin(), phases.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.selfUs > b.second.selfUs;
+              });
+
+    TextTable pt;
+    pt.header({"phase", "self ms", "total ms", "count", "self %"});
+    std::size_t rows = 0;
+    for (const auto &[name, agg] : phases) {
+        if (rows++ >= topN)
+            break;
+        pt.row({name, fmtMs(agg.selfUs), fmtMs(agg.totalUs),
+                std::to_string(agg.count),
+                wallUs > 0 ? fixed(100.0 * agg.selfUs / wallUs, 1)
+                           : "0.0"});
+    }
+    std::printf("\nself time per phase (top %zu of %zu):\n%s\n",
+                std::min(topN, phases.size()), phases.size(),
+                pt.render().c_str());
+
+    // ---- per-worker utilization ---------------------------------
+    TextTable ut;
+    ut.header({"tid", "thread", "busy ms", "util %"});
+    for (const auto &[tid, busy] : busyUs) {
+        const auto nameIt = doc.threadNames.find(tid);
+        ut.row({std::to_string(tid),
+                nameIt != doc.threadNames.end() ? nameIt->second
+                                                : "?",
+                fmtMs(busy),
+                wallUs > 0 ? fixed(100.0 * busy / wallUs, 1)
+                           : "0.0"});
+    }
+    std::printf("per-worker utilization (window %.3f ms):\n%s\n",
+                wallUs / 1e3, ut.render().c_str());
+
+    // ---- critical-path cell -------------------------------------
+    const Span *longest = nullptr;
+    for (const Span &s : doc.spans)
+        if (s.name == "cell" && (!longest || s.dur > longest->dur))
+            longest = &s;
+    if (longest)
+        std::printf("critical-path cell: %.3f ms on tid %lld (%s)\n",
+                    longest->dur / 1e3,
+                    static_cast<long long>(longest->tid),
+                    longest->detail.empty() ? "no detail"
+                                            : longest->detail.c_str());
+    else
+        std::printf("critical-path cell: no sweep cells in trace\n");
+
+    // ---- optional series summary --------------------------------
+    if (!seriesPath.empty()) {
+        const std::string text = readFileOrDie(seriesPath);
+        std::size_t lines = 0;
+        double tMin = 0.0, tMax = 0.0;
+        std::set<std::string> fields;
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t eol = text.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = text.size();
+            const std::string_view line(text.data() + pos,
+                                        eol - pos);
+            pos = eol + 1;
+            if (line.empty())
+                continue;
+            const JsonValue v = parseJson(line);
+            if (!v.isObject())
+                fatal("malformed series: line " +
+                      std::to_string(lines + 1) +
+                      " is not an object");
+            const JsonValue *t = v.find("t");
+            if (!t || !t->isNumber())
+                fatal("malformed series: line " +
+                      std::to_string(lines + 1) +
+                      " lacks numeric 't'");
+            if (lines == 0)
+                tMin = t->number;
+            tMax = t->number;
+            for (const auto &[k, val] : v.object)
+                if (k != "t")
+                    fields.insert(k);
+            lines++;
+        }
+        std::string names;
+        for (const auto &f : fields)
+            names += (names.empty() ? "" : ", ") + f;
+        std::printf("\nseries: %s (%zu samples over %.3f s: %s)\n",
+                    seriesPath.c_str(), lines, tMax - tMin,
+                    names.empty() ? "no fields" : names.c_str());
+    }
+    return exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string tracePath, seriesPath;
+        std::size_t topN = 15;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto need = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "missing value for %s\n",
+                                 a.c_str());
+                    std::exit(exitUsage);
+                }
+                return argv[++i];
+            };
+            if (a == "--help" || a == "-h")
+                usage(exitOk);
+            else if (a == "--series")
+                seriesPath = need();
+            else if (a == "--top")
+                topN = static_cast<std::size_t>(
+                    std::strtoul(need().c_str(), nullptr, 10));
+            else if (!a.empty() && a[0] != '-' && tracePath.empty())
+                tracePath = a;
+            else
+                usage(exitUsage);
+        }
+        if (tracePath.empty())
+            usage(exitUsage);
+        if (topN == 0)
+            topN = 15;
+        return report(tracePath, seriesPath, topN);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return exitFatal;
+    }
+}
