@@ -18,15 +18,19 @@
 #include <vector>
 
 #include "cache/config.hh"
+#include "cache/hierarchy.hh"
 #include "common/log.hh"
 #include "common/parse.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 #include "exec/parallel_sweep.hh"
 #include "exec/thread_pool.hh"
+#include "mtc/min_cache.hh"
+#include "obs/epoch_profiler.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
+#include "obs/profile_sources.hh"
 #include "obs/progress.hh"
 #include "obs/trace_export.hh"
 #include "obs/trace_span.hh"
@@ -71,6 +75,8 @@ struct BenchOptions
     bool noCollapse = false;
     std::string traceOut;  ///< --trace-out FILE (Chrome trace JSON)
     std::string seriesOut; ///< --series-out FILE (JSONL time series)
+    std::string profileOut; ///< --profile-out FILE (epoch telemetry)
+    std::uint64_t profileEpoch = 0; ///< --profile-epoch N (refs)
 };
 
 /**
@@ -118,6 +124,13 @@ parseOptions(int argc, char **argv, double dfltScale)
             o.traceOut = need();
         } else if (a == "--series-out") {
             o.seriesOut = need();
+        } else if (a == "--profile-out") {
+            o.profileOut = need();
+        } else if (a == "--profile-epoch") {
+            Result<std::uint64_t> n = tryParseU64(need());
+            if (!n.ok() || n.value() == 0)
+                cliFatal("bad --profile-epoch value");
+            o.profileEpoch = n.value();
         } else if (!a.empty() && a[0] != '-' &&
                    std::atof(a.c_str()) > 0) {
             o.scale = std::atof(a.c_str());
@@ -125,14 +138,99 @@ parseOptions(int argc, char **argv, double dfltScale)
             cliFatal("unknown bench flag '" + a +
                      "' (expected SCALE, --scale S, --json FILE, "
                      "--jobs N, --stable-json, --no-collapse, "
-                     "--trace-out FILE, or --series-out FILE)");
+                     "--trace-out FILE, --series-out FILE, "
+                     "--profile-out FILE, or --profile-epoch N)");
         }
     }
+    if (o.profileEpoch && o.profileOut.empty())
+        cliFatal("--profile-epoch requires --profile-out");
     if (!o.traceOut.empty())
         tracingInit(o.traceOut, argc > 0 ? argv[0] : "bench");
     if (!o.seriesOut.empty())
         SeriesWriter::global().init(o.seriesOut);
+    if (!o.profileOut.empty()) {
+        if (o.profileEpoch == 0)
+            o.profileEpoch = 65536;
+        profilerInit(o.profileOut, o.profileEpoch)
+            .setVerbose(logEnabled(LogLevel::Debug));
+    }
     return o;
+}
+
+/**
+ * When --profile-out is armed, replay @p trace through a fresh
+ * hierarchy built from @p configs as profiler run @p runName — the
+ * bench's *representative run*, simulated per-reference so epoch
+ * boundaries land exactly (the sweep cells above it execute
+ * concurrently and share no reference clock).  @p pinMBs > 0 records
+ * the pin-bandwidth attribute the derived E_pin series needs.
+ * No-op when profiling is off.
+ */
+inline void
+profileTraceRun(const std::string &runName, const Trace &trace,
+                const std::vector<CacheConfig> &configs,
+                double pinMBs = 0.0)
+{
+    EpochProfiler *prof = profilerActive();
+    if (!prof)
+        return;
+    MEMBW_SPAN_D("profile.representative", runName);
+    CacheHierarchy hier(configs);
+    prof->beginRun(runName);
+    if (pinMBs > 0)
+        prof->setRunAttr("pin_mbs", pinMBs);
+    attachHierarchySources(*prof, hier);
+    hier.attachProbe(prof);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        hier.access(trace[i]);
+        prof->advanceTo(i + 1);
+    }
+    hier.flush();
+    prof->endRun(trace.size());
+    hier.attachProbe(nullptr);
+}
+
+/**
+ * Companion representative run over the minimal-traffic cache:
+ * steps a MinCacheSim in epoch-sized slices (boundaries land
+ * exactly) with the victim-scan probe attached.  No-op when
+ * profiling is off.
+ */
+inline void
+profileMtcRun(const std::string &runName, const Trace &trace,
+              const MinCacheConfig &config)
+{
+    EpochProfiler *prof = profilerActive();
+    if (!prof)
+        return;
+    MEMBW_SPAN_D("profile.representative", runName);
+    MinCacheSim sim(trace, config);
+    prof->beginRun(runName);
+    prof->addSource("mtc", minCacheMetricNames(), [&sim] {
+        // finalize() folds in the (non-monotonic mid-run) dirty
+        // flush only once the run is done; stats() stays monotonic.
+        return snapshotMinCacheStats(
+            sim.done() ? sim.finalize() : sim.stats(),
+            sim.victimScanPops());
+    });
+    sim.setProbe(prof);
+    while (!sim.done()) {
+        sim.step(prof->refsToNextTarget(sim.cursor()));
+        prof->advanceTo(sim.cursor());
+    }
+    prof->endRun(sim.cursor());
+    sim.setProbe(nullptr);
+}
+
+/** Write the --profile-out document and name it on stdout.  No-op
+ * when profiling is off. */
+inline void
+writeProfile(const char *tool, const BenchOptions &opt)
+{
+    if (!profilerActive())
+        return;
+    profilerWriteNow(tool);
+    std::printf("profile: %s\n", opt.profileOut.c_str());
 }
 
 /**
@@ -207,6 +305,7 @@ class JsonReport
             manifest_.set("jobs", std::to_string(jobs_));
             manifest_.set("collapse", noCollapse_ ? "off" : "on");
         }
+        writeProfileManifest(manifest_, manifest_.omitTiming);
         JsonWriter w;
         w.beginObject();
         w.key("manifest");

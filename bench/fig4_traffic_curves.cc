@@ -134,6 +134,14 @@ main(int argc, char **argv)
         std::printf("%s (%zu refs)\n%s\n", name,
                     trace.size(), t.render().c_str());
         report.addTable(name, t);
+
+        // Representative run for --profile-out: the 16KB 4-way 32B
+        // sweep point, replayed per-reference under the profiler.
+        CacheConfig rep;
+        rep.size = 16_KiB;
+        rep.assoc = 4;
+        rep.blockBytes = 32;
+        bench::profileTraceRun(name, trace, {rep});
     }
     std::printf("Expected shapes: Compress's traffic grows with "
                 "every block-size doubling\n(no spatial locality); "
@@ -141,5 +149,6 @@ main(int argc, char **argv)
                 "well below every cache line (the traffic-"
                 "inefficiency gap).\n");
     report.write();
+    bench::writeProfile("fig4_traffic_curves", opt);
     return 0;
 }

@@ -108,15 +108,28 @@ BENCHMARK(BM_WorkloadGeneration);
 /** Optimization sink for the hand-rolled harness below. */
 volatile std::uint64_t g_sink = 0;
 
-/** One serial pass of the functional cache over @p t; returns
- * wall-clock seconds. */
+/**
+ * One serial pass of the functional cache over @p t; returns
+ * wall-clock seconds.  With @p prof set, the pass runs with the
+ * eviction probe attached and the per-reference epoch compare in the
+ * loop — the profiler-attached cost the CI overhead gate compares
+ * against a plain run.  Parallel passes always run unprofiled (the
+ * profiler is single-threaded).
+ */
 double
-cachePassSeconds(const Trace &t, const CacheConfig &cfg)
+cachePassSeconds(const Trace &t, const CacheConfig &cfg,
+                 EpochProfiler *prof = nullptr)
 {
     WallTimer timer;
     Cache cache(cfg);
-    for (const MemRef &r : t)
+    if (prof)
+        cache.setProbe(prof, 0);
+    std::size_t done = 0;
+    for (const MemRef &r : t) {
         cache.access(r);
+        if (prof)
+            prof->advanceTo(++done);
+    }
     g_sink = g_sink + cache.stats().trafficBelow();
     return timer.seconds();
 }
@@ -134,7 +147,7 @@ serialMrefsOnce(const Trace &t, const CacheConfig &cfg,
     double total = 0;
     std::size_t passes = 0;
     while (total < minSeconds && passes < 64) {
-        total += cachePassSeconds(t, cfg);
+        total += cachePassSeconds(t, cfg, profilerActive());
         ++passes;
     }
     return total > 0 ? static_cast<double>(t.size()) * passes /
@@ -174,7 +187,7 @@ parallelMrefsOnce(const Trace &t, const CacheConfig &cfg,
  */
 int
 runThroughputHarness(const std::string &jsonPath, unsigned jobs,
-                     double scale)
+                     double scale, const std::string &profileOut)
 {
     struct Row
     {
@@ -328,6 +341,12 @@ runThroughputHarness(const std::string &jsonPath, unsigned jobs,
     w.endObject();
     writeFileOrDie(jsonPath, w.str());
     std::printf("wrote %s\n", jsonPath.c_str());
+    if (profilerActive()) {
+        // No epoch runs (each pass rebuilds its cache), but the
+        // probe-fed conflict heatmap from the serial passes is real.
+        profilerWriteNow("micro_throughput");
+        std::printf("profile: %s\n", profileOut.c_str());
+    }
     return 0;
 }
 
@@ -341,6 +360,8 @@ main(int argc, char **argv)
 {
     using namespace membw;
     std::string json_path;
+    std::string profile_out;
+    std::uint64_t profile_epoch = 0;
     unsigned jobs = defaultJobs();
     double scale = 0.2;
     std::vector<char *> args;
@@ -362,13 +383,27 @@ main(int argc, char **argv)
                 fatal("invalid value '" + std::string(argv[i]) +
                       "' for --scale: " + r.error().message);
             scale = r.value();
+        } else if (a == "--profile-out" && i + 1 < argc) {
+            profile_out = argv[++i];
+        } else if (a == "--profile-epoch" && i + 1 < argc) {
+            auto r = tryParseU64(argv[++i]);
+            if (!r.ok() || r.value() == 0)
+                fatal("invalid value '" + std::string(argv[i]) +
+                      "' for --profile-epoch");
+            profile_epoch = r.value();
         } else {
             args.push_back(argv[i]);
         }
     }
+    if (profile_epoch && profile_out.empty())
+        fatal("--profile-epoch requires --profile-out");
+    if (!profile_out.empty())
+        profilerInit(profile_out,
+                     profile_epoch ? profile_epoch : 65536);
 
     if (!json_path.empty())
-        return runThroughputHarness(json_path, jobs, scale);
+        return runThroughputHarness(json_path, jobs, scale,
+                                    profile_out);
 
     int bench_argc = static_cast<int>(args.size());
     benchmark::Initialize(&bench_argc, args.data());

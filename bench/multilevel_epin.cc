@@ -114,10 +114,17 @@ main(int argc, char **argv)
         }
         std::printf("%s\n%s\n", name, t.render().c_str());
         report.addTable(name, t);
+
+        // Representative run for --profile-out: the deepest (k = 3)
+        // hierarchy, whose per-epoch R_i product and E_pin are the
+        // time-resolved view of the table above.
+        bench::profileTraceRun(name, trace, hierarchies.back(),
+                               pin_mb);
     }
     std::printf("Each added level multiplies the traffic filter "
                 "(Equation 5) — until the\ndata set is resident and "
                 "the marginal R_i stops paying for its area.\n");
     report.write();
+    bench::writeProfile("multilevel_epin", opt);
     return 0;
 }

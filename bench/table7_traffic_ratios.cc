@@ -81,6 +81,11 @@ main(int argc, char **argv)
                 mean_pool.push_back(ratios[i]);
         }
         t.row(row);
+
+        // Representative run for --profile-out: the 16KB ladder
+        // point, replayed per-reference under the profiler.
+        bench::profileTraceRun(name, trace,
+                               {bench::table7Cache(16_KiB)});
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Section 4.2: mean R over caches >=64KB and below "
@@ -91,5 +96,6 @@ main(int argc, char **argv)
     report.addTable("traffic_ratios", t);
     report.setMeta("mean_r_64k_plus", fixed(mean(mean_pool), 2));
     report.write();
+    bench::writeProfile("table7_traffic_ratios", opt);
     return 0;
 }

@@ -91,6 +91,13 @@ main(int argc, char **argv)
             row.push_back(fixed(gaps[i], 1));
         }
         t.row(row);
+
+        // Representative pair for --profile-out: the 16KB cache and
+        // its same-size MTC, each replayed under the profiler.
+        bench::profileTraceRun(name, trace,
+                               {bench::table7Cache(16_KiB)});
+        bench::profileMtcRun(name + "-mtc", trace,
+                             canonicalMtc(16_KiB));
     }
     std::printf("%s\n", t.render().c_str());
     std::printf("Largest measured gap: %.0fx — the paper reports "
@@ -102,5 +109,6 @@ main(int argc, char **argv)
     report.addTable("inefficiency", t);
     report.setMeta("max_inefficiency", fixed(max_gap, 1));
     report.write();
+    bench::writeProfile("table8_traffic_inefficiency", opt);
     return 0;
 }

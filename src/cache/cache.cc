@@ -230,6 +230,10 @@ Cache::evict(Set &set, unsigned way, bool to_flush)
         return 0;
 
     stats_.evictions++;
+    MEMBW_PROBE(probe_,
+                onEvict(probeLevel_,
+                        static_cast<std::size_t>(&set -
+                                                 sets_.data())));
     const Bytes wb = writebackSize(line);
     if (wb) {
         stats_.writebacks++;
@@ -268,6 +272,7 @@ Cache::insert(Addr block_addr)
 void
 Cache::sendFetch(Addr addr, Bytes bytes)
 {
+    MEMBW_PROBE(probe_, onBelowTraffic(probeLevel_, addr, bytes));
     if (fetchBelow_)
         fetchBelow_(belowCtx_, addr, bytes);
 }
@@ -275,6 +280,7 @@ Cache::sendFetch(Addr addr, Bytes bytes)
 void
 Cache::sendWriteback(Addr addr, Bytes bytes)
 {
+    MEMBW_PROBE(probe_, onBelowTraffic(probeLevel_, addr, bytes));
     if (writebackBelow_)
         writebackBelow_(belowCtx_, addr, bytes);
 }

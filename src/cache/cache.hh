@@ -22,6 +22,7 @@
 #include "cache/config.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "obs/mem_probe.hh"
 #include "trace/mem_ref.hh"
 
 namespace membw {
@@ -149,6 +150,19 @@ class Cache
     const CacheStats &stats() const { return stats_; }
     const CacheConfig &config() const { return config_; }
 
+    /**
+     * Attach @p probe (null to detach) reporting this cache's
+     * evictions and below-traffic as hierarchy level @p level.  One
+     * null check per miss-frequency event when unattached; stripped
+     * entirely under -DMEMBW_PROFILING=OFF.
+     */
+    void
+    setProbe(MemProbe *probe, unsigned level)
+    {
+        probe_ = probe;
+        probeLevel_ = level;
+    }
+
     /** Register this cache's counters under @p group (see docs/observability.md). */
     void publishStats(StatsGroup &group) const;
 
@@ -245,6 +259,8 @@ class Cache
     DownstreamFn fetchBelow_ = nullptr;
     DownstreamFn writebackBelow_ = nullptr;
     void *belowCtx_ = nullptr;
+    MemProbe *probe_ = nullptr;
+    unsigned probeLevel_ = 0;
     /** Storage behind the std::function setBelow() overload. */
     struct FnShim
     {

@@ -46,6 +46,16 @@ class CacheHierarchy
     std::size_t levels() const { return caches_.size(); }
     const Cache &level(std::size_t i) const { return *caches_[i]; }
 
+    /** Attach @p probe (null to detach) to every level; level i
+     * reports its events as hierarchy level i. */
+    void
+    attachProbe(MemProbe *probe)
+    {
+        for (std::size_t i = 0; i < caches_.size(); ++i)
+            caches_[i]->setProbe(probe,
+                                 static_cast<unsigned>(i));
+    }
+
     /** Traffic below level @p i in bytes (D_{i+1} in paper terms). */
     Bytes trafficBelow(std::size_t i) const;
 

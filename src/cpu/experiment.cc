@@ -100,6 +100,15 @@ CoreResult
 runPhase(const InstrStream &stream, const ExperimentConfig &config,
          unsigned phase)
 {
+    return runPhase(stream, config, phase, MemSysHook(),
+                    MemSysHook());
+}
+
+CoreResult
+runPhase(const InstrStream &stream, const ExperimentConfig &config,
+         unsigned phase, const MemSysHook &preRun,
+         const MemSysHook &postRun)
+{
     MemSysConfig m = config.mem;
     switch (phase) {
       case 0:
@@ -115,7 +124,12 @@ runPhase(const InstrStream &stream, const ExperimentConfig &config,
         fatal("decomposition phase must be 0-2");
     }
     MemorySystem mem(m);
-    return runCore(stream, config.core, mem);
+    if (preRun)
+        preRun(mem);
+    CoreResult result = runCore(stream, config.core, mem);
+    if (postRun)
+        postRun(mem);
+    return result;
 }
 
 const char *

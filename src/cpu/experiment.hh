@@ -8,6 +8,7 @@
 #ifndef MEMBW_CPU_EXPERIMENT_HH
 #define MEMBW_CPU_EXPERIMENT_HH
 
+#include <functional>
 #include <string>
 
 #include "cpu/core.hh"
@@ -68,6 +69,21 @@ constexpr unsigned decompositionPhases = 3;
  */
 CoreResult runPhase(const InstrStream &stream,
                     const ExperimentConfig &config, unsigned phase);
+
+/** Observer over the phase's MemorySystem (attach/detach probes,
+ * register profiler sources) — the system lives only for the phase. */
+using MemSysHook = std::function<void(MemorySystem &)>;
+
+/**
+ * runPhase() with observation hooks: @p preRun fires after the
+ * MemorySystem is built (before the first reference), @p postRun
+ * after the run completes, while the system is still alive.  Either
+ * may be empty.
+ */
+CoreResult runPhase(const InstrStream &stream,
+                    const ExperimentConfig &config, unsigned phase,
+                    const MemSysHook &preRun,
+                    const MemSysHook &postRun);
 
 /** Human-readable name of decomposition phase @p phase. */
 const char *phaseName(unsigned phase);

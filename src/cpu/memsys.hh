@@ -145,6 +145,30 @@ class MemorySystem
     const CacheStats &l1Stats() const { return l1_->stats(); }
     const CacheStats &l2Stats() const { return l2_->stats(); }
 
+    /** Split-L1 instruction cache stats; null when unified. */
+    const CacheStats *
+    il1Stats() const
+    {
+        return il1_ ? &il1_->stats() : nullptr;
+    }
+
+    /**
+     * Attach @p probe (null to detach) across the hierarchy: the
+     * data L1 reports as level 0, the L2 as level 1, the split
+     * instruction L1 (when present) as level 2, and the banked DRAM
+     * backend (when configured) reports row outcomes.
+     */
+    void
+    attachProbe(MemProbe *probe)
+    {
+        l1_->setProbe(probe, 0);
+        l2_->setProbe(probe, 1);
+        if (il1_)
+            il1_->setProbe(probe, 2);
+        if (dram_)
+            dram_->setProbe(probe);
+    }
+
   private:
     struct FetchEvent
     {

@@ -97,9 +97,11 @@ DramModel::access(Addr addr, Bytes bytes, Cycle when)
     Cycle first_latency;
     if (bank.openRow == row) {
         stats_.rowHits++;
+        MEMBW_PROBE(probe_, onDramAccess(true));
         first_latency = ns(config_.pageHitNs);
     } else {
         stats_.rowMisses++;
+        MEMBW_PROBE(probe_, onDramAccess(false));
         first_latency =
             ns(bank.openRow == addrInvalid ? config_.rowAccessNs
                                            : config_.prechargeNs +

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/mem_probe.hh"
 
 namespace membw {
 
@@ -98,6 +99,9 @@ class DramModel
     const DramStats &stats() const { return stats_; }
     const DramConfig &config() const { return config_; }
 
+    /** Attach @p probe (null to detach) reporting row outcomes. */
+    void setProbe(MemProbe *probe) { probe_ = probe; }
+
   private:
     struct Bank
     {
@@ -110,6 +114,7 @@ class DramModel
     DramConfig config_;
     std::vector<Bank> banks_;
     DramStats stats_;
+    MemProbe *probe_ = nullptr;
 };
 
 /** Publish @p stats under @p group (typically "dram"). */

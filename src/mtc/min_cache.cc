@@ -283,6 +283,7 @@ MinCacheSim::accessOne(const MemRef &ref, Tick nu)
             }
             victim = cand[chosen].second;
             victimScanPops_ += popped;
+            MEMBW_PROBE(probe_, onMtcScan(popped));
             for (std::size_t k = 0; k < popped; ++k) {
                 if (k == chosen)
                     continue;
@@ -372,6 +373,7 @@ MinCacheSim::saveState(ChkWriter &w) const
     w.u64(stats_.fetchBytes);
     w.u64(stats_.writebackBytes);
     w.u64(stats_.flushWritebackBytes);
+    w.u64(victimScanPops_);
 
     // Resident set sorted by (nextUse, addr): the image is
     // deterministic (and matches what the earlier ordered-set
@@ -434,6 +436,7 @@ MinCacheSim::loadState(ChkReader &r)
     stats_.fetchBytes = r.u64();
     stats_.writebackBytes = r.u64();
     stats_.flushWritebackBytes = r.u64();
+    victimScanPops_ = r.u64();
     if (cursor_ > trace_.size()) {
         r.fail(Errc::Corrupt,
                "MTC cursor lies beyond the end of the trace");

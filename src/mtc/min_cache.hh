@@ -24,6 +24,7 @@
 #include "cache/config.hh"
 #include "common/types.hh"
 #include "mtc/next_use.hh"
+#include "obs/mem_probe.hh"
 #include "trace/trace.hh"
 
 namespace membw {
@@ -137,6 +138,16 @@ class MinCacheSim
      */
     MinCacheStats finalize() const;
 
+    /** Raw counters without the flush estimate — monotonic, so
+     * interval samplers can diff successive snapshots safely. */
+    const MinCacheStats &stats() const { return stats_; }
+
+    /** Cumulative write-aware victim-scan heap pops. */
+    std::uint64_t victimScanPops() const { return victimScanPops_; }
+
+    /** Attach @p probe (null to detach) reporting victim-scan work. */
+    void setProbe(MemProbe *probe) { probe_ = probe; }
+
     /** Serialize cursor, counters, and resident set ("MTCS"). */
     void saveState(ChkWriter &w) const;
 
@@ -174,11 +185,13 @@ class MinCacheSim
 
     MinCacheStats stats_;
 
-    /** Cumulative write-aware victim-scan heap pops.  Telemetry
-     * only: sampled as a trace counter, deliberately excluded from
-     * MinCacheStats and the checkpoint image so neither format
-     * changes. */
+    /** Cumulative write-aware victim-scan heap pops.  Telemetry:
+     * sampled as a trace counter and an epoch-profiler metric, and
+     * checkpointed with the stats so a resumed profiled run stays
+     * byte-identical; still excluded from MinCacheStats itself. */
     std::uint64_t victimScanPops_ = 0;
+
+    MemProbe *probe_ = nullptr;
 
     /** Dense pool of resident blocks; freed slots are recycled via
      * freeList_.  The pool is reached through the victim-order

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Interval profiler for the simulated memory system.
+ *
+ * Samples the model's cumulative counters every N simulated
+ * references (an *epoch*) and stores the per-epoch deltas as
+ * columnar arrays, giving the time-resolved view of the paper's
+ * metrics — per-level traffic, miss/write-back counts, traffic
+ * ratios R_i (Equation 4) and effective pin bandwidth E_pin
+ * (Equation 5) — that end-of-run aggregates hide.
+ *
+ * Structure:
+ *
+ *  - a *run* is one simulation pass (membw_sim's "hierarchy" and
+ *    "mtc" phases, one per decomposition phase, one per bench
+ *    workload); runs have independent reference clocks;
+ *  - a *source* is one component inside a run (a cache level, the
+ *    MTC, the timing memory system) exposed as a named metric
+ *    vector.  The profiler snapshots every source's cumulative
+ *    values at each epoch boundary and records the deltas, so the
+ *    per-epoch columns sum to the end-of-run aggregates *exactly*
+ *    by construction (no separate event accounting to drift);
+ *  - two structural profiles accumulate across the whole process
+ *    via MemProbe hooks: a per-set conflict heatmap (tag-churn
+ *    counts) and a coarse address-region heat table (bytes per
+ *    1/256th of the touched footprint).
+ *
+ * Epoch boundaries close at the first observation at or past each
+ * N-reference target.  Per-reference drivers (membw_sim, the bench
+ * representative runs) hit targets exactly; stride-driven callers
+ * (membw_decompose's progress hook) may overshoot, which is counted
+ * as a *clamped* epoch and surfaced in the manifest.  endRun()
+ * closes the final partial epoch — including post-trace activity
+ * such as the end-of-run dirty flush — and records each source's
+ * aggregate, so Σ(epochs) == aggregate always holds.
+ *
+ * State round-trips through the checkpoint container ("PROF"
+ * section): a SIGTERM-interrupted profiled run resumed with
+ * --resume writes byte-identical profile JSON to an uninterrupted
+ * one.  The JSON itself contains no wall-clock fields.
+ */
+
+#ifndef MEMBW_OBS_EPOCH_PROFILER_HH
+#define MEMBW_OBS_EPOCH_PROFILER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/mem_probe.hh"
+
+namespace membw {
+
+class ChkWriter;
+class ChkReader;
+
+class EpochProfiler : public MemProbe
+{
+  public:
+    /** Cumulative metric values, in the order given to addSource. */
+    using SnapshotFn = std::function<std::vector<std::uint64_t>()>;
+
+    /** Epochs per run beyond which further sampling is dropped
+     * (aggregates stay exact; the drop count is surfaced). */
+    static constexpr std::uint64_t maxEpochsPerRun = 1u << 18;
+
+    explicit EpochProfiler(std::uint64_t epochRefs);
+
+    std::uint64_t epochRefs() const { return epochRefs_; }
+
+    // ---- run/source model ----------------------------------------
+
+    /**
+     * Open a run named @p name.  When the most recent run has the
+     * same name and was never ended (a --resume continuing an
+     * interrupted phase), the existing run is re-entered and its
+     * sources await re-attachment via addSource().
+     */
+    void beginRun(const std::string &name);
+
+    /** Attach a numeric attribute (e.g. "pin_mbs") to the open run. */
+    void setRunAttr(const std::string &key, double value);
+
+    /**
+     * Register (or, after a resume, re-attach) a counter source on
+     * the open run.  @p fn returns the component's *cumulative*
+     * values, one per metric name; the initial snapshot is taken
+     * here.  Sources cannot be added after the run's first epoch
+     * has closed (except to re-attach an identical source).
+     */
+    void addSource(const std::string &component,
+                   std::vector<std::string> metrics, SnapshotFn fn);
+
+    /**
+     * Advance the open run's reference clock.  One compare until a
+     * boundary is reached, so per-reference loops may call this
+     * unconditionally.
+     */
+    void
+    advanceTo(std::uint64_t refsDone)
+    {
+        if (refsDone < nextTarget_)
+            return;
+        closeEpoch(refsDone);
+    }
+
+    /** References until the next epoch boundary (>= 1); used to
+     * clamp sliced drivers so they observe boundaries exactly. */
+    std::uint64_t
+    refsToNextTarget(std::uint64_t refsDone) const
+    {
+        return refsDone >= nextTarget_ ? 1 : nextTarget_ - refsDone;
+    }
+
+    /**
+     * Close the open run at @p refsDone: a final (possibly partial,
+     * possibly zero-reference) epoch captures any counter movement
+     * since the last boundary — the end-of-run flush included — and
+     * each source's aggregate snapshot is recorded.
+     */
+    void endRun(std::uint64_t refsDone);
+
+    /** Discard the open run (an interrupted phase that will re-run
+     * from its start on --resume).  No-op when no run is open. */
+    void abortRun();
+
+    /** Emit a line-buffered stderr note at each epoch close. */
+    void setVerbose(bool on) { verbose_ = on; }
+
+    // The structural-profile hooks (onEvict, onBelowTraffic,
+    // onDramAccess, onMtcScan, setRegionLevel) are inherited from
+    // MemProbe, which keeps them inline on the probe hot path; this
+    // class adds their persistence and export.
+
+    // ---- introspection -------------------------------------------
+
+    std::uint64_t epochsClosed() const;
+    std::uint64_t clampedEpochs() const;
+    std::uint64_t droppedEpochs() const;
+
+    // ---- persistence ---------------------------------------------
+
+    /** Serialize all profiler state into one "PROF" section. */
+    void saveState(ChkWriter &w) const;
+
+    /** Restore what saveState() wrote (sources re-attach via the
+     * beginRun()/addSource() resume path); errors latch on @p r. */
+    void loadState(ChkReader &r);
+
+    /** Render the versioned columnar JSON document. */
+    std::string json(const std::string &tool) const;
+
+    /** json() to @p path; fatal() on I/O failure. */
+    void writeFile(const std::string &path,
+                   const std::string &tool) const;
+
+  private:
+    struct Source
+    {
+        std::string component;
+        std::vector<std::string> metrics;
+        SnapshotFn fn; ///< not persisted; re-attached on resume
+        std::vector<std::uint64_t> prev; ///< cumulative, last boundary
+        /** columns[metric][epoch] = per-epoch delta. */
+        std::vector<std::vector<std::uint64_t>> columns;
+        std::vector<std::uint64_t> aggregate; ///< set by endRun()
+        bool ended = false;
+    };
+
+    struct Run
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> attrs;
+        std::vector<Source> sources;
+        std::vector<std::uint64_t> endRef; ///< per closed epoch
+        std::uint64_t lastCloseRef = 0;
+        std::uint64_t clamped = 0;
+        std::uint64_t dropped = 0;
+        bool ended = false;
+    };
+
+    Run *openRun();
+    const Run *openRun() const;
+    void closeEpoch(std::uint64_t refsDone);
+    void writeRunJson(class JsonWriter &w, const Run &run) const;
+    void writeDerivedJson(class JsonWriter &w, const Run &run) const;
+
+    std::uint64_t epochRefs_;
+    std::uint64_t nextTarget_ = ~std::uint64_t{0};
+    std::vector<Run> runs_;
+    bool verbose_ = false;
+
+    /** Probe accumulators as of the open run's beginRun(), restored
+     * by abortRun(): an aborted phase re-runs from its start on
+     * --resume, so its partial structural-profile contribution must
+     * not survive into the checkpoint or it would be counted twice. */
+    struct ProbeState
+    {
+        std::vector<std::vector<std::uint64_t>> churn;
+        std::unordered_map<std::uint64_t, std::uint64_t> region;
+        std::uint64_t dramRowHits = 0;
+        std::uint64_t dramRowMisses = 0;
+        std::uint64_t mtcScanPops = 0;
+    };
+    ProbeState probeAtRunStart_;
+};
+
+/** The process-wide profiler behind --profile-out (null until
+ * profilerInit()). */
+EpochProfiler *profilerActive();
+
+/** Create the global profiler: epoch length @p epochRefs, output
+ * registered for @p path.  Fatal on re-initialisation. */
+EpochProfiler &profilerInit(const std::string &path,
+                            std::uint64_t epochRefs);
+
+/** Write the registered --profile-out file now.  No-op when
+ * profiling was never initialised. */
+void profilerWriteNow(const std::string &tool);
+
+class RunManifest;
+
+/** Record the active profiler's configuration on @p manifest
+ * (profile_epoch, profile_epochs, and clamp/drop counts when
+ * nonzero).  The profiling config describes how the run was
+ * observed, not what it computed, so — like jobs/collapse elsewhere
+ * — it is omitted when @p stableJson.  No-op when profiling is off. */
+void writeProfileManifest(RunManifest &manifest, bool stableJson);
+
+} // namespace membw
+
+#endif // MEMBW_OBS_EPOCH_PROFILER_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Canonical EpochProfiler sources for the model layers.
+ *
+ * Each helper pairs a fixed metric-name list with a snapshot function
+ * over the matching stats struct, so every tool and bench that
+ * attaches a profiler (--profile-out) exports the same schema.  The
+ * synthetic trailing "below_bytes" metric (CacheStats::trafficBelow /
+ * MinCacheStats::trafficBelow) is what lets the exporter derive the
+ * per-epoch traffic ratio r = Δbelow / Δrequest (Equation 4) without
+ * re-deriving the seven-way byte sum downstream.
+ *
+ * This header lives in src/obs but is included only by drivers
+ * (tools/, bench/) — the obs library itself stays below the model
+ * layers and never links against them.
+ */
+
+#ifndef MEMBW_OBS_PROFILE_SOURCES_HH
+#define MEMBW_OBS_PROFILE_SOURCES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cpu/memsys.hh"
+#include "mtc/min_cache.hh"
+#include "obs/epoch_profiler.hh"
+
+namespace membw {
+
+/** Metric names matching snapshotCacheStats(), in order. */
+inline std::vector<std::string>
+cacheMetricNames()
+{
+    return {"accesses",           "loads",
+            "stores",             "hits",
+            "misses",             "load_misses",
+            "store_misses",       "evictions",
+            "writebacks",         "partial_fills",
+            "prefetches",         "stream_hits",
+            "stream_allocs",      "request_bytes",
+            "demand_fetch_bytes", "partial_fill_bytes",
+            "prefetch_fetch_bytes", "stream_fetch_bytes",
+            "writeback_bytes",    "write_through_bytes",
+            "flush_writeback_bytes", "below_bytes"};
+}
+
+/** Cumulative values for cacheMetricNames(). */
+inline std::vector<std::uint64_t>
+snapshotCacheStats(const CacheStats &s)
+{
+    return {s.accesses,           s.loads,
+            s.stores,             s.hits,
+            s.misses,             s.loadMisses,
+            s.storeMisses,        s.evictions,
+            s.writebacks,         s.partialFills,
+            s.prefetches,         s.streamHits,
+            s.streamAllocs,       s.requestBytes,
+            s.demandFetchBytes,   s.partialFillBytes,
+            s.prefetchFetchBytes, s.streamFetchBytes,
+            s.writebackBytes,     s.writeThroughBytes,
+            s.flushWritebackBytes, s.trafficBelow()};
+}
+
+/** Metric names matching snapshotMinCacheStats(), in order. */
+inline std::vector<std::string>
+minCacheMetricNames()
+{
+    return {"accesses",     "hits",
+            "misses",       "bypasses",
+            "validates",    "request_bytes",
+            "fetch_bytes",  "writeback_bytes",
+            "flush_writeback_bytes", "below_bytes",
+            "victim_scan_pops"};
+}
+
+/** Cumulative values for minCacheMetricNames(). */
+inline std::vector<std::uint64_t>
+snapshotMinCacheStats(const MinCacheStats &s,
+                      std::uint64_t victimScanPops)
+{
+    return {s.accesses,    s.hits,
+            s.misses,      s.bypasses,
+            s.validates,   s.requestBytes,
+            s.fetchBytes,  s.writebackBytes,
+            s.flushWritebackBytes, s.trafficBelow(),
+            victimScanPops};
+}
+
+/** Metric names matching snapshotMemSysStats(), in order.  Covers
+ * the stall decomposition inputs (bus busy/wait cycles) and the
+ * DRAM row-buffer outcomes. */
+inline std::vector<std::string>
+memSysMetricNames()
+{
+    return {"loads",           "stores",
+            "ifetches",        "i_misses",
+            "l1_misses",       "l2_misses",
+            "mshr_merges",     "wrong_path_loads",
+            "dram_row_hits",   "dram_row_misses",
+            "dram_busy_cycles", "l1l2_bus_busy",
+            "mem_bus_busy",    "l1l2_bus_wait",
+            "mem_bus_wait",    "l1l2_bus_transfers",
+            "mem_bus_transfers"};
+}
+
+/** Cumulative values for memSysMetricNames(). */
+inline std::vector<std::uint64_t>
+snapshotMemSysStats(const MemSysStats &s)
+{
+    return {s.loads,          s.stores,
+            s.ifetches,       s.iMisses,
+            s.l1Misses,       s.l2Misses,
+            s.mshrMerges,     s.wrongPathLoads,
+            s.dramRowHits,    s.dramRowMisses,
+            s.dramBusyCycles, s.l1l2BusBusy,
+            s.memBusBusy,     s.l1l2BusWait,
+            s.memBusWait,     s.l1l2BusTransfers,
+            s.memBusTransfers};
+}
+
+/**
+ * Attach one source per level of @p hier ("L1", "L2", ...) to the
+ * open run, point the region heat table at the last level (its
+ * below-traffic is the pin traffic), and wire the structural probes.
+ * @p hier must outlive the run.
+ */
+inline void
+attachHierarchySources(EpochProfiler &prof,
+                       const CacheHierarchy &hier)
+{
+    for (std::size_t i = 0; i < hier.levels(); ++i)
+        prof.addSource("L" + std::to_string(i + 1),
+                       cacheMetricNames(), [&hier, i] {
+                           return snapshotCacheStats(
+                               hier.level(i).stats());
+                       });
+    prof.setRegionLevel(
+        static_cast<unsigned>(hier.levels() - 1));
+}
+
+/**
+ * Attach the timing memory system's sources to the open run: the
+ * "mem" counter block plus per-level cache sources ("L1", optional
+ * "IL1", "L2").  @p mem must outlive the run.
+ */
+inline void
+attachMemSysSources(EpochProfiler &prof, const MemorySystem &mem)
+{
+    prof.addSource("mem", memSysMetricNames(), [&mem] {
+        return snapshotMemSysStats(mem.stats());
+    });
+    prof.addSource("L1", cacheMetricNames(), [&mem] {
+        return snapshotCacheStats(mem.l1Stats());
+    });
+    if (const CacheStats *il1 = mem.il1Stats())
+        prof.addSource("IL1", cacheMetricNames(), [il1] {
+            return snapshotCacheStats(*il1);
+        });
+    prof.addSource("L2", cacheMetricNames(), [&mem] {
+        return snapshotCacheStats(mem.l2Stats());
+    });
+    prof.setRegionLevel(1); // L2's below-traffic = pin traffic
+}
+
+} // namespace membw
+
+#endif // MEMBW_OBS_PROFILE_SOURCES_HH

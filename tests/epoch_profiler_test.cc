@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the epoch profiler (obs/epoch_profiler.hh): boundary
+ * math (ref counts not divisible by the epoch, epoch = 1, epoch
+ * longer than the trace), final-partial-epoch capture of post-trace
+ * counter movement, clamped-boundary accounting for stride-driven
+ * clocks, checkpoint save/load equivalence with an uninterrupted
+ * run, and abortRun's structural-profile rollback.
+ *
+ * The profiler under test is a local instance, not the process-wide
+ * one behind --profile-out; the sum invariant Σ(epochs) == aggregate
+ * is asserted through the exported JSON, the same document the e2e
+ * tests cross-check against run manifests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/epoch_profiler.hh"
+#include "obs/json.hh"
+#include "resilience/checkpoint.hh"
+
+using namespace membw;
+
+namespace {
+
+/** One cumulative counter a test can bump by hand. */
+struct Counter
+{
+    std::uint64_t value = 0;
+
+    EpochProfiler::SnapshotFn
+    fn()
+    {
+        return [this] { return std::vector<std::uint64_t>{value}; };
+    }
+};
+
+/** Parse profiler JSON and return runs[index]. */
+JsonValue
+runOf(const EpochProfiler &prof, std::size_t index = 0)
+{
+    const JsonValue doc = parseJson(prof.json("test"));
+    const JsonValue *runs = doc.find("runs");
+    EXPECT_NE(runs, nullptr);
+    EXPECT_LT(index, runs->array.size());
+    return runs->array[index];
+}
+
+std::vector<std::uint64_t>
+u64s(const JsonValue &arr)
+{
+    std::vector<std::uint64_t> out;
+    for (const JsonValue &v : arr.array)
+        out.push_back(static_cast<std::uint64_t>(v.number));
+    return out;
+}
+
+/** end_ref of runs[0]. */
+std::vector<std::uint64_t>
+endRefs(const EpochProfiler &prof)
+{
+    return u64s(runOf(prof).at("end_ref"));
+}
+
+/** columns[metric 0] of runs[0].sources[0]. */
+std::vector<std::uint64_t>
+column0(const EpochProfiler &prof)
+{
+    return u64s(runOf(prof).at("sources").at(0).at("columns").at(0));
+}
+
+} // namespace
+
+TEST(EpochProfiler, PartialFinalEpochWhenRefsNotDivisible)
+{
+    EpochProfiler prof(100);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    for (std::uint64_t ref = 1; ref <= 250; ++ref) {
+        c.value += 2;
+        prof.advanceTo(ref);
+    }
+    prof.endRun(250);
+
+    EXPECT_EQ(endRefs(prof),
+              (std::vector<std::uint64_t>{100, 200, 250}));
+    EXPECT_EQ(column0(prof),
+              (std::vector<std::uint64_t>{200, 200, 100}));
+    const JsonValue src = runOf(prof).at("sources").at(0);
+    EXPECT_EQ(u64s(src.at("aggregate")),
+              (std::vector<std::uint64_t>{500}));
+    EXPECT_EQ(prof.epochsClosed(), 3u);
+    EXPECT_EQ(prof.clampedEpochs(), 0u);
+}
+
+TEST(EpochProfiler, EpochLongerThanTraceClosesOneEpoch)
+{
+    EpochProfiler prof(1000);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    for (std::uint64_t ref = 1; ref <= 50; ++ref) {
+        c.value++;
+        prof.advanceTo(ref);
+    }
+    prof.endRun(50);
+
+    EXPECT_EQ(endRefs(prof), (std::vector<std::uint64_t>{50}));
+    EXPECT_EQ(column0(prof), (std::vector<std::uint64_t>{50}));
+}
+
+TEST(EpochProfiler, EpochOfOneClosesEveryReference)
+{
+    EpochProfiler prof(1);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    for (std::uint64_t ref = 1; ref <= 5; ++ref) {
+        c.value++;
+        prof.advanceTo(ref);
+    }
+    prof.endRun(5);
+
+    EXPECT_EQ(endRefs(prof),
+              (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(column0(prof),
+              (std::vector<std::uint64_t>{1, 1, 1, 1, 1}));
+    EXPECT_EQ(prof.epochsClosed(), 5u);
+}
+
+TEST(EpochProfiler, EndRunCapturesPostTraceMovement)
+{
+    // The end-of-run dirty flush moves counters after the final
+    // reference: endRun must close a zero-reference partial epoch
+    // so the columns still sum to the aggregate.
+    EpochProfiler prof(100);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    for (std::uint64_t ref = 1; ref <= 100; ++ref) {
+        c.value++;
+        prof.advanceTo(ref);
+    }
+    c.value += 7; // flush traffic, no reference advance
+    prof.endRun(100);
+
+    EXPECT_EQ(endRefs(prof),
+              (std::vector<std::uint64_t>{100, 100}));
+    EXPECT_EQ(column0(prof), (std::vector<std::uint64_t>{100, 7}));
+}
+
+TEST(EpochProfiler, EndRunWithoutMovementAddsNoEpoch)
+{
+    EpochProfiler prof(100);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    for (std::uint64_t ref = 1; ref <= 200; ++ref) {
+        c.value++;
+        prof.advanceTo(ref);
+    }
+    prof.endRun(200);
+
+    EXPECT_EQ(endRefs(prof),
+              (std::vector<std::uint64_t>{100, 200}));
+    EXPECT_EQ(u64s(runOf(prof).at("sources").at(0).at("aggregate")),
+              (std::vector<std::uint64_t>{200}));
+}
+
+TEST(EpochProfiler, StrideDrivenOvershootIsClamped)
+{
+    // A stride-driven clock (decompose's progress hook) observes the
+    // boundary late; the epoch closes at the observed ref and is
+    // counted as clamped.
+    EpochProfiler prof(100);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    c.value = 130;
+    prof.advanceTo(130);
+    c.value = 260;
+    prof.advanceTo(260);
+    prof.endRun(260);
+
+    EXPECT_EQ(endRefs(prof),
+              (std::vector<std::uint64_t>{130, 260}));
+    EXPECT_EQ(prof.clampedEpochs(), 2u);
+    const JsonValue run = runOf(prof);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  run.at("clamped").asNumber()),
+              2u);
+}
+
+TEST(EpochProfiler, RefsToNextTargetSlicesBoundariesExactly)
+{
+    EpochProfiler prof(100);
+    Counter c;
+    prof.beginRun("r");
+    prof.addSource("x", {"m"}, c.fn());
+    // A sliced driver steps by refsToNextTarget and never overshoots.
+    std::uint64_t cursor = 0;
+    const std::uint64_t total = 250;
+    while (cursor < total) {
+        const std::uint64_t step = std::min(
+            prof.refsToNextTarget(cursor), total - cursor);
+        cursor += step;
+        c.value = cursor;
+        prof.advanceTo(cursor);
+    }
+    prof.endRun(total);
+
+    EXPECT_EQ(endRefs(prof),
+              (std::vector<std::uint64_t>{100, 200, 250}));
+    EXPECT_EQ(prof.clampedEpochs(), 0u);
+}
+
+TEST(EpochProfiler, SaveLoadMatchesUninterruptedRun)
+{
+    // Interrupt at ref 150 of 250, checkpoint, restore into a fresh
+    // profiler, re-attach, finish: the JSON must match byte for byte
+    // what the uninterrupted profiler writes.
+    auto drive = [](EpochProfiler &prof, Counter &c,
+                    std::uint64_t from, std::uint64_t to) {
+        for (std::uint64_t ref = from + 1; ref <= to; ++ref) {
+            c.value += 3;
+            prof.advanceTo(ref);
+        }
+    };
+
+    EpochProfiler whole(100);
+    Counter cw;
+    whole.beginRun("r");
+    whole.addSource("x", {"m"}, cw.fn());
+    drive(whole, cw, 0, 250);
+    whole.endRun(250);
+
+    EpochProfiler half(100);
+    Counter ch;
+    half.beginRun("r");
+    half.addSource("x", {"m"}, ch.fn());
+    drive(half, ch, 0, 150);
+    ChkWriter w;
+    half.saveState(w);
+    const std::string image = w.serialize();
+
+    auto r = ChkReader::fromMemory(image.data(), image.size());
+    ASSERT_TRUE(r.ok());
+    EpochProfiler resumed(100);
+    resumed.loadState(r.value());
+    ASSERT_FALSE(r.value().failed());
+    // The resume path re-enters the interrupted run; the restored
+    // simulation's counters continue from their checkpointed values.
+    Counter cr;
+    cr.value = ch.value;
+    resumed.beginRun("r");
+    resumed.addSource("x", {"m"}, cr.fn());
+    drive(resumed, cr, 150, 250);
+    resumed.endRun(250);
+
+    EXPECT_EQ(whole.json("test"), resumed.json("test"));
+}
+
+TEST(EpochProfiler, AbortRunRollsBackStructuralProfiles)
+{
+    EpochProfiler prof(100);
+    prof.setRegionLevel(0);
+
+    // Contribution before the aborted run: must survive.
+    prof.onEvict(0, 7);
+    prof.onDramAccess(true);
+
+    Counter c;
+    prof.beginRun("doomed");
+    prof.addSource("x", {"m"}, c.fn());
+    prof.onEvict(0, 7);
+    prof.onEvict(0, 9);
+    prof.onBelowTraffic(0, 0x1000, 64);
+    prof.onDramAccess(false);
+    prof.onMtcScan(5);
+    prof.abortRun();
+
+    const JsonValue doc = parseJson(prof.json("test"));
+    EXPECT_EQ(doc.at("runs").array.size(), 0u);
+
+    // Only the pre-run eviction of set 7 remains.
+    const JsonValue &churn = doc.at("set_churn");
+    ASSERT_EQ(churn.array.size(), 1u);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  churn.at(0).at("evictions").asNumber()),
+              1u);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  churn.at(0).at("sets_touched").asNumber()),
+              1u);
+
+    const JsonValue &totals = doc.at("probe_totals");
+    EXPECT_EQ(totals.at("dram_row_hits").asNumber(), 1.0);
+    EXPECT_EQ(totals.at("dram_row_misses").asNumber(), 0.0);
+    EXPECT_EQ(totals.at("mtc_scan_pops").asNumber(), 0.0);
+}
+
+TEST(EpochProfiler, DerivedRatioAndEpinFollowPinAttr)
+{
+    EpochProfiler prof(10);
+    std::uint64_t request = 0, below = 0;
+    prof.beginRun("r");
+    prof.setRunAttr("pin_mbs", 800.0);
+    prof.addSource("L1", {"request_bytes", "below_bytes"}, [&] {
+        return std::vector<std::uint64_t>{request, below};
+    });
+    request = 100;
+    below = 50;
+    prof.advanceTo(10);
+    request = 200;
+    below = 150;
+    prof.advanceTo(20);
+    prof.endRun(20);
+
+    const JsonValue run = runOf(prof);
+    const JsonValue &derived = run.at("derived");
+    const JsonValue &r = derived.at("r").at("L1");
+    ASSERT_EQ(r.array.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.at(0).asNumber(), 0.5);
+    EXPECT_DOUBLE_EQ(r.at(1).asNumber(), 1.0);
+    const JsonValue &epin = derived.at("epin_mbs");
+    EXPECT_DOUBLE_EQ(epin.at(0).asNumber(), 1600.0);
+    EXPECT_DOUBLE_EQ(epin.at(1).asNumber(), 800.0);
+}

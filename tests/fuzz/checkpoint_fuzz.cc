@@ -18,6 +18,7 @@
 #include "cache/hierarchy.hh"
 #include "cpu/core.hh"
 #include "mtc/min_cache.hh"
+#include "obs/epoch_profiler.hh"
 #include "resilience/checkpoint.hh"
 #include "trace/trace.hh"
 
@@ -87,6 +88,13 @@ LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
         trace.append(0x104, 4, RefKind::Store);
         MinCacheSim sim(trace, canonicalMtc(1_KiB));
         sim.loadState(r);
+        expectLatched(r);
+    }
+    {
+        auto again = ChkReader::fromMemory(data, size);
+        ChkReader r = std::move(again.value());
+        EpochProfiler prof(1);
+        prof.loadState(r);
         expectLatched(r);
     }
     return 0;

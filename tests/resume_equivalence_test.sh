@@ -61,6 +61,41 @@ cmp -s base.json resumed2.json ||
 grep -q "different cache configuration" err.txt ||
     fail "config-mismatch resume lacks a clear diagnostic"
 
+# --- membw_sim: profiled interrupt/resume --------------------------
+# The profiler state rides the checkpoint: a resumed profiled run
+# must write byte-identical profile JSON (and stats) to an
+# uninterrupted one, across interrupts in both phases.
+PFLAGS=("${SIMFLAGS[@]}" --profile-epoch 4096)
+
+expect_exit 0 "$SIM" "${PFLAGS[@]}" --profile-out pbase.json \
+    --stats-json psbase.json
+[ -s pbase.json ] || fail "profiled baseline wrote no profile"
+
+expect_exit 3 "$SIM" "${PFLAGS[@]}" --profile-out punused.json \
+    --stats-json psint.json --checkpoint pck.bin \
+    --checkpoint-every 4096 --sigterm-after 20000
+expect_exit 3 "$SIM" "${PFLAGS[@]}" --profile-out punused2.json \
+    --stats-json psint2.json --resume pck.bin --checkpoint pck2.bin \
+    --checkpoint-every 4096 --sigterm-after 5000
+expect_exit 0 "$SIM" "${PFLAGS[@]}" --profile-out pres.json \
+    --stats-json psres.json --resume pck2.bin
+cmp -s pbase.json pres.json ||
+    fail "resumed profile JSON is not byte-identical"
+cmp -s psbase.json psres.json ||
+    fail "profiled resume stats are not byte-identical"
+
+# Resuming a profiled checkpoint without --profile-out (or with a
+# different epoch) must fail with a clear diagnostic, not drift.
+"$SIM" "${SIMFLAGS[@]}" --resume pck2.bin >/dev/null 2>perr.txt
+[ $? -eq 1 ] || fail "profile-less resume of profiled ck should exit 1"
+grep -q "profil" perr.txt ||
+    fail "profile-less resume lacks a profiler diagnostic"
+"$SIM" "${SIMFLAGS[@]}" --profile-epoch 8192 --profile-out px.json \
+    --resume pck2.bin >/dev/null 2>perr2.txt
+[ $? -eq 1 ] || fail "epoch-mismatch resume should exit 1"
+grep -q "profile-epoch" perr2.txt ||
+    fail "epoch-mismatch resume lacks a clear diagnostic"
+
 # --- membw_decompose: interrupt mid-decomposition ------------------
 DFLAGS=(--workload Compress --experiment E --scale 0.05 --stable-json)
 
@@ -79,5 +114,25 @@ expect_exit 0 "$DECOMP" "${DFLAGS[@]}" --stats-json dresumed.json \
     --resume dck.bin
 cmp -s dbase.json dresumed.json ||
     fail "membw_decompose resume is not byte-identical"
+
+# --- membw_decompose: profiled interrupt/resume --------------------
+# The interrupted phase re-runs whole on resume; abortRun rolls the
+# structural profiles back, so the profile must still match the
+# uninterrupted run byte for byte.
+DPFLAGS=("${DFLAGS[@]}" --profile-epoch 8192)
+
+expect_exit 0 "$DECOMP" "${DPFLAGS[@]}" --profile-out dpbase.json \
+    --stats-json dpsbase.json
+[ -s dpbase.json ] || fail "profiled decompose wrote no profile"
+
+expect_exit 3 "$DECOMP" "${DPFLAGS[@]}" --profile-out dpunused.json \
+    --stats-json dpsint.json --checkpoint dpck.bin \
+    --sigterm-after $((REFS + REFS / 2))
+expect_exit 0 "$DECOMP" "${DPFLAGS[@]}" --profile-out dpres.json \
+    --stats-json dpsres.json --resume dpck.bin
+cmp -s dpbase.json dpres.json ||
+    fail "resumed decompose profile JSON is not byte-identical"
+cmp -s dpsbase.json dpsres.json ||
+    fail "profiled decompose resume stats are not byte-identical"
 
 echo "PASS"

@@ -73,6 +73,20 @@ awk -v t="$TRACE_WALL" -v m="$MANIFEST_WALL" 'BEGIN {
     exit 0
 }' || fail "trace/manifest wall-clock mismatch"
 
+# --- absent / empty series files are notes, not failures -----------
+# A run that never sampled (or had telemetry disabled) is a normal
+# outcome: the report must say so and still exit 0.
+"$REPORT" t.json --series missing.jsonl > absent.txt 2>&1 ||
+    fail "absent series file made the report fail"
+grep -q "no samples: file absent" absent.txt ||
+    fail "absent series lacks a clear note"
+
+: > empty.jsonl
+"$REPORT" t.json --series empty.jsonl > emptyseries.txt 2>&1 ||
+    fail "empty series file made the report fail"
+grep -q "(no samples)" emptyseries.txt ||
+    fail "empty series lacks a clear note"
+
 # --- validation failure modes --------------------------------------
 printf '{"traceEvents": []}' > empty.json
 "$REPORT" empty.json | grep -q "no span events" ||

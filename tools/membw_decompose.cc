@@ -34,8 +34,11 @@
 #include "exec/parallel_sweep.hh"
 #include "exec/thread_pool.hh"
 #include "dram/dram.hh"
+#include "obs/emit.hh"
+#include "obs/epoch_profiler.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
+#include "obs/profile_sources.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
 #include "obs/trace_export.hh"
@@ -100,7 +103,13 @@ usage(int code)
         "  --trace-out FILE     write a Chrome trace-event JSON "
         "(Perfetto)\n"
         "  --series-out FILE    append a JSONL time series of live "
-        "counters\n\n"
+        "counters\n"
+        "  --profile-out FILE   write per-epoch model telemetry JSON "
+        "(one run\n"
+        "                       per phase; inspect with "
+        "membw_profile_report)\n"
+        "  --profile-epoch N    simulated micro-ops per epoch "
+        "(default 65536)\n\n"
         "%s",
         exitCodeHelp);
     std::exit(code);
@@ -173,6 +182,8 @@ writeCheckpoint(const std::string &path, std::uint64_t digest,
     w.endSection();
     for (unsigned i = 0; i < phasesDone; ++i)
         saveCoreResult(w, results[i]);
+    if (const EpochProfiler *prof = profilerActive())
+        prof->saveState(w);
 
     auto result = w.writeFile(path);
     if (!result.ok())
@@ -224,6 +235,20 @@ loadCheckpoint(const std::string &path, std::uint64_t digest,
             fatal("cannot resume from '" + path +
                   "': " + r.error().describe());
     }
+    if (EpochProfiler *prof = profilerActive()) {
+        if (r.remaining() == 0)
+            fatal("cannot resume from '" + path +
+                  "': checkpoint carries no profiler state (was the "
+                  "interrupted run started without --profile-out?)");
+        prof->loadState(r);
+        if (r.failed())
+            fatal("cannot resume from '" + path +
+                  "': " + r.error().describe());
+    } else if (r.remaining() != 0) {
+        fatal("cannot resume from '" + path +
+              "': checkpoint carries profiler state; rerun with "
+              "the interrupted run's --profile-out/--profile-epoch");
+    }
     return phasesDone;
 }
 
@@ -245,6 +270,8 @@ main(int argc, char **argv)
         std::uint64_t statsEvery = 0;
         std::string traceOut;
         std::string seriesOut;
+        std::string profileOut;
+        std::uint64_t profileEpoch = 0;
         std::string checkpoint;
         std::string resume;
         Cycle watchdogCycles = 1'000'000;
@@ -260,10 +287,9 @@ main(int argc, char **argv)
 
         auto need = [&](int &i) -> std::string {
             if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "missing value for %s (run --help for "
-                             "the flag list)\n",
-                             argv[i]);
+                emitLinef("missing value for %s (run --help for "
+                          "the flag list)",
+                          argv[i]);
                 std::exit(exitUsage);
             }
             return argv[++i];
@@ -313,6 +339,10 @@ main(int argc, char **argv)
                 traceOut = need(i);
             else if (a == "--series-out")
                 seriesOut = need(i);
+            else if (a == "--profile-out")
+                profileOut = need(i);
+            else if (a == "--profile-epoch")
+                profileEpoch = countFlag(a, need(i));
             else if (a == "--checkpoint")
                 checkpoint = need(i);
             else if (a == "--resume")
@@ -322,15 +352,18 @@ main(int argc, char **argv)
             else if (a == "--sigterm-after")
                 sigtermAfter = countFlag(a, need(i));
             else {
-                std::fprintf(stderr,
-                             "unknown flag '%s' (run --help for the "
-                             "flag list)\n",
-                             a.c_str());
+                emitLinef("unknown flag '%s' (run --help for the "
+                          "flag list)",
+                          a.c_str());
                 std::exit(exitUsage);
             }
         }
         if (workload.empty())
             usage(exitUsage);
+        if (profileEpoch && profileOut.empty())
+            fatal("--profile-epoch requires --profile-out");
+        if (!profileOut.empty() && profileEpoch == 0)
+            profileEpoch = 65536;
 
         installShutdownHandlers();
         if (!traceOut.empty())
@@ -391,6 +424,11 @@ main(int argc, char **argv)
                       "--experiment all: micro-op counts are "
                       "per-cell and scheduling is parallel; use a "
                       "single experiment");
+            if (!profileOut.empty())
+                fatal("--experiment all does not support "
+                      "--profile-out: cells run concurrently and "
+                      "share no reference clock (profile a single "
+                      "experiment instead)");
 
             static constexpr char letters[] = {'A', 'B', 'C',
                                                'D', 'E', 'F'};
@@ -401,10 +439,9 @@ main(int argc, char **argv)
                         stream.size());
             // Worker count goes to stderr: stdout must stay
             // byte-identical at any --jobs value.
-            std::fprintf(stderr,
-                         "membw_decompose: %u worker%s over %zu "
-                         "cells\n",
-                         jobs, jobs == 1 ? "" : "s", nCells);
+            emitLinef("membw_decompose: %u worker%s over %zu "
+                      "cells",
+                      jobs, jobs == 1 ? "" : "s", nCells);
 
             MEMBW_SPAN("run");
             WallTimer timer;
@@ -453,18 +490,16 @@ main(int argc, char **argv)
                                             i % decompositionPhases));
                     });
             } catch (const PhaseInterrupt &) {
-                std::fprintf(stderr,
-                             "\n%s received: aborted --experiment "
-                             "all sweep\n",
-                             shutdownSignalName());
+                emitLinef("\n%s received: aborted --experiment "
+                          "all sweep",
+                          shutdownSignalName());
                 return exitInterrupted;
             }
             if (sweep.interrupted || sweep.completed < nCells) {
-                std::fprintf(stderr,
-                             "\n%s received: %zu of %zu cells "
-                             "completed\n",
-                             shutdownSignalName(), sweep.completed,
-                             nCells);
+                emitLinef("\n%s received: %zu of %zu cells "
+                          "completed",
+                          shutdownSignalName(), sweep.completed,
+                          nCells);
                 return exitInterrupted;
             }
 
@@ -519,6 +554,10 @@ main(int argc, char **argv)
             return exitOk;
         }
 
+        if (!profileOut.empty())
+            profilerInit(profileOut, profileEpoch)
+                .setVerbose(logEnabled(LogLevel::Debug));
+
         // Checkpoint identity: the full machine description plus the
         // stream's provenance.  The stream size is verified
         // separately for a clearer message.
@@ -538,6 +577,7 @@ main(int argc, char **argv)
 
         MEMBW_SPAN("run");
         WallTimer timer;
+        EpochProfiler *const prof = profilerActive();
         ProgressMeter meter("membw_decompose", statsEvery);
 
         // Per-phase watchdog; the cycle domain restarts at zero each
@@ -565,6 +605,10 @@ main(int argc, char **argv)
         std::uint64_t opsCompleted = phasesDone * stream.size();
         cfg.core.progressEvery = statsEvery ? statsEvery : 65536;
         cfg.core.progress = [&](std::size_t done, std::size_t total) {
+            // Stride-driven epoch clock: boundaries may overshoot by
+            // up to progressEvery micro-ops (counted as clamped).
+            if (prof)
+                prof->advanceTo(done);
             meter.tick(done, total);
             SeriesWriter::global().sample(
                 {{"ops",
@@ -590,28 +634,47 @@ main(int argc, char **argv)
             cfg.core.watchdog = &watchdog;
             liveWatchdog = &watchdog;
             livePhase = phasesDone;
+            // Profile each phase as its own run: sources live only
+            // as long as the phase's MemorySystem, so attachment and
+            // the closing endRun() both happen inside the hooks.
+            MemSysHook preRun, postRun;
+            if (prof) {
+                preRun = [&](MemorySystem &mem) {
+                    prof->beginRun(phaseName(livePhase));
+                    attachMemSysSources(*prof, mem);
+                    mem.attachProbe(prof);
+                };
+                postRun = [&](MemorySystem &mem) {
+                    prof->endRun(stream.size());
+                    mem.attachProbe(nullptr);
+                };
+            }
             try {
                 MEMBW_SPAN_D("phase",
                              std::string(phaseName(phasesDone)));
-                results[phasesDone] =
-                    runPhase(stream, cfg, phasesDone);
+                results[phasesDone] = runPhase(
+                    stream, cfg, phasesDone, preRun, postRun);
             } catch (const PhaseInterrupt &) {
                 tracingInstant("shutdown", shutdownSignalName());
+                // The interrupted phase re-runs whole on --resume,
+                // so its partial profiler run (and probe counts)
+                // must not reach the checkpoint.
+                if (prof)
+                    prof->abortRun();
                 // Drained: the completed phases are all durable
                 // state there is; the interrupted phase re-runs
                 // from its start on --resume.
-                std::fprintf(stderr,
-                             "\n%s received: aborted %s phase "
-                             "(%u of %u phases complete)\n",
-                             shutdownSignalName(),
-                             phaseName(phasesDone), phasesDone,
-                             decompositionPhases);
+                emitLinef("\n%s received: aborted %s phase "
+                          "(%u of %u phases complete)",
+                          shutdownSignalName(),
+                          phaseName(phasesDone), phasesDone,
+                          decompositionPhases);
                 if (!checkpoint.empty()) {
                     writeCheckpoint(checkpoint, digest,
                                     stream.size(), phasesDone,
                                     results);
-                    std::fprintf(stderr, "final checkpoint: %s\n",
-                                 checkpoint.c_str());
+                    emitLinef("final checkpoint: %s",
+                              checkpoint.c_str());
                 }
                 if (!statsJson.empty()) {
                     StatsRegistry registry;
@@ -633,6 +696,7 @@ main(int argc, char **argv)
                     manifest.omitTiming = stableJson;
                     manifest.set("phases_done",
                                  std::to_string(phasesDone));
+                    writeProfileManifest(manifest, stableJson);
 
                     JsonWriter w;
                     w.beginObject();
@@ -642,8 +706,8 @@ main(int argc, char **argv)
                     writeStatsArray(registry, w);
                     w.endObject();
                     writeFileOrDie(statsJson, w.str());
-                    std::fprintf(stderr, "partial stats: %s\n",
-                                 statsJson.c_str());
+                    emitLinef("partial stats: %s",
+                              statsJson.c_str());
                 }
                 return exitInterrupted;
             }
@@ -698,6 +762,7 @@ main(int argc, char **argv)
             manifest.refs = stream.size();
             manifest.wallSeconds = timer.seconds();
             manifest.omitTiming = stableJson;
+            writeProfileManifest(manifest, stableJson);
 
             JsonWriter w;
             w.beginObject();
@@ -708,12 +773,16 @@ main(int argc, char **argv)
             w.endObject();
             writeFileOrDie(statsJson, w.str());
         }
+        if (prof) {
+            profilerWriteNow("membw_decompose");
+            std::printf("profile: %s\n", profileOut.c_str());
+        }
         return exitOk;
     } catch (const WatchdogError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        emitLine(e.what());
         return exitWatchdog;
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        emitLine(e.what());
         return exitFatal;
     }
 }

@@ -1,0 +1,647 @@
+/**
+ * @file
+ * membw_profile_report — offline analyzer for --profile-out files.
+ *
+ * Reads the membw-profile-v1 JSON written by membw_sim /
+ * membw_decompose / the instrumented benches and prints:
+ *
+ *   - a run inventory (epochs, clamped/dropped, sources);
+ *   - a phase table per run, clustering consecutive epochs into
+ *     miss-rate regimes (where does the workload change behaviour?);
+ *   - the peak pin-demand epoch (max per-epoch r_total when the run
+ *     carries a pin_mbs attribute, max below-traffic delta
+ *     otherwise) and the hottest conflict sets from the churn
+ *     heatmap.
+ *
+ * The file is validated on the way in: the schema string must match,
+ * column lengths must agree with the epoch count, and for every
+ * ended source the per-epoch columns must sum exactly to the
+ * end-of-run aggregate — the delta-snapshot invariant the profiler
+ * promises.  A violation exits 1 instead of printing nonsense.
+ *
+ *   membw_profile_report profile.json
+ *   membw_profile_report profile.json --csv epochs.csv
+ *   membw_profile_report profile.json --gnuplot missrate.gp
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "obs/emit.hh"
+#include "obs/json.hh"
+#include "resilience/exit_codes.hh"
+
+using namespace membw;
+
+namespace {
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "membw_profile_report — analyze a --profile-out epoch "
+        "profile\n\n"
+        "  membw_profile_report PROFILE.json [--csv FILE] "
+        "[--gnuplot FILE]\n\n"
+        "  PROFILE.json    membw-profile-v1 file from --profile-out\n"
+        "  --csv FILE      long-format per-epoch dump "
+        "(run,epoch,end_ref,source,metric,delta)\n"
+        "  --gnuplot FILE  gnuplot script plotting per-epoch miss "
+        "rates\n\n"
+        "Prints the run inventory, a miss-rate phase table per run,\n"
+        "the peak pin-demand epoch, and the hottest conflict sets.\n"
+        "Exits 1 on a malformed profile (wrong schema, ragged\n"
+        "columns, or epoch sums that disagree with the run "
+        "aggregate).\n");
+    std::exit(code);
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '" + path + "' for reading");
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        fatal("cannot read '" + path + "'");
+    return out;
+}
+
+std::uint64_t
+u64Field(const JsonValue &obj, const char *key, const std::string &ctx)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isNumber())
+        fatal("malformed profile: " + ctx + " lacks numeric '" + key +
+              "'");
+    return static_cast<std::uint64_t>(v->number);
+}
+
+std::vector<std::uint64_t>
+u64Array(const JsonValue &arr, const std::string &ctx)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(arr.array.size());
+    for (const JsonValue &v : arr.array) {
+        if (!v.isNumber())
+            fatal("malformed profile: non-numeric entry in " + ctx);
+        out.push_back(static_cast<std::uint64_t>(v.number));
+    }
+    return out;
+}
+
+struct SourceData
+{
+    std::string component;
+    std::vector<std::string> metrics;
+    /** columns[m][e]: metric m's delta over epoch e. */
+    std::vector<std::vector<std::uint64_t>> columns;
+    std::vector<std::uint64_t> aggregate; ///< empty unless ended
+};
+
+struct RunData
+{
+    std::string name;
+    bool ended = false;
+    std::uint64_t clamped = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::uint64_t> endRef;
+    std::vector<SourceData> sources;
+    std::vector<double> rTotal;  ///< derived, empty without pin_mbs
+    std::vector<double> epinMbs; ///< derived, empty without pin_mbs
+};
+
+struct ProfileDoc
+{
+    std::string tool;
+    std::uint64_t epochRefs = 0;
+    std::uint64_t clamped = 0;
+    std::uint64_t dropped = 0;
+    std::vector<RunData> runs;
+    JsonValue raw; ///< for set_churn / region_heat / probe_totals
+};
+
+std::vector<double>
+doubleArray(const JsonValue &arr)
+{
+    std::vector<double> out;
+    out.reserve(arr.array.size());
+    for (const JsonValue &v : arr.array)
+        out.push_back(v.isNumber() ? v.number : 0.0);
+    return out;
+}
+
+RunData
+loadRun(const JsonValue &rv, std::size_t index)
+{
+    const std::string ctx = "run " + std::to_string(index);
+    if (!rv.isObject())
+        fatal("malformed profile: " + ctx + " is not an object");
+    RunData run;
+    const JsonValue *name = rv.find("name");
+    if (!name || !name->isString())
+        fatal("malformed profile: " + ctx + " lacks a name");
+    run.name = name->string;
+    if (const JsonValue *e = rv.find("ended"))
+        run.ended = e->boolean;
+    run.clamped = u64Field(rv, "clamped", ctx);
+    run.dropped = u64Field(rv, "dropped", ctx);
+
+    const std::uint64_t epochs = u64Field(rv, "epochs", ctx);
+    const JsonValue *endRef = rv.find("end_ref");
+    if (!endRef || !endRef->isArray())
+        fatal("malformed profile: " + ctx + " lacks end_ref");
+    run.endRef = u64Array(*endRef, ctx + " end_ref");
+    if (run.endRef.size() != epochs)
+        fatal("malformed profile: " + ctx + " declares " +
+              std::to_string(epochs) + " epochs but end_ref has " +
+              std::to_string(run.endRef.size()));
+
+    const JsonValue *sources = rv.find("sources");
+    if (!sources || !sources->isArray())
+        fatal("malformed profile: " + ctx + " lacks sources");
+    for (const JsonValue &sv : sources->array) {
+        const JsonValue *comp = sv.find("component");
+        if (!comp || !comp->isString())
+            fatal("malformed profile: source in " + ctx +
+                  " lacks a component");
+        SourceData src;
+        src.component = comp->string;
+        const std::string sctx = ctx + " source " + src.component;
+
+        const JsonValue *metrics = sv.find("metrics");
+        if (!metrics || !metrics->isArray())
+            fatal("malformed profile: " + sctx + " lacks metrics");
+        for (const JsonValue &m : metrics->array)
+            src.metrics.push_back(m.string);
+
+        const JsonValue *cols = sv.find("columns");
+        if (!cols || !cols->isArray() ||
+            cols->array.size() != src.metrics.size())
+            fatal("malformed profile: " + sctx +
+                  " columns do not match its metrics");
+        for (std::size_t m = 0; m < cols->array.size(); ++m) {
+            std::vector<std::uint64_t> col = u64Array(
+                cols->array[m], sctx + " column " + src.metrics[m]);
+            if (col.size() != epochs)
+                fatal("malformed profile: " + sctx + " column '" +
+                      src.metrics[m] + "' has " +
+                      std::to_string(col.size()) + " entries for " +
+                      std::to_string(epochs) + " epochs");
+            src.columns.push_back(std::move(col));
+        }
+
+        if (const JsonValue *agg = sv.find("aggregate")) {
+            src.aggregate = u64Array(*agg, sctx + " aggregate");
+            if (src.aggregate.size() != src.metrics.size())
+                fatal("malformed profile: " + sctx +
+                      " aggregate does not match its metrics");
+            // The delta-snapshot invariant: per-epoch deltas sum
+            // exactly to the end-of-run aggregate.  Anything else
+            // means the writer and sampler disagree — fail loudly.
+            for (std::size_t m = 0; m < src.metrics.size(); ++m) {
+                std::uint64_t sum = 0;
+                for (std::uint64_t d : src.columns[m])
+                    sum += d;
+                if (sum != src.aggregate[m])
+                    fatal("malformed profile: " + sctx + " metric '" +
+                          src.metrics[m] + "' epochs sum to " +
+                          std::to_string(sum) + " but aggregate is " +
+                          std::to_string(src.aggregate[m]));
+            }
+        } else if (run.ended) {
+            fatal("malformed profile: " + sctx +
+                  " is ended but has no aggregate");
+        }
+        run.sources.push_back(std::move(src));
+    }
+
+    if (const JsonValue *derived = rv.find("derived")) {
+        if (const JsonValue *rt = derived->find("r_total"))
+            run.rTotal = doubleArray(*rt);
+        if (const JsonValue *ep = derived->find("epin_mbs"))
+            run.epinMbs = doubleArray(*ep);
+    }
+    return run;
+}
+
+ProfileDoc
+loadProfile(const std::string &path)
+{
+    ProfileDoc doc;
+    doc.raw = parseJson(readFileOrDie(path));
+    if (!doc.raw.isObject())
+        fatal("malformed profile: top level is not an object");
+    const JsonValue *schema = doc.raw.find("schema");
+    if (!schema || !schema->isString())
+        fatal("malformed profile: no schema string");
+    if (schema->string != "membw-profile-v1")
+        fatal("unsupported profile schema '" + schema->string +
+              "' (expected membw-profile-v1)");
+    if (const JsonValue *t = doc.raw.find("tool"))
+        doc.tool = t->isString() ? t->string : "";
+    doc.epochRefs = u64Field(doc.raw, "epoch_refs", "top level");
+    doc.clamped = u64Field(doc.raw, "clamped_epochs", "top level");
+    doc.dropped = u64Field(doc.raw, "dropped_epochs", "top level");
+
+    const JsonValue *runs = doc.raw.find("runs");
+    if (!runs || !runs->isArray())
+        fatal("malformed profile: no runs array");
+    for (std::size_t i = 0; i < runs->array.size(); ++i)
+        doc.runs.push_back(loadRun(runs->array[i], i));
+    return doc;
+}
+
+/** First source exposing both accesses and misses, or nullptr. */
+const SourceData *
+missRateSource(const RunData &run, std::size_t &accIdx,
+               std::size_t &missIdx)
+{
+    for (const SourceData &s : run.sources) {
+        const auto acc = std::find(s.metrics.begin(), s.metrics.end(),
+                                   "accesses");
+        const auto miss = std::find(s.metrics.begin(),
+                                    s.metrics.end(), "misses");
+        if (acc != s.metrics.end() && miss != s.metrics.end()) {
+            accIdx = static_cast<std::size_t>(acc - s.metrics.begin());
+            missIdx =
+                static_cast<std::size_t>(miss - s.metrics.begin());
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+/** Consecutive epochs whose miss rate stays inside one band. */
+struct Regime
+{
+    std::size_t first = 0; ///< epoch index, inclusive
+    std::size_t last = 0;  ///< epoch index, inclusive
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    rate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Cluster epochs into miss-rate regimes: an epoch joins the open
+ * regime while its rate stays within max(1 point, 25% relative) of
+ * the regime's running mean, else it opens a new one.  Coarse by
+ * design — the table should show "warm-up, steady state, phase
+ * change", not one row per epoch.
+ */
+std::vector<Regime>
+clusterRegimes(const SourceData &src, std::size_t accIdx,
+               std::size_t missIdx)
+{
+    std::vector<Regime> out;
+    const std::size_t epochs = src.columns[accIdx].size();
+    for (std::size_t e = 0; e < epochs; ++e) {
+        const std::uint64_t acc = src.columns[accIdx][e];
+        const std::uint64_t miss = src.columns[missIdx][e];
+        const double rate =
+            acc ? static_cast<double>(miss) / static_cast<double>(acc)
+                : 0.0;
+        if (!out.empty()) {
+            Regime &open = out.back();
+            const double mean = open.rate();
+            const double band = std::max(0.01, 0.25 * mean);
+            if (std::abs(rate - mean) <= band) {
+                open.last = e;
+                open.accesses += acc;
+                open.misses += miss;
+                continue;
+            }
+        }
+        Regime r;
+        r.first = r.last = e;
+        r.accesses = acc;
+        r.misses = miss;
+        out.push_back(r);
+    }
+    return out;
+}
+
+void
+printRun(const ProfileDoc &doc, const RunData &run)
+{
+    std::string srcNames;
+    for (const SourceData &s : run.sources)
+        srcNames +=
+            (srcNames.empty() ? "" : ", ") + s.component;
+    std::printf("\nrun %s: %zu epochs%s, sources: %s\n",
+                run.name.c_str(), run.endRef.size(),
+                run.ended ? "" : " (not ended)",
+                srcNames.empty() ? "none" : srcNames.c_str());
+    if (run.clamped || run.dropped)
+        std::printf("  %llu clamped epochs, %llu dropped\n",
+                    static_cast<unsigned long long>(run.clamped),
+                    static_cast<unsigned long long>(run.dropped));
+
+    // ---- miss-rate phase table ----------------------------------
+    std::size_t accIdx = 0, missIdx = 0;
+    const SourceData *src = missRateSource(run, accIdx, missIdx);
+    if (src && !run.endRef.empty()) {
+        const auto regimes = clusterRegimes(*src, accIdx, missIdx);
+        TextTable t;
+        t.header({"phase", "epochs", "end ref", "accesses", "misses",
+                  "miss rate"});
+        for (std::size_t i = 0; i < regimes.size(); ++i) {
+            const Regime &r = regimes[i];
+            const std::string span =
+                r.first == r.last
+                    ? std::to_string(r.first)
+                    : std::to_string(r.first) + "-" +
+                          std::to_string(r.last);
+            t.row({std::to_string(i), span,
+                   std::to_string(run.endRef[r.last]),
+                   std::to_string(r.accesses),
+                   std::to_string(r.misses), fixed(r.rate(), 4)});
+        }
+        std::printf("  miss-rate phases (%s, %zu regimes):\n%s",
+                    src->component.c_str(), regimes.size(),
+                    t.render().c_str());
+    }
+
+    // ---- peak pin-demand epoch ----------------------------------
+    // With a pin_mbs attribute the derived per-epoch r_total is the
+    // direct demand signal (Equation 5: E_pin = B_pin / prod R_i);
+    // otherwise fall back to the last source's below-traffic delta.
+    if (!run.rTotal.empty()) {
+        std::size_t peak = 0;
+        for (std::size_t e = 1; e < run.rTotal.size(); ++e)
+            if (run.rTotal[e] > run.rTotal[peak])
+                peak = e;
+        std::printf("  peak pin-demand epoch: %zu (end ref %llu, "
+                    "r_total %.4f",
+                    peak,
+                    static_cast<unsigned long long>(run.endRef[peak]),
+                    run.rTotal[peak]);
+        if (peak < run.epinMbs.size())
+            std::printf(", E_pin %.0f MB/s", run.epinMbs[peak]);
+        std::printf(")\n");
+    } else if (!run.sources.empty() && !run.endRef.empty()) {
+        const SourceData &last = run.sources.back();
+        const auto below = std::find(last.metrics.begin(),
+                                     last.metrics.end(),
+                                     "below_bytes");
+        if (below != last.metrics.end()) {
+            const auto &col = last.columns[static_cast<std::size_t>(
+                below - last.metrics.begin())];
+            std::size_t peak = 0;
+            for (std::size_t e = 1; e < col.size(); ++e)
+                if (col[e] > col[peak])
+                    peak = e;
+            std::printf("  peak pin-demand epoch: %zu (end ref "
+                        "%llu, %llu bytes below %s)\n",
+                        peak,
+                        static_cast<unsigned long long>(
+                            run.endRef[peak]),
+                        static_cast<unsigned long long>(col[peak]),
+                        last.component.c_str());
+        }
+    }
+    (void)doc;
+}
+
+void
+printStructural(const ProfileDoc &doc)
+{
+    const JsonValue *churn = doc.raw.find("set_churn");
+    if (churn && churn->isArray() && !churn->array.empty()) {
+        std::printf("\nhottest conflict sets:\n");
+        for (const JsonValue &lv : churn->array) {
+            const auto level = static_cast<unsigned long long>(
+                lv.at("level").asNumber());
+            const auto touched = static_cast<unsigned long long>(
+                lv.at("sets_touched").asNumber());
+            const auto evict = static_cast<unsigned long long>(
+                lv.at("evictions").asNumber());
+            std::string tops;
+            const JsonValue *top = lv.find("top");
+            std::size_t shown = 0;
+            if (top && top->isArray())
+                for (const JsonValue &t : top->array) {
+                    if (shown++ >= 4)
+                        break;
+                    tops += (tops.empty() ? "" : ", ") + std::string(
+                        "set ") +
+                        std::to_string(static_cast<std::uint64_t>(
+                            t.at("set").asNumber())) +
+                        " (" +
+                        std::to_string(static_cast<std::uint64_t>(
+                            t.at("evictions").asNumber())) +
+                        ")";
+                }
+            std::printf("  level %llu: %llu evictions over %llu "
+                        "sets; top: %s\n",
+                        level, evict, touched,
+                        tops.empty() ? "none" : tops.c_str());
+        }
+    }
+
+    const JsonValue *heat = doc.raw.find("region_heat");
+    if (heat && heat->isObject()) {
+        const JsonValue *buckets = heat->find("buckets");
+        const std::size_t n =
+            buckets && buckets->isArray() ? buckets->array.size() : 0;
+        if (n) {
+            std::size_t hot = 0;
+            double total = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double v = buckets->array[i].number;
+                total += v;
+                if (v > buckets->array[hot].number)
+                    hot = i;
+            }
+            std::printf("address-region heat: %llu bytes touched in "
+                        "%zu buckets; hottest bucket %zu carries "
+                        "%.1f%% of traffic\n",
+                        static_cast<unsigned long long>(
+                            heat->at("touched_bytes").asNumber()),
+                        n, hot,
+                        total > 0 ? 100.0 *
+                                        buckets->array[hot].number /
+                                        total
+                                  : 0.0);
+        }
+    }
+
+    if (const JsonValue *totals = doc.raw.find("probe_totals")) {
+        const auto hits = static_cast<unsigned long long>(
+            totals->at("dram_row_hits").asNumber());
+        const auto misses = static_cast<unsigned long long>(
+            totals->at("dram_row_misses").asNumber());
+        const auto pops = static_cast<unsigned long long>(
+            totals->at("mtc_scan_pops").asNumber());
+        if (hits || misses || pops)
+            std::printf("probe totals: %llu DRAM row hits, %llu row "
+                        "misses, %llu MTC victim-scan pops\n",
+                        hits, misses, pops);
+    }
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '" + path + "' for writing");
+    const bool bad =
+        std::fwrite(text.data(), 1, text.size(), f) != text.size();
+    if (std::fclose(f) != 0 || bad)
+        fatal("cannot write '" + path + "'");
+}
+
+/** Long-format CSV: one row per (run, epoch, source, metric). */
+std::string
+csvDump(const ProfileDoc &doc)
+{
+    std::string out = "run,epoch,end_ref,source,metric,delta\n";
+    for (const RunData &run : doc.runs)
+        for (const SourceData &src : run.sources)
+            for (std::size_t m = 0; m < src.metrics.size(); ++m)
+                for (std::size_t e = 0; e < run.endRef.size(); ++e)
+                    out += run.name + "," + std::to_string(e) + "," +
+                           std::to_string(run.endRef[e]) + "," +
+                           src.component + "," + src.metrics[m] +
+                           "," +
+                           std::to_string(src.columns[m][e]) + "\n";
+    return out;
+}
+
+/** Gnuplot script with inline data: per-epoch miss rate per run. */
+std::string
+gnuplotDump(const ProfileDoc &doc)
+{
+    std::string out =
+        "# membw_profile_report --gnuplot: per-epoch miss rate\n"
+        "set xlabel 'references'\n"
+        "set ylabel 'miss rate'\n"
+        "set key outside\n"
+        "set grid\n";
+    std::vector<std::string> series;
+    for (const RunData &run : doc.runs) {
+        std::size_t accIdx = 0, missIdx = 0;
+        const SourceData *src = missRateSource(run, accIdx, missIdx);
+        if (!src || run.endRef.empty())
+            continue;
+        const std::string block = "$run" +
+                                  std::to_string(series.size());
+        out += block + " << EOD\n";
+        for (std::size_t e = 0; e < run.endRef.size(); ++e) {
+            const std::uint64_t acc = src->columns[accIdx][e];
+            const double rate =
+                acc ? static_cast<double>(src->columns[missIdx][e]) /
+                          static_cast<double>(acc)
+                    : 0.0;
+            out += std::to_string(run.endRef[e]) + " " +
+                   fixed(rate, 6) + "\n";
+        }
+        out += "EOD\n";
+        series.push_back(block + " using 1:2 with linespoints title "
+                         "'" + run.name + "'");
+    }
+    if (series.empty())
+        return out + "# no runs with accesses/misses metrics\n";
+    out += "plot ";
+    for (std::size_t i = 0; i < series.size(); ++i)
+        out += (i ? ", \\\n     " : "") + series[i];
+    out += "\n";
+    return out;
+}
+
+int
+report(const std::string &profilePath, const std::string &csvPath,
+       const std::string &gnuplotPath)
+{
+    const ProfileDoc doc = loadProfile(profilePath);
+
+    std::size_t ended = 0;
+    for (const RunData &r : doc.runs)
+        ended += r.ended ? 1 : 0;
+    std::printf("profile: %s (%s)\n", profilePath.c_str(),
+                doc.tool.empty() ? "unknown tool" : doc.tool.c_str());
+    std::printf("epoch %llu refs | runs %zu (%zu ended) | clamped "
+                "%llu | dropped %llu\n",
+                static_cast<unsigned long long>(doc.epochRefs),
+                doc.runs.size(), ended,
+                static_cast<unsigned long long>(doc.clamped),
+                static_cast<unsigned long long>(doc.dropped));
+    // Stable machine-readable line for the e2e cross-check test.
+    std::uint64_t totalEpochs = 0;
+    for (const RunData &r : doc.runs)
+        totalEpochs += r.endRef.size();
+    std::printf("profile epochs validated: %llu\n",
+                static_cast<unsigned long long>(totalEpochs));
+
+    for (const RunData &run : doc.runs)
+        printRun(doc, run);
+    printStructural(doc);
+
+    if (!csvPath.empty()) {
+        writeTextFile(csvPath, csvDump(doc));
+        std::printf("csv: %s\n", csvPath.c_str());
+    }
+    if (!gnuplotPath.empty()) {
+        writeTextFile(gnuplotPath, gnuplotDump(doc));
+        std::printf("gnuplot: %s\n", gnuplotPath.c_str());
+    }
+    return exitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string profilePath, csvPath, gnuplotPath;
+        for (int i = 1; i < argc; ++i) {
+            const std::string a = argv[i];
+            auto need = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    emitLinef("missing value for %s", a.c_str());
+                    std::exit(exitUsage);
+                }
+                return argv[++i];
+            };
+            if (a == "--help" || a == "-h")
+                usage(exitOk);
+            else if (a == "--csv")
+                csvPath = need();
+            else if (a == "--gnuplot")
+                gnuplotPath = need();
+            else if (!a.empty() && a[0] != '-' && profilePath.empty())
+                profilePath = a;
+            else
+                usage(exitUsage);
+        }
+        if (profilePath.empty())
+            usage(exitUsage);
+        return report(profilePath, csvPath, gnuplotPath);
+    } catch (const FatalError &e) {
+        emitLine(e.what());
+        return exitFatal;
+    }
+}

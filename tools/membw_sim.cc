@@ -20,6 +20,7 @@
  * Run with --help for the full flag list.
  */
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -38,8 +39,10 @@
 #include "exec/thread_pool.hh"
 #include "mtc/min_cache.hh"
 #include "obs/emit.hh"
+#include "obs/epoch_profiler.hh"
 #include "obs/export.hh"
 #include "obs/manifest.hh"
+#include "obs/profile_sources.hh"
 #include "obs/progress.hh"
 #include "obs/registry.hh"
 #include "obs/trace_export.hh"
@@ -136,7 +139,13 @@ usage(int code)
         "(load in Perfetto;\n"
         "                      inspect with membw_trace_report)\n"
         "  --series-out FILE   append a JSONL time series of live "
-        "counters\n\n"
+        "counters\n"
+        "  --profile-out FILE  write per-epoch model telemetry JSON "
+        "(per-level\n"
+        "                      traffic, R_i, heatmaps; inspect with "
+        "membw_profile_report)\n"
+        "  --profile-epoch N   simulated references per epoch "
+        "(default 65536)\n\n"
         "%s",
         exitCodeHelp);
     std::exit(code);
@@ -228,6 +237,8 @@ struct Options
     std::uint64_t statsEvery = 0;
     std::string traceOut;
     std::string seriesOut;
+    std::string profileOut;
+    std::uint64_t profileEpoch = 0;
     std::string checkpoint;
     std::uint64_t checkpointEvery = 0;
     std::string resume;
@@ -248,10 +259,9 @@ parse(int argc, char **argv)
 
     auto need = [&](int &i) -> std::string {
         if (i + 1 >= argc) {
-            std::fprintf(stderr,
-                         "missing value for %s (run --help for the "
-                         "flag list)\n",
-                         argv[i]);
+            emitLinef("missing value for %s (run --help for the "
+                      "flag list)",
+                      argv[i]);
             std::exit(exitUsage);
         }
         return argv[++i];
@@ -350,6 +360,10 @@ parse(int argc, char **argv)
             o.traceOut = need(i);
         } else if (a == "--series-out") {
             o.seriesOut = need(i);
+        } else if (a == "--profile-out") {
+            o.profileOut = need(i);
+        } else if (a == "--profile-epoch") {
+            o.profileEpoch = countFlag(a, need(i));
         } else if (a == "--checkpoint") {
             o.checkpoint = need(i);
         } else if (a == "--checkpoint-every") {
@@ -361,10 +375,9 @@ parse(int argc, char **argv)
         } else if (a == "--sigterm-after") {
             o.sigtermAfter = countFlag(a, need(i));
         } else {
-            std::fprintf(stderr,
-                         "unknown flag '%s' (run --help for the flag "
-                         "list)\n",
-                         a.c_str());
+            emitLinef("unknown flag '%s' (run --help for the flag "
+                      "list)",
+                      a.c_str());
             std::exit(exitUsage);
         }
     }
@@ -372,6 +385,10 @@ parse(int argc, char **argv)
         usage(exitUsage);
     if (!o.checkpoint.empty() && o.checkpointEvery == 0)
         o.checkpointEvery = 1'000'000;
+    if (o.profileEpoch && o.profileOut.empty())
+        fatal("--profile-epoch requires --profile-out");
+    if (!o.profileOut.empty() && o.profileEpoch == 0)
+        o.profileEpoch = 65536;
     return o;
 }
 
@@ -416,6 +433,8 @@ writeCheckpoint(const Options &o, const RunState &state,
         saveTrafficResult(w, state.hierResult);
         mtc->saveState(w);
     }
+    if (const EpochProfiler *prof = profilerActive())
+        prof->saveState(w);
 
     auto result = w.writeFile(o.checkpoint);
     if (!result.ok())
@@ -468,6 +487,18 @@ loadCheckpoint(const Options &o, RunState &state, CacheHierarchy &hier,
         if (mtc)
             mtc->loadState(r);
     }
+    if (EpochProfiler *prof = profilerActive()) {
+        if (r.remaining() == 0)
+            fatal("cannot resume from '" + o.resume +
+                  "': checkpoint carries no profiler state (was "
+                  "the interrupted run started without "
+                  "--profile-out?)");
+        prof->loadState(r);
+    } else if (r.remaining() != 0) {
+        fatal("cannot resume from '" + o.resume +
+              "': checkpoint carries profiler state; rerun with "
+              "the interrupted run's --profile-out/--profile-epoch");
+    }
     if (r.failed())
         fatal("cannot resume from '" + o.resume +
               "': " + r.error().describe());
@@ -506,6 +537,7 @@ writeStatsJson(const Options &o, const RunState &state,
     }
     if (o.runMtc)
         manifest.set("mtc_config", canonicalMtc(o.l1.size).describe());
+    writeProfileManifest(manifest, o.stableJson);
 
     JsonWriter w;
     w.beginObject();
@@ -532,15 +564,13 @@ shutdownNow(const Options &o, const RunState &state, const Trace &trace,
         {{"refs", static_cast<double>(state.cursor)},
          {"phase", static_cast<double>(state.phase)}},
         /*force=*/true);
-    std::fprintf(stderr,
-                 "\n%s received: drained reference %llu, shutting "
-                 "down\n",
-                 shutdownSignalName(),
-                 static_cast<unsigned long long>(state.cursor));
+    emitLinef("\n%s received: drained reference %llu, shutting "
+              "down",
+              shutdownSignalName(),
+              static_cast<unsigned long long>(state.cursor));
     if (!o.checkpoint.empty()) {
         writeCheckpoint(o, state, hier, mtc);
-        std::fprintf(stderr, "final checkpoint: %s\n",
-                     o.checkpoint.c_str());
+        emitLinef("final checkpoint: %s", o.checkpoint.c_str());
     }
     if (!o.statsJson.empty()) {
         // Partial snapshot: hierarchy stats straight off the live
@@ -555,8 +585,7 @@ shutdownNow(const Options &o, const RunState &state, const Trace &trace,
             writeStatsJson(o, state, trace, &state.hierResult,
                            &partial, wallSeconds, true);
         }
-        std::fprintf(stderr, "partial stats: %s\n",
-                     o.statsJson.c_str());
+        emitLinef("partial stats: %s", o.statsJson.c_str());
     }
     std::exit(exitInterrupted);
 }
@@ -592,6 +621,10 @@ runSweep(const Options &o, const Trace &trace)
               "flags (or run single-config)");
     if (o.haveL2)
         fatal("sweep mode is single-level: drop the --l2-* flags");
+    if (!o.profileOut.empty())
+        fatal("sweep mode does not support --profile-out: cells run "
+              "concurrently and share no reference clock (profile a "
+              "single-config run instead)");
 
     const std::vector<Bytes> blocks =
         o.sweepBlocks.empty() ? std::vector<Bytes>{o.l1.blockBytes}
@@ -873,6 +906,9 @@ main(int argc, char **argv)
             tracingInit(o.traceOut, "membw_sim");
         if (!o.seriesOut.empty())
             SeriesWriter::global().init(o.seriesOut);
+        if (!o.profileOut.empty() && o.sweepSizes.empty())
+            profilerInit(o.profileOut, o.profileEpoch)
+                .setVerbose(logEnabled(LogLevel::Debug));
 
         Trace trace;
         if (!o.loadTrace.empty()) {
@@ -936,6 +972,7 @@ main(int argc, char **argv)
 
         MEMBW_SPAN("run");
         WallTimer timer;
+        EpochProfiler *const prof = profilerActive();
         ProgressMeter meter("membw_sim", o.statsEvery);
         std::uint64_t lastCkptRef = state.cursor;
         meter.setAnnotator([&] {
@@ -959,9 +996,23 @@ main(int argc, char **argv)
         // Phase 0: the functional hierarchy, reference by reference.
         if (state.phase == phaseHierarchy) {
             MEMBW_SPAN("phase.hierarchy");
+            if (prof) {
+                // On --resume this re-enters the interrupted run and
+                // re-attaches the sources over the restored prev
+                // snapshots; a fresh run snapshots the zero state.
+                prof->beginRun("hierarchy");
+                prof->setRunAttr("pin_mbs", o.pinBandwidthMBs);
+                attachHierarchySources(*prof, hier);
+                hier.attachProbe(prof);
+            }
             for (std::size_t i = state.cursor; i < total; ++i) {
                 hier.access(trace[i]);
                 state.cursor = i + 1;
+                // Close any epoch ending here before a checkpoint at
+                // the same reference can be written, so resumed runs
+                // replay identical boundaries.
+                if (prof)
+                    prof->advanceTo(state.cursor);
                 meter.tick(state.cursor, total);
                 // Stride-gated so the sampler's clock read stays off
                 // the per-reference path.
@@ -985,6 +1036,12 @@ main(int argc, char **argv)
                                 timer.seconds());
             }
             hier.flush();
+            if (prof) {
+                // The final (possibly partial) epoch picks up the
+                // flush write-backs, so Σ(epochs) == aggregates.
+                prof->endRun(total);
+                hier.attachProbe(nullptr);
+            }
             state.hierResult = hier.summarize();
             state.phase = phaseMtc;
             state.cursor = 0;
@@ -1022,10 +1079,33 @@ main(int argc, char **argv)
                            ? static_cast<std::size_t>(o.statsEvery)
                            : std::size_t{1} << 20);
             MEMBW_SPAN("phase.mtc");
+            if (prof) {
+                prof->beginRun("mtc");
+                prof->addSource(
+                    "mtc", minCacheMetricNames(),
+                    [sim = &*mtcSim] {
+                        // Monotonic raw counters mid-run; once the
+                        // trace is done the snapshot switches to
+                        // finalize() so the last epoch carries the
+                        // dirty flush exactly once.
+                        return snapshotMinCacheStats(
+                            sim->done() ? sim->finalize()
+                                        : sim->stats(),
+                            sim->victimScanPops());
+                    });
+                mtcSim->setProbe(prof);
+            }
             while (!mtcSim->done()) {
                 const std::size_t before = mtcSim->cursor();
-                mtcSim->step(slice);
+                std::size_t stepN = slice;
+                if (prof) // stop exactly on epoch boundaries
+                    stepN = static_cast<std::size_t>(
+                        std::min<std::uint64_t>(
+                            stepN, prof->refsToNextTarget(before)));
+                mtcSim->step(stepN);
                 state.cursor = mtcSim->cursor();
+                if (prof)
+                    prof->advanceTo(state.cursor);
                 meter.tick(state.cursor, total);
                 SeriesWriter::global().sample(
                     {{"refs", static_cast<double>(state.cursor)},
@@ -1036,7 +1116,9 @@ main(int argc, char **argv)
                 if (o.sigtermAfter && before < o.sigtermAfter &&
                     state.cursor >= o.sigtermAfter)
                     std::raise(SIGTERM);
-                if (!o.checkpoint.empty() && !mtcSim->done()) {
+                if (!o.checkpoint.empty() && !mtcSim->done() &&
+                    state.cursor - lastCkptRef >=
+                        o.checkpointEvery) {
                     writeCheckpoint(o, state, nullptr, &*mtcSim);
                     lastCkptRef = state.cursor;
                 }
@@ -1045,6 +1127,10 @@ main(int argc, char **argv)
                                 timer.seconds());
             }
             mtc = mtcSim->finalize();
+            if (prof) {
+                prof->endRun(state.cursor);
+                mtcSim->setProbe(nullptr);
+            }
 
             const double g = static_cast<double>(r.levelTraffic[0]) /
                              static_cast<double>(mtc.trafficBelow());
@@ -1062,12 +1148,16 @@ main(int argc, char **argv)
             writeStatsJson(o, state, trace, &r,
                            o.runMtc ? &mtc : nullptr, timer.seconds(),
                            false);
+        if (prof) {
+            profilerWriteNow("membw_sim");
+            std::printf("profile: %s\n", o.profileOut.c_str());
+        }
         return exitOk;
     } catch (const WatchdogError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        emitLine(e.what());
         return exitWatchdog;
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        emitLine(e.what());
         return exitFatal;
     }
 }

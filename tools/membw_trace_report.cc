@@ -32,6 +32,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "obs/emit.hh"
 #include "obs/json.hh"
 #include "resilience/exit_codes.hh"
 
@@ -51,7 +52,7 @@ usage(int code)
         "  --top N         rows in the self-time table (default "
         "15)\n\n"
         "Prints self-time per phase, per-worker utilization, and the\n"
-        "critical-path (longest) sweep cell.  Exits 2 on a malformed\n"
+        "critical-path (longest) sweep cell.  Exits 1 on a malformed\n"
         "trace (incomplete events, non-monotonic per-thread "
         "timestamps).\n");
     std::exit(code);
@@ -364,6 +365,16 @@ report(const std::string &tracePath, const std::string &seriesPath,
 
     // ---- optional series summary --------------------------------
     if (!seriesPath.empty()) {
+        // An absent or empty series file is a normal outcome (a run
+        // that never sampled, or telemetry disabled), not a
+        // malformed input: note it and keep the exit status clean.
+        std::FILE *probe = std::fopen(seriesPath.c_str(), "rb");
+        if (!probe) {
+            std::printf("\nseries: %s (no samples: file absent)\n",
+                        seriesPath.c_str());
+            return exitOk;
+        }
+        std::fclose(probe);
         const std::string text = readFileOrDie(seriesPath);
         std::size_t lines = 0;
         double tMin = 0.0, tMax = 0.0;
@@ -399,9 +410,14 @@ report(const std::string &tracePath, const std::string &seriesPath,
         std::string names;
         for (const auto &f : fields)
             names += (names.empty() ? "" : ", ") + f;
-        std::printf("\nseries: %s (%zu samples over %.3f s: %s)\n",
-                    seriesPath.c_str(), lines, tMax - tMin,
-                    names.empty() ? "no fields" : names.c_str());
+        if (lines == 0)
+            std::printf("\nseries: %s (no samples)\n",
+                        seriesPath.c_str());
+        else
+            std::printf("\nseries: %s (%zu samples over %.3f s: "
+                        "%s)\n",
+                        seriesPath.c_str(), lines, tMax - tMin,
+                        names.empty() ? "no fields" : names.c_str());
     }
     return exitOk;
 }
@@ -418,8 +434,7 @@ main(int argc, char **argv)
             const std::string a = argv[i];
             auto need = [&]() -> std::string {
                 if (i + 1 >= argc) {
-                    std::fprintf(stderr, "missing value for %s\n",
-                                 a.c_str());
+                    emitLinef("missing value for %s", a.c_str());
                     std::exit(exitUsage);
                 }
                 return argv[++i];
@@ -442,7 +457,7 @@ main(int argc, char **argv)
             topN = 15;
         return report(tracePath, seriesPath, topN);
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
+        emitLine(e.what());
         return exitFatal;
     }
 }
