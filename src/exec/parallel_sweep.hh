@@ -30,6 +30,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -37,6 +38,13 @@
 #include "exec/thread_pool.hh"
 
 namespace membw {
+
+/** One tolerated cell failure (SweepOptions::tolerateCellFailures). */
+struct CellFailure
+{
+    std::size_t cell = 0;
+    std::string message;
+};
 
 /** Knobs for parallelSweep(). */
 struct SweepOptions
@@ -58,6 +66,23 @@ struct SweepOptions
      * --sigterm-after cell-count trigger.
      */
     std::function<void(std::size_t donePrefix)> onPrefix;
+
+    /**
+     * Degraded mode: a cell that throws a std::exception is recorded
+     * in SweepResult::failedCells (default-constructed result, still
+     * counts toward the completed prefix) and the sweep carries on
+     * instead of rethrowing.  Exceptions that are not std::exception
+     * (phase-interrupt sentinels) always propagate; so do those for
+     * which abortAnyway() returns true.
+     */
+    bool tolerateCellFailures = false;
+
+    /**
+     * Escape hatch under tolerateCellFailures: return true to treat
+     * this exception as fatal anyway (e.g. WatchdogError must still
+     * abort with exit code 4, not degrade to exit code 5).
+     */
+    std::function<bool(const std::exception &)> abortAnyway;
 };
 
 /** Outcome of a sweep. */
@@ -66,7 +91,8 @@ template <typename R> struct SweepResult
     /**
      * cells[i] = result of cell i.  On interruption only the first
      * `completed` entries are meaningful; the rest are
-     * default-constructed.
+     * default-constructed.  Failed cells (tolerateCellFailures) hold
+     * default-constructed values too.
      */
     std::vector<R> cells;
 
@@ -76,6 +102,14 @@ template <typename R> struct SweepResult
 
     /** True iff cancel() fired before every cell was scheduled. */
     bool interrupted = false;
+
+    /**
+     * Tolerated failures in cell-index order (empty unless
+     * SweepOptions::tolerateCellFailures was set).
+     */
+    std::vector<CellFailure> failedCells;
+
+    bool degraded() const { return !failedCells.empty(); }
 };
 
 /**
@@ -97,7 +131,19 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
                 result.interrupted = true;
                 return result;
             }
-            result.cells[i] = fn(i);
+            if (opt.tolerateCellFailures) {
+                try {
+                    result.cells[i] = fn(i);
+                } catch (const std::exception &e) {
+                    if (opt.abortAnyway && opt.abortAnyway(e))
+                        throw;
+                    result.failedCells.push_back(
+                        CellFailure{i, e.what()});
+                    result.cells[i] = R{};
+                }
+            } else {
+                result.cells[i] = fn(i);
+            }
             result.completed = i + 1;
             if (opt.onPrefix)
                 opt.onPrefix(result.completed);
@@ -113,9 +159,13 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
         bool cancelled = false;
         bool aborted = false;       ///< a cell threw
         std::vector<char> done;
+        std::vector<char> failed;   ///< tolerated failures
+        std::vector<std::string> failMessage;
         std::vector<std::exception_ptr> errors;
     } shared;
     shared.done.assign(n, 0);
+    shared.failed.assign(n, 0);
+    shared.failMessage.resize(n);
     shared.errors.resize(n);
 
     {
@@ -141,9 +191,26 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
                     }
                     R value{};
                     bool ok = true;
+                    bool tolerated = false;
+                    std::string why;
                     try {
                         value = fn(i);
+                    } catch (const std::exception &e) {
+                        if (opt.tolerateCellFailures &&
+                            !(opt.abortAnyway && opt.abortAnyway(e))) {
+                            tolerated = true;
+                            why = e.what();
+                        } else {
+                            ok = false;
+                            std::lock_guard<std::mutex> lock(
+                                shared.mutex);
+                            shared.errors[i] =
+                                std::current_exception();
+                            shared.aborted = true;
+                        }
                     } catch (...) {
+                        // Non-std exceptions (phase-interrupt
+                        // sentinels) are never tolerated.
                         ok = false;
                         std::lock_guard<std::mutex> lock(shared.mutex);
                         shared.errors[i] = std::current_exception();
@@ -151,7 +218,12 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
                     }
                     if (ok) {
                         std::lock_guard<std::mutex> lock(shared.mutex);
-                        result.cells[i] = std::move(value);
+                        if (tolerated) {
+                            shared.failed[i] = 1;
+                            shared.failMessage[i] = std::move(why);
+                        } else {
+                            result.cells[i] = std::move(value);
+                        }
                         shared.done[i] = 1;
                         bool grew = false;
                         while (shared.prefix < n &&
@@ -171,6 +243,11 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
     for (std::size_t i = 0; i < n; ++i)
         if (shared.errors[i])
             std::rethrow_exception(shared.errors[i]);
+
+    for (std::size_t i = 0; i < n; ++i)
+        if (shared.failed[i])
+            result.failedCells.push_back(
+                CellFailure{i, std::move(shared.failMessage[i])});
 
     result.completed = shared.prefix;
     result.interrupted = shared.cancelled;

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/table.hh"
+#include "resilience/guarded_io.hh"
 
 namespace membw {
 
@@ -88,14 +89,10 @@ exportCsv(const StatsRegistry &registry)
 void
 writeFileOrDie(const std::string &path, const std::string &contents)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open '" + path + "' for writing");
-    const std::size_t n =
-        std::fwrite(contents.data(), 1, contents.size(), f);
-    const bool closed = std::fclose(f) == 0;
-    if (n != contents.size() || !closed)
-        fatal("short write to '" + path + "'");
+    // Atomic tmp+rename with retry: every artifact funnelled through
+    // here (--stats-json, --trace-out, --profile-out, bench --json)
+    // is either the complete new file or untouched, never a prefix.
+    (void)GuardedFile::writeAtomic(path, contents).orDie();
 }
 
 } // namespace membw

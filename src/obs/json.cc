@@ -292,15 +292,25 @@ class Parser
     JsonValue
     value()
     {
+        // Hostile input like ten thousand '[' characters would
+        // otherwise recurse once per bracket and overflow the stack;
+        // cap nesting far above anything the tools emit.
+        if (depth_ >= maxDepth)
+            fail("nesting exceeds " + std::to_string(maxDepth) +
+                 " levels");
+        ++depth_;
+        JsonValue v;
         const char c = peek();
         switch (c) {
-          case '{': return parseObject();
-          case '[': return parseArray();
-          case '"': return parseString();
-          case 't': case 'f': return parseBool();
-          case 'n': return parseNull();
-          default: return parseNumber();
+          case '{': v = parseObject(); break;
+          case '[': v = parseArray(); break;
+          case '"': v = parseString(); break;
+          case 't': case 'f': v = parseBool(); break;
+          case 'n': v = parseNull(); break;
+          default: v = parseNumber(); break;
         }
+        --depth_;
+        return v;
     }
 
     JsonValue
@@ -435,8 +445,11 @@ class Parser
         return v;
     }
 
+    static constexpr std::size_t maxDepth = 256;
+
     std::string_view text_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 } // namespace

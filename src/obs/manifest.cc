@@ -34,6 +34,8 @@ RunManifest::write(JsonWriter &w) const
     w.field("refs", refs);
     if (interrupted)
         w.field("interrupted", true);
+    if (degraded)
+        w.field("degraded", true);
     if (!omitTiming) {
         w.field("wall_seconds", wallSeconds);
         w.field("mrefs_per_sec", mrefsPerSec());

@@ -46,6 +46,13 @@ struct RunManifest
     bool interrupted = false;
 
     /**
+     * True when one or more sweep cells failed but the sweep carried
+     * on (exit code 5); the failures are listed under "failed_cells"
+     * in the stats document.  Only emitted when set.
+     */
+    bool degraded = false;
+
+    /**
      * Omit wall_seconds / mrefs_per_sec (--stable-json): these are
      * the only nondeterministic fields, and dropping them makes
      * "byte-identical output" a checkable property for resume tests.

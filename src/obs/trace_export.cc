@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
+#include "resilience/fault_injection.hh"
 
 namespace membw {
 
@@ -197,9 +198,14 @@ SeriesWriter::init(const std::string &path, double intervalSec)
     std::lock_guard<std::mutex> lock(mutex_);
     if (file_)
         std::fclose(file_);
-    file_ = std::fopen(path.c_str(), "w");
+    // Stage into '<path>.tmp'; close() renames the completed series
+    // into place so a crash mid-run never leaves a half-written file
+    // under the real name.
+    path_ = path;
+    tmp_ = path + ".tmp";
+    file_ = std::fopen(tmp_.c_str(), "w");
     if (!file_)
-        fatal("cannot open '" + path + "' for writing");
+        fatal("cannot open '" + tmp_ + "' for writing");
     intervalSec_ = intervalSec > 0 ? intervalSec : 0.25;
     epoch_ = std::chrono::steady_clock::now();
     sampledOnce_ = false;
@@ -232,10 +238,29 @@ SeriesWriter::sample(Fields fields, bool force)
         line += formatJsonNumber(value);
     }
     line += "}\n";
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fflush(file_);
+    if (MEMBW_FAULT_POINT("series-write")) {
+        degradeLocked("injected series write failure");
+        return false;
+    }
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        degradeLocked("write error");
+        return false;
+    }
     ++lines_;
     return true;
+}
+
+void
+SeriesWriter::degradeLocked(const std::string &why)
+{
+    // The series is telemetry, not the result: dropping it must not
+    // take the simulation down with it.
+    warn("series output '" + path_ + "' dropped: " + why);
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_.c_str());
 }
 
 void
@@ -243,8 +268,15 @@ SeriesWriter::close()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (file_) {
-        std::fclose(file_);
+        const bool flushed = std::fflush(file_) == 0;
+        const bool closed = std::fclose(file_) == 0;
         file_ = nullptr;
+        if (!flushed || !closed ||
+            std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+            warn("series output '" + path_ + "' dropped: "
+                 "cannot finalise");
+            std::remove(tmp_.c_str());
+        }
     }
 }
 

@@ -112,7 +112,10 @@ class SeriesWriter
     /**
      * Open @p path and start the clock.  @p intervalSec is the
      * minimum spacing between un-forced samples (default 250ms).
-     * The file is closed (and flushed) at process exit.
+     * Samples stage into '<path>.tmp'; close() renames the finished
+     * series into place, so readers never see a torn file.  A write
+     * failure mid-run degrades (drops the series with a warning)
+     * rather than killing the simulation.
      */
     void init(const std::string &path, double intervalSec = 0.25);
 
@@ -125,15 +128,23 @@ class SeriesWriter
      */
     bool sample(Fields fields, bool force = false);
 
-    /** Flush and close; further samples are dropped.  Idempotent. */
+    /**
+     * Flush, close, and rename the staged file into place; further
+     * samples are dropped.  Idempotent.
+     */
     void close();
 
     /** Samples written so far. */
     std::uint64_t lines() const { return lines_; }
 
   private:
+    /** Drop the series after a write failure (mutex_ held). */
+    void degradeLocked(const std::string &why);
+
     std::mutex mutex_;
     std::FILE *file_ = nullptr;
+    std::string path_;
+    std::string tmp_;
     double intervalSec_ = 0.25;
     std::chrono::steady_clock::time_point epoch_{};
     std::chrono::steady_clock::time_point lastSample_{};

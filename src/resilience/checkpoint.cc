@@ -7,6 +7,8 @@
 
 #include "common/crc.hh"
 #include "obs/registry.hh"
+#include "resilience/fault_injection.hh"
+#include "resilience/guarded_io.hh"
 
 namespace membw {
 
@@ -99,24 +101,10 @@ ChkWriter::serialize() const
 Result<bool>
 ChkWriter::writeFile(const std::string &path) const
 {
-    const std::string image = serialize();
-    const std::string tmp = path + ".tmp";
-    {
-        FilePtr f(std::fopen(tmp.c_str(), "wb"));
-        if (!f)
-            return makeError(Errc::IoError,
-                             "cannot open '" + tmp +
-                                 "' for writing");
-        if (image.size() &&
-            std::fwrite(image.data(), image.size(), 1, f.get()) != 1)
-            return makeError(Errc::IoError,
-                             "short write to '" + tmp + "'");
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        return makeError(Errc::IoError,
-                         "cannot rename '" + tmp + "' to '" + path +
-                             "'");
-    return true;
+    // GuardedFile supplies the retry + tmp/rename discipline, so a
+    // crash or disk-full mid-snapshot can never tear the previous
+    // committed checkpoint.
+    return GuardedFile::writeAtomic(path, serialize());
 }
 
 Result<ChkReader>
@@ -135,6 +123,10 @@ ChkReader::fromFile(const std::string &path)
         return makeError(Errc::IoError,
                          "cannot size '" + path + "'");
     std::rewind(f.get());
+    if (MEMBW_FAULT_POINT("alloc"))
+        return makeError(Errc::IoError,
+                         "cannot allocate " + std::to_string(sz) +
+                             " bytes for '" + path + "' (injected)");
     std::vector<std::uint8_t> image(static_cast<std::size_t>(sz));
     if (!image.empty() &&
         std::fread(image.data(), image.size(), 1, f.get()) != 1)

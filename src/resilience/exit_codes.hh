@@ -16,6 +16,9 @@
  *      and partial stats (if --stats-json was given) were written
  *   4  watchdog: forward-progress guard tripped (livelock/deadlock);
  *      a machine-state diagnostic was dumped to stderr
+ *   5  degraded: one or more sweep cells failed but the sweep
+ *      completed; surviving cells are reported and --stats-json
+ *      lists the failures under "failed_cells"
  */
 
 #ifndef MEMBW_RESILIENCE_EXIT_CODES_HH
@@ -30,6 +33,7 @@ constexpr int exitFatal = 1;
 constexpr int exitUsage = 2;
 constexpr int exitInterrupted = 3;
 constexpr int exitWatchdog = 4;
+constexpr int exitDegraded = 5;
 
 /**
  * Thrown by the forward-progress watchdog.  Derives from FatalError
@@ -51,7 +55,9 @@ constexpr const char *exitCodeHelp =
     "  3  interrupted by SIGINT/SIGTERM (checkpoint + partial stats "
     "written)\n"
     "  4  watchdog detected livelock/deadlock (diagnostic on "
-    "stderr)\n";
+    "stderr)\n"
+    "  5  degraded: some sweep cells failed; surviving cells "
+    "reported\n";
 
 } // namespace membw
 

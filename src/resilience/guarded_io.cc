@@ -1,0 +1,133 @@
+#include "resilience/guarded_io.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "resilience/fault_injection.hh"
+
+namespace membw {
+
+Result<bool>
+GuardedFile::open(const std::string &path)
+{
+    abortWrite();
+    path_ = path;
+    tmp_ = path + ".tmp";
+    file_ = std::fopen(tmp_.c_str(), "wb");
+    if (!file_)
+        return makeError(Errc::IoError,
+                         "cannot open '" + tmp_ + "' for writing");
+    return true;
+}
+
+Result<bool>
+GuardedFile::write(const void *data, std::size_t size)
+{
+    if (!file_)
+        return makeError(Errc::IoError,
+                         "write to '" + path_ +
+                             "' before open (or after a failure)");
+    const auto *p = static_cast<const unsigned char *>(data);
+    unsigned stalls = 0;
+    while (size > 0) {
+        if (MEMBW_FAULT_POINT("enospc")) {
+            abortWrite();
+            return makeError(Errc::IoError,
+                             "no space left on device writing '" +
+                                 tmp_ + "' (injected)");
+        }
+        std::size_t n = 0;
+        if (MEMBW_FAULT_POINT("io-write")) {
+            // Simulated transient failure: this attempt moves no
+            // bytes, the retry loop below decides its fate.
+        } else {
+            n = std::fwrite(p, 1, size, file_);
+        }
+        p += n;
+        size -= n;
+        if (size == 0)
+            break;
+        if (n > 0) {
+            stalls = 0; // progress resets the retry budget
+            continue;
+        }
+        if (std::ferror(file_) && errno == EINTR) {
+            std::clearerr(file_);
+            continue;
+        }
+        if (++stalls > maxWriteRetries) {
+            abortWrite();
+            return makeError(Errc::IoError,
+                             "short write to '" + tmp_ + "' (" +
+                                 std::to_string(maxWriteRetries) +
+                                 " retries exhausted)");
+        }
+        std::clearerr(file_);
+        // Bounded backoff: 1, 2, 4 ms across the retry budget.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1u << (stalls - 1)));
+    }
+    return true;
+}
+
+Result<bool>
+GuardedFile::write(std::string_view text)
+{
+    return write(text.data(), text.size());
+}
+
+Result<bool>
+GuardedFile::commit()
+{
+    if (!file_)
+        return makeError(Errc::IoError,
+                         "commit of '" + path_ +
+                             "' before open (or after a failure)");
+    const bool flushed = std::fflush(file_) == 0;
+    const bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (!flushed || !closed) {
+        std::remove(tmp_.c_str());
+        return makeError(Errc::IoError,
+                         "cannot flush '" + tmp_ + "'");
+    }
+    if (MEMBW_FAULT_POINT("io-rename")) {
+        std::remove(tmp_.c_str());
+        return makeError(Errc::IoError,
+                         "cannot rename '" + tmp_ + "' to '" + path_ +
+                             "' (injected)");
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp_.c_str());
+        return makeError(Errc::IoError,
+                         "cannot rename '" + tmp_ + "' to '" + path_ +
+                             "'");
+    }
+    return true;
+}
+
+void
+GuardedFile::abortWrite()
+{
+    if (!file_)
+        return;
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_.c_str());
+}
+
+Result<bool>
+GuardedFile::writeAtomic(const std::string &path,
+                         std::string_view contents)
+{
+    GuardedFile out;
+    if (auto r = out.open(path); !r.ok())
+        return r.error();
+    if (auto r = out.write(contents); !r.ok())
+        return r.error();
+    return out.commit();
+}
+
+} // namespace membw

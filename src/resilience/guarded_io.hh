@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Guarded, atomic artifact writes.
+ *
+ * Every artifact a run leaves behind (stats JSON, checkpoints, saved
+ * traces, Chrome traces, epoch profiles, bench manifests) is read by
+ * some downstream consumer — a resumed run, a report tool, a CI
+ * gate.  A plain fopen/fwrite writer can leave a *torn* file on
+ * crash or disk-full, and a torn artifact is strictly worse than a
+ * missing one: it parses half-way and poisons whatever trusted it.
+ *
+ * GuardedFile gives each writer the same three guarantees:
+ *
+ *  - retry: EINTR and short writes are retried with bounded backoff
+ *    (maxWriteRetries zero-progress attempts), so transient stalls
+ *    do not abort an hours-long run;
+ *  - atomicity: bytes are staged to `<path>.tmp` and rename(2)d onto
+ *    the final path only by commit(), so readers see either the old
+ *    complete file or the new complete file, never a prefix;
+ *  - classification: failures come back as Result<T> errors naming
+ *    the path and the cause, so tools exit 1 with a usable
+ *    diagnostic instead of a stack trace.
+ *
+ * The write and commit paths carry MEMBW_FAULT_POINT hooks
+ * (io-write, enospc, io-rename) so the torture harness can prove
+ * the guarantees under injected failure.
+ */
+
+#ifndef MEMBW_RESILIENCE_GUARDED_IO_HH
+#define MEMBW_RESILIENCE_GUARDED_IO_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/result.hh"
+
+namespace membw {
+
+/** Zero-progress write attempts tolerated before classifying. */
+constexpr unsigned maxWriteRetries = 3;
+
+class GuardedFile
+{
+  public:
+    GuardedFile() = default;
+    ~GuardedFile() { abortWrite(); }
+    GuardedFile(const GuardedFile &) = delete;
+    GuardedFile &operator=(const GuardedFile &) = delete;
+
+    /** Open `<path>.tmp` for staging writes toward @p path. */
+    Result<bool> open(const std::string &path);
+
+    /** Append @p size bytes, retrying transient short writes.  On a
+     * classified failure the staging file is already cleaned up. */
+    Result<bool> write(const void *data, std::size_t size);
+    Result<bool> write(std::string_view text);
+
+    /** Flush, close, and atomically rename the staging file onto the
+     * final path.  After commit() the object is reusable via open().
+     */
+    Result<bool> commit();
+
+    /** Close and delete the staging file (no effect after commit or
+     * a failed write; the destructor calls this). */
+    void abortWrite();
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    /** Stage + write + commit in one call. */
+    static Result<bool> writeAtomic(const std::string &path,
+                                    std::string_view contents);
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::string tmp_;
+};
+
+} // namespace membw
+
+#endif // MEMBW_RESILIENCE_GUARDED_IO_HH

@@ -9,6 +9,8 @@
 #include "common/crc.hh"
 #include "common/log.hh"
 #include "obs/trace_span.hh"
+#include "resilience/fault_injection.hh"
+#include "resilience/guarded_io.hh"
 
 namespace membw {
 
@@ -50,7 +52,7 @@ unzigzag(std::uint64_t v)
 }
 
 void
-putVarint(std::FILE *f, std::uint64_t v, const std::string &path)
+putVarint(GuardedFile &out, std::uint64_t v)
 {
     std::uint8_t buf[10];
     unsigned n = 0;
@@ -61,8 +63,7 @@ putVarint(std::FILE *f, std::uint64_t v, const std::string &path)
             byte |= 0x80;
         buf[n++] = byte;
     } while (v);
-    if (std::fwrite(buf, 1, n, f) != n)
-        fatal("short write to '" + path + "'");
+    (void)out.write(buf, n).orDie();
 }
 
 /**
@@ -151,26 +152,27 @@ saveTrace(const Trace &trace, const std::string &path,
 {
     MEMBW_SPAN_D("trace.save",
                  "refs=" + std::to_string(trace.size()));
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        fatal("cannot open '" + path + "' for writing");
+    // Streamed through GuardedFile: records go to '<path>.tmp' and
+    // the file only appears under its real name after a clean commit,
+    // so a crash mid-save never leaves a truncated trace behind.
+    GuardedFile out;
+    (void)out.open(path).orDie();
 
     const std::uint32_t header[2] = {
         traceMagic,
         format == TraceFormat::Raw ? versionRaw : versionCompact};
     const std::uint64_t count = trace.size();
-    if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
-        std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
-        fatal("short write to '" + path + "'");
+    (void)out.write(header, sizeof(header)).orDie();
+    (void)out.write(&count, sizeof(count)).orDie();
 
     if (format == TraceFormat::Raw) {
         for (const MemRef &r : trace) {
             const PackedRef p{r.addr,
                               static_cast<std::uint32_t>(r.size),
                               static_cast<std::uint32_t>(r.kind)};
-            if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
-                fatal("short write to '" + path + "'");
+            (void)out.write(&p, sizeof(p)).orDie();
         }
+        (void)out.commit().orDie();
         return;
     }
 
@@ -190,15 +192,15 @@ saveTrace(const Trace &trace, const std::string &path,
         control |= r.isStore() ? 1 : 0;
         if (odd_size) {
             // Rare general case: raw address + size.
-            putVarint(f.get(), (2 | (r.isStore() ? 1 : 0)),
-                      path); // control with delta 0
-            putVarint(f.get(), r.addr, path);
-            putVarint(f.get(), r.size, path);
+            putVarint(out, (2 | (r.isStore() ? 1 : 0)));
+            putVarint(out, r.addr);
+            putVarint(out, r.size);
         } else {
-            putVarint(f.get(), control, path);
+            putVarint(out, control);
         }
         prev = r.addr;
     }
+    (void)out.commit().orDie();
 }
 
 Result<Trace>
@@ -334,6 +336,10 @@ tryLoadTrace(const std::string &path)
     if (sz < 0)
         return makeError(Errc::IoError, "cannot size '" + path + "'");
     std::rewind(f.get());
+    if (MEMBW_FAULT_POINT("alloc"))
+        return makeError(Errc::IoError,
+                         "cannot allocate " + std::to_string(sz) +
+                             " bytes for '" + path + "' (injected)");
     std::vector<std::uint8_t> image(static_cast<std::size_t>(sz));
     if (!image.empty() &&
         std::fread(image.data(), image.size(), 1, f.get()) != 1)

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
+
+#include <filesystem>
 
 #include "cache/cache.hh"
 #include "cache/hierarchy.hh"
@@ -19,13 +23,13 @@
 #include "obs/registry.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/exit_codes.hh"
+#include "resilience/fault_injection.hh"
+#include "resilience/guarded_io.hh"
 #include "resilience/signals.hh"
 #include "resilience/watchdog.hh"
 #include "trace/trace.hh"
 
 #ifdef MEMBW_CORPUS_DIR
-#include <filesystem>
-
 #include "trace/trace_io.hh"
 #endif
 
@@ -483,6 +487,256 @@ TEST(FuzzCorpus, EveryFileParsesOrFailsClassified)
     EXPECT_LT(rejected, files);
 }
 #endif
+
+// ---------------------------------------------------------------
+// Fault injection: spec parsing, trigger semantics, determinism
+// ---------------------------------------------------------------
+
+/** Disarm on scope exit so one test's plan never leaks into the next. */
+struct PlanGuard
+{
+    ~PlanGuard() { disarmFaultPlan(); }
+};
+
+TEST(FaultPlan, MalformedSpecsAreClassified)
+{
+    PlanGuard guard;
+    for (const char *bad : {
+             "bogus-site:at=1",   // unknown site
+             "io-write:when=1",   // unknown trigger
+             "io-write:at=0",     // at= is 1-based
+             "io-write:p=1.5",    // probability out of range
+             "io-write:p=nope",   // not a number
+             "io-write:at=99999999999999999999", // u64 overflow
+             "io-write",          // clause without a trigger
+         }) {
+        auto r = armFaultPlan(bad);
+        ASSERT_FALSE(r.ok()) << bad;
+        EXPECT_EQ(r.error().code, Errc::BadValue) << bad;
+        EXPECT_FALSE(faultPlanArmed()) << bad;
+    }
+}
+
+TEST(FaultPlan, AtFiresExactlyOnce)
+{
+    PlanGuard guard;
+    ASSERT_TRUE(armFaultPlan("io-write:at=3").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(MEMBW_FAULT_POINT("io-write"));
+    EXPECT_EQ(fired, (std::vector<bool>{
+                         false, false, true, false, false, false}));
+}
+
+TEST(FaultPlan, AfterFiresOnEveryLaterHit)
+{
+    PlanGuard guard;
+    ASSERT_TRUE(armFaultPlan("io-write:after=2").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 5; ++i)
+        fired.push_back(MEMBW_FAULT_POINT("io-write"));
+    EXPECT_EQ(fired,
+              (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST(FaultPlan, SitesCountIndependently)
+{
+    PlanGuard guard;
+    ASSERT_TRUE(armFaultPlan("enospc:at=2").ok());
+    // Hits on a different site must not advance enospc's counter.
+    EXPECT_FALSE(MEMBW_FAULT_POINT("io-write"));
+    EXPECT_FALSE(MEMBW_FAULT_POINT("io-write"));
+    EXPECT_FALSE(MEMBW_FAULT_POINT("enospc"));
+    EXPECT_TRUE(MEMBW_FAULT_POINT("enospc"));
+}
+
+TEST(FaultPlan, ProbabilityDrawsAreSeedDeterministic)
+{
+    PlanGuard guard;
+    auto draws = [](const std::string &spec) {
+        EXPECT_TRUE(armFaultPlan(spec).ok());
+        std::vector<bool> v;
+        for (int i = 0; i < 200; ++i)
+            v.push_back(MEMBW_FAULT_POINT("io-write"));
+        return v;
+    };
+    const auto a = draws("io-write:p=0.25,seed=7");
+    const auto b = draws("io-write:p=0.25,seed=7");
+    const auto c = draws("io-write:p=0.25,seed=8");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    const auto hits =
+        static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+    EXPECT_GT(hits, 20u); // ~50 expected; far outside either bound
+    EXPECT_LT(hits, 100u);
+}
+
+TEST(FaultPlan, IndexedHitsIgnoreArrivalOrder)
+{
+    PlanGuard guard;
+    ASSERT_TRUE(armFaultPlan("cell:at=3").ok());
+    // cell:at=3 means cell *index 2* fails, whatever order a pool
+    // happens to schedule the cells in.
+    EXPECT_FALSE(MEMBW_FAULT_POINT_AT("cell", 5));
+    EXPECT_TRUE(MEMBW_FAULT_POINT_AT("cell", 2));
+    EXPECT_FALSE(MEMBW_FAULT_POINT_AT("cell", 0));
+}
+
+TEST(FaultPlan, MarkFiresOnCrossingNotRepeats)
+{
+    PlanGuard guard;
+    ASSERT_TRUE(armFaultPlan("io-write:at=100").ok());
+    EXPECT_FALSE(MEMBW_FAULT_POINT_MARK("io-write", 50));
+    EXPECT_FALSE(MEMBW_FAULT_POINT_MARK("io-write", 50)); // repeat ok
+    EXPECT_FALSE(MEMBW_FAULT_POINT_MARK("io-write", 99));
+    EXPECT_TRUE(MEMBW_FAULT_POINT_MARK("io-write", 150));
+    EXPECT_FALSE(MEMBW_FAULT_POINT_MARK("io-write", 200));
+}
+
+TEST(FaultPlan, DisarmedPlanInjectsNothing)
+{
+    ASSERT_TRUE(armFaultPlan("io-write:after=0").ok());
+    disarmFaultPlan();
+    EXPECT_FALSE(faultPlanArmed());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(MEMBW_FAULT_POINT("io-write"));
+}
+
+// ---------------------------------------------------------------
+// GuardedFile: atomic commit and injected-failure behaviour
+// ---------------------------------------------------------------
+
+namespace fs2 = std::filesystem;
+
+struct TmpDir
+{
+    fs2::path dir;
+    TmpDir()
+    {
+        dir = fs2::temp_directory_path() / "membw_guarded_test";
+        fs2::remove_all(dir);
+        fs2::create_directories(dir);
+    }
+    ~TmpDir() { fs2::remove_all(dir); }
+    std::string operator/(const char *name) const
+    {
+        return (dir / name).string();
+    }
+};
+
+std::string
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    if (f) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            out.append(buf, n);
+        std::fclose(f);
+    }
+    return out;
+}
+
+TEST(GuardedFile, WriteAtomicRoundTripsAndLeavesNoTemp)
+{
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    ASSERT_TRUE(GuardedFile::writeAtomic(path, "{\"ok\":1}\n").ok());
+    EXPECT_EQ(readAll(path), "{\"ok\":1}\n");
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
+
+TEST(GuardedFile, EnospcLeavesNeitherFileNorTemp)
+{
+    PlanGuard guard;
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    ASSERT_TRUE(armFaultPlan("enospc:at=1").ok());
+    auto r = GuardedFile::writeAtomic(path, "doomed");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::IoError);
+    EXPECT_NE(r.error().message.find(path), std::string::npos);
+    EXPECT_FALSE(fs2::exists(path));
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
+
+TEST(GuardedFile, TransientShortWriteIsRetriedToSuccess)
+{
+    PlanGuard guard;
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    ASSERT_TRUE(armFaultPlan("io-write:at=1").ok());
+    ASSERT_TRUE(GuardedFile::writeAtomic(path, "recovered").ok());
+    EXPECT_EQ(readAll(path), "recovered");
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
+
+TEST(GuardedFile, ExhaustedRetriesAreClassifiedAndCleanedUp)
+{
+    PlanGuard guard;
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    ASSERT_TRUE(armFaultPlan("io-write:after=0").ok());
+    auto r = GuardedFile::writeAtomic(path, "never");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::IoError);
+    EXPECT_FALSE(fs2::exists(path));
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
+
+TEST(GuardedFile, RenameFaultKeepsOldFileIntact)
+{
+    PlanGuard guard;
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    ASSERT_TRUE(GuardedFile::writeAtomic(path, "old contents").ok());
+    ASSERT_TRUE(armFaultPlan("io-rename:at=1").ok());
+    auto r = GuardedFile::writeAtomic(path, "new contents");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::IoError);
+    // Atomicity: the reader still sees the complete old artifact.
+    EXPECT_EQ(readAll(path), "old contents");
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
+
+TEST(GuardedFile, UnwritableDirectoryIsClassifiedOnOpen)
+{
+    GuardedFile out;
+    auto r = out.open("/nonexistent-membw-dir/artifact.json");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, Errc::IoError);
+    EXPECT_FALSE(out.isOpen());
+}
+
+TEST(GuardedFile, CommitIsVisibleOnlyAfterCommit)
+{
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    GuardedFile out;
+    ASSERT_TRUE(out.open(path).ok());
+    ASSERT_TRUE(out.write("staged bytes").ok());
+    // Staged but not committed: final path must not exist yet.
+    EXPECT_FALSE(fs2::exists(path));
+    EXPECT_TRUE(fs2::exists(path + ".tmp"));
+    ASSERT_TRUE(out.commit().ok());
+    EXPECT_EQ(readAll(path), "staged bytes");
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
+
+TEST(GuardedFile, AbortWriteRemovesStaging)
+{
+    TmpDir tmp;
+    const std::string path = tmp / "artifact.json";
+    GuardedFile out;
+    ASSERT_TRUE(out.open(path).ok());
+    ASSERT_TRUE(out.write("discard me").ok());
+    out.abortWrite();
+    EXPECT_FALSE(fs2::exists(path));
+    EXPECT_FALSE(fs2::exists(path + ".tmp"));
+}
 
 } // namespace
 } // namespace membw

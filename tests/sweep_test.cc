@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -169,6 +171,107 @@ TEST(ParallelSweepEquivalence, CacheCellsMatchSerial)
     for (std::size_t i = 0; i < cfgs.size(); ++i)
         expectSameTraffic(serial[i], parallel[i],
                           cfgs[i].describe());
+}
+
+// ---------------------------------------------------------------
+// Degraded mode: tolerated cell failures (docs/resilience.md)
+// ---------------------------------------------------------------
+
+/** Cell i -> i*10, except the chosen cell throws. */
+SweepResult<int>
+degradedSweep(unsigned jobs, std::size_t failing, std::size_t n = 8)
+{
+    SweepOptions opt;
+    opt.jobs = jobs;
+    opt.tolerateCellFailures = true;
+    return parallelSweep(n, opt, [=](std::size_t i) -> int {
+        if (i == failing)
+            throw std::runtime_error("injected cell fault");
+        return static_cast<int>(i) * 10;
+    });
+}
+
+TEST(DegradedSweep, FailedCellRecordedSurvivorsIntactAtAnyJobs)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        const SweepResult<int> r = degradedSweep(jobs, 2);
+        EXPECT_TRUE(r.degraded()) << "jobs=" << jobs;
+        EXPECT_FALSE(r.interrupted);
+        EXPECT_EQ(r.completed, 8u) << "jobs=" << jobs;
+        ASSERT_EQ(r.failedCells.size(), 1u) << "jobs=" << jobs;
+        EXPECT_EQ(r.failedCells[0].cell, 2u);
+        EXPECT_EQ(r.failedCells[0].message, "injected cell fault");
+        for (std::size_t i = 0; i < 8; ++i)
+            EXPECT_EQ(r.cells[i], i == 2 ? 0 : static_cast<int>(i) * 10)
+                << "jobs=" << jobs << " cell=" << i;
+    }
+}
+
+TEST(DegradedSweep, SurvivorsIdenticalAcrossJobCounts)
+{
+    const SweepResult<int> serial = degradedSweep(1, 5);
+    const SweepResult<int> pooled = degradedSweep(4, 5);
+    EXPECT_EQ(serial.cells, pooled.cells);
+    ASSERT_EQ(serial.failedCells.size(), pooled.failedCells.size());
+    EXPECT_EQ(serial.failedCells[0].cell, pooled.failedCells[0].cell);
+}
+
+TEST(DegradedSweep, MultipleFailuresReportedInIndexOrder)
+{
+    SweepOptions opt;
+    opt.jobs = 4;
+    opt.tolerateCellFailures = true;
+    const auto r = parallelSweep(16, opt, [](std::size_t i) -> int {
+        if (i % 5 == 0)
+            throw std::runtime_error("cell " + std::to_string(i));
+        return static_cast<int>(i);
+    });
+    ASSERT_EQ(r.failedCells.size(), 4u); // 0, 5, 10, 15
+    for (std::size_t k = 0; k + 1 < r.failedCells.size(); ++k)
+        EXPECT_LT(r.failedCells[k].cell, r.failedCells[k + 1].cell);
+    EXPECT_EQ(r.failedCells[0].cell, 0u);
+    EXPECT_EQ(r.failedCells[3].cell, 15u);
+}
+
+TEST(DegradedSweep, AbortAnywayStillRethrows)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        SweepOptions opt;
+        opt.jobs = jobs;
+        opt.tolerateCellFailures = true;
+        opt.abortAnyway = [](const std::exception &e) {
+            return std::string(e.what()) == "watchdog";
+        };
+        EXPECT_THROW(parallelSweep(4, opt,
+                                   [](std::size_t i) -> int {
+                                       if (i == 1)
+                                           throw std::runtime_error(
+                                               "watchdog");
+                                       return 0;
+                                   }),
+                     std::runtime_error)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(DegradedSweep, NonStdExceptionsAreNeverTolerated)
+{
+    struct Sentinel
+    {
+    };
+    for (unsigned jobs : {1u, 4u}) {
+        SweepOptions opt;
+        opt.jobs = jobs;
+        opt.tolerateCellFailures = true;
+        EXPECT_THROW(parallelSweep(4, opt,
+                                   [](std::size_t i) -> int {
+                                       if (i == 2)
+                                           throw Sentinel{};
+                                       return 0;
+                                   }),
+                     Sentinel)
+            << "jobs=" << jobs;
+    }
 }
 
 // ---------------------------------------------------------------

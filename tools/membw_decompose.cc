@@ -45,6 +45,7 @@
 #include "obs/trace_span.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/exit_codes.hh"
+#include "resilience/fault_injection.hh"
 #include "resilience/signals.hh"
 #include "resilience/watchdog.hh"
 #include "workloads/workload.hh"
@@ -96,6 +97,9 @@ usage(int code)
         "                       0 disables)\n"
         "  --sigterm-after N    raise SIGTERM once this process has\n"
         "                       simulated N micro-ops (testing)\n"
+        "  --fault-inject SPEC  arm deterministic fault injection\n"
+        "                       (site:trigger=value clauses, comma-\n"
+        "                       separated; see docs/resilience.md)\n"
         "Telemetry:\n"
         "  --stats-json FILE    write manifest + full stats as JSON\n"
         "  --stable-json        omit wall-clock fields from the JSON\n"
@@ -276,6 +280,7 @@ main(int argc, char **argv)
         std::string resume;
         Cycle watchdogCycles = 1'000'000;
         std::uint64_t sigtermAfter = 0;
+        std::string faultInject;
 
         struct Overrides
         {
@@ -351,6 +356,8 @@ main(int argc, char **argv)
                 watchdogCycles = countFlag(a, need(i));
             else if (a == "--sigterm-after")
                 sigtermAfter = countFlag(a, need(i));
+            else if (a == "--fault-inject")
+                faultInject = need(i);
             else {
                 emitLinef("unknown flag '%s' (run --help for the "
                           "flag list)",
@@ -365,6 +372,12 @@ main(int argc, char **argv)
         if (!profileOut.empty() && profileEpoch == 0)
             profileEpoch = 65536;
 
+        if (!faultInject.empty()) {
+            auto armed = armFaultPlan(faultInject);
+            if (!armed.ok())
+                fatal("invalid --fault-inject: " +
+                      armed.error().describe());
+        }
         installShutdownHandlers();
         if (!traceOut.empty())
             tracingInit(traceOut, "membw_decompose");
@@ -447,6 +460,14 @@ main(int argc, char **argv)
             WallTimer timer;
             SweepOptions sopt;
             sopt.jobs = jobs;
+            // Degraded mode (exit 5): a failing cell takes out only
+            // its experiment's row; a watchdog trip still aborts the
+            // whole run with exit 4.
+            sopt.tolerateCellFailures = true;
+            sopt.abortAnyway = [](const std::exception &e) {
+                return dynamic_cast<const WatchdogError *>(&e) !=
+                       nullptr;
+            };
             sopt.cancel = [] { return shutdownRequested(); };
             sopt.onPrefix = [&](std::size_t prefix) {
                 // Serialized under the sweep mutex.
@@ -470,6 +491,9 @@ main(int argc, char **argv)
                                 " phase=" +
                                 phaseName(static_cast<unsigned>(
                                     i % decompositionPhases)));
+                        if (MEMBW_FAULT_POINT_AT("cell", i))
+                            fatal("injected cell fault (cell " +
+                                  std::to_string(i) + ")");
                         ExperimentConfig cell = makeExperiment(
                             letters[i / decompositionPhases],
                             spec95);
@@ -503,11 +527,24 @@ main(int argc, char **argv)
                 return exitInterrupted;
             }
 
+            // A failed cell poisons only its experiment: the other
+            // five rows (and stats groups) come out identical to a
+            // clean run at any --jobs value.
+            const bool degraded = sweep.degraded();
+            bool expFailed[6] = {};
+            for (const CellFailure &f : sweep.failedCells)
+                expFailed[f.cell / decompositionPhases] = true;
+
             TextTable t;
             t.header({"exp", "T_P", "T_I", "T", "f_P", "f_L", "f_B",
                       "IPC"});
             StatsRegistry registry;
             for (std::size_t e = 0; e < 6; ++e) {
+                if (expFailed[e]) {
+                    t.row({std::string(1, letters[e]), "fail", "fail",
+                           "fail", "fail", "fail", "fail", "fail"});
+                    continue;
+                }
                 const DecompositionResult r = assembleDecomposition(
                     sweep.cells[e * decompositionPhases],
                     sweep.cells[e * decompositionPhases + 1],
@@ -527,6 +564,10 @@ main(int argc, char **argv)
                 }
             }
             std::printf("%s\n", t.render().c_str());
+            if (degraded)
+                std::printf("sweep degraded: %zu of %zu cells "
+                            "failed\n",
+                            sweep.failedCells.size(), nCells);
 
             if (!statsJson.empty()) {
                 RunManifest manifest;
@@ -539,6 +580,7 @@ main(int argc, char **argv)
                 manifest.scale = scale;
                 manifest.refs = stream.size();
                 manifest.wallSeconds = timer.seconds();
+                manifest.degraded = degraded;
                 manifest.omitTiming = stableJson;
                 // --jobs deliberately unrecorded: the JSON must be
                 // byte-identical at any worker count.
@@ -546,12 +588,32 @@ main(int argc, char **argv)
                 w.beginObject();
                 w.key("manifest");
                 manifest.write(w);
+                if (degraded) {
+                    w.key("failed_cells");
+                    w.beginArray();
+                    for (const CellFailure &f : sweep.failedCells) {
+                        w.beginObject();
+                        w.field("cell", static_cast<std::uint64_t>(
+                                            f.cell));
+                        w.field(
+                            "config",
+                            std::string("exp=") +
+                                letters[f.cell /
+                                        decompositionPhases] +
+                                " phase=" +
+                                phaseName(static_cast<unsigned>(
+                                    f.cell % decompositionPhases)));
+                        w.field("error", f.message);
+                        w.endObject();
+                    }
+                    w.endArray();
+                }
                 w.key("stats");
                 writeStatsArray(registry, w);
                 w.endObject();
                 writeFileOrDie(statsJson, w.str());
             }
-            return exitOk;
+            return degraded ? exitDegraded : exitOk;
         }
 
         if (!profileOut.empty())
@@ -622,6 +684,10 @@ main(int argc, char **argv)
                 sigtermFired = true;
                 std::raise(SIGTERM);
             }
+            // 'crash:at=N' counts micro-ops across all phases, like
+            // --sigterm-after, so one ref addresses any phase.
+            (void)MEMBW_FAULT_POINT_MARK("crash",
+                                         opsCompleted + done);
             if (shutdownRequested())
                 throw PhaseInterrupt{};
         };

@@ -643,5 +643,10 @@ main(int argc, char **argv)
     } catch (const FatalError &e) {
         emitLine(e.what());
         return exitFatal;
+    } catch (const std::exception &e) {
+        // Safety net for hostile input: classify as a fatal error
+        // instead of letting an exception escape main().
+        emitLine(std::string("error: ") + e.what());
+        return exitFatal;
     }
 }

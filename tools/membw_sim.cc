@@ -49,6 +49,7 @@
 #include "obs/trace_span.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/exit_codes.hh"
+#include "resilience/fault_injection.hh"
 #include "resilience/signals.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
@@ -129,7 +130,14 @@ usage(int code)
         "                      in sweep mode N counts completed "
         "cells and output is\n"
         "                      truncated to exactly N cells at any "
-        "--jobs value)\n\n"
+        "--jobs value)\n"
+        "  --fault-inject SPEC arm deterministic fault injection; "
+        "SPEC is a comma-\n"
+        "                      separated list of site:trigger=value "
+        "clauses, e.g.\n"
+        "                      'enospc:at=1' or "
+        "'crash:at=5000,seed=7' (sites and\n"
+        "                      triggers: docs/resilience.md)\n\n"
         "Telemetry:\n"
         "  --stats-json FILE   write manifest + full stats as JSON\n"
         "  --stable-json       omit wall-clock fields from the JSON "
@@ -244,6 +252,7 @@ struct Options
     std::string resume;
     std::uint64_t eventBudget = 1'000'000;
     std::uint64_t sigtermAfter = 0;
+    std::string faultInject;
 };
 
 Options
@@ -374,6 +383,8 @@ parse(int argc, char **argv)
             o.eventBudget = countFlag(a, need(i));
         } else if (a == "--sigterm-after") {
             o.sigtermAfter = countFlag(a, need(i));
+        } else if (a == "--fault-inject") {
+            o.faultInject = need(i);
         } else {
             emitLinef("unknown flag '%s' (run --help for the flag "
                       "list)",
@@ -715,6 +726,13 @@ runSweep(const Options &o, const Trace &trace)
     WallTimer timer;
     SweepOptions sopt;
     sopt.jobs = o.jobs;
+    // Degraded mode: a failing cell is recorded and the sweep carries
+    // on (exit 5), but a watchdog trip is a simulator bug and must
+    // still abort the whole run with exit 4.
+    sopt.tolerateCellFailures = true;
+    sopt.abortAnyway = [](const std::exception &e) {
+        return dynamic_cast<const WatchdogError *>(&e) != nullptr;
+    };
     sopt.cancel = [] { return shutdownRequested(); };
     sopt.onPrefix = [&](std::size_t prefix) {
         // Serialized under the sweep mutex, so sampling here is safe.
@@ -741,6 +759,12 @@ runSweep(const Options &o, const Trace &trace)
     const auto sweepRes =
         parallelSweep(nCells, sopt, [&](std::size_t i) -> CellOut {
             MEMBW_SPAN_D("cell", cellDetail(i));
+            // First thing in the cell so an injected fault covers
+            // every route (ladder/Mattson lookups included), keyed by
+            // index so 'cell:at=N' hits cell N-1 at any --jobs value.
+            if (MEMBW_FAULT_POINT_AT("cell", i))
+                fatal("injected cell fault (cell " +
+                      std::to_string(i) + ")");
             CellOut out;
             if (i >= nHier)
                 out.mtc = runMinCache(
@@ -769,6 +793,18 @@ runSweep(const Options &o, const Trace &trace)
     const bool interrupted =
         sweepRes.interrupted || sigFired || shutdownRequested();
 
+    // Tolerated failures inside the usable prefix degrade the run:
+    // their cells render as "fail", their stats are omitted, and the
+    // process exits with code 5.
+    std::vector<char> cellFailed(nCells, 0);
+    std::size_t nFailed = 0;
+    for (const CellFailure &f : sweepRes.failedCells)
+        if (f.cell < usable) {
+            cellFailed[f.cell] = 1;
+            ++nFailed;
+        }
+    const bool degraded = nFailed > 0;
+
     TextTable t;
     std::vector<std::string> hdr{"size"};
     for (Bytes b : blocks)
@@ -781,20 +817,22 @@ runSweep(const Options &o, const Trace &trace)
         for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
             const std::size_t idx = si * blocks.size() + bi;
             row.push_back(
-                idx < usable
-                    ? fixed(sweepRes.cells[idx].traffic.trafficRatio,
-                            4)
-                    : "...");
+                idx >= usable ? "..."
+                : cellFailed[idx]
+                    ? "fail"
+                    : fixed(sweepRes.cells[idx].traffic.trafficRatio,
+                            4));
         }
         if (o.runMtc) {
             const std::size_t idx = nHier + si;
             row.push_back(
-                idx < usable
-                    ? std::to_string(
+                idx >= usable ? "..."
+                : cellFailed[idx]
+                    ? "fail"
+                    : std::to_string(
                           sweepRes.cells[idx].mtc.trafficBelow() /
                           1024) +
-                          "K"
-                    : "...");
+                          "K");
         }
         t.row(row);
     }
@@ -802,10 +840,15 @@ runSweep(const Options &o, const Trace &trace)
     if (interrupted)
         std::printf("sweep interrupted: %zu of %zu cells completed\n",
                     usable, nCells);
+    if (degraded)
+        std::printf("sweep degraded: %zu of %zu cells failed\n",
+                    nFailed, nCells);
 
     if (!o.statsJson.empty()) {
         StatsRegistry registry;
         for (std::size_t i = 0; i < usable && i < nHier; ++i) {
+            if (cellFailed[i])
+                continue;
             const CacheConfig cfg = configFor(i);
             StatsGroup g = registry.group(
                 "sweep." + formatSize(cfg.size) + "." +
@@ -813,6 +856,8 @@ runSweep(const Options &o, const Trace &trace)
             publishStats(g, sweepRes.cells[i].traffic);
         }
         for (std::size_t i = nHier; i < usable; ++i) {
+            if (cellFailed[i])
+                continue;
             StatsGroup g = registry.group(
                 "sweep.mtc." + formatSize(o.sweepSizes[i - nHier]));
             publishMinCacheStats(g, sweepRes.cells[i].mtc);
@@ -828,6 +873,7 @@ runSweep(const Options &o, const Trace &trace)
         manifest.refs = trace.size();
         manifest.wallSeconds = timer.seconds();
         manifest.interrupted = interrupted;
+        manifest.degraded = degraded;
         manifest.omitTiming = o.stableJson;
         // --jobs is deliberately not recorded: the JSON must be
         // byte-identical at any worker count.
@@ -851,6 +897,30 @@ runSweep(const Options &o, const Trace &trace)
         w.beginObject();
         w.key("manifest");
         manifest.write(w);
+        // Tolerated failures, in cell-index order.  Deterministic
+        // (the fault plan and cell geometry are), so it stays in the
+        // --stable-json output and the equivalence tests can
+        // byte-diff degraded runs across --jobs values.
+        if (degraded) {
+            w.key("failed_cells");
+            w.beginArray();
+            for (const CellFailure &f : sweepRes.failedCells) {
+                if (f.cell >= usable)
+                    continue;
+                w.beginObject();
+                w.field("cell",
+                        static_cast<std::uint64_t>(f.cell));
+                w.field("config",
+                        f.cell >= nHier
+                            ? canonicalMtc(
+                                  o.sweepSizes[f.cell - nHier])
+                                  .describe()
+                            : configFor(f.cell).describe());
+                w.field("error", f.message);
+                w.endObject();
+            }
+            w.endArray();
+        }
         // Per-cell kernel routing.  Describes how this run executed
         // rather than what it computed, so — like wall_seconds — it
         // is omitted under --stable-json (the equivalence tests
@@ -891,7 +961,11 @@ runSweep(const Options &o, const Trace &trace)
         w.endObject();
         writeFileOrDie(o.statsJson, w.str());
     }
-    return interrupted ? exitInterrupted : exitOk;
+    // Precedence: interruption outranks degradation — an interrupted
+    // degraded sweep resumes first and reports failures on the rerun.
+    if (interrupted)
+        return exitInterrupted;
+    return degraded ? exitDegraded : exitOk;
 }
 
 } // namespace
@@ -901,6 +975,12 @@ main(int argc, char **argv)
 {
     try {
         const Options o = parse(argc, argv);
+        if (!o.faultInject.empty()) {
+            auto armed = armFaultPlan(o.faultInject);
+            if (!armed.ok())
+                fatal("invalid --fault-inject: " +
+                      armed.error().describe());
+        }
         installShutdownHandlers();
         if (!o.traceOut.empty())
             tracingInit(o.traceOut, "membw_sim");
@@ -1008,6 +1088,10 @@ main(int argc, char **argv)
             for (std::size_t i = state.cursor; i < total; ++i) {
                 hier.access(trace[i]);
                 state.cursor = i + 1;
+                // 'crash:at=N' dies here (as if kill -9) once the
+                // run's absolute position crosses N, so the torture
+                // harness can cut a run at any reference.
+                (void)MEMBW_FAULT_POINT_MARK("crash", state.cursor);
                 // Close any epoch ending here before a checkpoint at
                 // the same reference can be written, so resumed runs
                 // replay identical boundaries.
@@ -1104,6 +1188,10 @@ main(int argc, char **argv)
                             stepN, prof->refsToNextTarget(before)));
                 mtcSim->step(stepN);
                 state.cursor = mtcSim->cursor();
+                // Absolute run position continues past the hierarchy
+                // phase so one crash ref addresses either phase.
+                (void)MEMBW_FAULT_POINT_MARK(
+                    "crash", trace.size() + state.cursor);
                 if (prof)
                     prof->advanceTo(state.cursor);
                 meter.tick(state.cursor, total);
