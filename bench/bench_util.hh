@@ -73,6 +73,10 @@ struct BenchOptions
     /** --no-collapse: force direct per-cell simulation instead of
      * the exact one-pass sweep engines (equivalence testing). */
     bool noCollapse = false;
+    /** --no-partition: keep the group-fan-out plan even when a
+     * single big config could spread one pass across every worker
+     * (exec/time_partition.hh).  Byte-identical either way. */
+    bool noPartition = false;
     std::string traceOut;  ///< --trace-out FILE (Chrome trace JSON)
     std::string seriesOut; ///< --series-out FILE (JSONL time series)
     std::string profileOut; ///< --profile-out FILE (epoch telemetry)
@@ -82,7 +86,8 @@ struct BenchOptions
 /**
  * Parse bench arguments: a bare positive number (legacy positional
  * scale), --scale S, --json FILE, --jobs N, --stable-json,
- * --no-collapse, --trace-out FILE, and --series-out FILE.
+ * --no-collapse, --no-partition, --trace-out FILE, and
+ * --series-out FILE.
  * $MEMBW_SCALE applies when no explicit scale is given.  Tracing and
  * the series sampler are armed here, so drivers need no extra setup.
  */
@@ -120,6 +125,8 @@ parseOptions(int argc, char **argv, double dfltScale)
             o.stableJson = true;
         } else if (a == "--no-collapse") {
             o.noCollapse = true;
+        } else if (a == "--no-partition") {
+            o.noPartition = true;
         } else if (a == "--trace-out") {
             o.traceOut = need();
         } else if (a == "--series-out") {
@@ -138,8 +145,9 @@ parseOptions(int argc, char **argv, double dfltScale)
             cliFatal("unknown bench flag '" + a +
                      "' (expected SCALE, --scale S, --json FILE, "
                      "--jobs N, --stable-json, --no-collapse, "
-                     "--trace-out FILE, --series-out FILE, "
-                     "--profile-out FILE, or --profile-epoch N)");
+                     "--no-partition, --trace-out FILE, "
+                     "--series-out FILE, --profile-out FILE, or "
+                     "--profile-epoch N)");
         }
     }
     if (o.profileEpoch && o.profileOut.empty())
@@ -260,7 +268,7 @@ class JsonReport
     JsonReport(std::string tool, std::string experiment,
                const BenchOptions &opt)
         : path_(opt.jsonPath), jobs_(opt.jobs),
-          noCollapse_(opt.noCollapse)
+          noCollapse_(opt.noCollapse), noPartition_(opt.noPartition)
     {
         manifest_.tool = std::move(tool);
         manifest_.experiment = std::move(experiment);
@@ -302,8 +310,9 @@ class JsonReport
             return;
         manifest_.wallSeconds = timer_.seconds();
         if (!manifest_.omitTiming) {
-            manifest_.set("jobs", std::to_string(jobs_));
+            manifest_.set("jobs", std::uint64_t{jobs_});
             manifest_.set("collapse", noCollapse_ ? "off" : "on");
+            manifest_.set("partition", noPartition_ ? "off" : "on");
         }
         writeProfileManifest(manifest_, manifest_.omitTiming);
         JsonWriter w;
@@ -352,6 +361,7 @@ class JsonReport
     std::string path_;
     unsigned jobs_ = 1;
     bool noCollapse_ = false;
+    bool noPartition_ = false;
     RunManifest manifest_;
     WallTimer timer_;
     std::vector<std::pair<std::string, TextTable>> tables_;

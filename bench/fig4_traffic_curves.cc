@@ -93,7 +93,9 @@ main(int argc, char **argv)
                     cfgs.push_back(*cfg);
                 }
             }
-            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+            collapsed = CollapsedSweep(
+                trace, cfgs,
+                CollapseOptions{opt.jobs, opt.noPartition});
         }
         const NextUseTable mtcNextUse =
             makeNextUseTable(trace, wordBytes);

@@ -82,7 +82,9 @@ main(int argc, char **argv)
                     cfgs.push_back(hierarchies[i][0]);
                 }
             }
-            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+            collapsed = CollapsedSweep(
+                trace, cfgs,
+                CollapseOptions{opt.jobs, opt.noPartition});
         }
 
         // One cell per hierarchy depth, fanned across --jobs

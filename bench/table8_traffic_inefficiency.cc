@@ -58,7 +58,9 @@ main(int argc, char **argv)
             std::vector<CacheConfig> cfgs;
             for (Bytes s : sizes)
                 cfgs.push_back(bench::table7Cache(s));
-            collapsed = CollapsedSweep(trace, cfgs, opt.jobs);
+            collapsed = CollapsedSweep(
+                trace, cfgs,
+                CollapseOptions{opt.jobs, opt.noPartition});
         }
         const NextUseTable mtcNextUse =
             makeNextUseTable(trace, wordBytes);

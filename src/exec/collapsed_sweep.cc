@@ -8,8 +8,10 @@
 #include "exec/fa_sweep.hh"
 #include "exec/ladder_sweep.hh"
 #include "exec/parallel_sweep.hh"
+#include "exec/time_partition.hh"
 #include "obs/trace_span.hh"
 #include "trace/block_stream.hh"
+#include "trace/trace_mmap.hh"
 
 namespace membw {
 
@@ -53,9 +55,17 @@ faCandidate(const CacheConfig &cfg)
 CollapsedSweep::CollapsedSweep(const Trace &trace,
                                const std::vector<CacheConfig> &configs,
                                unsigned jobs)
+    : CollapsedSweep(trace, configs, CollapseOptions{jobs})
+{
+}
+
+CollapsedSweep::CollapsedSweep(const Trace &trace,
+                               const std::vector<CacheConfig> &configs,
+                               const CollapseOptions &options)
 {
     results_.resize(configs.size());
     routes_.assign(configs.size(), CellRoute::Direct);
+    const unsigned jobs = std::max(options.jobs, 1u);
 
     // Group candidate configs by (block size, engine).  std::map
     // keeps group order deterministic.
@@ -83,39 +93,92 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
     if (groups.empty())
         return;
 
-    // One pass per group, fanned across the sweep workers.  A group
-    // whose guard fails at run time (e.g. an FA group over a trace
-    // with stores) simply stays uncovered.
-    const auto passResults = parallelSweep(
-        groups.size(), std::max(jobs, 1u),
-        [&](std::size_t gi) -> std::vector<TrafficResult> {
+    auto makeStream = [&](Bytes blockBytes) {
+        return options.mapped
+                   ? buildBlockStream(*options.mapped, blockBytes)
+                   : buildBlockStream(trace, blockBytes);
+    };
+
+    // With fewer groups than workers, fanning groups across the pool
+    // leaves workers idle — the single-big-config case at --jobs N is
+    // exactly one group.  There the ladder groups run sequentially
+    // through the set-partitioned kernel instead, which spreads ONE
+    // pass over every worker and stays byte-identical to the serial
+    // kernel (see time_partition.hh).  --no-partition forces the
+    // group-fan-out plan for the equivalence diff.
+    const bool partition = !options.noPartition && jobs > 1 &&
+                           groups.size() < jobs;
+
+    std::vector<std::vector<TrafficResult>> passResults;
+    std::vector<char> partitioned(groups.size(), 0);
+    if (partition) {
+        passResults.resize(groups.size());
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
             const Group &g = groups[gi];
             MEMBW_SPAN_D(
                 g.mattson ? "collapse.mattson_pass"
-                          : "collapse.ladder_pass",
+                          : "collapse.partitioned_ladder_pass",
                 "block=" + std::to_string(g.blockBytes) +
                     "B cells=" + std::to_string(g.configs.size()));
             if (g.mattson) {
                 if (!faLruCollapsible(trace, g.configs))
-                    return {};
-                return faLruSizeSweep(trace, g.configs);
+                    continue;
+                passResults[gi] = faLruSizeSweep(trace, g.configs);
+                continue;
             }
-            const BlockStream stream =
-                buildBlockStream(trace, g.blockBytes);
+            const BlockStream stream = makeStream(g.blockBytes);
             if (!ladderCollapsible(stream, g.configs))
-                return {};
-            return ladderSweep(stream, g.configs);
-        });
+                continue;
+            PartitionOptions popt;
+            popt.jobs = jobs;
+            popt.tier = options.tier;
+            auto res =
+                partitionedLadderSweep(stream, g.configs, popt);
+            if (res) {
+                passResults[gi] = std::move(*res);
+                partitioned[gi] = 1;
+            }
+        }
+    } else {
+        // One pass per group, fanned across the sweep workers.  A
+        // group whose guard fails at run time (e.g. an FA group over
+        // a trace with stores) simply stays uncovered.
+        passResults = parallelSweep(
+            groups.size(), jobs,
+            [&](std::size_t gi) -> std::vector<TrafficResult> {
+                const Group &g = groups[gi];
+                MEMBW_SPAN_D(
+                    g.mattson ? "collapse.mattson_pass"
+                              : "collapse.ladder_pass",
+                    "block=" + std::to_string(g.blockBytes) +
+                        "B cells=" +
+                        std::to_string(g.configs.size()));
+                if (g.mattson) {
+                    if (!faLruCollapsible(trace, g.configs))
+                        return {};
+                    return faLruSizeSweep(trace, g.configs);
+                }
+                const BlockStream stream =
+                    makeStream(g.blockBytes);
+                if (!ladderCollapsible(stream, g.configs))
+                    return {};
+                return ladderSweep(stream, g.configs,
+                                   options.tier);
+            });
+    }
 
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
         const Group &g = groups[gi];
         const auto &res = passResults[gi];
         if (res.empty())
             continue;
-        if (g.mattson)
+        if (g.mattson) {
             mattsonPasses_++;
-        else
+        } else {
             ladderPasses_++;
+            if (partitioned[gi])
+                partitionedPasses_++;
+        }
         for (std::size_t k = 0; k < g.indices.size(); ++k) {
             results_[g.indices[k]] = res[k];
             routes_[g.indices[k]] =

@@ -37,9 +37,12 @@
 
 #include "cache/config.hh"
 #include "cache/hierarchy.hh"
+#include "exec/simd.hh"
 #include "trace/trace.hh"
 
 namespace membw {
+
+struct MappedTrace;
 
 /** Which engine actually produced a sweep cell's result. */
 enum class CellRoute : std::uint8_t
@@ -51,6 +54,32 @@ enum class CellRoute : std::uint8_t
 
 /** Stable lowercase name for reports and trace span details. */
 const char *cellRouteName(CellRoute route);
+
+/** Knobs for the planner (the 3-argument ctor fills defaults). */
+struct CollapseOptions
+{
+    /** Worker threads shared by group fan-out and set partitioning. */
+    unsigned jobs = 1;
+
+    /**
+     * Disable intra-trace set partitioning (--no-partition): group
+     * passes still fan across jobs, but each ladder pass runs the
+     * serial kernel.  Results are byte-identical either way — this
+     * is the escape hatch the partition_equivalence test diffs.
+     */
+    bool noPartition = false;
+
+    /** Probe tier for the ladder kernels (clamped to the host). */
+    SimdTier tier = simdTier();
+
+    /**
+     * Zero-copy source: when set, ladder BlockStreams borrow this
+     * validated mapping (trace_mmap.hh) instead of decoding
+     * @p trace.  The two must describe the same references —
+     * @p trace is still used for Mattson group passes.
+     */
+    const MappedTrace *mapped = nullptr;
+};
 
 class CollapsedSweep
 {
@@ -66,6 +95,18 @@ class CollapsedSweep
     CollapsedSweep(const Trace &trace,
                    const std::vector<CacheConfig> &configs,
                    unsigned jobs);
+
+    /**
+     * As above with full options.  When partitioning is allowed
+     * (jobs > 1, !noPartition) and there are fewer groups than
+     * workers, ladder groups run the exact set-partitioned kernel
+     * (exec/time_partition.hh) so a single big configuration still
+     * uses every worker; results stay byte-identical to the serial
+     * plan at any setting.
+     */
+    CollapsedSweep(const Trace &trace,
+                   const std::vector<CacheConfig> &configs,
+                   const CollapseOptions &options);
 
     /** True iff config @p i was covered by a one-pass group. */
     bool
@@ -101,12 +142,17 @@ class CollapsedSweep
     /** Ladder-kernel group passes run. */
     std::size_t ladderPasses() const { return ladderPasses_; }
 
+    /** Ladder passes that ran the set-partitioned parallel kernel
+     * (a subset of ladderPasses()). */
+    std::size_t partitionedPasses() const { return partitionedPasses_; }
+
   private:
     std::vector<std::optional<TrafficResult>> results_;
     std::vector<CellRoute> routes_;
     std::size_t covered_ = 0;
     std::size_t mattsonPasses_ = 0;
     std::size_t ladderPasses_ = 0;
+    std::size_t partitionedPasses_ = 0;
 };
 
 } // namespace membw

@@ -1,0 +1,186 @@
+#include "exec/ladder_kernel.hh"
+
+namespace membw {
+namespace ladder {
+
+namespace {
+
+template <bool Masked, bool Filtered>
+ChunkKernel
+pickKernel(unsigned ways, SimdTier tier)
+{
+#if MEMBW_SIMD_X86
+    if (tier == SimdTier::Avx2) {
+        switch (ways) {
+        case 1:
+            return &runChunk<ScalarProbe, 1, Masked, Filtered>;
+        case 2:
+            return &runChunk<Sse2Probe, 2, Masked, Filtered>;
+        case 4:
+            return &runChunkAvx2<4, Masked, Filtered>;
+        case 8:
+            return &runChunkAvx2<8, Masked, Filtered>;
+        default:
+            return &runChunkAvx2<0, Masked, Filtered>;
+        }
+    }
+    if (tier == SimdTier::Sse2) {
+        switch (ways) {
+        case 1:
+            return &runChunk<ScalarProbe, 1, Masked, Filtered>;
+        case 2:
+            return &runChunk<Sse2Probe, 2, Masked, Filtered>;
+        case 4:
+            return &runChunk<Sse2Probe, 4, Masked, Filtered>;
+        case 8:
+            return &runChunk<Sse2Probe, 8, Masked, Filtered>;
+        default:
+            return &runChunk<Sse2Probe, 0, Masked, Filtered>;
+        }
+    }
+#endif
+    (void)tier;
+    switch (ways) {
+    case 1:
+        return &runChunk<ScalarProbe, 1, Masked, Filtered>;
+    case 2:
+        return &runChunk<ScalarProbe, 2, Masked, Filtered>;
+    case 4:
+        return &runChunk<ScalarProbe, 4, Masked, Filtered>;
+    case 8:
+        return &runChunk<ScalarProbe, 8, Masked, Filtered>;
+    default:
+        return &runChunk<ScalarProbe, 0, Masked, Filtered>;
+    }
+}
+
+template <bool Masked, bool Filtered>
+WordKernel
+pickWordKernel(unsigned ways, SimdTier tier)
+{
+#if MEMBW_SIMD_X86
+    if (tier == SimdTier::Avx2) {
+        switch (ways) {
+        case 1:
+            return &runWordChunk<ScalarProbe, 1, Masked, Filtered>;
+        case 2:
+            return &runWordChunk<Sse2Probe, 2, Masked, Filtered>;
+        case 4:
+            return &runWordChunkAvx2<4, Masked, Filtered>;
+        case 8:
+            return &runWordChunkAvx2<8, Masked, Filtered>;
+        default:
+            return &runWordChunkAvx2<0, Masked, Filtered>;
+        }
+    }
+    if (tier == SimdTier::Sse2) {
+        switch (ways) {
+        case 1:
+            return &runWordChunk<ScalarProbe, 1, Masked, Filtered>;
+        case 2:
+            return &runWordChunk<Sse2Probe, 2, Masked, Filtered>;
+        case 4:
+            return &runWordChunk<Sse2Probe, 4, Masked, Filtered>;
+        case 8:
+            return &runWordChunk<Sse2Probe, 8, Masked, Filtered>;
+        default:
+            return &runWordChunk<Sse2Probe, 0, Masked, Filtered>;
+        }
+    }
+#endif
+    (void)tier;
+    switch (ways) {
+    case 1:
+        return &runWordChunk<ScalarProbe, 1, Masked, Filtered>;
+    case 2:
+        return &runWordChunk<ScalarProbe, 2, Masked, Filtered>;
+    case 4:
+        return &runWordChunk<ScalarProbe, 4, Masked, Filtered>;
+    case 8:
+        return &runWordChunk<ScalarProbe, 8, Masked, Filtered>;
+    default:
+        return &runWordChunk<ScalarProbe, 0, Masked, Filtered>;
+    }
+}
+
+} // namespace
+
+ChunkKernel
+selectKernel(unsigned ways, SimdTier tier, bool masked, bool filtered)
+{
+    tier = clampSimdTier(tier);
+    if (masked)
+        return filtered ? pickKernel<true, true>(ways, tier)
+                        : pickKernel<true, false>(ways, tier);
+    return filtered ? pickKernel<false, true>(ways, tier)
+                    : pickKernel<false, false>(ways, tier);
+}
+
+WordKernel
+selectWordKernel(unsigned ways, SimdTier tier, bool masked,
+                 bool filtered)
+{
+    tier = clampSimdTier(tier);
+    if (masked)
+        return filtered ? pickWordKernel<true, true>(ways, tier)
+                        : pickWordKernel<true, false>(ways, tier);
+    return filtered ? pickWordKernel<false, true>(ways, tier)
+                    : pickWordKernel<false, false>(ways, tier);
+}
+
+void
+mergeStats(CacheStats &into, const CacheStats &from)
+{
+    into.accesses += from.accesses;
+    into.loads += from.loads;
+    into.stores += from.stores;
+    into.hits += from.hits;
+    into.misses += from.misses;
+    into.loadMisses += from.loadMisses;
+    into.storeMisses += from.storeMisses;
+    into.evictions += from.evictions;
+    into.writebacks += from.writebacks;
+    into.partialFills += from.partialFills;
+    into.prefetches += from.prefetches;
+    into.streamHits += from.streamHits;
+    into.streamAllocs += from.streamAllocs;
+    into.requestBytes += from.requestBytes;
+    into.demandFetchBytes += from.demandFetchBytes;
+    into.partialFillBytes += from.partialFillBytes;
+    into.prefetchFetchBytes += from.prefetchFetchBytes;
+    into.streamFetchBytes += from.streamFetchBytes;
+    into.writebackBytes += from.writebackBytes;
+    into.writeThroughBytes += from.writeThroughBytes;
+    into.flushWritebackBytes += from.flushWritebackBytes;
+}
+
+TrafficResult
+ladderTraffic(const BlockStream &stream, CacheStats stats)
+{
+    return ladderTraffic(stream.refs, stream.loads, stream.stores,
+                         stream.requestBytes, stats);
+}
+
+TrafficResult
+ladderTraffic(std::size_t refs, std::uint64_t loads,
+              std::uint64_t stores, std::uint64_t requestBytes,
+              CacheStats stats)
+{
+    stats.accesses = refs;
+    stats.loads = loads;
+    stats.stores = stores;
+    stats.requestBytes = requestBytes;
+
+    TrafficResult r;
+    r.requestBytes = stats.requestBytes;
+    r.pinBytes = stats.trafficBelow();
+    r.trafficRatio = stats.trafficRatio();
+    r.levelRatios = {stats.trafficRatio()};
+    r.levelTraffic = {stats.trafficBelow()};
+    r.levels = {stats};
+    r.l1 = stats;
+    return r;
+}
+
+} // namespace ladder
+} // namespace membw

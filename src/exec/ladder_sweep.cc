@@ -1,256 +1,13 @@
 #include "exec/ladder_sweep.hh"
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "exec/ladder_kernel.hh"
 
 namespace membw {
-
-namespace {
-
-/** Empty tag sentinel: block numbers are addr >> log2(block) with
- * block >= 4B, so ~0 can never collide with a real block number. */
-constexpr std::uint64_t tagInvalid = ~std::uint64_t{0};
-
-/**
- * Flat-array replica of one Cache, specialized for the ladder
- * regime (LRU, no sector/stream/prefetch).  Lines live in three
- * parallel arrays indexed set * ways + way; the LRU sequence counter
- * and every counter update mirror Cache::access()/evict()/insert()
- * exactly, so the final CacheStats match the direct simulator bit
- * for bit.
- */
-struct ConfigSim
-{
-    const CacheConfig *cfg = nullptr;
-    unsigned ways = 1;
-    std::uint64_t setMask = 0;
-    Bytes blockBytes = 0;
-    bool writeBack = true;
-    AllocPolicy alloc = AllocPolicy::WriteAllocate;
-    bool masked = false; ///< write-validate: per-word valid/dirty
-    std::uint64_t fullMask = 0;
-
-    std::uint64_t seq = 0;
-    std::vector<std::uint64_t> tag;
-    std::vector<std::uint64_t> lastUse;
-    std::vector<std::uint64_t> validMask; ///< masked configs only
-    std::vector<std::uint64_t> dirtyMask; ///< words dirty (!=0 = dirty)
-    CacheStats stats;
-
-    explicit ConfigSim(const CacheConfig &config)
-        : cfg(&config),
-          ways(config.ways()),
-          setMask(config.sets() - 1),
-          blockBytes(config.blockBytes),
-          writeBack(config.write == WritePolicy::WriteBack),
-          alloc(config.alloc),
-          masked(config.alloc == AllocPolicy::WriteValidate)
-    {
-        const unsigned wordsPerBlock =
-            static_cast<unsigned>(blockBytes / wordBytes);
-        fullMask = wordsPerBlock == 64
-                       ? ~std::uint64_t{0}
-                       : (std::uint64_t{1} << wordsPerBlock) - 1;
-        const std::size_t lines =
-            static_cast<std::size_t>(config.sets()) * ways;
-        tag.assign(lines, tagInvalid);
-        lastUse.assign(lines, 0);
-        dirtyMask.assign(lines, 0);
-        if (masked)
-            validMask.assign(lines, 0);
-    }
-
-    /**
-     * Victim choice and eviction accounting, identical to
-     * pickVictim() + evict(): first invalid way wins (no eviction
-     * counted); otherwise the lowest-lastUse way — ties to the
-     * lowest index — is displaced, with a write-back when dirty.
-     */
-    std::size_t
-    allocate(std::uint64_t bn, std::size_t base)
-    {
-        std::size_t v = base;
-        bool valid = true;
-        for (unsigned w = 0; w < ways; ++w) {
-            if (tag[base + w] == tagInvalid) {
-                v = base + w;
-                valid = false;
-                break;
-            }
-        }
-        if (valid) {
-            for (unsigned w = 1; w < ways; ++w)
-                if (lastUse[base + w] < lastUse[v])
-                    v = base + w;
-            stats.evictions++;
-            if (dirtyMask[v]) {
-                const Bytes wb =
-                    masked ? static_cast<Bytes>(
-                                 std::popcount(dirtyMask[v])) *
-                                 wordBytes
-                           : blockBytes;
-                stats.writebacks++;
-                stats.writebackBytes += wb;
-            }
-        }
-        tag[v] = bn;
-        lastUse[v] = ++seq;
-        dirtyMask[v] = 0;
-        if (masked)
-            validMask[v] = 0;
-        return v;
-    }
-
-    /** End-of-run flush, identical to Cache::flush(). */
-    void
-    flush()
-    {
-        for (std::size_t l = 0; l < tag.size(); ++l) {
-            if (tag[l] == tagInvalid)
-                continue;
-            stats.evictions++;
-            if (dirtyMask[l]) {
-                const Bytes wb =
-                    masked ? static_cast<Bytes>(
-                                 std::popcount(dirtyMask[l])) *
-                                 wordBytes
-                           : blockBytes;
-                stats.writebacks++;
-                stats.flushWritebackBytes += wb;
-            }
-            tag[l] = tagInvalid;
-        }
-    }
-
-    /**
-     * Replay stream references [begin, end) — the maskless variant:
-     * with sectoring off and no write-validate, a resident line is
-     * always fully valid, so only a dirty flag (kept as the written
-     * word mask) is tracked per line.
-     */
-    void
-    runChunkPlain(const BlockStream &s, std::size_t begin,
-                  std::size_t end)
-    {
-        for (std::size_t i = begin; i < end; ++i) {
-            const std::uint64_t bn = s.blockNum[i];
-            const std::size_t base =
-                static_cast<std::size_t>(bn & setMask) * ways;
-            std::size_t line = 0;
-            bool hit = false;
-            for (unsigned w = 0; w < ways; ++w) {
-                if (tag[base + w] == bn) {
-                    line = base + w;
-                    hit = true;
-                    break;
-                }
-            }
-            if (!s.isStore[i]) {
-                if (hit) {
-                    stats.hits++;
-                    lastUse[line] = ++seq;
-                } else {
-                    stats.misses++;
-                    stats.loadMisses++;
-                    allocate(bn, base);
-                    stats.demandFetchBytes += blockBytes;
-                }
-                continue;
-            }
-            if (hit) {
-                stats.hits++;
-                lastUse[line] = ++seq;
-                if (writeBack)
-                    dirtyMask[line] |= s.wordMask[i];
-                else
-                    stats.writeThroughBytes += s.size[i];
-                continue;
-            }
-            stats.misses++;
-            stats.storeMisses++;
-            if (alloc == AllocPolicy::WriteAllocate) {
-                const std::size_t v = allocate(bn, base);
-                stats.demandFetchBytes += blockBytes;
-                if (writeBack)
-                    dirtyMask[v] = s.wordMask[i];
-                else
-                    stats.writeThroughBytes += s.size[i];
-            } else { // WriteNoAllocate
-                stats.writeThroughBytes += s.size[i];
-            }
-        }
-    }
-
-    /**
-     * Replay stream references [begin, end) — the write-validate
-     * variant with per-word valid/dirty masks and partial fills
-     * (validate() guarantees WV is write-back).
-     */
-    void
-    runChunkMasked(const BlockStream &s, std::size_t begin,
-                   std::size_t end)
-    {
-        for (std::size_t i = begin; i < end; ++i) {
-            const std::uint64_t bn = s.blockNum[i];
-            const std::uint64_t words = s.wordMask[i];
-            const std::size_t base =
-                static_cast<std::size_t>(bn & setMask) * ways;
-            std::size_t line = 0;
-            bool hit = false;
-            for (unsigned w = 0; w < ways; ++w) {
-                if (tag[base + w] == bn) {
-                    line = base + w;
-                    hit = true;
-                    break;
-                }
-            }
-            if (!s.isStore[i]) {
-                if (hit) {
-                    const std::uint64_t missing =
-                        words & ~validMask[line];
-                    if (missing) {
-                        const Bytes bytes =
-                            static_cast<Bytes>(
-                                std::popcount(missing)) *
-                            wordBytes;
-                        stats.partialFills++;
-                        stats.partialFillBytes += bytes;
-                        validMask[line] |= missing;
-                    }
-                    stats.hits++;
-                    lastUse[line] = ++seq;
-                } else {
-                    stats.misses++;
-                    stats.loadMisses++;
-                    const std::size_t v = allocate(bn, base);
-                    validMask[v] = fullMask;
-                    stats.demandFetchBytes += blockBytes;
-                }
-                continue;
-            }
-            if (hit) {
-                stats.hits++;
-                lastUse[line] = ++seq;
-                validMask[line] |= words;
-                dirtyMask[line] |= words;
-                continue;
-            }
-            stats.misses++;
-            stats.storeMisses++;
-            // Write-validate: allocate without fetching; the written
-            // words become valid and dirty.
-            const std::size_t v = allocate(bn, base);
-            validMask[v] = words;
-            dirtyMask[v] = words;
-        }
-    }
-};
-
-} // namespace
 
 bool
 ladderKernelSupported(const CacheConfig &cfg)
@@ -293,50 +50,42 @@ ladderCollapsible(const BlockStream &stream,
 
 std::vector<TrafficResult>
 ladderSweep(const BlockStream &stream,
-            const std::vector<CacheConfig> &configs)
+            const std::vector<CacheConfig> &configs, SimdTier tier)
 {
     if (!ladderCollapsible(stream, configs))
         fatal("ladderSweep: configs are outside the one-pass regime "
               "(check ladderCollapsible first)");
 
-    std::vector<ConfigSim> sims;
+    std::vector<ladder::ConfigSim> sims;
     sims.reserve(configs.size());
-    for (const CacheConfig &cfg : configs)
-        sims.emplace_back(cfg);
+    for (const CacheConfig &cfg : configs) {
+        ladder::ConfigSim &sim = sims.emplace_back(cfg);
+        sim.kernel = ladder::selectKernel(sim.ways, tier, sim.masked,
+                                          /*filtered=*/false);
+    }
 
     for (std::size_t begin = 0; begin < stream.refs;
          begin += BlockStream::chunkRefs) {
         const std::size_t end =
             std::min(begin + BlockStream::chunkRefs, stream.refs);
-        for (ConfigSim &sim : sims) {
-            if (sim.masked)
-                sim.runChunkMasked(stream, begin, end);
-            else
-                sim.runChunkPlain(stream, begin, end);
-        }
+        for (ladder::ConfigSim &sim : sims)
+            sim.kernel(sim, stream, begin, end);
     }
 
     std::vector<TrafficResult> out;
     out.reserve(sims.size());
-    for (ConfigSim &sim : sims) {
+    for (ladder::ConfigSim &sim : sims) {
         sim.flush();
-        CacheStats &s = sim.stats;
-        s.accesses = stream.refs;
-        s.loads = stream.loads;
-        s.stores = stream.stores;
-        s.requestBytes = stream.requestBytes;
-
-        TrafficResult r;
-        r.requestBytes = s.requestBytes;
-        r.pinBytes = s.trafficBelow();
-        r.trafficRatio = s.trafficRatio();
-        r.levelRatios = {s.trafficRatio()};
-        r.levelTraffic = {s.trafficBelow()};
-        r.levels = {s};
-        r.l1 = s;
-        out.push_back(std::move(r));
+        out.push_back(ladder::ladderTraffic(stream, sim.stats));
     }
     return out;
+}
+
+std::vector<TrafficResult>
+ladderSweep(const BlockStream &stream,
+            const std::vector<CacheConfig> &configs)
+{
+    return ladderSweep(stream, configs, simdTier());
 }
 
 } // namespace membw

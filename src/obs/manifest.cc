@@ -42,6 +42,8 @@ RunManifest::write(JsonWriter &w) const
     }
     for (const auto &[k, v] : extra)
         w.field(k, v);
+    for (const auto &[k, v] : extraNum)
+        w.field(k, v);
     w.endObject();
 }
 

@@ -62,10 +62,20 @@ struct RunManifest
     /** Free-form extra fields appended verbatim to the manifest. */
     std::vector<std::pair<std::string, std::string>> extra;
 
+    /** Extra fields that must emit as JSON numbers, not strings
+     * (e.g. "jobs": 4, not "jobs": "4"). */
+    std::vector<std::pair<std::string, std::uint64_t>> extraNum;
+
     void
     set(std::string key, std::string value)
     {
         extra.emplace_back(std::move(key), std::move(value));
+    }
+
+    void
+    set(std::string key, std::uint64_t value)
+    {
+        extraNum.emplace_back(std::move(key), value);
     }
 
     /** Host simulation rate; 0 when refs or wall time is unknown. */

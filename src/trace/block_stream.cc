@@ -22,44 +22,74 @@ buildBlockStream(const Trace &trace, Bytes blockBytes)
     s.blockBytes = blockBytes;
     s.blockShift = floorLog2(blockBytes);
     s.refs = trace.size();
-    s.blockNum.reserve(s.refs);
-    s.isStore.reserve(s.refs);
-    s.size.reserve(s.refs);
-    s.wordMask.reserve(s.refs);
+    s.blockNumStore.resize(s.refs);
+    s.isStoreStore.resize(s.refs);
+    s.sizeStore.resize(s.refs);
+    s.wordMaskStore.resize(s.refs);
 
-    for (const MemRef &ref : trace) {
+    // Raw-pointer stores into the pre-sized arrays: the four
+    // per-reference push_backs (capacity check each) were a
+    // measurable fraction of a decode that otherwise runs at memory
+    // speed, and this loop sits on the timed path of every
+    // partitioned pass.
+    std::uint64_t *const bnOut = s.blockNumStore.data();
+    std::uint8_t *const stOut = s.isStoreStore.data();
+    std::uint16_t *const szOut = s.sizeStore.data();
+    std::uint64_t *const wmOut = s.wordMaskStore.data();
+    const unsigned shift = s.blockShift;
+    std::uint64_t stores = 0;
+    std::uint64_t requestBytes = 0;
+    bool spansBlock = false;
+
+    for (std::size_t i = 0; i < s.refs; ++i) {
+        const MemRef &ref = trace[i];
         const Addr block = alignDown(ref.addr, blockBytes);
         const bool spans =
             ref.size == 0 ||
             alignDown(ref.addr + ref.size - 1, blockBytes) != block;
-        if (spans)
-            s.spansBlock = true;
+        spansBlock |= spans;
 
-        s.blockNum.push_back(ref.addr >> s.blockShift);
-        s.isStore.push_back(ref.isLoad() ? 0 : 1);
-        s.size.push_back(static_cast<std::uint16_t>(
-            ref.size <= blockBytes ? ref.size : blockBytes));
-        if (ref.isLoad())
-            s.loads++;
-        else
-            s.stores++;
-        s.requestBytes += ref.size;
+        const bool isStore = !ref.isLoad();
+        bnOut[i] = ref.addr >> shift;
+        stOut[i] = isStore ? 1 : 0;
+        szOut[i] = static_cast<std::uint16_t>(
+            ref.size <= blockBytes ? ref.size : blockBytes);
+        stores += isStore;
+        requestBytes += ref.size;
 
         // Word mask within the block, exactly as Cache::wordsMask
-        // computes it.  Spanning references make the stream
-        // ineligible for one-pass kernels, so an empty mask is fine
-        // there.
+        // computes it (a contiguous run of set bits).  Spanning
+        // references make the stream ineligible for one-pass
+        // kernels, so an empty mask is fine there.
         std::uint64_t mask = 0;
         if (!spans) {
             const unsigned first =
                 static_cast<unsigned>((ref.addr - block) / wordBytes);
             const unsigned last = static_cast<unsigned>(
                 (ref.addr + ref.size - 1 - block) / wordBytes);
-            for (unsigned w = first; w <= last; ++w)
-                mask |= std::uint64_t{1} << w;
+            if (last < 64) {
+                const unsigned count = last - first + 1;
+                mask = (count >= 64
+                            ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << count) - 1)
+                       << first;
+            } else {
+                for (unsigned w = first; w <= last; ++w)
+                    mask |= std::uint64_t{1} << w;
+            }
         }
-        s.wordMask.push_back(mask);
+        wmOut[i] = mask;
     }
+
+    s.stores = stores;
+    s.loads = s.refs - stores;
+    s.requestBytes = requestBytes;
+    s.spansBlock = spansBlock;
+
+    s.blockNum = s.blockNumStore.data();
+    s.isStore = s.isStoreStore.data();
+    s.size = s.sizeStore.data();
+    s.wordMask = s.wordMaskStore.data();
     return s;
 }
 

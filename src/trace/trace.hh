@@ -54,6 +54,10 @@ class Trace
 
     const MemRef &operator[](std::size_t i) const { return refs_[i]; }
 
+    /** Contiguous reference array (the fused ladder kernels replay
+     * it in place). */
+    const MemRef *data() const { return refs_.data(); }
+
     auto begin() const { return refs_.begin(); }
     auto end() const { return refs_.end(); }
 

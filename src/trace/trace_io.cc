@@ -1,5 +1,7 @@
 #include "trace/trace_io.hh"
 
+#include "trace/trace_mmap.hh"
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -152,6 +154,11 @@ saveTrace(const Trace &trace, const std::string &path,
 {
     MEMBW_SPAN_D("trace.save",
                  "refs=" + std::to_string(trace.size()));
+    if (format == TraceFormat::Mmap) {
+        saveTraceMmap(trace, path);
+        return;
+    }
+
     // Streamed through GuardedFile: records go to '<path>.tmp' and
     // the file only appears under its real name after a clean commit,
     // so a crash mid-save never leaves a truncated trace behind.
@@ -345,6 +352,16 @@ tryLoadTrace(const std::string &path)
         std::fread(image.data(), image.size(), 1, f.get()) != 1)
         return makeError(Errc::IoError,
                          "cannot read '" + path + "'");
+    // The mmap format is sniffed here so loadTrace() transparently
+    // accepts all three encodings; zero-copy callers that want to
+    // keep the mapping use tryLoadMappedTrace() directly.
+    if (isMmapTrace(image.data(), image.size())) {
+        Result<MappedTrace> mapped =
+            parseMmapTrace(image.data(), image.size(), path);
+        if (!mapped)
+            return mapped.error();
+        return mapped.value().materialize();
+    }
     return parseTrace(image.data(), image.size(), path);
 }
 
@@ -352,6 +369,12 @@ Trace
 loadTrace(const std::string &path)
 {
     return tryLoadTrace(path).orDie();
+}
+
+const char *
+traceRefInvalid(Addr addr, Bytes size)
+{
+    return refInvalid(addr, size);
 }
 
 std::uint32_t

@@ -29,6 +29,7 @@ enum class TraceFormat
 {
     Raw,     ///< packed 16-byte records; trivially seekable
     Compact, ///< zigzag-varint address deltas; ~2 bytes/reference
+    Mmap,    ///< aligned SoA columns, zero-copy loadable (trace_mmap.hh)
 };
 
 /** Largest single-reference size the loader accepts, in bytes. */
@@ -66,6 +67,15 @@ Trace loadTrace(const std::string &path);
  * store it so --resume can prove it is replaying the same input.
  */
 std::uint32_t traceCrc32(const Trace &trace);
+
+/**
+ * Shared validity check for a decoded (addr, size) pair: returns a
+ * static reason string when the reference is implausible (zero
+ * bytes, larger than maxTraceRefBytes, wraps the address space),
+ * null when it is fine.  Every trace parser classifies through this
+ * so the formats agree on what "corrupt" means.
+ */
+const char *traceRefInvalid(Addr addr, Bytes size);
 
 } // namespace membw
 

@@ -1,0 +1,413 @@
+#include "trace/trace_mmap.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/crc.hh"
+#include "common/log.hh"
+#include "obs/trace_span.hh"
+#include "resilience/fault_injection.hh"
+#include "resilience/guarded_io.hh"
+#include "trace/trace_io.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MEMBW_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MEMBW_HAVE_MMAP 0
+#endif
+
+namespace membw {
+
+namespace {
+
+std::size_t
+alignUp64(std::size_t n)
+{
+    return (n + (mmapTraceAlign - 1)) & ~(mmapTraceAlign - 1);
+}
+
+Error
+mmapError(Errc code, const std::string &origin,
+          const std::string &why)
+{
+    return Error{code, "mmap trace '" + origin + "': " + why};
+}
+
+std::uint64_t
+loadLe(const std::uint8_t *p, unsigned bytes)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+void
+storeLe(std::uint8_t *p, std::uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Column offsets for @p count references; false on overflow. */
+bool
+columnLayout(std::uint64_t count, std::size_t &addrOff,
+             std::size_t &sizeOff, std::size_t &kindOff,
+             std::size_t &total)
+{
+    // Each reference needs 11 column bytes; cap well below overflow.
+    if (count > (std::size_t{1} << 48))
+        return false;
+    const std::size_t n = static_cast<std::size_t>(count);
+    addrOff = mmapTraceHeaderBytes;
+    sizeOff = alignUp64(addrOff + n * 8);
+    kindOff = alignUp64(sizeOff + n * 2);
+    total = alignUp64(kindOff + n);
+    return true;
+}
+
+} // namespace
+
+Trace
+MappedTrace::materialize() const
+{
+    Trace t;
+    t.reserve(refs);
+    for (std::size_t i = 0; i < refs; ++i)
+        t.append(MemRef{addr[i], static_cast<Bytes>(size[i]),
+                        kind[i] ? RefKind::Store : RefKind::Load});
+    return t;
+}
+
+bool
+isMmapTrace(const std::uint8_t *data, std::size_t size)
+{
+    return size >= 4 && loadLe(data, 4) == mmapTraceMagic;
+}
+
+Result<MappedTrace>
+parseMmapTrace(const std::uint8_t *data, std::size_t size,
+               const std::string &origin)
+{
+    if (size < 4)
+        return mmapError(Errc::Truncated, origin,
+                         "file ends inside the magic number");
+    if (loadLe(data, 4) != mmapTraceMagic)
+        return mmapError(Errc::BadMagic, origin,
+                         "not an mmap-format trace");
+    if (size < mmapTraceHeaderBytes)
+        return mmapError(Errc::Truncated, origin,
+                         "file ends inside the header");
+    const std::uint64_t version = loadLe(data + 4, 4);
+    if (version != mmapTraceVersion)
+        return mmapError(Errc::BadVersion, origin,
+                         "unsupported version " +
+                             std::to_string(version));
+
+    const std::uint64_t count = loadLe(data + 8, 8);
+    const std::uint64_t loads = loadLe(data + 16, 8);
+    const std::uint64_t stores = loadLe(data + 24, 8);
+    const std::uint64_t requestBytes = loadLe(data + 32, 8);
+    const std::uint32_t contentCrc =
+        static_cast<std::uint32_t>(loadLe(data + 40, 4));
+    const std::uint32_t payloadCrc =
+        static_cast<std::uint32_t>(loadLe(data + 44, 4));
+    const std::uint32_t flags =
+        static_cast<std::uint32_t>(loadLe(data + 48, 4));
+
+    if (flags & ~mmapFlagAllWordRefs)
+        return mmapError(Errc::Corrupt, origin,
+                         "unknown flag bits set");
+
+    std::size_t addrOff = 0, sizeOff = 0, kindOff = 0, total = 0;
+    if (!columnLayout(count, addrOff, sizeOff, kindOff, total))
+        return mmapError(Errc::TooLarge, origin,
+                         "implausible reference count " +
+                             std::to_string(count));
+    if (size < total)
+        return mmapError(Errc::Truncated, origin,
+                         "file ends inside the columns (" +
+                             std::to_string(size) + " of " +
+                             std::to_string(total) + " bytes)");
+    if (size > total)
+        return mmapError(Errc::Corrupt, origin,
+                         "trailing bytes after the columns");
+
+    if (crc32(data + mmapTraceHeaderBytes,
+              total - mmapTraceHeaderBytes) != payloadCrc)
+        return mmapError(Errc::Corrupt, origin,
+                         "payload CRC mismatch");
+
+    MappedTrace m;
+    m.refs = static_cast<std::size_t>(count);
+    m.contentCrc = contentCrc;
+    m.allWordRefs = (flags & mmapFlagAllWordRefs) != 0;
+    m.addr = reinterpret_cast<const std::uint64_t *>(data + addrOff);
+    m.size = reinterpret_cast<const std::uint16_t *>(data + sizeOff);
+    m.kind = data + kindOff;
+
+    // Cross-check the header totals and flags against the columns;
+    // the content CRC doubles as the logical identity checkpoint
+    // resume verifies, so it must match a per-reference recompute.
+    std::uint64_t sawLoads = 0, sawStores = 0;
+    Bytes sawBytes = 0;
+    bool sawAllWord = true;
+    Crc32 crc;
+    for (std::size_t i = 0; i < m.refs; ++i) {
+        const Addr a = m.addr[i];
+        const Bytes s = m.size[i];
+        const std::uint8_t k = m.kind[i];
+        if (k > 1)
+            return mmapError(Errc::Corrupt, origin,
+                             "record " + std::to_string(i) +
+                                 ": bad kind byte");
+        if (const char *why = traceRefInvalid(a, s))
+            return mmapError(Errc::Corrupt, origin,
+                             "record " + std::to_string(i) + ": " +
+                                 why);
+        if (k)
+            sawStores++;
+        else
+            sawLoads++;
+        sawBytes += s;
+        if (s != wordBytes || a % wordBytes != 0)
+            sawAllWord = false;
+        crc.updateScalar(a);
+        crc.updateScalar(static_cast<std::uint32_t>(s));
+        crc.updateScalar(k);
+    }
+    if (sawLoads != loads || sawStores != stores ||
+        sawBytes != requestBytes)
+        return mmapError(Errc::Corrupt, origin,
+                         "header totals disagree with the columns");
+    if (m.allWordRefs && !sawAllWord)
+        return mmapError(Errc::Corrupt, origin,
+                         "allWordRefs flag set on non-word records");
+    if (crc.value() != contentCrc)
+        return mmapError(Errc::Corrupt, origin,
+                         "content CRC mismatch");
+    m.loads = sawLoads;
+    m.stores = sawStores;
+    m.requestBytes = sawBytes;
+    return m;
+}
+
+Result<MappedTrace>
+tryLoadMappedTrace(const std::string &path)
+{
+    MEMBW_SPAN("trace.mmap_load");
+#if MEMBW_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return mmapError(Errc::IoError, path,
+                         "cannot open for reading");
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return mmapError(Errc::IoError, path, "cannot stat");
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    if (MEMBW_FAULT_POINT("mmap")) {
+        ::close(fd);
+        return mmapError(Errc::IoError, path,
+                         "cannot map " + std::to_string(len) +
+                             " bytes (injected)");
+    }
+    void *map = len ? ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE,
+                             fd, 0)
+                    : nullptr;
+    ::close(fd); // the mapping outlives the descriptor
+    if (len && map == MAP_FAILED)
+        return mmapError(Errc::IoError, path, "mmap failed");
+    std::shared_ptr<const void> image(
+        map, [len](const void *p) {
+            if (p)
+                ::munmap(const_cast<void *>(p),
+                         len ? len : 1);
+        });
+    Result<MappedTrace> parsed = parseMmapTrace(
+        static_cast<const std::uint8_t *>(map), len, path);
+    if (!parsed)
+        return parsed;
+    MappedTrace m = std::move(parsed.value());
+    m.image = std::move(image);
+    return m;
+#else
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return mmapError(Errc::IoError, path,
+                         "cannot open for reading");
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    std::rewind(f);
+    if (sz < 0) {
+        std::fclose(f);
+        return mmapError(Errc::IoError, path, "cannot size");
+    }
+    auto buffer = std::make_shared<std::vector<std::uint8_t>>(
+        static_cast<std::size_t>(sz));
+    if (!buffer->empty() &&
+        std::fread(buffer->data(), buffer->size(), 1, f) != 1) {
+        std::fclose(f);
+        return mmapError(Errc::IoError, path, "cannot read");
+    }
+    std::fclose(f);
+    Result<MappedTrace> parsed =
+        parseMmapTrace(buffer->data(), buffer->size(), path);
+    if (!parsed)
+        return parsed;
+    MappedTrace m = std::move(parsed.value());
+    m.image = std::shared_ptr<const void>(buffer, buffer->data());
+    return m;
+#endif
+}
+
+void
+saveTraceMmap(const Trace &trace, const std::string &path)
+{
+    MEMBW_SPAN_D("trace.mmap_save",
+                 "refs=" + std::to_string(trace.size()));
+
+    const std::size_t n = trace.size();
+    std::vector<std::uint64_t> addrs;
+    std::vector<std::uint16_t> sizes;
+    std::vector<std::uint8_t> kinds;
+    addrs.reserve(n);
+    sizes.reserve(n);
+    kinds.reserve(n);
+    std::uint64_t loads = 0, stores = 0;
+    Bytes requestBytes = 0;
+    bool allWord = true;
+    for (const MemRef &r : trace) {
+        if (r.size > 0xffff)
+            fatal("mmap trace format cannot encode a " +
+                  std::to_string(r.size) + "-byte reference");
+        addrs.push_back(r.addr);
+        sizes.push_back(static_cast<std::uint16_t>(r.size));
+        kinds.push_back(r.isStore() ? 1 : 0);
+        if (r.isStore())
+            stores++;
+        else
+            loads++;
+        requestBytes += r.size;
+        if (r.size != wordBytes || r.addr % wordBytes != 0)
+            allWord = false;
+    }
+
+    std::size_t addrOff = 0, sizeOff = 0, kindOff = 0, total = 0;
+    if (!columnLayout(n, addrOff, sizeOff, kindOff, total))
+        fatal("mmap trace format: implausible reference count");
+
+    // The payload CRC covers every post-header byte (padding
+    // included), so stream it in the exact write order.
+    static constexpr std::uint8_t zeros[mmapTraceAlign] = {};
+    const std::size_t pad1 = sizeOff - (addrOff + n * 8);
+    const std::size_t pad2 = kindOff - (sizeOff + n * 2);
+    const std::size_t pad3 = total - (kindOff + n);
+    Crc32 payload;
+    payload.update(addrs.data(), n * 8);
+    payload.update(zeros, pad1);
+    payload.update(sizes.data(), n * 2);
+    payload.update(zeros, pad2);
+    payload.update(kinds.data(), n);
+    payload.update(zeros, pad3);
+
+    std::uint8_t header[mmapTraceHeaderBytes] = {};
+    storeLe(header + 0, mmapTraceMagic, 4);
+    storeLe(header + 4, mmapTraceVersion, 4);
+    storeLe(header + 8, n, 8);
+    storeLe(header + 16, loads, 8);
+    storeLe(header + 24, stores, 8);
+    storeLe(header + 32, requestBytes, 8);
+    storeLe(header + 40, traceCrc32(trace), 4);
+    storeLe(header + 44, payload.value(), 4);
+    storeLe(header + 48, allWord ? mmapFlagAllWordRefs : 0, 4);
+
+    GuardedFile out;
+    (void)out.open(path).orDie();
+    (void)out.write(header, sizeof(header)).orDie();
+    (void)out.write(addrs.data(), n * 8).orDie();
+    (void)out.write(zeros, pad1).orDie();
+    (void)out.write(sizes.data(), n * 2).orDie();
+    (void)out.write(zeros, pad2).orDie();
+    (void)out.write(kinds.data(), n).orDie();
+    (void)out.write(zeros, pad3).orDie();
+    (void)out.commit().orDie();
+}
+
+BlockStream
+buildBlockStream(const MappedTrace &trace, Bytes blockBytes)
+{
+    if (blockBytes < wordBytes || !isPowerOfTwo(blockBytes))
+        fatal("block stream needs a power-of-two block size >= 4B");
+
+    MEMBW_SPAN_D("block_stream.mmap_view",
+                 "block=" + std::to_string(blockBytes) +
+                     "B refs=" + std::to_string(trace.refs));
+
+    BlockStream s;
+    s.blockBytes = blockBytes;
+    s.blockShift = floorLog2(blockBytes);
+    s.refs = trace.refs;
+    s.loads = trace.loads;
+    s.stores = trace.stores;
+    s.requestBytes = trace.requestBytes;
+    s.blockNumStore.reserve(s.refs);
+    s.wordMaskStore.reserve(s.refs);
+
+    if (trace.allWordRefs) {
+        // One aligned word per reference: never spans, the size
+        // column is borrowed verbatim, and the word mask is a single
+        // bit at the word's offset inside the block.
+        for (std::size_t i = 0; i < s.refs; ++i) {
+            const Addr a = trace.addr[i];
+            s.blockNumStore.push_back(a >> s.blockShift);
+            s.wordMaskStore.push_back(
+                std::uint64_t{1}
+                << ((a & (blockBytes - 1)) / wordBytes));
+        }
+        s.size = trace.size;
+    } else {
+        s.sizeStore.reserve(s.refs);
+        for (std::size_t i = 0; i < s.refs; ++i) {
+            const Addr a = trace.addr[i];
+            const Bytes refSize = trace.size[i];
+            const Addr block = alignDown(a, blockBytes);
+            const bool spans =
+                refSize == 0 ||
+                alignDown(a + refSize - 1, blockBytes) != block;
+            if (spans)
+                s.spansBlock = true;
+            s.blockNumStore.push_back(a >> s.blockShift);
+            s.sizeStore.push_back(static_cast<std::uint16_t>(
+                refSize <= blockBytes ? refSize : blockBytes));
+            std::uint64_t mask = 0;
+            if (!spans) {
+                const unsigned first = static_cast<unsigned>(
+                    (a - block) / wordBytes);
+                const unsigned last = static_cast<unsigned>(
+                    (a + refSize - 1 - block) / wordBytes);
+                for (unsigned w = first; w <= last; ++w)
+                    mask |= std::uint64_t{1} << w;
+            }
+            s.wordMaskStore.push_back(mask);
+        }
+        s.size = s.sizeStore.data();
+    }
+
+    s.blockNum = s.blockNumStore.data();
+    s.wordMask = s.wordMaskStore.data();
+    s.isStore = trace.kind; // on-disk kind encoding == isStore
+    s.keepAlive = trace.image;
+    return s;
+}
+
+} // namespace membw

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Zero-copy mmap'd trace format ("MBWM", version 1).
+ *
+ * The raw/compact formats (trace_io.hh) are record streams: loading
+ * decodes every record into an in-memory Trace, and every sweep then
+ * re-decodes that Trace into BlockStream arrays.  The mmap format
+ * instead stores the trace *as* structure-of-arrays, 64-byte-aligned
+ * columns that match the BlockStream layout:
+ *
+ *     offset 0    header (64 bytes, little-endian, see below)
+ *     offset 64   addr[count]   u64   reference addresses
+ *     aligned 64  size[count]   u16   reference sizes
+ *     aligned 64  kind[count]   u8    0 = load, 1 = store
+ *     (file length padded to a 64-byte multiple; pad bytes zero)
+ *
+ * Header layout (52 content bytes + 12 reserved):
+ *
+ *     u32 magic        "MBWM" (0x4d57424d)
+ *     u32 version      1
+ *     u64 count        references
+ *     u64 loads        header copy of the load count
+ *     u64 stores       header copy of the store count
+ *     u64 requestBytes sum of reference sizes
+ *     u32 contentCrc   traceCrc32() of the logical content — the
+ *                      same CRC the checkpoint layer stores, so a
+ *                      re-encoded trace keeps its identity
+ *     u32 payloadCrc   CRC-32 of every byte after the header
+ *     u32 flags        bit0: every reference is one aligned word
+ *     u8  reserved[12] zero
+ *
+ * A loaded file is validated end to end before any use: exact file
+ * length, payload CRC, per-reference sanity (kind, size, address
+ * wrap) and agreement between the header totals/flags and the
+ * columns — failures classify through Result<T> as
+ * BadMagic/BadVersion/Truncated/Corrupt/TooLarge, and the parser is
+ * fuzzed (tests/fuzz/trace_fuzz.cc).  After that, sweeps borrow the
+ * columns in place: buildBlockStream(const MappedTrace&) points the
+ * stream's size/isStore views straight into the mapping (the on-disk
+ * encodings are chosen to match) and only computes the
+ * block-size-dependent columns (block number, word mask).  The
+ * mapping is pinned by shared_ptr until the last view dies.
+ */
+
+#ifndef MEMBW_TRACE_TRACE_MMAP_HH
+#define MEMBW_TRACE_TRACE_MMAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.hh"
+#include "trace/block_stream.hh"
+#include "trace/trace.hh"
+
+namespace membw {
+
+constexpr std::uint32_t mmapTraceMagic = 0x4d57424d; // "MBWM"
+constexpr std::uint32_t mmapTraceVersion = 1;
+constexpr std::size_t mmapTraceHeaderBytes = 64;
+constexpr std::size_t mmapTraceAlign = 64;
+
+/** Header flag bits. */
+constexpr std::uint32_t mmapFlagAllWordRefs = 1u << 0;
+
+/**
+ * A validated trace whose columns live in a shared mapping (or a
+ * heap buffer on platforms without mmap).  Move/copy freely — views
+ * share the pinned image.
+ */
+struct MappedTrace
+{
+    std::size_t refs = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    Bytes requestBytes = 0;
+    std::uint32_t contentCrc = 0; ///< == traceCrc32(materialize())
+    bool allWordRefs = false;
+
+    const std::uint64_t *addr = nullptr;
+    const std::uint16_t *size = nullptr;
+    const std::uint8_t *kind = nullptr;
+
+    /** Pins the mapping/buffer the views point into. */
+    std::shared_ptr<const void> image;
+
+    /** Decode into an owning Trace (the escape hatch back to every
+     * non-zero-copy consumer). */
+    Trace materialize() const;
+};
+
+/** True iff @p data starts with the mmap-format magic. */
+bool isMmapTrace(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Validate an mmap-format image.  The returned views point into
+ * @p data and carry NO ownership — callers must attach their own
+ * keep-alive to MappedTrace::image (tryLoadMappedTrace does).
+ * Never throws on bad bytes; fuzzed directly.
+ */
+Result<MappedTrace> parseMmapTrace(const std::uint8_t *data,
+                                   std::size_t size,
+                                   const std::string &origin);
+
+/**
+ * mmap @p path (falling back to a plain read where mmap is
+ * unavailable), validate, and return views pinned to the mapping.
+ */
+Result<MappedTrace> tryLoadMappedTrace(const std::string &path);
+
+/** Write @p trace to @p path in the mmap format (atomic .tmp +
+ * rename, like every saveTrace path).  Throws FatalError on I/O
+ * failure.  saveTrace(..., TraceFormat::Mmap) forwards here. */
+void saveTraceMmap(const Trace &trace, const std::string &path);
+
+/**
+ * Zero-copy BlockStream over a validated MappedTrace: borrows the
+ * kind column as isStore verbatim and the size column whenever no
+ * reference exceeds the block size (always true for allWordRefs
+ * traces); block numbers and word masks are computed per block size
+ * as usual.  Counter-identical to buildBlockStream(materialize()).
+ */
+BlockStream buildBlockStream(const MappedTrace &trace,
+                             Bytes blockBytes);
+
+} // namespace membw
+
+#endif // MEMBW_TRACE_TRACE_MMAP_HH

@@ -16,6 +16,8 @@
 #include "common/rng.hh"
 #include "exec/collapsed_sweep.hh"
 #include "exec/ladder_sweep.hh"
+#include "exec/simd.hh"
+#include "exec/time_partition.hh"
 #include "trace/block_stream.hh"
 #include "trace/trace.hh"
 
@@ -84,10 +86,14 @@ TEST(BlockStream, DecodesBlockNumbersKindsAndMasks)
     EXPECT_EQ(s.requestBytes, 20u);
     EXPECT_FALSE(s.spansBlock);
 
-    EXPECT_EQ(s.blockNum,
+    EXPECT_EQ(std::vector<std::uint64_t>(s.blockNum,
+                                         s.blockNum + s.refs),
               (std::vector<std::uint64_t>{0, 1, 1, 0}));
-    EXPECT_EQ(s.isStore, (std::vector<std::uint8_t>{0, 1, 0, 1}));
-    EXPECT_EQ(s.wordMask,
+    EXPECT_EQ(
+        std::vector<std::uint8_t>(s.isStore, s.isStore + s.refs),
+        (std::vector<std::uint8_t>{0, 1, 0, 1}));
+    EXPECT_EQ(std::vector<std::uint64_t>(s.wordMask,
+                                         s.wordMask + s.refs),
               (std::vector<std::uint64_t>{0x1, 0x4, 0x80, 0xc}));
 }
 
@@ -190,6 +196,280 @@ TEST(LadderSweep, MatchesDirectAcrossBlockSizesAndSeeds)
             }
         }
     }
+}
+
+// ---------------------------------------------------------------
+// SIMD tier equivalence
+// ---------------------------------------------------------------
+
+/** The full supported policy grid at one block size (the same grid
+ * the direct-equivalence test walks). */
+std::vector<CacheConfig>
+policyGrid(Bytes blockBytes)
+{
+    std::vector<CacheConfig> cfgs;
+    for (Bytes size : {1_KiB, 4_KiB, 16_KiB}) {
+        for (unsigned assoc : {1u, 2u, 3u, 4u, 8u, 16u}) {
+            for (WritePolicy wp :
+                 {WritePolicy::WriteBack, WritePolicy::WriteThrough}) {
+                for (AllocPolicy ap : {AllocPolicy::WriteAllocate,
+                                       AllocPolicy::WriteNoAllocate,
+                                       AllocPolicy::WriteValidate}) {
+                    if (ap == AllocPolicy::WriteValidate &&
+                        wp == WritePolicy::WriteThrough)
+                        continue; // invalid pairing
+                    CacheConfig c;
+                    c.size = size;
+                    c.assoc = assoc;
+                    c.blockBytes = blockBytes;
+                    c.write = wp;
+                    c.alloc = ap;
+                    if (ladderKernelSupported(c))
+                        cfgs.push_back(c);
+                }
+            }
+        }
+    }
+    return cfgs;
+}
+
+TEST(LadderSweep, SimdTiersMatchScalarAcrossPolicyGrid)
+{
+    // Every probe tier the host supports must reproduce the scalar
+    // kernel bit for bit across the policy grid, including the
+    // masked write-validate variant and the odd (3-way) geometry
+    // that exercises the probes' scalar tails.  On hosts without
+    // SSE2/AVX2 the clamp collapses the comparison to
+    // scalar-vs-scalar, which keeps the test meaningful under
+    // -DMEMBW_SIMD=OFF.
+    const Trace trace = randomTrace(29, 20000);
+    const std::vector<CacheConfig> cfgs = policyGrid(32);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    ASSERT_TRUE(ladderCollapsible(stream, cfgs));
+
+    const auto scalar =
+        ladderSweep(stream, cfgs, SimdTier::Scalar);
+    for (SimdTier tier : {SimdTier::Sse2, SimdTier::Avx2}) {
+        const auto vec = ladderSweep(stream, cfgs, tier);
+        ASSERT_EQ(vec.size(), scalar.size());
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            const std::string label =
+                std::string(simdTierName(tier)) + " " +
+                cfgs[i].describe();
+            EXPECT_EQ(vec[i].pinBytes, scalar[i].pinBytes) << label;
+            expectStatsEqual(vec[i].l1, scalar[i].l1, label);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Set-partitioned and time-sliced parallel kernels
+// ---------------------------------------------------------------
+
+TEST(TimePartition, PartitionedMatchesSerialAtAnyPartsAndJobs)
+{
+    const Trace trace = randomTrace(31, 16000);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    CacheConfig cfg;
+    cfg.size = 16_KiB;
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+
+    const auto serial = ladderSweep(stream, {cfg});
+    for (unsigned parts : {1u, 2u, 3u, 4u, 8u}) {
+        for (unsigned jobs : {1u, 4u}) {
+            PartitionOptions opts;
+            opts.jobs = jobs;
+            opts.parts = parts;
+            const auto part =
+                partitionedLadderRun(stream, cfg, opts);
+            ASSERT_TRUE(part.has_value());
+            const std::string label = "parts=" +
+                                      std::to_string(parts) +
+                                      " jobs=" +
+                                      std::to_string(jobs);
+            EXPECT_EQ(part->pinBytes, serial[0].pinBytes) << label;
+            expectStatsEqual(part->l1, serial[0].l1, label);
+        }
+    }
+}
+
+TEST(TimePartition, FusedWordRunMatchesSerialAtAnyPartsAndJobs)
+{
+    // The fused-decode kernels replay the MemRef array directly; the
+    // result must be byte-identical to the decoded-stream serial
+    // kernel at every partition/jobs combination.
+    const Trace trace = randomTrace(53, 16000);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    CacheConfig cfg;
+    cfg.size = 16_KiB;
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+
+    const auto serial = ladderSweep(stream, {cfg});
+    for (unsigned parts : {1u, 2u, 3u, 4u, 8u}) {
+        for (unsigned jobs : {1u, 4u}) {
+            PartitionOptions opts;
+            opts.jobs = jobs;
+            opts.parts = parts;
+            TrafficResult word;
+            ASSERT_EQ(
+                partitionedLadderRunWord(trace, cfg, opts, word),
+                WordRunOutcome::Done);
+            const std::string label = "word parts=" +
+                                      std::to_string(parts) +
+                                      " jobs=" +
+                                      std::to_string(jobs);
+            EXPECT_EQ(word.pinBytes, serial[0].pinBytes) << label;
+            expectStatsEqual(word.l1, serial[0].l1, label);
+        }
+    }
+}
+
+TEST(TimePartition, FusedWordRunMatchesSerialAcrossPolicyGrid)
+{
+    // Every supported policy point (write-back/-through crossed with
+    // allocate/no-allocate/write-validate) through the word kernels,
+    // including the store-counting totals reconstruction.
+    const Trace trace = randomTrace(59, 12000);
+    const std::vector<CacheConfig> cfgs = policyGrid(32);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    PartitionOptions opts;
+    opts.jobs = 4;
+
+    const auto serial = ladderSweep(stream, cfgs);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        TrafficResult word;
+        ASSERT_EQ(
+            partitionedLadderRunWord(trace, cfgs[i], opts, word),
+            WordRunOutcome::Done);
+        expectStatsEqual(word.l1, serial[i].l1, cfgs[i].describe());
+    }
+}
+
+TEST(TimePartition, FusedWordRunRejectsNonWordTraces)
+{
+    CacheConfig cfg;
+    cfg.size = 8_KiB;
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+    PartitionOptions opts;
+    opts.jobs = 2;
+    opts.parts = 4; // filtered workers must reject too
+    TrafficResult word;
+
+    Trace wide = randomTrace(61, 500);
+    wide.append(64, 8, RefKind::Store); // double word
+    EXPECT_EQ(partitionedLadderRunWord(wide, cfg, opts, word),
+              WordRunOutcome::NotAllWord);
+
+    Trace misaligned = randomTrace(67, 500);
+    misaligned.append(2, 4, RefKind::Load); // word size, bad align
+    EXPECT_EQ(partitionedLadderRunWord(misaligned, cfg, opts, word),
+              WordRunOutcome::NotAllWord);
+
+    const Trace ok = randomTrace(71, 500);
+    opts.cancel = [] { return true; }; // cancelled before any cell
+    EXPECT_EQ(partitionedLadderRunWord(ok, cfg, opts, word),
+              WordRunOutcome::Interrupted);
+}
+
+TEST(TimePartition, SweepFormMatchesSerialAcrossPolicyGrid)
+{
+    // Multi-config partitioned sweep (auto parts) against the serial
+    // kernel over the whole policy grid, masked configs included;
+    // also pins the parts clamp on a 1-set (fully-degenerate) shape.
+    const Trace trace = randomTrace(37, 12000);
+    const std::vector<CacheConfig> cfgs = policyGrid(32);
+    const BlockStream stream = buildBlockStream(trace, 32);
+
+    const auto serial = ladderSweep(stream, cfgs);
+    PartitionOptions opts;
+    opts.jobs = 4;
+    const auto part = partitionedLadderSweep(stream, cfgs, opts);
+    ASSERT_TRUE(part.has_value());
+    ASSERT_EQ(part->size(), serial.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        expectStatsEqual((*part)[i].l1, serial[i].l1,
+                         cfgs[i].describe());
+    }
+
+    CacheConfig oneSet; // 1 set: cannot split, must clamp to serial
+    oneSet.size = 256;
+    oneSet.assoc = 8;
+    oneSet.blockBytes = 32;
+    ASSERT_TRUE(ladderKernelSupported(oneSet));
+    EXPECT_EQ(partitionPartsFor(oneSet, 4, 0, 1), 1u);
+    const auto one = partitionedLadderRun(stream, oneSet, opts);
+    ASSERT_TRUE(one.has_value());
+    expectStatsEqual(one->l1, ladderSweep(stream, {oneSet})[0].l1,
+                     "one-set clamp");
+}
+
+TEST(TimePartition, InterruptReportsNoResults)
+{
+    const Trace trace = randomTrace(41, 2000);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    CacheConfig cfg;
+    cfg.size = 8_KiB;
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+    PartitionOptions opts;
+    opts.jobs = 1;
+    opts.parts = 4;
+    opts.cancel = [] { return true; }; // cancelled before any cell
+    EXPECT_FALSE(
+        partitionedLadderRun(stream, cfg, opts).has_value());
+}
+
+TEST(TimePartition, TimeSlicedIsExactWhenWarmupCoversTrace)
+{
+    const Trace trace = randomTrace(43, 10000);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    CacheConfig cfg;
+    cfg.size = 4_KiB;
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+    const auto exact = ladderSweep(stream, {cfg});
+
+    for (unsigned slices : {1u, 4u, 7u}) {
+        PartitionOptions opts;
+        opts.jobs = 2;
+        const TimeSliceEstimate est = timeSlicedLadderEstimate(
+            stream, cfg, slices, stream.refs, opts);
+        expectStatsEqual(est.result.l1, exact[0].l1,
+                         "slices=" + std::to_string(slices));
+    }
+
+    // One slice needs no warm-up to be exact (it IS the serial run).
+    const TimeSliceEstimate one =
+        timeSlicedLadderEstimate(stream, cfg, 1, 0, {});
+    expectStatsEqual(one.result.l1, exact[0].l1, "single slice");
+    EXPECT_EQ(one.warmupRefs, 0u);
+}
+
+TEST(TimePartition, TimeSlicedColdStartOnlyLosesHits)
+{
+    // With a short warm-up window the totals stay exact but the
+    // cold-start slices can only turn hits into misses (LRU content
+    // reconstructed from a suffix is a subset of the true content).
+    const Trace trace = randomTrace(47, 10000);
+    const BlockStream stream = buildBlockStream(trace, 32);
+    CacheConfig cfg;
+    cfg.size = 4_KiB;
+    cfg.assoc = 4;
+    cfg.blockBytes = 32;
+    const auto exact = ladderSweep(stream, {cfg});
+
+    PartitionOptions opts;
+    opts.jobs = 2;
+    const TimeSliceEstimate est =
+        timeSlicedLadderEstimate(stream, cfg, 8, 256, opts);
+    EXPECT_EQ(est.result.l1.accesses, exact[0].l1.accesses);
+    EXPECT_EQ(est.result.l1.requestBytes,
+              exact[0].l1.requestBytes);
+    EXPECT_GE(est.result.l1.misses, exact[0].l1.misses);
+    EXPECT_EQ(est.warmupRefs, 7u * 256u);
 }
 
 // ---------------------------------------------------------------

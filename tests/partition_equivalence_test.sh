@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# End-to-end determinism check for intra-trace set partitioning: a
+# single-configuration run at --jobs 4 takes the set-partitioned SIMD
+# ladder path (exec/time_partition.hh) and must be byte-identical —
+# stdout and --stable-json stats — to the serial per-reference loop
+# (--jobs 1, or --no-partition at any jobs).  Ditto for sweeps routed
+# through CollapsedSweep and the bench drivers.  Also checks that the
+# per-reference flags (--sigterm-after, --checkpoint/--resume) force
+# the serial path and keep their exact semantics at --jobs 4, and
+# that mmap-format traces feed the same results zero-copy.
+#
+# Usage: partition_equivalence_test.sh <membw_sim> \
+#            <fig4_traffic_curves> <table7_traffic_ratios>
+set -u
+
+SIM="$1"
+FIG4="$2"
+TABLE7="$3"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+expect_exit() {
+    local want="$1"
+    shift
+    "$@" >/dev/null 2>&1
+    local got=$?
+    [ "$got" -eq "$want" ] ||
+        fail "expected exit $want from '$*', got $got"
+}
+
+# --- single config: partitioned path vs serial loop ----------------
+# Two configs: a plain write-back ladder and a masked write-validate
+# one with the MTC phase riding along.
+check_single() { # name flags...
+    local name="$1"
+    shift
+    "$SIM" "$@" --jobs 1 --stats-json "$name.ref.json" \
+        > "$name.ref.txt" 2>/dev/null ||
+        fail "$name --jobs 1 failed"
+    "$SIM" "$@" --jobs 4 --stats-json "$name.p4.json" \
+        > "$name.p4.txt" 2> "$name.p4.err" ||
+        fail "$name --jobs 4 failed"
+    "$SIM" "$@" --jobs 4 --no-partition \
+        --stats-json "$name.np4.json" > "$name.np4.txt" 2>/dev/null ||
+        fail "$name --jobs 4 --no-partition failed"
+    cmp -s "$name.ref.txt" "$name.p4.txt" ||
+        fail "$name stdout differs: --jobs 1 vs --jobs 4"
+    cmp -s "$name.ref.json" "$name.p4.json" ||
+        fail "$name stats JSON differs: --jobs 1 vs --jobs 4"
+    cmp -s "$name.ref.txt" "$name.np4.txt" ||
+        fail "$name stdout differs: --jobs 1 vs --no-partition"
+    cmp -s "$name.ref.json" "$name.np4.json" ||
+        fail "$name stats JSON differs: --jobs 1 vs --no-partition"
+    # The --jobs 4 run must actually have taken the partitioned path,
+    # otherwise this test is vacuous (the announce goes to stderr so
+    # stdout stays byte-identical).
+    grep -q "set-partitioned hierarchy pass" "$name.p4.err" ||
+        fail "$name --jobs 4 did not take the partitioned path"
+}
+
+check_single plain --workload Swm --scale 0.05 --size 64K --assoc 4 \
+    --block 32 --stable-json
+check_single masked --workload Compress --scale 0.05 --size 16K \
+    --assoc 8 --block 32 --write wb --alloc wv --mtc --stable-json
+
+# --- mmap traces feed identical results zero-copy ------------------
+GEN=(--workload Li --scale 0.05)
+"$SIM" "${GEN[@]}" --save-trace t.mbwm --trace-format mmap \
+    > /dev/null 2>&1 || fail "mmap trace save failed"
+"$SIM" "${GEN[@]}" --save-trace t.raw --trace-format raw \
+    > /dev/null 2>&1 || fail "raw trace save failed"
+CFG=(--size 64K --assoc 4 --block 32 --stable-json)
+"$SIM" --load-trace t.mbwm "${CFG[@]}" --jobs 4 \
+    --stats-json m4.json > m4.txt 2>/dev/null ||
+    fail "mmap-trace run failed"
+"$SIM" --load-trace t.raw "${CFG[@]}" --jobs 1 \
+    --stats-json r1.json > r1.txt 2>/dev/null ||
+    fail "raw-trace run failed"
+# The manifest records the trace path, so normalize the filename
+# before diffing; everything else must match byte for byte.
+diff <(sed 's/t\.mbwm/TRACE/' m4.json) \
+     <(sed 's/t\.raw/TRACE/' r1.json) > /dev/null ||
+    fail "mmap --jobs 4 stats differ from raw --jobs 1"
+diff <(grep -v '^trace: ' m4.txt) <(grep -v '^trace: ' r1.txt) \
+    > /dev/null ||
+    fail "mmap --jobs 4 stdout differs from raw --jobs 1"
+
+# Sweep mode over the mmap trace exercises the zero-copy BlockStream
+# borrow inside CollapsedSweep.
+MSWEEP=(--sweep-sizes 4K,64K --sweep-blocks 32 --stable-json)
+"$SIM" --load-trace t.mbwm "${MSWEEP[@]}" --jobs 4 \
+    --stats-json ms4.json > /dev/null 2>&1 ||
+    fail "mmap sweep --jobs 4 failed"
+"$SIM" --load-trace t.raw "${MSWEEP[@]}" --jobs 1 \
+    --stats-json ms1.json > /dev/null 2>&1 ||
+    fail "raw sweep --jobs 1 failed"
+diff <(sed 's/t\.mbwm/TRACE/' ms4.json) \
+     <(sed 's/t\.raw/TRACE/' ms1.json) > /dev/null ||
+    fail "mmap sweep stats differ from raw serial sweep"
+
+# --- sweep mode: partitioned group passes vs fan-out ---------------
+SWEEP=(--workload Compress --scale 0.05 --sweep-sizes 4K,64K
+       --sweep-blocks 32 --stable-json)
+"$SIM" "${SWEEP[@]}" --jobs 1 --stats-json w1.json > w1.txt 2>/dev/null ||
+    fail "sweep --jobs 1 failed"
+"$SIM" "${SWEEP[@]}" --jobs 4 --stats-json w4.json > w4.txt 2>/dev/null ||
+    fail "sweep --jobs 4 failed"
+"$SIM" "${SWEEP[@]}" --jobs 4 --no-partition --stats-json wn4.json \
+    > wn4.txt 2>/dev/null || fail "sweep --no-partition failed"
+cmp -s w1.txt w4.txt ||
+    fail "sweep stdout differs between --jobs 1 and --jobs 4"
+cmp -s w1.json w4.json ||
+    fail "sweep stats differ between --jobs 1 and --jobs 4"
+cmp -s w1.json wn4.json ||
+    fail "sweep stats differ under --no-partition"
+
+# --- per-reference flags force the serial path ---------------------
+# --sigterm-after must drain at exactly the same reference at any
+# --jobs value (the partitioned kernel has no per-reference clock, so
+# the flag routes both runs through the serial loop).
+RUN=(--workload Swm --scale 0.05 --size 64K --assoc 4 --block 32
+     --stable-json)
+expect_exit 3 "$SIM" "${RUN[@]}" --jobs 1 --sigterm-after 20000 \
+    --stats-json g1.json
+expect_exit 3 "$SIM" "${RUN[@]}" --jobs 4 --sigterm-after 20000 \
+    --stats-json g4.json
+cmp -s g1.json g4.json ||
+    fail "interrupted partial stats differ between --jobs 1 and 4"
+
+# A run killed mid-flight and resumed at --jobs 4 must reproduce the
+# uninterrupted serial stats byte for byte (resume state only exists
+# for the per-reference loop; --resume forces it).
+expect_exit 3 "$SIM" "${RUN[@]}" --jobs 4 --checkpoint ck.bin \
+    --sigterm-after 20000
+"$SIM" "${RUN[@]}" --jobs 4 --resume ck.bin \
+    --stats-json resumed.json > /dev/null 2>&1 ||
+    fail "resumed --jobs 4 run failed"
+cmp -s resumed.json plain.ref.json 2>/dev/null || {
+    # plain.ref.json was the Swm 64K/4/32 serial reference above.
+    fail "resumed --jobs 4 stats differ from uninterrupted serial run"
+}
+
+# --- bench drivers -----------------------------------------------------
+check_bench() { # name binary
+    local name="$1" bin="$2"
+    "$bin" --scale 0.02 --jobs 1 --stable-json --json "$name.1.json" \
+        > "$name.1.txt" 2>/dev/null || fail "$name --jobs 1 failed"
+    "$bin" --scale 0.02 --jobs 4 --stable-json --json "$name.4.json" \
+        > "$name.4.txt" 2>/dev/null || fail "$name --jobs 4 failed"
+    "$bin" --scale 0.02 --jobs 4 --no-partition --stable-json \
+        --json "$name.n4.json" > "$name.n4.txt" 2>/dev/null ||
+        fail "$name --no-partition failed"
+    cmp -s "$name.1.txt" "$name.4.txt" ||
+        fail "$name stdout differs between --jobs 1 and 4"
+    cmp -s "$name.1.json" "$name.4.json" ||
+        fail "$name JSON differs between --jobs 1 and 4"
+    cmp -s "$name.1.txt" "$name.n4.txt" ||
+        fail "$name stdout differs under --no-partition"
+    cmp -s "$name.1.json" "$name.n4.json" ||
+        fail "$name JSON differs under --no-partition"
+}
+
+check_bench fig4 "$FIG4"
+check_bench table7 "$TABLE7"
+
+echo "PASS"

@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/rng.hh"
 #include "trace/mem_ref.hh"
 #include "trace/recorder.hh"
 #include "trace/trace.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_mmap.hh"
 
 namespace membw {
 namespace {
@@ -425,6 +427,247 @@ TEST(TraceIoHardened, CrcIsContentNotEncoding)
     Trace other = t;
     other.append(0x9999, 4, RefKind::Load);
     EXPECT_NE(traceCrc32(other), direct);
+}
+
+// ---------------------------------------------------------------
+// Mmap (zero-copy) trace format
+// ---------------------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::fseek(f, 0, SEEK_END);
+    const long n = std::ftell(f);
+    std::rewind(f);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(n));
+    if (!bytes.empty())
+        EXPECT_EQ(std::fread(bytes.data(), bytes.size(), 1, f), 1u);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    if (!bytes.empty())
+        ASSERT_EQ(std::fwrite(bytes.data(), bytes.size(), 1, f), 1u);
+    std::fclose(f);
+}
+
+Trace
+mixedTrace()
+{
+    Trace t;
+    Addr a = 0x10000;
+    for (int i = 0; i < 400; ++i) {
+        a += (i % 7 == 0) ? 0x4000 : 4;
+        t.append(a, 4, i % 3 == 0 ? RefKind::Store : RefKind::Load);
+    }
+    t.append(0x123457, 12, RefKind::Load); // odd size + alignment
+    return t;
+}
+
+} // namespace
+
+TEST(TraceMmap, RoundTripMatchesEveryLoader)
+{
+    const Trace t = mixedTrace();
+    const std::string path =
+        testing::TempDir() + "membw_trace_mmap.bin";
+    saveTrace(t, path, TraceFormat::Mmap);
+
+    // The generic loader sniffs the magic and decodes transparently.
+    const Trace viaLoader = loadTrace(path);
+    ASSERT_EQ(viaLoader.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(viaLoader[i] == t[i]) << i;
+
+    // The zero-copy loader exposes the same references and carries
+    // the encoding-independent content CRC.
+    auto mapped = tryLoadMappedTrace(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.error().describe();
+    const MappedTrace &m = mapped.value();
+    EXPECT_EQ(m.refs, t.size());
+    EXPECT_FALSE(m.allWordRefs); // the 12-byte reference
+    EXPECT_EQ(m.contentCrc, traceCrc32(t));
+    const Trace back = m.materialize();
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_TRUE(back[i] == t[i]) << i;
+    std::remove(path.c_str());
+}
+
+TEST(TraceMmap, ZeroCopyBlockStreamMatchesDecodedStream)
+{
+    // All-word trace: the fast path that borrows the size column.
+    Rng rng(71);
+    Trace t;
+    for (int i = 0; i < 3000; ++i)
+        t.append(rng.below(1 << 14) * wordBytes, wordBytes,
+                 rng.chance(0.4) ? RefKind::Store : RefKind::Load);
+
+    const std::string path =
+        testing::TempDir() + "membw_trace_mmap_bs.bin";
+    saveTrace(t, path, TraceFormat::Mmap);
+    auto mapped = tryLoadMappedTrace(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.error().describe();
+    EXPECT_TRUE(mapped.value().allWordRefs);
+
+    for (Bytes block : {8u, 32u, 128u}) {
+        const BlockStream decoded = buildBlockStream(t, block);
+        const BlockStream view =
+            buildBlockStream(mapped.value(), block);
+        ASSERT_EQ(view.refs, decoded.refs);
+        EXPECT_EQ(view.loads, decoded.loads);
+        EXPECT_EQ(view.stores, decoded.stores);
+        EXPECT_EQ(view.requestBytes, decoded.requestBytes);
+        EXPECT_EQ(view.spansBlock, decoded.spansBlock);
+        // The kind and size columns are borrowed, not copied.
+        EXPECT_TRUE(view.isStoreStore.empty());
+        EXPECT_TRUE(view.sizeStore.empty());
+        EXPECT_EQ(static_cast<const void *>(view.size),
+                  static_cast<const void *>(mapped.value().size));
+        for (std::size_t i = 0; i < decoded.refs; ++i) {
+            ASSERT_EQ(view.blockNum[i], decoded.blockNum[i]) << i;
+            ASSERT_EQ(view.isStore[i], decoded.isStore[i]) << i;
+            ASSERT_EQ(view.size[i], decoded.size[i]) << i;
+            ASSERT_EQ(view.wordMask[i], decoded.wordMask[i]) << i;
+        }
+    }
+
+    // Mixed-size traces take the clamping path but stay identical.
+    const Trace mixed = mixedTrace();
+    const std::string path2 =
+        testing::TempDir() + "membw_trace_mmap_bs2.bin";
+    saveTrace(mixed, path2, TraceFormat::Mmap);
+    auto mapped2 = tryLoadMappedTrace(path2);
+    ASSERT_TRUE(mapped2.ok());
+    const BlockStream decoded = buildBlockStream(mixed, 32);
+    const BlockStream view = buildBlockStream(mapped2.value(), 32);
+    ASSERT_EQ(view.refs, decoded.refs);
+    EXPECT_EQ(view.spansBlock, decoded.spansBlock);
+    for (std::size_t i = 0; i < decoded.refs; ++i) {
+        ASSERT_EQ(view.blockNum[i], decoded.blockNum[i]) << i;
+        ASSERT_EQ(view.isStore[i], decoded.isStore[i]) << i;
+        ASSERT_EQ(view.size[i], decoded.size[i]) << i;
+        ASSERT_EQ(view.wordMask[i], decoded.wordMask[i]) << i;
+    }
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(TraceMmapHardened, ClassifiesHeaderDamage)
+{
+    const Trace t = mixedTrace();
+    const std::string path =
+        testing::TempDir() + "membw_trace_mmap_bad.bin";
+    saveTrace(t, path, TraceFormat::Mmap);
+    const std::vector<std::uint8_t> good = slurp(path);
+    ASSERT_TRUE(isMmapTrace(good.data(), good.size()));
+    ASSERT_TRUE(
+        parseMmapTrace(good.data(), good.size(), "<test>").ok());
+
+    auto codeFor = [&](std::vector<std::uint8_t> img) {
+        return parseMmapTrace(img.data(), img.size(), "<test>")
+            .code();
+    };
+
+    // Magic / version / header truncation.
+    {
+        std::vector<std::uint8_t> img = good;
+        img[0] ^= 0xff;
+        EXPECT_EQ(codeFor(img), Errc::BadMagic);
+        EXPECT_FALSE(isMmapTrace(img.data(), img.size()));
+    }
+    {
+        std::vector<std::uint8_t> img = good;
+        img[4] = 99;
+        EXPECT_EQ(codeFor(img), Errc::BadVersion);
+    }
+    EXPECT_EQ(codeFor({good.begin(), good.begin() + 3}),
+              Errc::Truncated);
+    EXPECT_EQ(codeFor({good.begin(), good.begin() + 20}),
+              Errc::Truncated);
+
+    // Truncated columns / trailing garbage / flipped payload byte.
+    EXPECT_EQ(codeFor({good.begin(), good.end() - 64}),
+              Errc::Truncated);
+    {
+        std::vector<std::uint8_t> img = good;
+        img.push_back(0);
+        EXPECT_EQ(codeFor(img), Errc::Corrupt);
+    }
+    {
+        std::vector<std::uint8_t> img = good;
+        img[img.size() / 2] ^= 0x40;
+        EXPECT_EQ(codeFor(img), Errc::Corrupt);
+    }
+
+    // Header totals disagreeing with the columns (the payload CRC
+    // does not cover the header, so this must be caught by the
+    // cross-check).
+    {
+        std::vector<std::uint8_t> img = good;
+        img[16] ^= 1; // loads count
+        EXPECT_EQ(codeFor(img), Errc::Corrupt);
+    }
+    {
+        std::vector<std::uint8_t> img = good;
+        img[48] |= 1; // claim allWordRefs on a non-word trace
+        EXPECT_EQ(codeFor(img), Errc::Corrupt);
+    }
+    {
+        std::vector<std::uint8_t> img = good;
+        img[49] |= 0x80; // unknown flag bit
+        EXPECT_EQ(codeFor(img), Errc::Corrupt);
+    }
+
+    // An implausible count classifies before any allocation.
+    {
+        std::vector<std::uint8_t> img = good;
+        for (int i = 0; i < 8; ++i)
+            img[8 + i] = 0xff;
+        EXPECT_EQ(codeFor(img), Errc::TooLarge);
+    }
+
+    // The generic loader surfaces the classification too.
+    spit(path, {good.begin(), good.begin() + 20});
+    EXPECT_EQ(tryLoadTrace(path).code(), Errc::Truncated);
+    EXPECT_EQ(tryLoadMappedTrace(path).code(), Errc::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceMmapHardened, ParserNeverThrowsOnHostileBytes)
+{
+    const Trace t = mixedTrace();
+    const std::string path =
+        testing::TempDir() + "membw_trace_mmap_fz.bin";
+    saveTrace(t, path, TraceFormat::Mmap);
+    const std::vector<std::uint8_t> good = slurp(path);
+    std::remove(path.c_str());
+
+    Rng rng(99);
+    std::size_t accepted = 0;
+    for (int round = 0; round < 400; ++round) {
+        std::vector<std::uint8_t> img = good;
+        const std::size_t flips = 1 + rng.below(8);
+        for (std::size_t f = 0; f < flips; ++f)
+            img[rng.below(img.size())] ^=
+                static_cast<std::uint8_t>(1 + rng.below(255));
+        const auto r = parseMmapTrace(img.data(), img.size(),
+                                      "<fuzz>");
+        if (r.ok())
+            accepted++;
+    }
+    // Sanity: damaged images are overwhelmingly rejected (flips in
+    // the reserved header bytes are the only unvalidated real
+    // estate, so acceptances stay rare).
+    EXPECT_LT(accepted, 40u);
 }
 
 } // namespace

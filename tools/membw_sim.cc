@@ -35,8 +35,10 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "exec/collapsed_sweep.hh"
+#include "exec/ladder_sweep.hh"
 #include "exec/parallel_sweep.hh"
 #include "exec/thread_pool.hh"
+#include "exec/time_partition.hh"
 #include "mtc/min_cache.hh"
 #include "obs/emit.hh"
 #include "obs/epoch_profiler.hh"
@@ -51,7 +53,9 @@
 #include "resilience/exit_codes.hh"
 #include "resilience/fault_injection.hh"
 #include "resilience/signals.hh"
+#include "trace/block_stream.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_mmap.hh"
 #include "workloads/workload.hh"
 
 using namespace membw;
@@ -72,7 +76,10 @@ usage(int code)
         "  --scale S           trace-length scale (default 1.0)\n"
         "  --seed N            generation seed (default 42)\n"
         "  --save-trace FILE   write the trace and exit\n"
-        "  --compact           use the varint-delta trace format\n\n"
+        "  --compact           use the varint-delta trace format\n"
+        "  --trace-format F    raw, compact, or mmap (zero-copy\n"
+        "                      columnar format; loaded without "
+        "decoding)\n\n"
         "L1 cache (defaults: 64K/1way/32B WB-WA LRU):\n"
         "  --size BYTES        e.g. 64K, 1M, 8192\n"
         "  --assoc N           0 = fully associative\n"
@@ -107,6 +114,12 @@ usage(int code)
         "  --no-collapse       force direct per-cell simulation "
         "(disable the\n"
         "                      exact one-pass sweep engines)\n"
+        "  --no-partition      disable intra-trace set partitioning "
+        "(the exact\n"
+        "                      parallel ladder kernel used when one "
+        "config has\n"
+        "                      more workers than passes).  Output is\n"
+        "                      byte-identical either way.\n"
         "  --sweep-blocks LIST comma-separated block sizes "
         "(default: --block)\n"
         "  --jobs N            sweep workers (default: hardware "
@@ -236,6 +249,7 @@ struct Options
     CacheConfig l2;
     bool runMtc = false;
     bool noCollapse = false;
+    bool noPartition = false;
     double pinBandwidthMBs = 800.0;
     std::vector<Bytes> sweepSizes;  ///< non-empty = sweep mode
     std::vector<Bytes> sweepBlocks; ///< default: the single --block
@@ -292,6 +306,16 @@ parse(int argc, char **argv)
             o.saveTrace = need(i);
         } else if (a == "--compact") {
             o.format = TraceFormat::Compact;
+        } else if (a == "--trace-format") {
+            const std::string v = need(i);
+            o.format = v == "raw"       ? TraceFormat::Raw
+                       : v == "compact" ? TraceFormat::Compact
+                       : v == "mmap"
+                           ? TraceFormat::Mmap
+                           : (fatal("invalid value '" + v +
+                                    "' for --trace-format: expected "
+                                    "raw, compact, or mmap"),
+                              TraceFormat::Raw);
         } else if (a == "--scale") {
             o.scale = doubleFlag(a, need(i));
         } else if (a == "--seed") {
@@ -351,6 +375,8 @@ parse(int argc, char **argv)
             o.runMtc = true;
         } else if (a == "--no-collapse") {
             o.noCollapse = true;
+        } else if (a == "--no-partition") {
+            o.noPartition = true;
         } else if (a == "--sweep-sizes") {
             o.sweepSizes = sizeListFlag(a, need(i));
         } else if (a == "--sweep-blocks") {
@@ -624,7 +650,8 @@ runSweepCell(const Trace &trace, const CacheConfig &cfg,
  * cells for jobs-independent shutdown testing.
  */
 int
-runSweep(const Options &o, const Trace &trace)
+runSweep(const Options &o, const Trace &trace,
+         const MappedTrace *mapped)
 {
     if (!o.checkpoint.empty() || !o.resume.empty())
         fatal("sweep mode does not support --checkpoint/--resume: "
@@ -675,7 +702,11 @@ runSweep(const Options &o, const Trace &trace)
         cfgs.reserve(nHier);
         for (std::size_t i = 0; i < nHier; ++i)
             cfgs.push_back(configFor(i));
-        collapsed = CollapsedSweep(trace, cfgs, o.jobs);
+        CollapseOptions copt;
+        copt.jobs = o.jobs;
+        copt.noPartition = o.noPartition;
+        copt.mapped = mapped;
+        collapsed = CollapsedSweep(trace, cfgs, copt);
         if (collapsed.mattsonPasses() == 1)
             std::printf("FA-LRU sweep collapsed into one "
                         "stack-distance pass\n");
@@ -951,6 +982,9 @@ runSweep(const Options &o, const Trace &trace)
             w.field("ladder_passes",
                     static_cast<std::uint64_t>(
                         collapsed.ladderPasses()));
+            w.field("partitioned_passes",
+                    static_cast<std::uint64_t>(
+                        collapsed.partitionedPasses()));
             w.field("mattson_passes",
                     static_cast<std::uint64_t>(
                         collapsed.mattsonPasses()));
@@ -991,8 +1025,21 @@ main(int argc, char **argv)
                 .setVerbose(logEnabled(LogLevel::Debug));
 
         Trace trace;
+        // Zero-copy path: an mmap-format trace stays mapped for the
+        // sweep engines (BlockStreams borrow its columns) and is
+        // materialized once for everything that walks MemRefs.
+        std::optional<MappedTrace> mapped;
         if (!o.loadTrace.empty()) {
-            trace = loadTrace(o.loadTrace);
+            auto m = tryLoadMappedTrace(o.loadTrace);
+            if (m.ok()) {
+                mapped = std::move(m.value());
+                trace = mapped->materialize();
+            } else if (m.error().code == Errc::BadMagic) {
+                trace = loadTrace(o.loadTrace); // raw/compact
+            } else {
+                fatal("cannot load trace '" + o.loadTrace +
+                      "': " + m.error().describe());
+            }
             std::printf("trace: %s (%zu refs)\n", o.loadTrace.c_str(),
                         trace.size());
         } else {
@@ -1014,7 +1061,8 @@ main(int argc, char **argv)
         }
 
         if (!o.sweepSizes.empty())
-            return runSweep(o, trace);
+            return runSweep(o, trace,
+                            mapped ? &*mapped : nullptr);
 
         std::vector<CacheConfig> levels{o.l1};
         if (o.haveL2)
@@ -1072,6 +1120,73 @@ main(int argc, char **argv)
         });
 
         const std::size_t total = trace.size();
+
+        // Single-config parallel fast path: with spare workers and no
+        // per-reference obligations, the hierarchy phase runs the
+        // exact set-partitioned ladder kernel (time_partition.hh)
+        // instead of the per-reference loop below — byte-identical
+        // output at any --jobs value; --no-partition forces the loop
+        // for the equivalence diff.  Flags that observe or persist
+        // per-reference state need the loop and keep the serial path.
+        const bool perRefState =
+            !o.checkpoint.empty() || !o.resume.empty() ||
+            o.sigtermAfter != 0 || o.statsEvery != 0 ||
+            !o.profileOut.empty() || !o.seriesOut.empty() ||
+            !o.faultInject.empty();
+        if (state.phase == phaseHierarchy && o.jobs > 1 &&
+            !o.noPartition && !perRefState && !o.haveL2 &&
+            ladderKernelSupported(o.l1)) {
+            // All-word traces (the QPT recording invariant — every
+            // generated workload qualifies) replay fused straight
+            // off the MemRef array; the fused kernels validate the
+            // invariant inline, so the attempt needs no eligibility
+            // pre-scan and a trace with non-word references aborts
+            // it at the first violation, falling back to a decoded
+            // BlockStream.  Both are byte-identical to the serial
+            // loop.
+            MEMBW_SPAN("phase.hierarchy.partitioned");
+            PartitionOptions popt;
+            popt.jobs = o.jobs;
+            popt.cancel = [] { return shutdownRequested(); };
+            std::optional<TrafficResult> res;
+            bool eligible = false;
+            TrafficResult word;
+            switch (partitionedLadderRunWord(trace, o.l1, popt,
+                                             word)) {
+            case WordRunOutcome::Done:
+                eligible = true;
+                res = word;
+                break;
+            case WordRunOutcome::Interrupted:
+                eligible = true;
+                break;
+            case WordRunOutcome::NotAllWord: {
+                const BlockStream stream =
+                    mapped ? buildBlockStream(*mapped, o.l1.blockBytes)
+                           : buildBlockStream(trace, o.l1.blockBytes);
+                if (ladderCollapsible(stream, {o.l1})) {
+                    eligible = true;
+                    res = partitionedLadderRun(stream, o.l1, popt);
+                }
+                break;
+            }
+            }
+            if (eligible) {
+                emitLinef("membw_sim: set-partitioned hierarchy "
+                          "pass across %u workers (%u partitions)",
+                          o.jobs,
+                          partitionPartsFor(o.l1, o.jobs, 0, 1));
+                if (!res) {
+                    emitLinef("\n%s received: partitioned pass "
+                              "abandoned, shutting down",
+                              shutdownSignalName());
+                    return exitInterrupted;
+                }
+                state.hierResult = *res;
+                state.phase = phaseMtc;
+                state.cursor = 0;
+            }
+        }
 
         // Phase 0: the functional hierarchy, reference by reference.
         if (state.phase == phaseHierarchy) {
