@@ -1,0 +1,266 @@
+/**
+ * @file
+ * served_qps — latency/throughput benchmark for the membw_served
+ * daemon.
+ *
+ * Forks a daemon on a private socket, replays a fig4-style mix of
+ * sweep requests, and reports per-phase latency percentiles plus
+ * cache counters:
+ *
+ *   - cold: each distinct request once (every one a full sweep)
+ *   - warm: N concurrent clients replaying the same mix, so every
+ *     request is a result-cache hit
+ *
+ * Every warm response is byte-compared against its cold counterpart
+ * (the daemon's core contract), and the cold/warm p50 ratio is
+ * recorded in the --json manifest for the CI speedup gate.
+ *
+ * The daemon binary is found next to this bench in the build tree
+ * (../tools/membw_served) or via $MEMBW_SERVED.
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "serve/client.hh"
+
+using namespace membw;
+
+namespace {
+
+/** One distinct request in the mix: the wire line plus its label. */
+struct MixEntry
+{
+    std::string label;
+    std::string request;
+    std::string body; ///< cold-phase response body (byte-equality ref)
+};
+
+/** The daemon executable: $MEMBW_SERVED, or ../tools/membw_served
+ * relative to this binary's directory. */
+std::string
+daemonPath(const char *argv0)
+{
+    if (const char *env = std::getenv("MEMBW_SERVED"))
+        return env;
+    std::string self(argv0 ? argv0 : "");
+    const std::size_t slash = self.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : self.substr(0, slash);
+    return dir + "/../tools/membw_served";
+}
+
+/** Percentile over a sorted latency vector (milliseconds). */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/** The envelope's "body" member; empty string when absent. */
+std::string
+responseBody(const std::string &line)
+{
+    const JsonValue v = parseJson(line);
+    if (const JsonValue *status = v.find("status");
+        !status || status->asString() != "ok")
+        bench::cliFatal("daemon returned a non-ok response: " + line);
+    if (const JsonValue *body = v.find("body"))
+        return body->asString();
+    return {};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchOptions opt =
+        bench::parseOptions(argc, argv, 0.05);
+    bench::banner("membw_served: cold/warm latency and throughput",
+                  opt.scale);
+    bench::JsonReport report("served_qps", "daemon QPS", opt);
+    report.manifest().workload = "Compress,Eqntott,Swm";
+    report.manifest().config = "membw_served [qps]";
+
+    const std::string sock =
+        "/tmp/membw_qps_" + std::to_string(getpid()) + ".sock";
+    const std::string daemon = daemonPath(argc > 0 ? argv[0] : "");
+    const std::string jobsArg = std::to_string(opt.jobs);
+
+    const pid_t child = fork();
+    if (child < 0)
+        bench::cliFatal("fork failed: " +
+                        std::string(std::strerror(errno)));
+    if (child == 0) {
+        execl(daemon.c_str(), daemon.c_str(), "--socket",
+              sock.c_str(), "--jobs", jobsArg.c_str(),
+              static_cast<char *>(nullptr));
+        std::fprintf(stderr, "fatal: cannot exec %s: %s\n",
+                     daemon.c_str(), std::strerror(errno));
+        _exit(127);
+    }
+    if (!waitForServer(sock, 10'000)) {
+        kill(child, SIGKILL);
+        bench::cliFatal("daemon did not come up on " + sock);
+    }
+
+    // The request mix: fig4-style traffic-curve cells — three
+    // workloads, two size ladders each, all stable-JSON so responses
+    // are deterministic and byte-comparable.
+    const double scale = opt.scale;
+    std::vector<MixEntry> mix;
+    for (const char *name : {"Compress", "Eqntott", "Swm"}) {
+        for (const char *sizes : {"1K,4K,16K", "64K,256K"}) {
+            MixEntry e;
+            e.label = std::string(name) + "/" + sizes;
+            e.request = std::string("{\"op\":\"sweep\",") +
+                        "\"workload\":\"" + name + "\"," +
+                        "\"scale\":" + formatJsonNumber(scale) +
+                        ",\"sizes\":\"" + sizes +
+                        "\",\"blocks\":\"32\",\"assoc\":4," +
+                        "\"mtc\":true,\"stable\":true}";
+            mix.push_back(std::move(e));
+        }
+    }
+
+    // Cold phase: each distinct request once, serially — every one
+    // computes a full sweep and populates the result cache.
+    std::vector<double> coldMs;
+    {
+        WallTimer coldTimer;
+        for (MixEntry &e : mix) {
+            WallTimer t;
+            auto resp = serveRequestOnce(sock, e.request);
+            if (!resp)
+                bench::cliFatal("daemon hung up during cold phase");
+            coldMs.push_back(t.seconds() * 1e3);
+            e.body = responseBody(*resp);
+        }
+        (void)coldTimer;
+    }
+
+    // Warm phase: concurrent clients replay the mix round-robin;
+    // every request is a repeat, so the daemon answers from cache.
+    const unsigned nClients = std::min(4u, std::max(1u, opt.jobs));
+    const std::size_t perClient = 8 * mix.size();
+    std::vector<double> warmMs;
+    std::mutex warmMutex;
+    bool bytesMatch = true;
+    WallTimer warmTimer;
+    {
+        std::vector<std::thread> clients;
+        for (unsigned c = 0; c < nClients; ++c) {
+            clients.emplace_back([&, c] {
+                ServeClient conn;
+                if (!conn.connect(sock))
+                    return;
+                std::vector<double> local;
+                bool ok = true;
+                for (std::size_t i = 0; i < perClient; ++i) {
+                    const MixEntry &e = mix[(c + i) % mix.size()];
+                    WallTimer t;
+                    if (!conn.sendLine(e.request))
+                        break;
+                    auto line = conn.recvLine();
+                    if (!line)
+                        break;
+                    local.push_back(t.seconds() * 1e3);
+                    if (responseBody(*line) != e.body)
+                        ok = false;
+                }
+                std::lock_guard<std::mutex> lock(warmMutex);
+                warmMs.insert(warmMs.end(), local.begin(),
+                              local.end());
+                if (!ok)
+                    bytesMatch = false;
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+    const double warmWall = warmTimer.seconds();
+
+    // Daemon-side counters, then an orderly shutdown.
+    const std::string statsLine =
+        serveRequestOnce(sock, "{\"op\":\"stats\"}").value_or("{}");
+    (void)serveRequestOnce(sock, "{\"op\":\"shutdown\"}");
+    int wstatus = 0;
+    waitpid(child, &wstatus, 0);
+
+    auto sorted = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    const std::vector<double> cold = sorted(coldMs);
+    const std::vector<double> warm = sorted(warmMs);
+    const double coldP50 = percentile(cold, 0.50);
+    const double warmP50 = percentile(warm, 0.50);
+    const double warmQps =
+        warmWall > 0 ? warm.size() / warmWall : 0.0;
+
+    TextTable lat;
+    lat.header({"phase", "requests", "p50 ms", "p99 ms", "QPS"});
+    auto addPhase = [&](const char *phase,
+                        const std::vector<double> &ms, double qps) {
+        lat.row({phase, std::to_string(ms.size()),
+                 fixed(percentile(ms, 0.50), 3),
+                 fixed(percentile(ms, 0.99), 3), fixed(qps, 1)});
+    };
+    double coldWall = 0;
+    for (double ms : cold)
+        coldWall += ms / 1e3;
+    addPhase("cold", cold, coldWall > 0 ? cold.size() / coldWall : 0);
+    addPhase("warm", warm, warmQps);
+    std::printf("%s\n", lat.render().c_str());
+
+    TextTable cacheT;
+    cacheT.header({"counter", "value"});
+    const JsonValue stats = parseJson(statsLine);
+    for (const char *key :
+         {"requests", "executed", "coalesced", "busy_rejected",
+          "result_hits", "result_misses", "result_evictions",
+          "artifact_hits", "artifact_misses"}) {
+        if (const JsonValue *v = stats.find(key))
+            cacheT.row({key, std::to_string(static_cast<long long>(
+                                 v->asNumber()))});
+    }
+    std::printf("%s\n", cacheT.render().c_str());
+
+    const double speedup = warmP50 > 0 ? coldP50 / warmP50 : 0.0;
+    std::printf("warm speedup: p50 %.3f ms -> %.3f ms (%.0fx), "
+                "responses %s\n",
+                coldP50, warmP50, speedup,
+                bytesMatch ? "byte-identical" : "MISMATCH");
+
+    report.setMeta("clients", std::to_string(nClients));
+    report.setMeta("cold_p50_ms", fixed(coldP50, 3));
+    report.setMeta("warm_p50_ms", fixed(warmP50, 3));
+    report.setMeta("warm_speedup", fixed(speedup, 1));
+    report.setMeta("byte_equal", bytesMatch ? "yes" : "no");
+    report.addTable("latency", lat);
+    report.addTable("cache", cacheT);
+    report.write();
+
+    if (!bytesMatch)
+        return 1;
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "cache/stack_distance.hh"
 #include "common/bitops.hh"
 #include "exec/fa_sweep.hh"
 #include "exec/ladder_sweep.hh"
@@ -93,10 +94,23 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
     if (groups.empty())
         return;
 
-    auto makeStream = [&](Bytes blockBytes) {
-        return options.mapped
-                   ? buildBlockStream(*options.mapped, blockBytes)
-                   : buildBlockStream(trace, blockBytes);
+    auto makeStream =
+        [&](Bytes blockBytes) -> std::shared_ptr<const BlockStream> {
+        if (options.streamProvider)
+            return options.streamProvider(blockBytes);
+        return std::make_shared<const BlockStream>(
+            options.mapped
+                ? buildBlockStream(*options.mapped, blockBytes)
+                : buildBlockStream(trace, blockBytes));
+    };
+    auto runMattson = [&](const Group &g) -> std::vector<TrafficResult> {
+        if (!faLruCollapsible(trace, g.configs))
+            return {};
+        if (options.profileProvider) {
+            const auto profile = options.profileProvider(g.blockBytes);
+            return faLruSizeSweep(trace, g.configs, *profile);
+        }
+        return faLruSizeSweep(trace, g.configs);
     };
 
     // With fewer groups than workers, fanning groups across the pool
@@ -121,19 +135,17 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
                 "block=" + std::to_string(g.blockBytes) +
                     "B cells=" + std::to_string(g.configs.size()));
             if (g.mattson) {
-                if (!faLruCollapsible(trace, g.configs))
-                    continue;
-                passResults[gi] = faLruSizeSweep(trace, g.configs);
+                passResults[gi] = runMattson(g);
                 continue;
             }
-            const BlockStream stream = makeStream(g.blockBytes);
-            if (!ladderCollapsible(stream, g.configs))
+            const auto stream = makeStream(g.blockBytes);
+            if (!ladderCollapsible(*stream, g.configs))
                 continue;
             PartitionOptions popt;
             popt.jobs = jobs;
             popt.tier = options.tier;
             auto res =
-                partitionedLadderSweep(stream, g.configs, popt);
+                partitionedLadderSweep(*stream, g.configs, popt);
             if (res) {
                 passResults[gi] = std::move(*res);
                 partitioned[gi] = 1;
@@ -143,8 +155,11 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
         // One pass per group, fanned across the sweep workers.  A
         // group whose guard fails at run time (e.g. an FA group over
         // a trace with stores) simply stays uncovered.
-        passResults = parallelSweep(
-            groups.size(), jobs,
+        SweepOptions sopt;
+        sopt.jobs = jobs;
+        sopt.pool = options.pool;
+        auto sweep = parallelSweep(
+            groups.size(), sopt,
             [&](std::size_t gi) -> std::vector<TrafficResult> {
                 const Group &g = groups[gi];
                 MEMBW_SPAN_D(
@@ -153,18 +168,15 @@ CollapsedSweep::CollapsedSweep(const Trace &trace,
                     "block=" + std::to_string(g.blockBytes) +
                         "B cells=" +
                         std::to_string(g.configs.size()));
-                if (g.mattson) {
-                    if (!faLruCollapsible(trace, g.configs))
-                        return {};
-                    return faLruSizeSweep(trace, g.configs);
-                }
-                const BlockStream stream =
-                    makeStream(g.blockBytes);
-                if (!ladderCollapsible(stream, g.configs))
+                if (g.mattson)
+                    return runMattson(g);
+                const auto stream = makeStream(g.blockBytes);
+                if (!ladderCollapsible(*stream, g.configs))
                     return {};
-                return ladderSweep(stream, g.configs,
+                return ladderSweep(*stream, g.configs,
                                    options.tier);
             });
+        passResults = std::move(sweep.cells);
     }
 
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {

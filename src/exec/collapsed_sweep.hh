@@ -32,6 +32,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -43,6 +45,9 @@
 namespace membw {
 
 struct MappedTrace;
+struct BlockStream;
+class StackDistanceProfile;
+class ThreadPool;
 
 /** Which engine actually produced a sweep cell's result. */
 enum class CellRoute : std::uint8_t
@@ -79,6 +84,33 @@ struct CollapseOptions
      * @p trace is still used for Mattson group passes.
      */
     const MappedTrace *mapped = nullptr;
+
+    /**
+     * Externally-owned worker pool for the group fan-out (see
+     * SweepOptions::pool — the same serialization contract applies).
+     * The set-partitioned kernel path still manages its own workers.
+     */
+    ThreadPool *pool = nullptr;
+
+    /**
+     * Artifact-cache hook: supply the decoded BlockStream for a block
+     * size instead of decoding it fresh (the daemon memoizes streams
+     * by trace CRC + block size).  Must return a stream equivalent to
+     * buildBlockStream(trace, blockBytes).  Overrides @p mapped for
+     * ladder passes when set.
+     */
+    std::function<std::shared_ptr<const BlockStream>(Bytes blockBytes)>
+        streamProvider;
+
+    /**
+     * Artifact-cache hook: supply the Mattson stack-distance profile
+     * for a block size, equivalent to
+     * StackDistanceProfile(trace, blockBytes).  When unset each FA
+     * group pass builds its own profile.
+     */
+    std::function<
+        std::shared_ptr<const StackDistanceProfile>(Bytes blockBytes)>
+        profileProvider;
 };
 
 class CollapsedSweep

@@ -41,9 +41,21 @@ faLruSizeSweep(const Trace &trace,
     if (!faLruCollapsible(trace, configs))
         fatal("faLruSizeSweep: sweep is not collapsible "
               "(check faLruCollapsible first)");
+    const StackDistanceProfile profile(trace,
+                                       configs.front().blockBytes);
+    return faLruSizeSweep(trace, configs, profile);
+}
+
+std::vector<TrafficResult>
+faLruSizeSweep(const Trace &trace,
+               const std::vector<CacheConfig> &configs,
+               const StackDistanceProfile &profile)
+{
+    if (!faLruCollapsible(trace, configs))
+        fatal("faLruSizeSweep: sweep is not collapsible "
+              "(check faLruCollapsible first)");
 
     const Bytes block = configs.front().blockBytes;
-    const StackDistanceProfile profile(trace, block);
 
     Bytes requestBytes = 0;
     for (const MemRef &ref : trace)

@@ -29,6 +29,8 @@
 
 namespace membw {
 
+class StackDistanceProfile;
+
 /**
  * True iff the @p configs sweep over @p trace can be collapsed into
  * one stack-distance pass with exact results: every config is a
@@ -46,6 +48,17 @@ bool faLruCollapsible(const Trace &trace,
 std::vector<TrafficResult>
 faLruSizeSweep(const Trace &trace,
                const std::vector<CacheConfig> &configs);
+
+/**
+ * As above, but reusing a precomputed @p profile (which must be
+ * StackDistanceProfile(trace, configs.front().blockBytes)) instead of
+ * re-walking the trace — the artifact-cache hook for the daemon,
+ * where the profile is memoized by trace CRC + block size.
+ */
+std::vector<TrafficResult>
+faLruSizeSweep(const Trace &trace,
+               const std::vector<CacheConfig> &configs,
+               const StackDistanceProfile &profile);
 
 } // namespace membw
 

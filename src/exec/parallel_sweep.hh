@@ -30,6 +30,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -51,6 +52,18 @@ struct SweepOptions
 {
     /** Worker count; 1 (or n == 1) runs inline with no pool. */
     unsigned jobs = 1;
+
+    /**
+     * Externally-owned pool to run on instead of constructing a
+     * fresh one per sweep (the daemon shares one pool across
+     * requests to avoid per-request thread churn).  The sweep still
+     * submits one drain-task per pool thread and calls wait(), so
+     * the pool must be otherwise idle for the duration — callers
+     * that share a pool must serialize sweeps on it.  jobs is
+     * ignored when set (the pool's thread count wins), except for
+     * the jobs <= 1 inline path, which never touches the pool.
+     */
+    ThreadPool *pool = nullptr;
 
     /**
      * Polled before each cell is started (under the sweep lock, so
@@ -125,7 +138,9 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
     SweepResult<R> result;
     result.cells.resize(n);
 
-    if (opt.jobs <= 1 || n <= 1) {
+    const unsigned jobs =
+        opt.pool ? opt.pool->threads() : opt.jobs;
+    if (jobs <= 1 || n <= 1) {
         for (std::size_t i = 0; i < n; ++i) {
             if (opt.cancel && opt.cancel()) {
                 result.interrupted = true;
@@ -169,13 +184,18 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
     shared.errors.resize(n);
 
     {
-        ThreadPool pool(opt.jobs);
+        std::optional<ThreadPool> owned;
+        ThreadPool *pool = opt.pool;
+        if (!pool) {
+            owned.emplace(opt.jobs);
+            pool = &*owned;
+        }
         // One task per worker, each draining cells until none remain:
         // cheaper than n queue round-trips and keeps the claim +
         // cancel poll in one critical section.
-        const unsigned nworkers = pool.threads();
+        const unsigned nworkers = pool->threads();
         for (unsigned w = 0; w < nworkers; ++w) {
-            pool.submit([&shared, &result, &opt, &fn, n] {
+            pool->submit([&shared, &result, &opt, &fn, n] {
                 for (;;) {
                     std::size_t i;
                     {
@@ -237,7 +257,7 @@ parallelSweep(std::size_t n, const SweepOptions &opt, Fn &&fn)
                 }
             });
         }
-        pool.wait();
+        pool->wait();
     }
 
     for (std::size_t i = 0; i < n; ++i)

@@ -19,6 +19,43 @@ formatJsonNumber(double v)
     return std::string(buf, res.ptr);
 }
 
+namespace {
+
+void
+appendEscapedTo(std::string &out, std::string_view s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out.append("\\\""); break;
+          case '\\': out.append("\\\\"); break;
+          case '\n': out.append("\\n"); break;
+          case '\t': out.append("\\t"); break;
+          case '\r': out.append("\\r"); break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out.append(buf);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    appendEscapedTo(out, s);
+    return out;
+}
+
 // --- JsonWriter ------------------------------------------------------
 
 void
@@ -110,25 +147,7 @@ JsonWriter::key(std::string_view k)
 void
 JsonWriter::appendEscaped(std::string_view s)
 {
-    out_.push_back('"');
-    for (const char c : s) {
-        switch (c) {
-          case '"': out_.append("\\\""); break;
-          case '\\': out_.append("\\\\"); break;
-          case '\n': out_.append("\\n"); break;
-          case '\t': out_.append("\\t"); break;
-          case '\r': out_.append("\\r"); break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out_.append(buf);
-            } else {
-                out_.push_back(c);
-            }
-        }
-    }
-    out_.push_back('"');
+    appendEscapedTo(out_, s);
 }
 
 void

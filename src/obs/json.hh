@@ -25,6 +25,14 @@ namespace membw {
 /** Render @p v with the shortest representation that round-trips. */
 std::string formatJsonNumber(double v);
 
+/**
+ * Render @p s as a quoted JSON string literal (quotes included),
+ * using the same escaping as JsonWriter — so a full JSON document
+ * can be embedded verbatim as a string value in a wire envelope and
+ * recovered byte-identically by parseJson.
+ */
+std::string jsonEscape(std::string_view s);
+
 /** Streaming JSON writer with two-space indentation. */
 class JsonWriter
 {

@@ -1,0 +1,30 @@
+#include "serve/artifact_cache.hh"
+
+namespace membw {
+
+void
+ArtifactCache::insert(const std::string &key,
+                      std::shared_ptr<const void> ptr,
+                      std::size_t bytes)
+{
+    // Oversized artifacts (or a zero-byte cache) pass through
+    // uncached rather than flushing everything else.
+    if (bytes > maxBytes_)
+        return;
+    while (bytes_ + bytes > maxBytes_ && !lru_.empty()) {
+        const std::string victim = lru_.front();
+        lru_.pop_front();
+        auto it = entries_.find(victim);
+        bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        ++evictions_;
+    }
+    Entry e;
+    e.ptr = std::move(ptr);
+    e.bytes = bytes;
+    e.lru = lru_.insert(lru_.end(), key);
+    entries_.emplace(key, std::move(e));
+    bytes_ += bytes;
+}
+
+} // namespace membw

@@ -1,0 +1,132 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace membw {
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+bool
+ServeClient::connect(const std::string &socketPath)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return false;
+    }
+    fd_ = fd;
+    buffer_.clear();
+    return true;
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+ServeClient::sendLine(std::string_view line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed(line);
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::write(fd_, framed.data() + sent,
+                                  framed.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+ServeClient::recvLine()
+{
+    if (fd_ < 0)
+        return std::nullopt;
+    for (;;) {
+        if (const auto nl = buffer_.find('\n');
+            nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[1 << 16];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::nullopt;
+        }
+        if (n == 0)
+            return std::nullopt; // EOF mid-line: treat as error
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::optional<std::string>
+serveRequestOnce(const std::string &socketPath,
+                 std::string_view requestLine)
+{
+    ServeClient client;
+    if (!client.connect(socketPath))
+        return std::nullopt;
+    if (!client.sendLine(requestLine))
+        return std::nullopt;
+    return client.recvLine();
+}
+
+bool
+waitForServer(const std::string &socketPath, int timeoutMs)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        if (auto reply = serveRequestOnce(socketPath, "{\"op\":\"ping\"}");
+            reply && reply->find("\"status\":\"ok\"") !=
+                         std::string::npos)
+            return true;
+        if (Clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+} // namespace membw

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal Unix-domain-socket client for the membw_served wire
+ * protocol, shared by membw_client, bench/served_qps, and the
+ * torture harness.
+ *
+ * The transport is deliberately dumb: one connection, newline-framed
+ * request/response lines, blocking I/O.  Responses can be large (a
+ * full stats-JSON document escaped into one line), so recvLine()
+ * buffers across reads.
+ */
+
+#ifndef MEMBW_SERVE_CLIENT_HH
+#define MEMBW_SERVE_CLIENT_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace membw {
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect to @p socketPath; false (with errno intact) on
+     * failure. */
+    bool connect(const std::string &socketPath);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** Send @p line (newline appended); false on a write error. */
+    bool sendLine(std::string_view line);
+
+    /** Read one newline-terminated line (newline stripped); empty
+     * optional on EOF or error. */
+    std::optional<std::string> recvLine();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_; ///< bytes past the last returned line
+};
+
+/**
+ * One-shot request helper: connect, send @p requestLine, read the
+ * response line.  Empty optional when the daemon is unreachable or
+ * hangs up early.
+ */
+std::optional<std::string> serveRequestOnce(
+    const std::string &socketPath, std::string_view requestLine);
+
+/**
+ * Poll @p socketPath with ping requests until the daemon answers ok
+ * or @p timeoutMs elapses.  Returns true once live.
+ */
+bool waitForServer(const std::string &socketPath, int timeoutMs);
+
+} // namespace membw
+
+#endif // MEMBW_SERVE_CLIENT_HH

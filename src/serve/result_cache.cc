@@ -1,0 +1,168 @@
+#include "serve/result_cache.hh"
+
+#include <cstdio>
+
+#include "resilience/fault_injection.hh"
+#include "resilience/guarded_io.hh"
+
+namespace membw {
+
+namespace {
+
+/** Best-effort slurp; empty optional when absent or unreadable. */
+std::optional<std::string>
+readFileIfExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        return std::nullopt;
+    return out;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::size_t maxBytes, std::string spillDir)
+    : maxBytes_(maxBytes), spillDir_(std::move(spillDir))
+{
+}
+
+std::string
+ResultCache::spillPath(std::uint64_t digest) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.json",
+                  static_cast<unsigned long long>(digest));
+    return spillDir_ + "/" + name;
+}
+
+std::optional<CachedResult>
+ResultCache::get(std::uint64_t digest, bool recordMiss)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = entries_.find(digest); it != entries_.end()) {
+        ++hits_;
+        lru_.splice(lru_.end(), lru_, it->second.lru);
+        return it->second.result;
+    }
+    if (!spillDir_.empty()) {
+        if (auto body = readFileIfExists(spillPath(digest))) {
+            // Spilled results are always clean (exit 0) by
+            // construction; promote back into memory.
+            ++hits_;
+            ++spillHits_;
+            CachedResult r{std::move(*body), 0};
+            putLocked(digest, r);
+            return r;
+        }
+    }
+    if (recordMiss)
+        ++misses_;
+    return std::nullopt;
+}
+
+void
+ResultCache::put(std::uint64_t digest, const CachedResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    putLocked(digest, result);
+}
+
+void
+ResultCache::putLocked(std::uint64_t digest, const CachedResult &result)
+{
+    if (entries_.count(digest))
+        return;
+    // Degrade-don't-crash insertion: an injected allocation fault (or
+    // an oversized body) means this response just is not memoized.
+    if (MEMBW_FAULT_POINT("alloc"))
+        return;
+    if (result.body.size() > maxBytes_)
+        return;
+    while (bytes_ + result.body.size() > maxBytes_ && !lru_.empty())
+        evictOne();
+    Entry e;
+    e.result = result;
+    e.lru = lru_.insert(lru_.end(), digest);
+    bytes_ += result.body.size();
+    entries_.emplace(digest, std::move(e));
+}
+
+void
+ResultCache::evictOne()
+{
+    const std::uint64_t victim = lru_.front();
+    lru_.pop_front();
+    auto it = entries_.find(victim);
+    if (!spillDir_.empty() && it->second.result.exitCode == 0) {
+        // Spill through the guarded writer: on failure (disk full,
+        // injected io-write fault) the entry is simply dropped — a
+        // later repeat recomputes, which is degradation, not damage.
+        auto written = GuardedFile::writeAtomic(
+            spillPath(victim), it->second.result.body);
+        if (written.ok())
+            ++spills_;
+    }
+    bytes_ -= it->second.result.body.size();
+    entries_.erase(it);
+    ++evictions_;
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+std::uint64_t
+ResultCache::spills() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spills_;
+}
+
+std::uint64_t
+ResultCache::spillHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spillHits_;
+}
+
+std::uint64_t
+ResultCache::bytesResident() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_;
+}
+
+std::size_t
+ResultCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace membw

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bounded LRU cache of rendered response documents, keyed by the
+ * FNV-1a digest of the canonical request key (the same hash family
+ * the run manifests use for config digests).
+ *
+ * A hit is the daemon's entire warm path: the stored body is the
+ * byte-exact stats-JSON document a fresh run would produce, so a
+ * repeat request costs one hash lookup and one socket write.
+ *
+ * Eviction spills clean results (exit 0) to `<spillDir>/<digest>.json`
+ * through GuardedFile::writeAtomic — torn spill files are impossible,
+ * and a spill failure (disk full, injected io-write fault) degrades
+ * to "evict without spilling", never a crash.  A later miss reloads
+ * the spilled document.  Degraded results (exit 5) are cached in
+ * memory but never spilled: a rerun should get the chance to succeed
+ * after a restart.
+ *
+ * An MEMBW_FAULT_POINT("alloc") guards insertion so the torture
+ * harness can prove the daemon serves correct (uncached) responses
+ * when the cache cannot take new entries.
+ */
+
+#ifndef MEMBW_SERVE_RESULT_CACHE_HH
+#define MEMBW_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace membw {
+
+/** A cached response: the rendered document plus the exit-code
+ * contract value the equivalent CLI run would return (0 or 5). */
+struct CachedResult
+{
+    std::string body;
+    int exitCode = 0;
+};
+
+class ResultCache
+{
+  public:
+    /** @p spillDir empty disables spill; @p maxBytes bounds resident
+     * body bytes. */
+    ResultCache(std::size_t maxBytes, std::string spillDir);
+
+    /** Lookup by digest; checks memory, then the spill directory.
+     * @p recordMiss false suppresses the miss counter — for the
+     * dispatcher's post-coalescing recheck, which would otherwise
+     * double-count the miss already recorded at admission. */
+    std::optional<CachedResult> get(std::uint64_t digest,
+                                    bool recordMiss = true);
+
+    /** Insert (no-op when an injected alloc fault fires or the body
+     * exceeds the cache bound). */
+    void put(std::uint64_t digest, const CachedResult &result);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+    std::uint64_t spills() const;
+    std::uint64_t spillHits() const;
+    std::uint64_t bytesResident() const;
+    std::size_t entries() const;
+
+  private:
+    std::string spillPath(std::uint64_t digest) const;
+    void putLocked(std::uint64_t digest, const CachedResult &result);
+    void evictOne();
+
+    const std::size_t maxBytes_;
+    const std::string spillDir_;
+    mutable std::mutex mutex_;
+
+    struct Entry
+    {
+        CachedResult result;
+        std::list<std::uint64_t>::iterator lru;
+    };
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    std::list<std::uint64_t> lru_; ///< front = least recently used
+    std::size_t bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t spills_ = 0;
+    std::uint64_t spillHits_ = 0;
+};
+
+} // namespace membw
+
+#endif // MEMBW_SERVE_RESULT_CACHE_HH

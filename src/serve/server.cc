@@ -1,0 +1,426 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "cache/stack_distance.hh"
+#include "common/log.hh"
+#include "exec/simd.hh"
+#include "mtc/next_use.hh"
+#include "obs/build_info.hh"
+#include "obs/manifest.hh"
+#include "obs/progress.hh"
+#include "resilience/exit_codes.hh"
+#include "resilience/signals.hh"
+#include "serve/decompose_service.hh"
+#include "serve/sweep_service.hh"
+#include "trace/block_stream.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace membw {
+
+namespace {
+
+/** write(2) until @p data is fully sent; false on error. */
+bool
+writeAll(int fd, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + sent, data.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+formatScale(double scale)
+{
+    return formatJsonNumber(scale);
+}
+
+} // namespace
+
+struct ServeServer::ServedTrace
+{
+    Trace trace;
+    std::uint32_t crc = 0;
+};
+
+ServeServer::ServeServer(ServerOptions opts)
+    : opts_(std::move(opts)),
+      artifacts_(opts_.artifactCacheBytes),
+      results_(opts_.resultCacheBytes, opts_.spillDir),
+      broker_(opts_.queueCapacity)
+{
+    if (opts_.jobs > 1)
+        pool_.emplace(opts_.jobs);
+    if (opts_.sigtermAfterJobs > 0) {
+        const std::uint64_t target = opts_.sigtermAfterJobs;
+        broker_.onJobStart([target](std::uint64_t nth) {
+            if (nth == target)
+                std::raise(SIGTERM);
+        });
+    }
+}
+
+ServeServer::~ServeServer()
+{
+    stopping_.store(true);
+    broker_.drainAndStop();
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    for (auto &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+int
+ServeServer::run()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        logError("socket path too long: " + opts_.socketPath);
+        return exitFatal;
+    }
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        logError(std::string("socket: ") + std::strerror(errno));
+        return exitFatal;
+    }
+    ::unlink(opts_.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd, 64) != 0) {
+        logError("bind/listen on '" + opts_.socketPath +
+                 "': " + std::strerror(errno));
+        ::close(listenFd);
+        return exitFatal;
+    }
+    logInfo("membw_served listening on " + opts_.socketPath);
+
+    // Accept loop: poll with a short timeout so a latched signal or a
+    // shutdown request is noticed within ~200ms.
+    while (!shutdownRequested() && shutdownExit_.load() < 0) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            logError(std::string("poll: ") + std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        threads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+
+    // Drain: every admitted job finishes and its waiting clients get
+    // their complete responses before the listener goes away.
+    stopping_.store(true);
+    broker_.drainAndStop();
+    ::close(listenFd);
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        for (auto &t : threads_)
+            if (t.joinable())
+                t.join();
+        threads_.clear();
+    }
+    ::unlink(opts_.socketPath.c_str());
+
+    if (shutdownExit_.load() >= 0) {
+        logInfo("membw_served: shutdown requested; exiting");
+        return shutdownExit_.load();
+    }
+    logInfo(std::string("membw_served: ") + shutdownSignalName() +
+            " received; drained in-flight requests");
+    return exitInterrupted;
+}
+
+void
+ServeServer::handleConnection(int fd)
+{
+    std::string buffer;
+    bool open = true;
+    while (open) {
+        // Serve any fully-buffered lines first.
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            const std::string response = handleRequest(line);
+            if (!writeAll(fd, response + "\n")) {
+                open = false;
+                break;
+            }
+        }
+        if (!open)
+            break;
+        if (stopping_.load() || shutdownRequested() ||
+            shutdownExit_.load() >= 0)
+            break;
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        char chunk[1 << 16];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+}
+
+std::string
+ServeServer::handleRequest(const std::string &line)
+{
+    requests_.fetch_add(1);
+    ServeRequest req;
+    try {
+        req = parseServeRequest(line);
+    } catch (const FatalError &e) {
+        return errorEnvelope("request", e.what());
+    }
+
+    switch (req.op) {
+      case ServeOp::Ping:
+        return pingEnvelope();
+      case ServeOp::Stats:
+        return statsEnvelope();
+      case ServeOp::Shutdown:
+        shutdownExit_.store(exitOk);
+        return okEnvelope(ServeOp::Shutdown, false, exitOk,
+                          "shutting down");
+      case ServeOp::Sweep:
+      case ServeOp::Decompose:
+        break;
+    }
+
+    const std::uint64_t digest = fnv1a64(serveRequestKey(req));
+    if (auto hit = results_.get(digest))
+        return okEnvelope(req.op, true, hit->exitCode, hit->body);
+
+    auto submission = broker_.submit(
+        digest, [this, req, digest] {
+            return computeResponse(req, digest);
+        });
+    if (submission.busy)
+        return busyEnvelope(req.op, submission.queued,
+                            opts_.queueCapacity);
+    return RequestBroker::wait(submission.job);
+}
+
+std::string
+ServeServer::computeResponse(const ServeRequest &req,
+                             std::uint64_t digest)
+{
+    // A coalescing race can complete this digest between the probe
+    // and the dispatch; the recheck keeps that case a cache hit.
+    if (auto hit = results_.get(digest, /*recordMiss=*/false))
+        return okEnvelope(req.op, true, hit->exitCode, hit->body);
+    try {
+        if (req.op == ServeOp::Sweep)
+            return computeSweep(req.sweep, digest);
+        return computeDecompose(req.decompose, digest);
+    } catch (const WatchdogError &e) {
+        return errorEnvelope(req.op, e.what());
+    } catch (const FatalError &e) {
+        return errorEnvelope(req.op, e.what());
+    }
+}
+
+std::shared_ptr<const ServeServer::ServedTrace>
+ServeServer::traceFor(const std::string &workload, double scale,
+                      std::uint64_t seed)
+{
+    const std::string key = "trace|" + workload + "|" +
+                            formatScale(scale) + "|" +
+                            std::to_string(seed);
+    return artifacts_.getOrBuild<ServedTrace>(key, [&] {
+        WorkloadParams p;
+        p.scale = scale;
+        p.seed = seed;
+        auto served = std::make_shared<ServedTrace>();
+        served->trace = makeWorkload(workload)->trace(p);
+        served->crc = traceCrc32(served->trace);
+        const std::size_t bytes =
+            served->trace.size() * sizeof(MemRef);
+        return ArtifactCache::Built<ServedTrace>{std::move(served),
+                                                 bytes};
+    });
+}
+
+std::string
+ServeServer::computeSweep(const SweepRequest &req,
+                          std::uint64_t digest)
+{
+    auto served = traceFor(req.workload, req.scale, req.seed);
+    const std::string crc = std::to_string(served->crc);
+
+    SweepExecOptions eopts;
+    eopts.jobs = opts_.jobs;
+    eopts.pool = pool_ ? &*pool_ : nullptr;
+    // The daemon deliberately wires no cancel hook: a drained
+    // in-flight request must produce the same bytes as an
+    // undisturbed run (see sweep_service.hh).
+    eopts.streamProvider =
+        [this, served, crc](Bytes blockBytes) {
+            const std::string key = "stream|" + crc + "|" +
+                                    std::to_string(blockBytes);
+            return artifacts_.getOrBuild<BlockStream>(key, [&] {
+                auto stream = std::make_shared<BlockStream>(
+                    buildBlockStream(served->trace, blockBytes));
+                // Estimated decode-array footprint: 19 bytes per
+                // reference (8+1+2+8 across the four columns).
+                const std::size_t bytes = stream->refs * 19;
+                return ArtifactCache::Built<BlockStream>{
+                    std::move(stream), bytes};
+            });
+        };
+    eopts.profileProvider =
+        [this, served, crc](Bytes blockBytes) {
+            const std::string key = "sdprof|" + crc + "|" +
+                                    std::to_string(blockBytes);
+            return artifacts_.getOrBuild<StackDistanceProfile>(
+                key, [&] {
+                    auto profile =
+                        std::make_shared<StackDistanceProfile>(
+                            served->trace, blockBytes);
+                    // Histogram bound: ~16 bytes per reference.
+                    const std::size_t bytes =
+                        served->trace.size() * 16;
+                    return ArtifactCache::Built<StackDistanceProfile>{
+                        std::move(profile), bytes};
+                });
+        };
+    eopts.nextUseProvider = [this, served, crc] {
+        const std::string key = "nextuse|" + crc + "|" +
+                                std::to_string(wordBytes);
+        return artifacts_.getOrBuild<std::vector<Tick>>(key, [&] {
+            auto table = std::make_shared<std::vector<Tick>>(
+                buildNextUse(served->trace, wordBytes));
+            const std::size_t bytes =
+                table->size() * sizeof(Tick);
+            return ArtifactCache::Built<std::vector<Tick>>{
+                std::move(table), bytes};
+        });
+    };
+
+    SweepOutcome outcome =
+        executeSweep(req, served->trace, eopts);
+    const std::string body =
+        renderSweepStatsJson(req, served->trace.size(), outcome);
+    const int exitCode = outcome.degraded ? exitDegraded : exitOk;
+    results_.put(digest, CachedResult{body, exitCode});
+    return okEnvelope(ServeOp::Sweep, false, exitCode, body);
+}
+
+std::string
+ServeServer::computeDecompose(const DecomposeRequest &req,
+                              std::uint64_t digest)
+{
+    const std::string key = "instr|" + req.workload + "|" +
+                            formatScale(req.scale) + "|" +
+                            std::to_string(req.seed);
+    auto stream = artifacts_.getOrBuild<InstrStream>(key, [&] {
+        auto built = std::make_shared<InstrStream>(
+            buildDecomposeStream(req.workload, req.scale, req.seed));
+        const std::size_t bytes = built->size() * sizeof(MicroOp);
+        return ArtifactCache::Built<InstrStream>{std::move(built),
+                                                 bytes};
+    });
+
+    WallTimer timer;
+    DecompositionResult r = executeDecompose(req, *stream);
+    const std::string body = renderDecomposeStatsJson(
+        req, stream->size(), r, timer.seconds());
+    results_.put(digest, CachedResult{body, exitOk});
+    return okEnvelope(ServeOp::Decompose, false, exitOk, body);
+}
+
+std::string
+ServeServer::pingEnvelope() const
+{
+    const BuildInfo &b = buildInfo();
+    std::string out = "{\"status\":\"ok\",\"op\":\"ping\"";
+    out += ",\"version\":" + jsonEscape(b.version);
+    out += ",\"git_describe\":" + jsonEscape(b.gitDescribe);
+    out += ",\"simd\":";
+    out += b.simd ? "true" : "false";
+    if (b.simd)
+        out += ",\"simd_tier\":" +
+               jsonEscape(simdTierName(simdTier()));
+    out += ",\"tracing\":";
+    out += b.tracing ? "true" : "false";
+    out += ",\"profiling\":";
+    out += b.profiling ? "true" : "false";
+    out += ",\"sanitizer\":" + jsonEscape(b.sanitizer);
+    out += ",\"jobs\":" + std::to_string(opts_.jobs);
+    out += "}";
+    return out;
+}
+
+std::string
+ServeServer::statsEnvelope() const
+{
+    std::string out = "{\"status\":\"ok\",\"op\":\"stats\"";
+    out += ",\"requests\":" + std::to_string(requests_.load());
+    out += ",\"executed\":" + std::to_string(broker_.executed());
+    out += ",\"coalesced\":" + std::to_string(broker_.coalesced());
+    out += ",\"busy_rejected\":" +
+           std::to_string(broker_.busyRejected());
+    out += ",\"queue_depth\":" + std::to_string(broker_.queueDepth());
+    out += ",\"result_hits\":" + std::to_string(results_.hits());
+    out += ",\"result_misses\":" + std::to_string(results_.misses());
+    out += ",\"result_evictions\":" +
+           std::to_string(results_.evictions());
+    out += ",\"result_spills\":" + std::to_string(results_.spills());
+    out += ",\"result_spill_hits\":" +
+           std::to_string(results_.spillHits());
+    out += ",\"result_bytes\":" +
+           std::to_string(results_.bytesResident());
+    out += ",\"result_entries\":" + std::to_string(results_.entries());
+    out += ",\"artifact_hits\":" + std::to_string(artifacts_.hits());
+    out += ",\"artifact_misses\":" +
+           std::to_string(artifacts_.misses());
+    out += ",\"artifact_evictions\":" +
+           std::to_string(artifacts_.evictions());
+    out += ",\"artifact_bytes\":" +
+           std::to_string(artifacts_.bytesResident());
+    out += ",\"artifact_entries\":" +
+           std::to_string(artifacts_.entries());
+    out += "}";
+    return out;
+}
+
+} // namespace membw

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the serving layer: artifact/result LRU caches
+ * (keying, byte-bounded eviction, counters, spill) and the request
+ * broker (coalescing under concurrency, busy backpressure, drain).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "serve/artifact_cache.hh"
+#include "serve/broker.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/sweep_service.hh"
+
+using namespace membw;
+
+namespace {
+
+ArtifactCache::Built<std::string>
+builtString(const std::string &s)
+{
+    return {std::make_shared<const std::string>(s), s.size()};
+}
+
+std::string
+tempDir()
+{
+    std::string tmpl = "/tmp/membw_serve_test.XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (!::mkdtemp(buf.data()))
+        return "/tmp";
+    return buf.data();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
+
+TEST(ArtifactCache, HitMissAndCounters)
+{
+    ArtifactCache cache(1024);
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return builtString("payload");
+    };
+    auto a = cache.getOrBuild<std::string>("k1", build);
+    auto b = cache.getOrBuild<std::string>("k1", build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytesResident(), 7u);
+}
+
+TEST(ArtifactCache, DistinctKeysBuildSeparately)
+{
+    ArtifactCache cache(1024);
+    auto a = cache.getOrBuild<std::string>(
+        "trace|Compress|0.05|42", [] { return builtString("a"); });
+    auto b = cache.getOrBuild<std::string>(
+        "trace|Compress|0.05|43", [] { return builtString("b"); });
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ArtifactCache, LruEvictionIsByteBounded)
+{
+    ArtifactCache cache(10);
+    auto pad = [](char c) { return std::string(4, c); };
+    cache.getOrBuild<std::string>("a", [&] { return builtString(pad('a')); });
+    cache.getOrBuild<std::string>("b", [&] { return builtString(pad('b')); });
+    // Touch "a" so "b" is the LRU victim when "c" arrives.
+    cache.getOrBuild<std::string>("a", [&] { return builtString(pad('x')); });
+    cache.getOrBuild<std::string>("c", [&] { return builtString(pad('c')); });
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_LE(cache.bytesResident(), 10u);
+    // "a" survived (still a hit); "b" was evicted (rebuilds).
+    int rebuilt = 0;
+    cache.getOrBuild<std::string>("a", [&] {
+        ++rebuilt;
+        return builtString(pad('x'));
+    });
+    cache.getOrBuild<std::string>("b", [&] {
+        ++rebuilt;
+        return builtString(pad('b'));
+    });
+    EXPECT_EQ(rebuilt, 1);
+}
+
+TEST(ArtifactCache, EvictedArtifactStaysAliveForHolders)
+{
+    ArtifactCache cache(4);
+    auto held = cache.getOrBuild<std::string>(
+        "big", [] { return builtString("held"); });
+    cache.getOrBuild<std::string>(
+        "other", [] { return builtString("next"); });
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(*held, "held"); // shared_ptr keeps the bytes alive
+}
+
+TEST(ArtifactCache, OversizeArtifactReturnedUncached)
+{
+    ArtifactCache cache(4);
+    cache.getOrBuild<std::string>(
+        "huge", [] { return builtString("way too large"); });
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytesResident(), 0u);
+}
+
+TEST(ResultCache, BoundedLruWithCounters)
+{
+    ResultCache cache(20, "");
+    cache.put(1, {"0123456789", 0});
+    cache.put(2, {"0123456789", 0});
+    EXPECT_TRUE(cache.get(1).has_value());
+    cache.put(3, {"0123456789", 0}); // evicts 2 (LRU; 1 was touched)
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.get(1).has_value());
+    EXPECT_FALSE(cache.get(2).has_value());
+    EXPECT_TRUE(cache.get(3).has_value());
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_LE(cache.bytesResident(), 20u);
+}
+
+TEST(ResultCache, RecordMissFlagSuppressesCounter)
+{
+    ResultCache cache(64, "");
+    EXPECT_FALSE(cache.get(7).has_value());
+    EXPECT_FALSE(cache.get(7, /*recordMiss=*/false).has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, OversizeBodySkipped)
+{
+    ResultCache cache(4, "");
+    cache.put(1, {"longer than four bytes", 0});
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(ResultCache, SpillOnEvictAndReload)
+{
+    const std::string dir = tempDir();
+    ResultCache cache(12, dir);
+    cache.put(0xabc, {"0123456789", 0});
+    cache.put(0xdef, {"9876543210", 0}); // evicts + spills 0xabc
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.spills(), 1u);
+    auto back = cache.get(0xabc); // reload from spill
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->body, "0123456789");
+    EXPECT_EQ(back->exitCode, 0);
+    EXPECT_EQ(cache.spillHits(), 1u);
+    // Degraded results (exit 5) are never spilled.
+    cache.put(0x111, {"degraded!!", 5});
+    cache.put(0x222, {"aaaaaaaaaa", 0});
+    cache.put(0x333, {"bbbbbbbbbb", 0});
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s/%016llx.json", dir.c_str(),
+                  0x111ull);
+    EXPECT_FALSE(fileExists(name));
+}
+
+TEST(RequestBroker, ExecutesAndCounts)
+{
+    RequestBroker broker(4);
+    auto s = broker.submit(1, [] { return std::string("r1"); });
+    ASSERT_FALSE(s.busy);
+    EXPECT_EQ(RequestBroker::wait(s.job), "r1");
+    broker.drainAndStop();
+    EXPECT_EQ(broker.executed(), 1u);
+    EXPECT_EQ(broker.coalesced(), 0u);
+}
+
+TEST(RequestBroker, CoalescesIdenticalInflightRequests)
+{
+    RequestBroker broker(8);
+    std::atomic<int> computes{0};
+    std::atomic<bool> release{false};
+    // A blocker job keeps the dispatcher occupied so the next
+    // submissions stay queued and coalescible deterministically.
+    auto blocker = broker.submit(99, [&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::string("done");
+    });
+    ASSERT_FALSE(blocker.busy);
+
+    constexpr int kClients = 6;
+    std::vector<std::thread> clients;
+    std::atomic<int> matched{0};
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&] {
+            auto s = broker.submit(42, [&] {
+                ++computes;
+                return std::string("shared");
+            });
+            EXPECT_FALSE(s.busy);
+            if (!s.busy && RequestBroker::wait(s.job) == "shared")
+                ++matched;
+        });
+    release = true;
+    for (auto &t : clients)
+        t.join();
+    broker.drainAndStop();
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(matched.load(), kClients);
+    EXPECT_EQ(broker.coalesced(), kClients - 1u);
+    EXPECT_EQ(broker.executed(), 2u); // blocker + shared
+}
+
+TEST(RequestBroker, BusyWhenQueueFull)
+{
+    RequestBroker broker(1);
+    std::atomic<bool> release{false};
+    auto running = broker.submit(1, [&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::string("a");
+    });
+    ASSERT_FALSE(running.busy);
+    // Give the dispatcher a moment to start job 1 so job 2 occupies
+    // the queue slot.
+    while (broker.queueDepth() > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto queued = broker.submit(2, [] { return std::string("b"); });
+    ASSERT_FALSE(queued.busy);
+    auto rejected = broker.submit(3, [] { return std::string("c"); });
+    EXPECT_TRUE(rejected.busy);
+    EXPECT_EQ(rejected.queued, 1u);
+    release = true;
+    broker.drainAndStop();
+    EXPECT_EQ(broker.busyRejected(), 1u);
+    // Drained jobs still completed.
+    EXPECT_EQ(RequestBroker::wait(queued.job), "b");
+}
+
+TEST(RequestBroker, DrainFinishesAdmittedJobsThenRejects)
+{
+    RequestBroker broker(4);
+    auto s = broker.submit(5, [] { return std::string("late"); });
+    ASSERT_FALSE(s.busy);
+    broker.drainAndStop();
+    EXPECT_EQ(RequestBroker::wait(s.job), "late");
+    auto after = broker.submit(6, [] { return std::string("no"); });
+    EXPECT_TRUE(after.busy);
+}
+
+TEST(ServeProtocol, ParsesSweepRequestAndKeysDeterministically)
+{
+    const ServeRequest a = parseServeRequest(
+        "{\"op\":\"sweep\",\"workload\":\"Compress\","
+        "\"sizes\":\"1K,4K\",\"mtc\":true,\"stable\":true}");
+    EXPECT_EQ(a.op, ServeOp::Sweep);
+    EXPECT_EQ(a.sweep.workload, "Compress");
+    ASSERT_EQ(a.sweep.sizes.size(), 2u);
+    EXPECT_TRUE(a.sweep.runMtc);
+    const ServeRequest b = parseServeRequest(
+        "{\"op\":\"sweep\",\"stable\":true,\"mtc\":true,"
+        "\"sizes\":\"1K,4K\",\"workload\":\"Compress\"}");
+    // Field order must not change the canonical key (cache identity).
+    EXPECT_EQ(serveRequestKey(a), serveRequestKey(b));
+}
+
+TEST(ServeProtocol, RejectsUnknownFieldsAndOps)
+{
+    EXPECT_THROW(parseServeRequest("{\"op\":\"nope\"}"), FatalError);
+    EXPECT_THROW(parseServeRequest(
+                     "{\"op\":\"sweep\",\"workload\":\"Compress\","
+                     "\"sizes\":\"1K\",\"typo_field\":1}"),
+                 FatalError);
+    EXPECT_THROW(parseServeRequest("not json at all"), FatalError);
+}

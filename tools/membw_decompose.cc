@@ -32,8 +32,10 @@
 #include "common/table.hh"
 #include "cpu/experiment.hh"
 #include "exec/parallel_sweep.hh"
+#include "exec/simd.hh"
 #include "exec/thread_pool.hh"
 #include "dram/dram.hh"
+#include "obs/build_info.hh"
 #include "obs/emit.hh"
 #include "obs/epoch_profiler.hh"
 #include "obs/export.hh"
@@ -48,6 +50,7 @@
 #include "resilience/fault_injection.hh"
 #include "resilience/signals.hh"
 #include "resilience/watchdog.hh"
+#include "serve/decompose_service.hh"
 #include "workloads/workload.hh"
 
 using namespace membw;
@@ -113,7 +116,11 @@ usage(int code)
         "                       per phase; inspect with "
         "membw_profile_report)\n"
         "  --profile-epoch N    simulated micro-ops per epoch "
-        "(default 65536)\n\n"
+        "(default 65536)\n"
+        "Provenance:\n"
+        "  --version            print tool version and git describe\n"
+        "  --build-info         print build flags and runtime SIMD "
+        "tier\n\n"
         "%s",
         exitCodeHelp);
     std::exit(code);
@@ -282,13 +289,7 @@ main(int argc, char **argv)
         std::uint64_t sigtermAfter = 0;
         std::string faultInject;
 
-        struct Overrides
-        {
-            int mshrs = -1, window = -1, width = -1;
-            int l1l2 = -1, membus = -1;
-            bool noPrefetch = false;
-            std::string dram;
-        } ov;
+        DecomposeOverrides ov;
 
         auto need = [&](int &i) -> std::string {
             if (i + 1 >= argc) {
@@ -304,7 +305,18 @@ main(int argc, char **argv)
             const std::string a = argv[i];
             if (a == "--help" || a == "-h")
                 usage(exitOk);
-            else if (a == "--workload")
+            else if (a == "--version") {
+                std::printf(
+                    "%s\n",
+                    formatVersionLine("membw_decompose").c_str());
+                std::exit(exitOk);
+            } else if (a == "--build-info") {
+                std::printf("%s",
+                            formatBuildInfo("membw_decompose",
+                                            simdTierName(simdTier()))
+                                .c_str());
+                std::exit(exitOk);
+            } else if (a == "--workload")
                 workload = need(i);
             else if (a == "--experiment") {
                 const std::string v = need(i);
@@ -384,47 +396,18 @@ main(int argc, char **argv)
         if (!seriesOut.empty())
             SeriesWriter::global().init(seriesOut);
 
+        // Shared with the membw_served daemon (serve layer), which is
+        // what keeps served decompose responses byte-identical to
+        // this tool's --stats-json output.
         auto applyOverrides = [&](ExperimentConfig &cfg) {
-            if (ov.mshrs > 0)
-                cfg.mem.mshrs = static_cast<unsigned>(ov.mshrs);
-            if (ov.window > 0)
-                cfg.core.windowSlots =
-                    static_cast<unsigned>(ov.window);
-            if (ov.width > 0)
-                cfg.core.issueWidth = static_cast<unsigned>(ov.width);
-            if (ov.noPrefetch)
-                cfg.mem.taggedPrefetch = false;
-            if (ov.l1l2 > 0)
-                cfg.mem.l1l2BusBytes = static_cast<Bytes>(ov.l1l2);
-            if (ov.membus > 0)
-                cfg.mem.memBusBytes = static_cast<Bytes>(ov.membus);
-            if (!ov.dram.empty()) {
-                const DramKind kind =
-                    ov.dram == "fpm"     ? DramKind::FastPageMode
-                    : ov.dram == "edo"   ? DramKind::EDO
-                    : ov.dram == "sdram" ? DramKind::Synchronous
-                    : ov.dram == "rdram"
-                        ? DramKind::Rambus
-                        : (fatal("invalid value '" + ov.dram +
-                                 "' for --dram: expected fpm, edo, "
-                                 "sdram, or rdram"),
-                           DramKind::FastPageMode);
-                cfg.mem.dram = DramConfig::preset(kind, cfg.cpuMHz);
-            }
+            applyDecomposeOverrides(cfg, ov);
         };
 
         ExperimentConfig cfg = makeExperiment(letter, spec95);
         applyOverrides(cfg);
 
-        WorkloadParams p;
-        p.scale = scale;
-        p.seed = seed;
-        const InstrStream stream = [&] {
-            MEMBW_SPAN_D("stream.build", workload);
-            const auto run = makeWorkload(workload)->run(p);
-            return InstrStream::fromRun(
-                run, codeFootprintBytes(workload), seed);
-        }();
+        const InstrStream stream =
+            buildDecomposeStream(workload, scale, seed);
 
         if (allExperiments) {
             if (!checkpoint.empty() || !resume.empty())
@@ -815,29 +798,22 @@ main(int argc, char **argv)
                              r.full.mem.dramRowMisses));
 
         if (!statsJson.empty()) {
-            StatsRegistry registry;
-            publishDecompositionStats(registry, r);
-
-            RunManifest manifest;
-            manifest.tool = "membw_decompose";
-            manifest.experiment = std::string(1, letter);
-            manifest.workload = workload;
-            manifest.config = cfg.describe();
-            manifest.seed = seed;
-            manifest.scale = scale;
-            manifest.refs = stream.size();
-            manifest.wallSeconds = timer.seconds();
-            manifest.omitTiming = stableJson;
-            writeProfileManifest(manifest, stableJson);
-
-            JsonWriter w;
-            w.beginObject();
-            w.key("manifest");
-            manifest.write(w);
-            w.key("stats");
-            writeStatsArray(registry, w);
-            w.endObject();
-            writeFileOrDie(statsJson, w.str());
+            // Render through the shared serve-layer formatter so the
+            // document is byte-for-byte what the daemon serves for
+            // the same request.
+            DecomposeRequest dreq;
+            dreq.workload = workload;
+            dreq.letter = letter;
+            dreq.spec95 = spec95;
+            dreq.scale = scale;
+            dreq.seed = seed;
+            dreq.overrides = ov;
+            dreq.stableJson = stableJson;
+            dreq.watchdogCycles = watchdogCycles;
+            writeFileOrDie(statsJson,
+                           renderDecomposeStatsJson(
+                               dreq, stream.size(), r,
+                               timer.seconds()));
         }
         if (prof) {
             profilerWriteNow("membw_decompose");

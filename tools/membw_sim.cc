@@ -37,9 +37,11 @@
 #include "exec/collapsed_sweep.hh"
 #include "exec/ladder_sweep.hh"
 #include "exec/parallel_sweep.hh"
+#include "exec/simd.hh"
 #include "exec/thread_pool.hh"
 #include "exec/time_partition.hh"
 #include "mtc/min_cache.hh"
+#include "obs/build_info.hh"
 #include "obs/emit.hh"
 #include "obs/epoch_profiler.hh"
 #include "obs/export.hh"
@@ -53,6 +55,7 @@
 #include "resilience/exit_codes.hh"
 #include "resilience/fault_injection.hh"
 #include "resilience/signals.hh"
+#include "serve/sweep_service.hh"
 #include "trace/block_stream.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_mmap.hh"
@@ -167,6 +170,10 @@ usage(int code)
         "membw_profile_report)\n"
         "  --profile-epoch N   simulated references per epoch "
         "(default 65536)\n\n"
+        "Provenance:\n"
+        "  --version           print tool version and git describe\n"
+        "  --build-info        print build flags and runtime SIMD "
+        "tier\n\n"
         "%s",
         exitCodeHelp);
     std::exit(code);
@@ -267,6 +274,9 @@ struct Options
     std::uint64_t eventBudget = 1'000'000;
     std::uint64_t sigtermAfter = 0;
     std::string faultInject;
+    /// How the trace reached the simulator ("generated", "binary",
+    /// or "mmap"); recorded in non-stable stats-JSON manifests.
+    std::string traceFormat = "generated";
 };
 
 Options
@@ -294,6 +304,16 @@ parse(int argc, char **argv)
         const std::string a = argv[i];
         if (a == "--help" || a == "-h") {
             usage(exitOk);
+        } else if (a == "--version") {
+            std::printf("%s\n",
+                        formatVersionLine("membw_sim").c_str());
+            std::exit(exitOk);
+        } else if (a == "--build-info") {
+            std::printf("%s", formatBuildInfo(
+                                  "membw_sim",
+                                  simdTierName(simdTier()))
+                                  .c_str());
+            std::exit(exitOk);
         } else if (a == "--list") {
             for (const auto &n : allWorkloadNames())
                 std::printf("%s\n", n.c_str());
@@ -574,6 +594,13 @@ writeStatsJson(const Options &o, const RunState &state,
     }
     if (o.runMtc)
         manifest.set("mtc_config", canonicalMtc(o.l1.size).describe());
+    // Execution provenance (how the trace arrived, which SIMD tier
+    // served it) describes this run rather than what it computed, so
+    // it is omitted under --stable-json like wall_seconds.
+    if (!o.stableJson) {
+        manifest.set("trace_format", o.traceFormat);
+        manifest.set("simd_tier", simdTierName(simdTier()));
+    }
     writeProfileManifest(manifest, o.stableJson);
 
     JsonWriter w;
@@ -627,20 +654,6 @@ shutdownNow(const Options &o, const RunState &state, const Trace &trace,
     std::exit(exitInterrupted);
 }
 
-/** One sweep cell: a fresh single-level hierarchy over the shared
- * trace, honouring the per-reference watchdog budget. */
-TrafficResult
-runSweepCell(const Trace &trace, const CacheConfig &cfg,
-             std::uint64_t eventBudget)
-{
-    CacheHierarchy hier({cfg});
-    hier.setEventBudget(eventBudget);
-    for (const MemRef &ref : trace)
-        hier.access(ref);
-    hier.flush();
-    return hier.summarize();
-}
-
 /**
  * Multi-config sweep mode: one cell per (size, block) pair — plus one
  * MTC cell per size with --mtc — fanned across --jobs workers over
@@ -648,6 +661,13 @@ runSweepCell(const Trace &trace, const CacheConfig &cfg,
  * order, so stdout and --stats-json are byte-identical at any --jobs
  * value; --sigterm-after N truncates output to exactly N completed
  * cells for jobs-independent shutdown testing.
+ *
+ * The engine is the shared serve-layer pair
+ * executeSweep()/renderSweepStatsJson() — the same calls the
+ * membw_served daemon makes, which is what keeps served responses
+ * byte-identical to this tool's --stats-json output.  The tool owns
+ * only stdout narration, telemetry sampling, the SIGTERM wiring, and
+ * exit codes.
  */
 int
 runSweep(const Options &o, const Trace &trace,
@@ -664,49 +684,50 @@ runSweep(const Options &o, const Trace &trace,
               "concurrently and share no reference clock (profile a "
               "single-config run instead)");
 
-    const std::vector<Bytes> blocks =
-        o.sweepBlocks.empty() ? std::vector<Bytes>{o.l1.blockBytes}
-                              : o.sweepBlocks;
-    const std::size_t nHier = o.sweepSizes.size() * blocks.size();
-    const std::size_t nCells =
-        nHier + (o.runMtc ? o.sweepSizes.size() : 0);
+    SweepRequest req;
+    req.workload = o.workload;
+    req.label = o.workload.empty() ? o.loadTrace : o.workload;
+    req.scale = o.scale;
+    req.seed = o.seed;
+    req.l1 = o.l1;
+    req.runMtc = o.runMtc;
+    req.sizes = o.sweepSizes;
+    req.blocks = o.sweepBlocks;
+    req.stableJson = o.stableJson;
+    req.noCollapse = o.noCollapse;
+    req.noPartition = o.noPartition;
+    req.eventBudget = o.eventBudget;
+    req.traceFormat = o.traceFormat;
 
-    auto configFor = [&](std::size_t cell) {
-        CacheConfig cfg = o.l1;
-        cfg.size = o.sweepSizes[cell / blocks.size()];
-        cfg.blockBytes = blocks[cell % blocks.size()];
-        return cfg;
-    };
-    // Validate every cell geometry up front: one clear diagnostic on
-    // the main thread instead of an exception out of a worker.
+    const std::vector<Bytes> blocks = resolveSweepBlocks(req);
+    const std::size_t nHier = req.sizes.size() * blocks.size();
+    const std::size_t nCells =
+        nHier + (o.runMtc ? req.sizes.size() : 0);
+
+    // Pre-validate every cell geometry so the diagnostic lands
+    // before any sweep banner (executeSweep validates again; both
+    // passes are cheap).
     for (std::size_t i = 0; i < nHier; ++i)
-        configFor(i).validate();
+        sweepConfigFor(req, blocks, i).validate();
 
     // The worker count goes to stderr: stdout must stay
     // byte-identical at any --jobs value.
     std::printf("\nsweep: %zu cells (%zu sizes x %zu blocks%s)\n",
-                nCells, o.sweepSizes.size(), blocks.size(),
+                nCells, req.sizes.size(), blocks.size(),
                 o.runMtc ? " + MTC" : "");
     emitLinef("membw_sim: sweep using %u worker%s", o.jobs,
               o.jobs == 1 ? "" : "s");
 
-    // Route every coverable cell to an exact one-pass engine:
-    // FA-LRU groups over load-only traces collapse into Mattson
-    // stack-distance passes and set-associative LRU groups into
-    // chunked ladder-kernel passes.  Results are exact and
-    // jobs-independent, so covered hierarchy cells become lookups;
-    // anything the guards reject falls back to direct simulation.
-    CollapsedSweep collapsed;
-    if (!o.noCollapse) {
-        std::vector<CacheConfig> cfgs;
-        cfgs.reserve(nHier);
-        for (std::size_t i = 0; i < nHier; ++i)
-            cfgs.push_back(configFor(i));
-        CollapseOptions copt;
-        copt.jobs = o.jobs;
-        copt.noPartition = o.noPartition;
-        copt.mapped = mapped;
-        collapsed = CollapsedSweep(trace, cfgs, copt);
+    SweepExecOptions eopts;
+    eopts.jobs = o.jobs;
+    eopts.mapped = mapped;
+    // A latched SIGINT/SIGTERM stops scheduling further cells; the
+    // daemon deliberately leaves this hook unset (drained requests
+    // must not look interrupted), so the wiring lives here.
+    eopts.cancel = [] { return shutdownRequested() != 0; };
+    eopts.sigtermAfter = o.sigtermAfter;
+    eopts.onPlan = [&](const CollapsedSweep &collapsed,
+                       std::size_t nHierPlanned, std::size_t) {
         if (collapsed.mattsonPasses() == 1)
             std::printf("FA-LRU sweep collapsed into one "
                         "stack-distance pass\n");
@@ -717,55 +738,11 @@ runSweep(const Options &o, const Trace &trace,
         if (collapsed.ladderPasses() > 0)
             emitLinef("membw_sim: %zu of %zu cells precomputed "
                       "by %zu ladder-kernel pass%s",
-                      collapsed.covered(), nHier,
+                      collapsed.covered(), nHierPlanned,
                       collapsed.ladderPasses(),
                       collapsed.ladderPasses() == 1 ? "" : "es");
-    }
-
-    // Per-cell span detail: config, routing decision, and a short
-    // config digest so Perfetto rows tie back to exact cells.
-    auto cellDetail = [&](std::size_t i) {
-        char buf[traceDetailBytes];
-        if (i >= nHier) {
-            const Bytes size = o.sweepSizes[i - nHier];
-            std::snprintf(
-                buf, sizeof(buf), "cfg=%s/mtc route=mtc d=%08llx",
-                formatSize(size).c_str(),
-                static_cast<unsigned long long>(
-                    fnv1a64(canonicalMtc(size).describe()) &
-                    0xffffffffu));
-        } else {
-            const CacheConfig cfg = configFor(i);
-            std::snprintf(
-                buf, sizeof(buf), "cfg=%s/%s route=%s d=%08llx",
-                formatSize(cfg.size).c_str(),
-                formatSize(cfg.blockBytes).c_str(),
-                cellRouteName(collapsed.route(i)),
-                static_cast<unsigned long long>(
-                    fnv1a64(cfg.describe()) & 0xffffffffu));
-        }
-        return std::string(buf);
     };
-
-    struct CellOut
-    {
-        TrafficResult traffic;
-        MinCacheStats mtc;
-    };
-
-    MEMBW_SPAN("run");
-    WallTimer timer;
-    SweepOptions sopt;
-    sopt.jobs = o.jobs;
-    // Degraded mode: a failing cell is recorded and the sweep carries
-    // on (exit 5), but a watchdog trip is a simulator bug and must
-    // still abort the whole run with exit 4.
-    sopt.tolerateCellFailures = true;
-    sopt.abortAnyway = [](const std::exception &e) {
-        return dynamic_cast<const WatchdogError *>(&e) != nullptr;
-    };
-    sopt.cancel = [] { return shutdownRequested(); };
-    sopt.onPrefix = [&](std::size_t prefix) {
+    eopts.onPrefix = [&](std::size_t prefix) {
         // Serialized under the sweep mutex, so sampling here is safe.
         SeriesWriter::global().sample(
             {{"cells_done", static_cast<double>(prefix)},
@@ -781,60 +758,19 @@ runSweep(const Options &o, const Trace &trace,
             std::raise(SIGTERM);
     };
 
-    // All MTC cells share one next-use side table (pass one of the
-    // two-pass MIN simulation depends only on the trace and block
-    // granularity, and the canonical MTC always uses word blocks).
-    const NextUseTable mtcNextUse =
-        o.runMtc ? makeNextUseTable(trace, wordBytes) : nullptr;
-
-    const auto sweepRes =
-        parallelSweep(nCells, sopt, [&](std::size_t i) -> CellOut {
-            MEMBW_SPAN_D("cell", cellDetail(i));
-            // First thing in the cell so an injected fault covers
-            // every route (ladder/Mattson lookups included), keyed by
-            // index so 'cell:at=N' hits cell N-1 at any --jobs value.
-            if (MEMBW_FAULT_POINT_AT("cell", i))
-                fatal("injected cell fault (cell " +
-                      std::to_string(i) + ")");
-            CellOut out;
-            if (i >= nHier)
-                out.mtc = runMinCache(
-                    trace, canonicalMtc(o.sweepSizes[i - nHier]),
-                    mtcNextUse);
-            else if (collapsed.has(i))
-                out.traffic = collapsed.result(i);
-            else
-                out.traffic = runSweepCell(trace, configFor(i),
-                                           o.eventBudget);
-            return out;
-        });
+    SweepOutcome outcome = executeSweep(req, trace, eopts);
     SeriesWriter::global().sample(
-        {{"cells_done", static_cast<double>(sweepRes.completed)},
+        {{"cells_done", static_cast<double>(outcome.completed)},
          {"cells_total", static_cast<double>(nCells)}},
         /*force=*/true);
+    // A signal latched after the last cancel poll still counts.
+    outcome.interrupted =
+        outcome.interrupted || shutdownRequested() != 0;
 
-    // --sigterm-after fires once the completed prefix reaches N, but
-    // with jobs > 1 in-flight cells drain past it; truncate to
-    // exactly N so every --jobs value reports the same cells.
-    const bool sigFired =
-        o.sigtermAfter && sweepRes.completed >= o.sigtermAfter;
-    std::size_t usable = sweepRes.completed;
-    if (sigFired && usable > o.sigtermAfter)
-        usable = static_cast<std::size_t>(o.sigtermAfter);
-    const bool interrupted =
-        sweepRes.interrupted || sigFired || shutdownRequested();
-
-    // Tolerated failures inside the usable prefix degrade the run:
-    // their cells render as "fail", their stats are omitted, and the
-    // process exits with code 5.
-    std::vector<char> cellFailed(nCells, 0);
-    std::size_t nFailed = 0;
-    for (const CellFailure &f : sweepRes.failedCells)
-        if (f.cell < usable) {
-            cellFailed[f.cell] = 1;
-            ++nFailed;
-        }
-    const bool degraded = nFailed > 0;
+    const std::size_t usable = outcome.usable;
+    const std::vector<char> &cellFailed = outcome.cellFailed;
+    const bool interrupted = outcome.interrupted;
+    const bool degraded = outcome.degraded;
 
     TextTable t;
     std::vector<std::string> hdr{"size"};
@@ -843,15 +779,15 @@ runSweep(const Options &o, const Trace &trace,
     if (o.runMtc)
         hdr.push_back("MTC KB");
     t.header(hdr);
-    for (std::size_t si = 0; si < o.sweepSizes.size(); ++si) {
-        std::vector<std::string> row{formatSize(o.sweepSizes[si])};
+    for (std::size_t si = 0; si < req.sizes.size(); ++si) {
+        std::vector<std::string> row{formatSize(req.sizes[si])};
         for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
             const std::size_t idx = si * blocks.size() + bi;
             row.push_back(
                 idx >= usable ? "..."
                 : cellFailed[idx]
                     ? "fail"
-                    : fixed(sweepRes.cells[idx].traffic.trafficRatio,
+                    : fixed(outcome.cells[idx].traffic.trafficRatio,
                             4));
         }
         if (o.runMtc) {
@@ -861,7 +797,7 @@ runSweep(const Options &o, const Trace &trace,
                 : cellFailed[idx]
                     ? "fail"
                     : std::to_string(
-                          sweepRes.cells[idx].mtc.trafficBelow() /
+                          outcome.cells[idx].mtc.trafficBelow() /
                           1024) +
                           "K");
         }
@@ -873,128 +809,12 @@ runSweep(const Options &o, const Trace &trace,
                     usable, nCells);
     if (degraded)
         std::printf("sweep degraded: %zu of %zu cells failed\n",
-                    nFailed, nCells);
+                    outcome.nFailed, nCells);
 
-    if (!o.statsJson.empty()) {
-        StatsRegistry registry;
-        for (std::size_t i = 0; i < usable && i < nHier; ++i) {
-            if (cellFailed[i])
-                continue;
-            const CacheConfig cfg = configFor(i);
-            StatsGroup g = registry.group(
-                "sweep." + formatSize(cfg.size) + "." +
-                formatSize(cfg.blockBytes));
-            publishStats(g, sweepRes.cells[i].traffic);
-        }
-        for (std::size_t i = nHier; i < usable; ++i) {
-            if (cellFailed[i])
-                continue;
-            StatsGroup g = registry.group(
-                "sweep.mtc." + formatSize(o.sweepSizes[i - nHier]));
-            publishMinCacheStats(g, sweepRes.cells[i].mtc);
-        }
-
-        RunManifest manifest;
-        manifest.tool = "membw_sim";
-        manifest.workload =
-            o.workload.empty() ? o.loadTrace : o.workload;
-        manifest.config = o.l1.describe() + " [sweep]";
-        manifest.seed = o.seed;
-        manifest.scale = o.scale;
-        manifest.refs = trace.size();
-        manifest.wallSeconds = timer.seconds();
-        manifest.interrupted = interrupted;
-        manifest.degraded = degraded;
-        manifest.omitTiming = o.stableJson;
-        // --jobs is deliberately not recorded: the JSON must be
-        // byte-identical at any worker count.
-        auto joinSizes = [](const std::vector<Bytes> &v) {
-            std::string s;
-            for (Bytes b : v) {
-                if (!s.empty())
-                    s += ',';
-                s += formatSize(b);
-            }
-            return s;
-        };
-        manifest.set("sweep_sizes", joinSizes(o.sweepSizes));
-        manifest.set("sweep_blocks", joinSizes(blocks));
-        manifest.set("sweep_cells", std::to_string(nCells));
-        manifest.set("sweep_completed", std::to_string(usable));
-        if (collapsed.mattsonPasses() > 0)
-            manifest.set("fa_collapse", "stack-distance");
-
-        JsonWriter w;
-        w.beginObject();
-        w.key("manifest");
-        manifest.write(w);
-        // Tolerated failures, in cell-index order.  Deterministic
-        // (the fault plan and cell geometry are), so it stays in the
-        // --stable-json output and the equivalence tests can
-        // byte-diff degraded runs across --jobs values.
-        if (degraded) {
-            w.key("failed_cells");
-            w.beginArray();
-            for (const CellFailure &f : sweepRes.failedCells) {
-                if (f.cell >= usable)
-                    continue;
-                w.beginObject();
-                w.field("cell",
-                        static_cast<std::uint64_t>(f.cell));
-                w.field("config",
-                        f.cell >= nHier
-                            ? canonicalMtc(
-                                  o.sweepSizes[f.cell - nHier])
-                                  .describe()
-                            : configFor(f.cell).describe());
-                w.field("error", f.message);
-                w.endObject();
-            }
-            w.endArray();
-        }
-        // Per-cell kernel routing.  Describes how this run executed
-        // rather than what it computed, so — like wall_seconds — it
-        // is omitted under --stable-json (the equivalence tests
-        // byte-diff that output across --jobs and --no-collapse).
-        if (!o.stableJson) {
-            std::size_t nLadder = 0, nMattson = 0, nDirect = 0;
-            for (std::size_t i = 0; i < usable && i < nHier; ++i) {
-                switch (collapsed.route(i)) {
-                case CellRoute::Ladder:
-                    nLadder++;
-                    break;
-                case CellRoute::Mattson:
-                    nMattson++;
-                    break;
-                case CellRoute::Direct:
-                    nDirect++;
-                    break;
-                }
-            }
-            const std::size_t nMtc =
-                usable > nHier ? usable - nHier : 0;
-            w.key("routing");
-            w.beginObject();
-            w.field("ladder", static_cast<std::uint64_t>(nLadder));
-            w.field("mattson", static_cast<std::uint64_t>(nMattson));
-            w.field("direct", static_cast<std::uint64_t>(nDirect));
-            w.field("mtc", static_cast<std::uint64_t>(nMtc));
-            w.field("ladder_passes",
-                    static_cast<std::uint64_t>(
-                        collapsed.ladderPasses()));
-            w.field("partitioned_passes",
-                    static_cast<std::uint64_t>(
-                        collapsed.partitionedPasses()));
-            w.field("mattson_passes",
-                    static_cast<std::uint64_t>(
-                        collapsed.mattsonPasses()));
-            w.endObject();
-        }
-        w.key("stats");
-        writeStatsArray(registry, w);
-        w.endObject();
-        writeFileOrDie(o.statsJson, w.str());
-    }
+    if (!o.statsJson.empty())
+        writeFileOrDie(o.statsJson,
+                       renderSweepStatsJson(req, trace.size(),
+                                            outcome));
     // Precedence: interruption outranks degradation — an interrupted
     // degraded sweep resumes first and reports failures on the rerun.
     if (interrupted)
@@ -1008,7 +828,7 @@ int
 main(int argc, char **argv)
 {
     try {
-        const Options o = parse(argc, argv);
+        Options o = parse(argc, argv);
         if (!o.faultInject.empty()) {
             auto armed = armFaultPlan(o.faultInject);
             if (!armed.ok())
@@ -1034,8 +854,10 @@ main(int argc, char **argv)
             if (m.ok()) {
                 mapped = std::move(m.value());
                 trace = mapped->materialize();
+                o.traceFormat = "mmap";
             } else if (m.error().code == Errc::BadMagic) {
                 trace = loadTrace(o.loadTrace); // raw/compact
+                o.traceFormat = "binary";
             } else {
                 fatal("cannot load trace '" + o.loadTrace +
                       "': " + m.error().describe());

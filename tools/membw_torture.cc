@@ -24,6 +24,13 @@
  * On any divergence the harness stops, prints every command of the
  * failing schedule (replayable by hand), keeps the artifact
  * directory, and exits 1.
+ *
+ * --served PATH switches to daemon schedules against membw_served:
+ * SIGTERM mid-request (the daemon must drain and answer the in-flight
+ * request byte-identically before exiting 3), an injected allocation
+ * fault on the result cache (every response recomputes, none cached,
+ * no crash), and an injected io-write fault on the spill path (evicted
+ * results drop instead of spilling; responses stay correct).
  */
 
 #include <sys/stat.h>
@@ -40,12 +47,15 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "common/log.hh"
 #include "common/parse.hh"
 #include "common/rng.hh"
 #include "obs/emit.hh"
 #include "obs/json.hh"
 #include "resilience/exit_codes.hh"
+#include "serve/client.hh"
 
 using namespace membw;
 
@@ -56,7 +66,10 @@ usage(int code)
 {
     std::printf(
         "membw_torture — seeded kill/inject/resume torture harness\n\n"
-        "  --sim PATH       membw_sim binary to torture (required)\n"
+        "  --sim PATH       membw_sim binary to torture\n"
+        "  --served PATH    membw_served binary: run daemon schedules\n"
+        "                   instead (SIGTERM drain, cache-alloc and\n"
+        "                   spill io-write fault injection)\n"
         "  --schedules N    schedules to run (default 200)\n"
         "  --seed N         master schedule seed (default 1)\n"
         "  --start N        first schedule index (default 0; use the\n"
@@ -74,6 +87,7 @@ usage(int code)
 struct Options
 {
     std::string sim;
+    std::string served; ///< daemon mode when non-empty
     std::size_t schedules = 200;
     std::uint64_t seed = 1;
     std::size_t start = 0;
@@ -198,6 +212,8 @@ parse(int argc, char **argv)
             usage(exitOk);
         else if (a == "--sim")
             o.sim = need(i);
+        else if (a == "--served")
+            o.served = need(i);
         else if (a == "--schedules")
             o.schedules = static_cast<std::size_t>(count(a, need(i)));
         else if (a == "--seed")
@@ -220,8 +236,9 @@ parse(int argc, char **argv)
             std::exit(exitUsage);
         }
     }
-    if (o.sim.empty()) {
-        emitLinef("--sim PATH is required (run --help)");
+    if (o.sim.empty() && o.served.empty()) {
+        emitLinef("--sim PATH or --served PATH is required "
+                  "(run --help)");
         std::exit(exitUsage);
     }
     return o;
@@ -433,6 +450,247 @@ runSchedule(const Options &o, std::size_t index,
     return out;
 }
 
+// ---------------------------------------------------------------------
+// Daemon schedules (--served)
+// ---------------------------------------------------------------------
+
+/** Spawn the daemon in the background with output to @p log. */
+pid_t
+spawnDaemon(const std::string &daemon,
+            const std::vector<std::string> &args,
+            const std::string &log)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("fork failed: " + std::string(std::strerror(errno)));
+    if (pid == 0) {
+        const int fd = ::open(log.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, 1);
+            ::dup2(fd, 2);
+            ::close(fd);
+        }
+        std::vector<char *> argv;
+        argv.push_back(const_cast<char *>(daemon.c_str()));
+        for (const std::string &a : args)
+            argv.push_back(const_cast<char *>(a.c_str()));
+        argv.push_back(nullptr);
+        ::execv(daemon.c_str(), argv.data());
+        std::fprintf(stderr, "exec '%s' failed: %s\n", daemon.c_str(),
+                     std::strerror(errno));
+        std::_Exit(127);
+    }
+    return pid;
+}
+
+int
+waitDaemon(pid_t pid)
+{
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid)
+        fatal("waitpid failed");
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return WEXITSTATUS(status);
+}
+
+/** The two canonical sweep requests every daemon schedule replays. */
+std::pair<std::string, std::string>
+servedRequests(const Options &o)
+{
+    char scale[32];
+    std::snprintf(scale, sizeof(scale), "%g", o.scale);
+    auto req = [&](const char *sizes) {
+        return std::string("{\"op\":\"sweep\",\"workload\":\"") +
+               o.workload + "\",\"scale\":" + scale +
+               ",\"sizes\":\"" + sizes +
+               "\",\"mtc\":true,\"stable\":true}";
+    };
+    return {req("1K,4K"), req("8K")};
+}
+
+/** The envelope's "body"; empty on non-ok responses. */
+std::string
+servedBody(const std::string &line)
+{
+    const JsonValue v = parseJson(line);
+    const JsonValue *status = v.find("status");
+    if (!status || status->asString() != "ok")
+        return {};
+    const JsonValue *body = v.find("body");
+    return body ? body->asString() : std::string();
+}
+
+/**
+ * One daemon schedule.  Kind 0 proves the SIGTERM drain contract:
+ * the signal is raised as the first compute job starts, yet the
+ * in-flight client still receives the complete, byte-correct
+ * response before the daemon exits with the interrupted code.
+ * Kinds 1 and 2 arm fault injection on the result-cache insert
+ * ("alloc") and the spill write ("io-write"): the daemon must keep
+ * answering correctly — degraded to recomputing, never crashing.
+ */
+ScheduleOutcome
+runServedSchedule(const Options &o, std::size_t index,
+                  const std::string &body1, const std::string &body2)
+{
+    ScheduleOutcome out;
+    Rng rng(o.seed * 0x9e3779b97f4a7c15ull + index);
+    const std::string sock = o.dir + "/served.sock";
+    const std::string log = o.dir + "/served.log";
+    const std::string spill = o.dir + "/spill";
+    std::remove(sock.c_str());
+    const auto [req1, req2] = servedRequests(o);
+
+    auto fail = [&](const std::string &why) {
+        out.ok = false;
+        out.why = why;
+    };
+
+    const std::uint64_t kind = rng.below(3);
+    std::vector<std::string> args{"--socket", sock, "--jobs", "2"};
+    if (kind == 0) {
+        args.insert(args.end(), {"--sigterm-after", "1"});
+    } else if (kind == 1) {
+        args.insert(args.end(), {"--fault-inject", "alloc:after=0"});
+    } else {
+        // Bound the cache just above one response so the second
+        // request evicts the first; the injected io-write fault makes
+        // every spill attempt fail.
+        ::mkdir(spill.c_str(), 0755);
+        args.insert(args.end(),
+                    {"--cache-bytes",
+                     std::to_string(body1.size() + 512), "--spill-dir",
+                     spill, "--fault-inject", "io-write:after=0"});
+    }
+    {
+        std::string cmd = o.served;
+        for (const std::string &a : args)
+            cmd += " " + a;
+        out.commands.push_back(cmd);
+    }
+
+    const pid_t pid = spawnDaemon(o.served, args, log);
+    if (!waitForServer(sock, 10'000)) {
+        ::kill(pid, SIGKILL);
+        waitDaemon(pid);
+        fail("daemon did not come up on " + sock);
+        return out;
+    }
+
+    if (kind == 0) {
+        // The in-flight request must be drained and answered in full.
+        auto resp = serveRequestOnce(sock, req1);
+        if (!resp || servedBody(*resp) != body1) {
+            ::kill(pid, SIGKILL);
+            waitDaemon(pid);
+            fail("drained response missing or diverged from the "
+                 "clean-daemon baseline");
+            return out;
+        }
+        const int status = waitDaemon(pid);
+        if (status != exitInterrupted) {
+            fail("daemon exited " + std::to_string(status) +
+                 " after SIGTERM (expected " +
+                 std::to_string(exitInterrupted) + ")");
+            return out;
+        }
+        if (fileExists(sock))
+            fail("daemon left its socket behind after SIGTERM");
+        return out;
+    }
+
+    // Fault kinds: alternate requests so kind 2 keeps evicting (and
+    // keeps failing to spill); every response must stay byte-correct
+    // and uncached computation must not crash the daemon.
+    const std::size_t rounds = 2 + rng.below(3);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const bool first = r % 2 == 0;
+        auto resp = serveRequestOnce(sock, first ? req1 : req2);
+        if (!resp || servedBody(*resp) != (first ? body1 : body2)) {
+            ::kill(pid, SIGKILL);
+            waitDaemon(pid);
+            fail("degraded response " + std::to_string(r) +
+                 " missing or diverged under fault injection");
+            return out;
+        }
+        if (kind == 1) {
+            // The alloc fault blocks every insert: no response may
+            // ever be served from cache.
+            const JsonValue v = parseJson(*resp);
+            if (const JsonValue *cached = v.find("cached");
+                cached && cached->asBool()) {
+                ::kill(pid, SIGKILL);
+                waitDaemon(pid);
+                fail("response was cached despite the injected "
+                     "alloc fault");
+                return out;
+            }
+        }
+    }
+    (void)serveRequestOnce(sock, "{\"op\":\"shutdown\"}");
+    const int status = waitDaemon(pid);
+    if (status != exitOk)
+        fail("daemon exited " + std::to_string(status) +
+             " under fault injection (expected 0)");
+    return out;
+}
+
+/** Daemon-mode torture: clean baseline responses, then schedules. */
+int
+runServedTorture(const Options &o)
+{
+    const std::string sock = o.dir + "/served.sock";
+    const auto [req1, req2] = servedRequests(o);
+
+    // Clean daemon: the baseline bodies every schedule must match.
+    const pid_t pid = spawnDaemon(o.served,
+                                  {"--socket", sock, "--jobs", "2"},
+                                  o.dir + "/base.log");
+    if (!waitForServer(sock, 10'000)) {
+        ::kill(pid, SIGKILL);
+        waitDaemon(pid);
+        fatal("baseline daemon did not come up (see " + o.dir +
+              "/base.log)");
+    }
+    const std::string body1 =
+        servedBody(serveRequestOnce(sock, req1).value_or("{}"));
+    const std::string body2 =
+        servedBody(serveRequestOnce(sock, req2).value_or("{}"));
+    (void)serveRequestOnce(sock, "{\"op\":\"shutdown\"}");
+    if (waitDaemon(pid) != exitOk || body1.empty() || body2.empty())
+        fatal("baseline daemon run failed (see " + o.dir +
+              "/base.log)");
+
+    std::printf("torture: %zu daemon schedules (seed %llu)\n",
+                o.schedules,
+                static_cast<unsigned long long>(o.seed));
+    for (std::size_t s = o.start; s < o.start + o.schedules; ++s) {
+        const ScheduleOutcome r =
+            runServedSchedule(o, s, body1, body2);
+        if (!r.ok) {
+            std::printf("\nschedule %zu FAILED: %s\n", s,
+                        r.why.c_str());
+            std::printf("replay: --served %s --seed %llu --start "
+                        "%zu --schedules 1 --dir %s\n",
+                        o.served.c_str(),
+                        static_cast<unsigned long long>(o.seed), s,
+                        o.dir.c_str());
+            for (const std::string &c : r.commands)
+                std::printf("  %s\n", c.c_str());
+            std::printf("artifacts kept in %s\n", o.dir.c_str());
+            return exitFatal;
+        }
+        if ((s + 1) % 25 == 0 || s + 1 == o.start + o.schedules)
+            emitLinef("membw_torture: %zu/%zu daemon schedules ok",
+                      s + 1 - o.start, o.schedules);
+    }
+    std::printf("torture: all %zu daemon schedules converged\n",
+                o.schedules);
+    return exitOk;
+}
+
 } // namespace
 
 int
@@ -455,6 +713,17 @@ main(int argc, char **argv)
             madeDir = true;
         } else {
             ::mkdir(o.dir.c_str(), 0755);
+        }
+
+        if (!o.served.empty()) {
+            const int rc = runServedTorture(o);
+            if (rc == exitOk && !o.keep && madeDir) {
+                removeTree(o.dir + "/spill");
+                removeTree(o.dir);
+            }
+            else if (rc == exitOk)
+                std::printf("artifacts in %s\n", o.dir.c_str());
+            return rc;
         }
 
         // Uninterrupted baseline: the byte-exact target every
