@@ -63,8 +63,10 @@ ServeClient::sendLine(std::string_view line)
     framed += '\n';
     std::size_t sent = 0;
     while (sent < framed.size()) {
-        const ssize_t n = ::write(fd_, framed.data() + sent,
-                                  framed.size() - sent);
+        // MSG_NOSIGNAL: a daemon that exits mid-exchange must surface
+        // as a failed send, not a SIGPIPE that kills the bench/CLI.
+        const ssize_t n = ::send(fd_, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

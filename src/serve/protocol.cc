@@ -227,7 +227,13 @@ parseDecomposeFields(const JsonValue &doc)
     req.overrides.noPrefetch = boolField(doc, "no_prefetch", false);
     req.overrides.l1l2 = intField(doc, "l1l2_bus", -1);
     req.overrides.membus = intField(doc, "mem_bus", -1);
-    req.overrides.dram = stringField(doc, "dram", "");
+    if (const std::string v = stringField(doc, "dram", "");
+        !v.empty()) {
+        if (v != "fpm" && v != "edo" && v != "sdram" && v != "rdram")
+            fatal("bad 'dram' value '" + v +
+                  "': expected fpm, edo, sdram, or rdram");
+        req.overrides.dram = v;
+    }
     return req;
 }
 

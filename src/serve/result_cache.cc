@@ -1,6 +1,8 @@
 #include "serve/result_cache.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "resilience/fault_injection.hh"
 #include "resilience/guarded_io.hh"
@@ -8,6 +10,12 @@
 namespace membw {
 
 namespace {
+
+/** Spill-file format tag.  Bump when the response document format
+ * changes incompatibly: a reload only trusts files whose header
+ * matches this tag byte-for-byte, so stale spill files from an older
+ * build in a reused --spill-dir are ignored, not served. */
+constexpr const char *spillMagic = "membw-spill-v1 ";
 
 /** Best-effort slurp; empty optional when absent or unreadable. */
 std::optional<std::string>
@@ -28,6 +36,43 @@ readFileIfExists(const std::string &path)
     return out;
 }
 
+/** Serialise a spill file: `membw-spill-v1 <keylen>\n<key><body>`. */
+std::string
+encodeSpill(std::string_view key, std::string_view body)
+{
+    std::string out = spillMagic;
+    out += std::to_string(key.size());
+    out += '\n';
+    out += key;
+    out += body;
+    return out;
+}
+
+/** Extract the body from a spill file iff the header tag and embedded
+ * request key both match; nullopt for stale formats or collisions. */
+std::optional<std::string>
+decodeSpill(const std::string &raw, std::string_view key)
+{
+    const std::size_t magicLen = std::strlen(spillMagic);
+    if (raw.compare(0, magicLen, spillMagic) != 0)
+        return std::nullopt;
+    const std::size_t nl = raw.find('\n', magicLen);
+    if (nl == std::string::npos)
+        return std::nullopt;
+    char *end = nullptr;
+    const std::string lenStr = raw.substr(magicLen, nl - magicLen);
+    const unsigned long long keyLen =
+        std::strtoull(lenStr.c_str(), &end, 10);
+    if (!end || *end != '\0' || lenStr.empty())
+        return std::nullopt;
+    const std::size_t keyBegin = nl + 1;
+    if (keyBegin + keyLen > raw.size())
+        return std::nullopt;
+    if (std::string_view(raw).substr(keyBegin, keyLen) != key)
+        return std::nullopt;
+    return raw.substr(keyBegin + keyLen);
+}
+
 } // namespace
 
 ResultCache::ResultCache(std::size_t maxBytes, std::string spillDir)
@@ -45,23 +90,27 @@ ResultCache::spillPath(std::uint64_t digest) const
 }
 
 std::optional<CachedResult>
-ResultCache::get(std::uint64_t digest, bool recordMiss)
+ResultCache::get(std::uint64_t digest, std::string_view key,
+                 bool recordMiss)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = entries_.find(digest); it != entries_.end()) {
+    if (auto it = entries_.find(digest);
+        it != entries_.end() && it->second.key == key) {
         ++hits_;
         lru_.splice(lru_.end(), lru_, it->second.lru);
         return it->second.result;
     }
     if (!spillDir_.empty()) {
-        if (auto body = readFileIfExists(spillPath(digest))) {
-            // Spilled results are always clean (exit 0) by
-            // construction; promote back into memory.
-            ++hits_;
-            ++spillHits_;
-            CachedResult r{std::move(*body), 0};
-            putLocked(digest, r);
-            return r;
+        if (auto raw = readFileIfExists(spillPath(digest))) {
+            if (auto body = decodeSpill(*raw, key)) {
+                // Spilled results are always clean (exit 0) by
+                // construction; promote back into memory.
+                ++hits_;
+                ++spillHits_;
+                CachedResult r{std::move(*body), 0};
+                putLocked(digest, key, r);
+                return r;
+            }
         }
     }
     if (recordMiss)
@@ -70,14 +119,16 @@ ResultCache::get(std::uint64_t digest, bool recordMiss)
 }
 
 void
-ResultCache::put(std::uint64_t digest, const CachedResult &result)
+ResultCache::put(std::uint64_t digest, std::string_view key,
+                 const CachedResult &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    putLocked(digest, result);
+    putLocked(digest, key, result);
 }
 
 void
-ResultCache::putLocked(std::uint64_t digest, const CachedResult &result)
+ResultCache::putLocked(std::uint64_t digest, std::string_view key,
+                       const CachedResult &result)
 {
     if (entries_.count(digest))
         return;
@@ -90,6 +141,7 @@ ResultCache::putLocked(std::uint64_t digest, const CachedResult &result)
     while (bytes_ + result.body.size() > maxBytes_ && !lru_.empty())
         evictOne();
     Entry e;
+    e.key = std::string(key);
     e.result = result;
     e.lru = lru_.insert(lru_.end(), digest);
     bytes_ += result.body.size();
@@ -107,7 +159,8 @@ ResultCache::evictOne()
         // injected io-write fault) the entry is simply dropped — a
         // later repeat recomputes, which is degradation, not damage.
         auto written = GuardedFile::writeAtomic(
-            spillPath(victim), it->second.result.body);
+            spillPath(victim),
+            encodeSpill(it->second.key, it->second.result.body));
         if (written.ok())
             ++spills_;
     }

@@ -8,13 +8,20 @@
  * byte-exact stats-JSON document a fresh run would produce, so a
  * repeat request costs one hash lookup and one socket write.
  *
+ * The full canonical request key is stored next to every entry and
+ * compared on lookup, so a 64-bit digest collision degrades to a miss
+ * (recompute) instead of silently serving the wrong response.
+ *
  * Eviction spills clean results (exit 0) to `<spillDir>/<digest>.json`
  * through GuardedFile::writeAtomic — torn spill files are impossible,
  * and a spill failure (disk full, injected io-write fault) degrades
- * to "evict without spilling", never a crash.  A later miss reloads
- * the spilled document.  Degraded results (exit 5) are cached in
- * memory but never spilled: a rerun should get the chance to succeed
- * after a restart.
+ * to "evict without spilling", never a crash.  Spill files carry a
+ * `membw-spill-v1` header embedding the full request key; a reload
+ * verifies both, so a stale file from an older (different-format)
+ * build or a colliding digest is ignored rather than served.  A later
+ * miss reloads the spilled document.  Degraded results (exit 5) are
+ * cached in memory but never spilled: a rerun should get the chance
+ * to succeed after a restart.
  *
  * An MEMBW_FAULT_POINT("alloc") guards insertion so the torture
  * harness can prove the daemon serves correct (uncached) responses
@@ -29,6 +36,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace membw {
@@ -49,15 +57,20 @@ class ResultCache
     ResultCache(std::size_t maxBytes, std::string spillDir);
 
     /** Lookup by digest; checks memory, then the spill directory.
-     * @p recordMiss false suppresses the miss counter — for the
-     * dispatcher's post-coalescing recheck, which would otherwise
-     * double-count the miss already recorded at admission. */
+     * @p key is the full canonical request key the digest was hashed
+     * from — an entry whose stored key differs (digest collision,
+     * stale spill file) is a miss.  @p recordMiss false suppresses
+     * the miss counter — for the dispatcher's post-coalescing
+     * recheck, which would otherwise double-count the miss already
+     * recorded at admission. */
     std::optional<CachedResult> get(std::uint64_t digest,
+                                    std::string_view key,
                                     bool recordMiss = true);
 
     /** Insert (no-op when an injected alloc fault fires or the body
      * exceeds the cache bound). */
-    void put(std::uint64_t digest, const CachedResult &result);
+    void put(std::uint64_t digest, std::string_view key,
+             const CachedResult &result);
 
     std::uint64_t hits() const;
     std::uint64_t misses() const;
@@ -69,7 +82,8 @@ class ResultCache
 
   private:
     std::string spillPath(std::uint64_t digest) const;
-    void putLocked(std::uint64_t digest, const CachedResult &result);
+    void putLocked(std::uint64_t digest, std::string_view key,
+                   const CachedResult &result);
     void evictOne();
 
     const std::size_t maxBytes_;
@@ -78,6 +92,7 @@ class ResultCache
 
     struct Entry
     {
+        std::string key; ///< full request key; verified on hit
         CachedResult result;
         std::list<std::uint64_t>::iterator lru;
     };

@@ -28,14 +28,16 @@ namespace membw {
 
 namespace {
 
-/** write(2) until @p data is fully sent; false on error. */
+/** send(2) until @p data is fully sent; false on error.  MSG_NOSIGNAL
+ * turns a client that closed its socket mid-response into an EPIPE
+ * return instead of a process-killing SIGPIPE. */
 bool
 writeAll(int fd, std::string_view data)
 {
     std::size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + sent, data.size() - sent);
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -81,15 +83,52 @@ ServeServer::~ServeServer()
 {
     stopping_.store(true);
     broker_.drainAndStop();
-    std::lock_guard<std::mutex> lock(threadsMutex_);
-    for (auto &t : threads_)
+    joinAllThreads();
+}
+
+void
+ServeServer::reapFinishedThreads()
+{
+    std::vector<std::thread> done;
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        for (const std::uint64_t id : finishedThreads_) {
+            if (auto it = threads_.find(id); it != threads_.end()) {
+                done.push_back(std::move(it->second));
+                threads_.erase(it);
+            }
+        }
+        finishedThreads_.clear();
+    }
+    // Join outside the lock: each thread's last act is to enqueue its
+    // id under threadsMutex_, so these joins return immediately.
+    for (auto &t : done)
+        t.join();
+}
+
+void
+ServeServer::joinAllThreads()
+{
+    std::unordered_map<std::uint64_t, std::thread> all;
+    {
+        std::lock_guard<std::mutex> lock(threadsMutex_);
+        all.swap(threads_);
+        finishedThreads_.clear();
+    }
+    for (auto &[id, t] : all) {
+        (void)id;
         if (t.joinable())
             t.join();
+    }
 }
 
 int
 ServeServer::run()
 {
+    // Belt and braces with writeAll's MSG_NOSIGNAL: no disconnecting
+    // client may take the long-lived daemon down with a SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
@@ -131,9 +170,14 @@ ServeServer::run()
         const int fd = ::accept(listenFd, nullptr, nullptr);
         if (fd < 0)
             continue;
+        reapFinishedThreads();
         std::lock_guard<std::mutex> lock(threadsMutex_);
-        threads_.emplace_back(
-            [this, fd] { handleConnection(fd); });
+        const std::uint64_t id = nextThreadId_++;
+        threads_.emplace(id, std::thread([this, fd, id] {
+            handleConnection(fd);
+            std::lock_guard<std::mutex> lock(threadsMutex_);
+            finishedThreads_.push_back(id);
+        }));
     }
 
     // Drain: every admitted job finishes and its waiting clients get
@@ -141,13 +185,7 @@ ServeServer::run()
     stopping_.store(true);
     broker_.drainAndStop();
     ::close(listenFd);
-    {
-        std::lock_guard<std::mutex> lock(threadsMutex_);
-        for (auto &t : threads_)
-            if (t.joinable())
-                t.join();
-        threads_.clear();
-    }
+    joinAllThreads();
     ::unlink(opts_.socketPath.c_str());
 
     if (shutdownExit_.load() >= 0) {
@@ -226,13 +264,24 @@ ServeServer::handleRequest(const std::string &line)
         break;
     }
 
-    const std::uint64_t digest = fnv1a64(serveRequestKey(req));
-    if (auto hit = results_.get(digest))
+    // Keying can itself reject a request (serveRequestKey canonicalises
+    // through the experiment config, which fatal()s on bad overrides);
+    // that must become an error envelope, not an escaped exception that
+    // terminates the connection thread.
+    std::string key;
+    std::uint64_t digest = 0;
+    try {
+        key = serveRequestKey(req);
+        digest = fnv1a64(key);
+    } catch (const FatalError &e) {
+        return errorEnvelope(req.op, e.what());
+    }
+    if (auto hit = results_.get(digest, key))
         return okEnvelope(req.op, true, hit->exitCode, hit->body);
 
     auto submission = broker_.submit(
-        digest, [this, req, digest] {
-            return computeResponse(req, digest);
+        digest, [this, req, key, digest] {
+            return computeResponse(req, key, digest);
         });
     if (submission.busy)
         return busyEnvelope(req.op, submission.queued,
@@ -242,16 +291,17 @@ ServeServer::handleRequest(const std::string &line)
 
 std::string
 ServeServer::computeResponse(const ServeRequest &req,
+                             const std::string &key,
                              std::uint64_t digest)
 {
     // A coalescing race can complete this digest between the probe
     // and the dispatch; the recheck keeps that case a cache hit.
-    if (auto hit = results_.get(digest, /*recordMiss=*/false))
+    if (auto hit = results_.get(digest, key, /*recordMiss=*/false))
         return okEnvelope(req.op, true, hit->exitCode, hit->body);
     try {
         if (req.op == ServeOp::Sweep)
-            return computeSweep(req.sweep, digest);
-        return computeDecompose(req.decompose, digest);
+            return computeSweep(req.sweep, key, digest);
+        return computeDecompose(req.decompose, key, digest);
     } catch (const WatchdogError &e) {
         return errorEnvelope(req.op, e.what());
     } catch (const FatalError &e) {
@@ -282,6 +332,7 @@ ServeServer::traceFor(const std::string &workload, double scale,
 
 std::string
 ServeServer::computeSweep(const SweepRequest &req,
+                          const std::string &key,
                           std::uint64_t digest)
 {
     auto served = traceFor(req.workload, req.scale, req.seed);
@@ -341,18 +392,19 @@ ServeServer::computeSweep(const SweepRequest &req,
     const std::string body =
         renderSweepStatsJson(req, served->trace.size(), outcome);
     const int exitCode = outcome.degraded ? exitDegraded : exitOk;
-    results_.put(digest, CachedResult{body, exitCode});
+    results_.put(digest, key, CachedResult{body, exitCode});
     return okEnvelope(ServeOp::Sweep, false, exitCode, body);
 }
 
 std::string
 ServeServer::computeDecompose(const DecomposeRequest &req,
+                              const std::string &key,
                               std::uint64_t digest)
 {
-    const std::string key = "instr|" + req.workload + "|" +
-                            formatScale(req.scale) + "|" +
-                            std::to_string(req.seed);
-    auto stream = artifacts_.getOrBuild<InstrStream>(key, [&] {
+    const std::string streamKey = "instr|" + req.workload + "|" +
+                                  formatScale(req.scale) + "|" +
+                                  std::to_string(req.seed);
+    auto stream = artifacts_.getOrBuild<InstrStream>(streamKey, [&] {
         auto built = std::make_shared<InstrStream>(
             buildDecomposeStream(req.workload, req.scale, req.seed));
         const std::size_t bytes = built->size() * sizeof(MicroOp);
@@ -364,7 +416,7 @@ ServeServer::computeDecompose(const DecomposeRequest &req,
     DecompositionResult r = executeDecompose(req, *stream);
     const std::string body = renderDecomposeStatsJson(
         req, stream->size(), r, timer.seconds());
-    results_.put(digest, CachedResult{body, exitOk});
+    results_.put(digest, key, CachedResult{body, exitOk});
     return okEnvelope(ServeOp::Decompose, false, exitOk, body);
 }
 

@@ -32,6 +32,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/thread_pool.hh"
@@ -76,11 +77,16 @@ class ServeServer
     void handleConnection(int fd);
     std::string handleRequest(const std::string &line);
     std::string computeResponse(const ServeRequest &req,
+                                const std::string &key,
                                 std::uint64_t digest);
     std::string computeSweep(const SweepRequest &req,
+                             const std::string &key,
                              std::uint64_t digest);
     std::string computeDecompose(const DecomposeRequest &req,
+                                 const std::string &key,
                                  std::uint64_t digest);
+    void reapFinishedThreads();
+    void joinAllThreads();
     std::string pingEnvelope() const;
     std::string statsEnvelope() const;
 
@@ -101,8 +107,13 @@ class ServeServer
     std::atomic<int> shutdownExit_{-1}; ///< set by the shutdown op
     std::atomic<std::uint64_t> requests_{0};
 
+    /** Connection threads, keyed by id so the accept loop can join
+     * completed ones promptly instead of accumulating joinable
+     * handles (and their stacks) until shutdown. */
     std::mutex threadsMutex_;
-    std::vector<std::thread> threads_;
+    std::unordered_map<std::uint64_t, std::thread> threads_;
+    std::vector<std::uint64_t> finishedThreads_;
+    std::uint64_t nextThreadId_ = 0;
 };
 
 } // namespace membw

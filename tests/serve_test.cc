@@ -131,14 +131,15 @@ TEST(ArtifactCache, OversizeArtifactReturnedUncached)
 TEST(ResultCache, BoundedLruWithCounters)
 {
     ResultCache cache(20, "");
-    cache.put(1, {"0123456789", 0});
-    cache.put(2, {"0123456789", 0});
-    EXPECT_TRUE(cache.get(1).has_value());
-    cache.put(3, {"0123456789", 0}); // evicts 2 (LRU; 1 was touched)
+    cache.put(1, "k1", {"0123456789", 0});
+    cache.put(2, "k2", {"0123456789", 0});
+    EXPECT_TRUE(cache.get(1, "k1").has_value());
+    // Evicts 2 (LRU; 1 was touched).
+    cache.put(3, "k3", {"0123456789", 0});
     EXPECT_EQ(cache.evictions(), 1u);
-    EXPECT_TRUE(cache.get(1).has_value());
-    EXPECT_FALSE(cache.get(2).has_value());
-    EXPECT_TRUE(cache.get(3).has_value());
+    EXPECT_TRUE(cache.get(1, "k1").has_value());
+    EXPECT_FALSE(cache.get(2, "k2").has_value());
+    EXPECT_TRUE(cache.get(3, "k3").has_value());
     EXPECT_EQ(cache.hits(), 3u);
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_LE(cache.bytesResident(), 20u);
@@ -147,40 +148,79 @@ TEST(ResultCache, BoundedLruWithCounters)
 TEST(ResultCache, RecordMissFlagSuppressesCounter)
 {
     ResultCache cache(64, "");
-    EXPECT_FALSE(cache.get(7).has_value());
-    EXPECT_FALSE(cache.get(7, /*recordMiss=*/false).has_value());
+    EXPECT_FALSE(cache.get(7, "k7").has_value());
+    EXPECT_FALSE(cache.get(7, "k7", /*recordMiss=*/false).has_value());
     EXPECT_EQ(cache.misses(), 1u);
 }
 
 TEST(ResultCache, OversizeBodySkipped)
 {
     ResultCache cache(4, "");
-    cache.put(1, {"longer than four bytes", 0});
+    cache.put(1, "k1", {"longer than four bytes", 0});
     EXPECT_EQ(cache.entries(), 0u);
-    EXPECT_FALSE(cache.get(1).has_value());
+    EXPECT_FALSE(cache.get(1, "k1").has_value());
+}
+
+TEST(ResultCache, DigestCollisionDetectedByKeyCompare)
+{
+    ResultCache cache(64, "");
+    cache.put(1, "sweep|Compress|...", {"body-a", 0});
+    // Same 64-bit digest, different canonical key: must be a miss,
+    // never the other request's bytes.
+    EXPECT_FALSE(cache.get(1, "sweep|Vortex|...").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+    auto hit = cache.get(1, "sweep|Compress|...");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->body, "body-a");
 }
 
 TEST(ResultCache, SpillOnEvictAndReload)
 {
     const std::string dir = tempDir();
     ResultCache cache(12, dir);
-    cache.put(0xabc, {"0123456789", 0});
-    cache.put(0xdef, {"9876543210", 0}); // evicts + spills 0xabc
+    cache.put(0xabc, "ka", {"0123456789", 0});
+    cache.put(0xdef, "kd", {"9876543210", 0}); // evicts + spills 0xabc
     EXPECT_EQ(cache.evictions(), 1u);
     EXPECT_EQ(cache.spills(), 1u);
-    auto back = cache.get(0xabc); // reload from spill
+    auto back = cache.get(0xabc, "ka"); // reload from spill
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->body, "0123456789");
     EXPECT_EQ(back->exitCode, 0);
     EXPECT_EQ(cache.spillHits(), 1u);
     // Degraded results (exit 5) are never spilled.
-    cache.put(0x111, {"degraded!!", 5});
-    cache.put(0x222, {"aaaaaaaaaa", 0});
-    cache.put(0x333, {"bbbbbbbbbb", 0});
+    cache.put(0x111, "k1", {"degraded!!", 5});
+    cache.put(0x222, "k2", {"aaaaaaaaaa", 0});
+    cache.put(0x333, "k3", {"bbbbbbbbbb", 0});
     char name[64];
     std::snprintf(name, sizeof(name), "%s/%016llx.json", dir.c_str(),
                   0x111ull);
     EXPECT_FALSE(fileExists(name));
+}
+
+TEST(ResultCache, SpillVerifiesKeyAndFormat)
+{
+    const std::string dir = tempDir();
+    {
+        ResultCache cache(12, dir);
+        cache.put(0xabc, "ka", {"0123456789", 0});
+        cache.put(0xdef, "kd", {"9876543210", 0}); // spills 0xabc
+    }
+    // A colliding digest with a different key must not reload the
+    // spilled bytes.
+    ResultCache fresh(64, dir);
+    EXPECT_FALSE(fresh.get(0xabc, "not-ka").has_value());
+    EXPECT_EQ(fresh.spillHits(), 0u);
+    EXPECT_TRUE(fresh.get(0xabc, "ka").has_value());
+    // A stale spill file from an older build (raw body, no
+    // membw-spill header) is ignored, not served.
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s/%016llx.json", dir.c_str(),
+                  0x999ull);
+    std::FILE *f = std::fopen(name, "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"manifest\":\"old format\"}", f);
+    std::fclose(f);
+    EXPECT_FALSE(fresh.get(0x999, "k9").has_value());
 }
 
 TEST(RequestBroker, ExecutesAndCounts)
@@ -292,4 +332,21 @@ TEST(ServeProtocol, RejectsUnknownFieldsAndOps)
                      "\"sizes\":\"1K\",\"typo_field\":1}"),
                  FatalError);
     EXPECT_THROW(parseServeRequest("not json at all"), FatalError);
+}
+
+TEST(ServeProtocol, ValidatesDecomposeDramAtParseTime)
+{
+    // A bad enum value must be rejected during parsing — inside the
+    // daemon's error-envelope try/catch — not later from key
+    // canonicalisation where an escaped FatalError would terminate
+    // the connection thread.
+    EXPECT_THROW(parseServeRequest(
+                     "{\"op\":\"decompose\",\"workload\":\"Compress\","
+                     "\"dram\":\"bogus\"}"),
+                 FatalError);
+    const ServeRequest ok = parseServeRequest(
+        "{\"op\":\"decompose\",\"workload\":\"Compress\","
+        "\"dram\":\"sdram\"}");
+    EXPECT_EQ(ok.op, ServeOp::Decompose);
+    EXPECT_EQ(ok.decompose.overrides.dram, "sdram");
 }
